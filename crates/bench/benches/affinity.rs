@@ -1,0 +1,42 @@
+//! Affinity micro-benchmark: what subset/prefix affinity saves ASL and PT
+//! at the whole-algorithm level (host time; the virtual-time version is
+//! the `ablation_affinity` experiment).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use icecube_cluster::ClusterConfig;
+use icecube_core::{run_parallel_with, Algorithm, IcebergQuery, RunOptions};
+use icecube_data::presets;
+
+fn bench_affinity(c: &mut Criterion) {
+    let mut spec = presets::baseline();
+    spec.tuples = 8_000;
+    let rel = spec.generate().expect("preset is valid");
+    let q = IcebergQuery::count_cube(rel.arity(), 2);
+    let cfg = ClusterConfig::fast_ethernet(4);
+    let mut group = c.benchmark_group("affinity_scheduling");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for alg in [Algorithm::Asl, Algorithm::Pt] {
+        for on in [true, false] {
+            let label = if on { "on" } else { "off" };
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), label),
+                &on,
+                |b, &on| {
+                    let opts = RunOptions { affinity: on, ..RunOptions::counting() };
+                    b.iter(|| {
+                        let out = run_parallel_with(alg, &rel, &q, &cfg, &opts)
+                            .expect("valid configuration");
+                        black_box(out.total_cells)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_affinity);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Cell-store micro-benchmark: the skip list (ASL's choice) against a
+//! `BTreeMap` and a `HashMap` as the cuboid cell container.
+//!
+//! The paper picks the skip list for incremental growth with a maintained
+//! sort order; this bench quantifies what that costs/road against the
+//! standard alternatives on the insert-or-update workload the algorithms
+//! generate (many repeated keys, skewed values).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use icecube_core::agg::Aggregate;
+use icecube_data::presets;
+use icecube_skiplist::SkipList;
+use std::collections::{BTreeMap, HashMap};
+
+fn keys(n_tuples: usize, arity: usize) -> Vec<Vec<u32>> {
+    let mut spec = presets::tiny(99);
+    spec.tuples = n_tuples;
+    let rel = spec.generate().expect("preset is valid");
+    rel.rows().map(|(row, _)| row[..arity.min(row.len())].to_vec()).collect()
+}
+
+fn bench_cellstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cellstore_upsert");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let data = keys(n, 3);
+        group.bench_with_input(BenchmarkId::new("skiplist", n), &data, |b, data| {
+            b.iter(|| {
+                let mut s: SkipList<Aggregate> = SkipList::new(3, 1);
+                for k in data {
+                    s.insert_or_update(k, || Aggregate::of(1), |a| a.update(1));
+                }
+                black_box(s.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("btreemap", n), &data, |b, data| {
+            b.iter(|| {
+                let mut s: BTreeMap<Vec<u32>, Aggregate> = BTreeMap::new();
+                for k in data {
+                    s.entry(k.clone()).or_insert_with(Aggregate::empty).update(1);
+                }
+                black_box(s.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hashmap_plus_sort", n), &data, |b, data| {
+            b.iter(|| {
+                let mut s: HashMap<Vec<u32>, Aggregate> = HashMap::new();
+                for k in data {
+                    s.entry(k.clone()).or_insert_with(Aggregate::empty).update(1);
+                }
+                // The cube output must be sorted; a hash store pays here.
+                let mut cells: Vec<_> = s.into_iter().collect();
+                cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                black_box(cells.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cellstore);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Partitioning micro-benchmark: the counting-sort partitioner (dense
+//! dictionary-encoded values) against comparison sorting, BUC's hottest
+//! primitive.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use icecube_cluster::{ClusterConfig, SimCluster};
+use icecube_core::partition::{full_index, Partitioner};
+use icecube_data::presets;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut spec = presets::baseline();
+    spec.tuples = 100_000;
+    let rel = spec.generate().expect("preset is valid");
+    let mut group = c.benchmark_group("partition_100k");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for dim in [0usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("counting_sort", format!("dim{dim}")),
+            &dim,
+            |b, &dim| {
+                let mut part = Partitioner::new();
+                b.iter(|| {
+                    let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+                    let mut idx = full_index(&rel);
+                    let mut groups = Vec::new();
+                    let len = idx.len() as u32;
+                    part.split(&rel, &mut idx, (0, len), dim, &mut cluster.nodes[0], &mut groups);
+                    black_box(groups.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("comparison_sort", format!("dim{dim}")),
+            &dim,
+            |b, &dim| {
+                b.iter(|| {
+                    let mut idx = full_index(&rel);
+                    idx.sort_unstable_by_key(|&i| rel.value(i as usize, dim));
+                    black_box(idx.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

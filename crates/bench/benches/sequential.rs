@@ -1,0 +1,48 @@
+//! Sequential-baseline micro-benchmark: host-time comparison of the
+//! Chapter 2 cast (Naive, BUC, BPP-BUC, TopDown, PipeSort, PipeHash) on a
+//! sparse and a dense workload.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use icecube_cluster::ClusterConfig;
+use icecube_core::{run_sequential, IcebergQuery, SeqAlgorithm};
+use icecube_data::{presets, SyntheticSpec};
+
+fn bench_sequential(c: &mut Criterion) {
+    let sparse = {
+        let mut s = presets::baseline();
+        s.tuples = 10_000;
+        s.generate().expect("preset is valid")
+    };
+    let dense = SyntheticSpec::uniform(10_000, vec![6, 5, 4, 4, 3, 3, 2, 2, 2], 0x5e9)
+        .generate()
+        .expect("spec is valid");
+    let cfg = ClusterConfig::fast_ethernet(1);
+    let mut group = c.benchmark_group("sequential_cube");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for (name, rel) in [("sparse", &sparse), ("dense", &dense)] {
+        let q = IcebergQuery::count_cube(rel.arity(), 2);
+        for alg in SeqAlgorithm::all() {
+            if alg == SeqAlgorithm::Naive {
+                continue; // dominates the plot without adding signal
+            }
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), name),
+                &alg,
+                |b, &alg| {
+                    b.iter(|| {
+                        let out = run_sequential(alg, rel, &q, &cfg)
+                            .expect("valid configuration");
+                        black_box(out.cells.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

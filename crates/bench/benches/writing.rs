@@ -1,0 +1,53 @@
+//! Writing-strategy micro-benchmark: depth-first BUC vs breadth-first
+//! BPP-BUC over the same subtree (the engine-level ablation behind
+//! Figure 3.6). Criterion measures host time; the simulated I/O gap is
+//! asserted by `ablation_writing` in the experiments harness.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use icecube_cluster::{ClusterConfig, SimCluster};
+use icecube_core::buc::{bpp_buc, buc_depth_first};
+use icecube_core::cell::CellBuf;
+use icecube_data::presets;
+use icecube_lattice::TreeTask;
+
+fn bench_writing(c: &mut Criterion) {
+    let mut spec = presets::baseline();
+    spec.tuples = 20_000;
+    let rel = spec.generate().expect("preset is valid");
+    let task = TreeTask::whole_lattice(rel.arity());
+    let mut group = c.benchmark_group("buc_engines");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for minsup in [1u64, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("depth_first", minsup),
+            &minsup,
+            |b, &minsup| {
+                b.iter(|| {
+                    let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+                    let mut sink = CellBuf::counting();
+                    buc_depth_first(&rel, minsup, task, &mut cluster.nodes[0], &mut sink);
+                    black_box(sink.count)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("breadth_first", minsup),
+            &minsup,
+            |b, &minsup| {
+                b.iter(|| {
+                    let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+                    let mut sink = CellBuf::counting();
+                    bpp_buc(&rel, minsup, task, &mut cluster.nodes[0], &mut sink);
+                    black_box(sink.count)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_writing);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>... [--scale f] [--out dir]
+//! experiments all [--scale f] [--out dir]
+//! experiments list
+//! ```
+//!
+//! Each experiment prints an aligned table plus shape notes comparing the
+//! measurement against the paper's reported behaviour, and writes
+//! `<id>.csv` into the output directory (default `results/`).
+
+use icecube_bench::experiments::{all_ids, run_by_id};
+use icecube_bench::Ctx;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut ctx = Ctx::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--scale needs a number");
+                    return ExitCode::FAILURE;
+                };
+                if !(v > 0.0 && v <= 1.0) {
+                    eprintln!("--scale must be in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+                ctx.scale = v;
+            }
+            "--max-dims" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--max-dims needs an integer");
+                    return ExitCode::FAILURE;
+                };
+                ctx.max_dims = v.clamp(5, 13);
+            }
+            "--out" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                ctx.out_dir = v.into();
+            }
+            "list" => {
+                for id in all_ids() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(all_ids().into_iter().map(String::from)),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        eprintln!("usage: experiments <id>...|all|list [--scale f] [--max-dims d] [--out dir]");
+        eprintln!("ids: {}", all_ids().join(" "));
+        return ExitCode::FAILURE;
+    }
+    if (ctx.scale - 1.0).abs() > 1e-9 {
+        println!("(running at scale {} of the paper's dataset sizes)\n", ctx.scale);
+    }
+    for id in ids {
+        let started = std::time::Instant::now();
+        let Some(report) = run_by_id(&id, &ctx) else {
+            eprintln!("unknown experiment id: {id}");
+            return ExitCode::FAILURE;
+        };
+        println!("{}", report.render());
+        match report.save_csv(&ctx.out_dir) {
+            Ok(path) => println!("  (csv: {}; took {:.1?})\n", path.display(), started.elapsed()),
+            Err(e) => eprintln!("  (csv write failed: {e})"),
+        }
+    }
+    ExitCode::SUCCESS
+}

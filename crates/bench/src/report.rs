@@ -1,0 +1,200 @@
+//! Result tables: aligned console rendering plus CSV export.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity must match headers");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor (row, column), for tests.
+    pub fn cell(&self, r: usize, c: usize) -> &str {
+        &self.rows[r][c]
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Serializes as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let line = |cells: &[String]| -> String {
+            cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        };
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One experiment's output: a title, the data, and commentary comparing
+/// the measured shape with the paper's.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment identifier (e.g. `fig4_2`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The result table.
+    pub table: Table,
+    /// Shape checks and notes (paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report shell.
+    pub fn new(id: &str, title: &str, table: Table) -> Self {
+        Report { id: id.into(), title: title.into(), table, notes: Vec::new() }
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders to the console format.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n{}", self.id, self.title, self.table.render());
+        for n in &self.notes {
+            out.push_str("  * ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<id>.csv` into `dir` (created if needed).
+    pub fn save_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.table.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats virtual nanoseconds as seconds with 3 decimals.
+pub fn secs(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e9)
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats bytes as megabytes with 1 decimal.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["procs", "seconds"]);
+        t.row(["2", "10.000"]);
+        t.row(["16", "1.250"]);
+        let r = t.render();
+        assert!(r.contains("procs  seconds"));
+        assert!(r.lines().count() == 4);
+        assert_eq!(t.cell(1, 0), "16");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn row_arity_is_enforced() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn report_saves_csv() {
+        let mut t = Table::new(["x"]);
+        t.row(["1"]);
+        let r = Report::new("test_report", "Testing", t);
+        let dir = std::env::temp_dir().join("icecube-report-test");
+        let path = r.save_csv(&dir).unwrap();
+        assert!(std::fs::read_to_string(path).unwrap().starts_with("x\n1"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1_500_000_000), "1.500");
+        assert_eq!(f2(12.345), "12.35");
+        assert_eq!(mb(86_000_000), "86.0");
+    }
+}

@@ -1,0 +1,177 @@
+#![warn(missing_docs)]
+
+//! A deterministic simulated PC cluster.
+//!
+//! The paper runs on a heterogeneous cluster of eight 500 MHz PIII and
+//! eight 266 MHz PII machines, each with its own disk, connected by
+//! 100 Mbit Ethernet (and, for Chapter 5, Myrinet), programmed with MPI.
+//! This crate substitutes that testbed with a **virtual-time simulation**
+//! (see `DESIGN.md` §2):
+//!
+//! * every node owns a [`SimNode`] with a virtual clock in nanoseconds;
+//! * CPU work is charged from *deterministic operation counts* (tuples
+//!   scanned, comparisons made, cells hashed) priced by [`CpuCosts`] and
+//!   scaled by the node's clock speed;
+//! * disk writes go through a seek-penalty model ([`DiskModel`]) that
+//!   reproduces the paper's breadth- vs depth-first writing gap
+//!   (Figure 3.6): switching output files costs a seek, sequential bytes
+//!   cost bandwidth;
+//! * messages advance the receiver's clock to `max(receiver, sender +
+//!   latency + bytes/bandwidth)` ([`NetModel`]), which is all the paper's
+//!   manager/worker RPC, chunk shipping and barriers need;
+//! * dynamic (demand) scheduling is simulated by a greedy event loop that
+//!   always serves the node with the smallest clock — exactly the behaviour
+//!   of a demand-driven manager, and bit-for-bit reproducible.
+//!
+//! Because every cost is derived from deterministic counters, all of the
+//! paper's figures regenerate identically on every run.
+
+pub mod config;
+pub mod node;
+pub mod schedule;
+pub mod stats;
+
+pub use config::{ClusterConfig, CpuCosts, DiskModel, NetModel, NodeSpec};
+pub use node::SimNode;
+pub use schedule::{run_demand, run_demand_steps, TaskSource};
+pub use stats::{NodeStats, RunStats};
+
+/// A simulated cluster: node states plus the shared cost model.
+#[derive(Debug, Clone)]
+pub struct SimCluster {
+    /// Per-node simulation state.
+    pub nodes: Vec<SimNode>,
+    /// The cost model and node roster this cluster was built from.
+    pub config: ClusterConfig,
+}
+
+impl SimCluster {
+    /// Builds the cluster described by `config`.
+    pub fn new(config: ClusterConfig) -> Self {
+        let nodes = config
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, spec)| SimNode::new(id, *spec, config.disk, config.net, config.cpu))
+            .collect();
+        SimCluster { nodes, config }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes (never valid for algorithms).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ships `bytes` from node `from` to node `to`: the sender is busy for
+    /// the transfer, the receiver cannot proceed before the data arrives.
+    ///
+    /// # Panics
+    /// Panics if `from == to` — local data needs no transfer and callers
+    /// are expected to branch on that (the cost asymmetry is the point of
+    /// POL's wrap-around task order).
+    pub fn send(&mut self, from: usize, to: usize, bytes: u64) {
+        assert_ne!(from, to, "no self-sends; local access is free");
+        let cost = self.config.net.transfer_ns(bytes);
+        let sender = &mut self.nodes[from];
+        sender.stats.net_ns += cost;
+        sender.stats.bytes_sent += bytes;
+        sender.stats.messages += 1;
+        sender.advance(cost);
+        let arrival = self.nodes[from].clock_ns();
+        self.nodes[to].wait_until(arrival);
+    }
+
+    /// Synchronizes all nodes (an MPI-style barrier): every clock advances
+    /// to the cluster maximum plus a latency term logarithmic in the node
+    /// count; the gap each node waited is accounted as idle time.
+    pub fn barrier(&mut self) {
+        let max = self.nodes.iter().map(|n| n.clock_ns()).max().unwrap_or(0);
+        // A tree barrier costs ~ceil(log2 n) latency rounds.
+        let rounds = if self.len() <= 1 {
+            0
+        } else {
+            (usize::BITS - (self.len() - 1).leading_zeros()) as u64
+        };
+        let target = max + self.config.net.latency_ns * rounds;
+        for n in &mut self.nodes {
+            n.wait_until(target);
+            n.stats.barriers += 1;
+        }
+    }
+
+    /// The makespan: the largest virtual clock across nodes ("wall clock"
+    /// in the paper's figures — the maximum time taken by any processor).
+    pub fn makespan_ns(&self) -> u64 {
+        self.nodes.iter().map(|n| n.clock_ns()).max().unwrap_or(0)
+    }
+
+    /// Snapshot of per-node statistics.
+    pub fn run_stats(&self) -> RunStats {
+        RunStats::new(self.nodes.iter().map(|n| n.stats.clone()).collect(),
+                      self.nodes.iter().map(|n| n.clock_ns()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_advances_both_parties() {
+        let mut c = SimCluster::new(ClusterConfig::fast_ethernet(2));
+        let before_sender = c.nodes[0].clock_ns();
+        c.send(0, 1, 1_000_000);
+        assert!(c.nodes[0].clock_ns() > before_sender);
+        assert_eq!(c.nodes[1].clock_ns(), c.nodes[0].clock_ns());
+        assert_eq!(c.nodes[0].stats.bytes_sent, 1_000_000);
+        assert!(c.nodes[1].stats.idle_ns > 0);
+    }
+
+    #[test]
+    fn receiver_already_ahead_does_not_rewind() {
+        let mut c = SimCluster::new(ClusterConfig::fast_ethernet(2));
+        c.nodes[1].charge_cpu(1_000_000_000);
+        let ahead = c.nodes[1].clock_ns();
+        c.send(0, 1, 10);
+        assert_eq!(c.nodes[1].clock_ns(), ahead, "clock must be monotonic");
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-sends")]
+    fn self_send_is_rejected() {
+        let mut c = SimCluster::new(ClusterConfig::fast_ethernet(2));
+        c.send(0, 0, 10);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut c = SimCluster::new(ClusterConfig::fast_ethernet(4));
+        c.nodes[2].charge_cpu(5_000_000);
+        c.barrier();
+        let t0 = c.nodes[0].clock_ns();
+        assert!(c.nodes.iter().all(|n| n.clock_ns() == t0));
+        assert!(t0 >= 5_000_000);
+        assert_eq!(c.nodes[0].stats.barriers, 1);
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let mut c = SimCluster::new(ClusterConfig::fast_ethernet(3));
+        c.nodes[1].charge_cpu(42);
+        assert_eq!(c.makespan_ns(), c.nodes[1].clock_ns());
+    }
+
+    #[test]
+    fn heterogeneous_nodes_run_at_different_speeds() {
+        let mut c = SimCluster::new(ClusterConfig::heterogeneous_16());
+        assert_eq!(c.len(), 16);
+        c.nodes[0].charge_cpu(1000); // 500 MHz node
+        c.nodes[8].charge_cpu(1000); // 266 MHz node
+        assert!(c.nodes[8].clock_ns() > c.nodes[0].clock_ns());
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-node simulation state: virtual clock, disk head, counters.
+
+use crate::config::{CpuCosts, DiskModel, NetModel, NodeSpec};
+use crate::stats::NodeStats;
+
+/// One simulated machine: a virtual clock plus the local disk state and
+/// accounting counters. All costs are charged explicitly by the algorithms
+/// through the methods here, from deterministic operation counts.
+#[derive(Debug, Clone)]
+pub struct SimNode {
+    id: usize,
+    spec: NodeSpec,
+    disk: DiskModel,
+    net: NetModel,
+    cpu: CpuCosts,
+    clock_ns: u64,
+    /// The cuboid file the disk head last wrote to; switching files costs
+    /// `disk.switch_ns` (the depth-first-writing penalty of Figure 3.6).
+    last_file: Option<u64>,
+    /// Running estimate of live memory on this node.
+    mem_used: u64,
+    /// Per-node statistics.
+    pub stats: NodeStats,
+}
+
+impl SimNode {
+    /// Creates a node at virtual time zero.
+    pub fn new(id: usize, spec: NodeSpec, disk: DiskModel, net: NetModel, cpu: CpuCosts) -> Self {
+        SimNode {
+            id,
+            spec,
+            disk,
+            net,
+            cpu,
+            clock_ns: 0,
+            last_file: None,
+            mem_used: 0,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Node identifier (its rank in the cluster).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Hardware description.
+    pub fn spec(&self) -> NodeSpec {
+        self.spec
+    }
+
+    /// The CPU price table (reference-speed nanoseconds).
+    pub fn cpu_costs(&self) -> CpuCosts {
+        self.cpu
+    }
+
+    /// The interconnect model (for algorithms that need to price a
+    /// transfer before deciding to make it).
+    pub fn net_model(&self) -> NetModel {
+        self.net
+    }
+
+    /// Current virtual time.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advances the clock unconditionally (used by [`crate::SimCluster`]).
+    pub(crate) fn advance(&mut self, ns: u64) {
+        self.clock_ns += ns;
+    }
+
+    /// Blocks until `t`: if the clock is behind, the gap counts as idle
+    /// time (waiting on a message, a barrier, or the manager).
+    pub fn wait_until(&mut self, t: u64) {
+        if t > self.clock_ns {
+            self.stats.idle_ns += t - self.clock_ns;
+            self.clock_ns = t;
+        }
+    }
+
+    /// Charges CPU work quoted in reference-node nanoseconds; slower nodes
+    /// take proportionally longer.
+    pub fn charge_cpu(&mut self, reference_ns: u64) {
+        let t = (reference_ns as f64 * self.spec.cpu_scale()).round() as u64;
+        self.clock_ns += t;
+        self.stats.cpu_ns += t;
+    }
+
+    /// Charges the scan of `tuples` rows from memory.
+    pub fn charge_scan(&mut self, tuples: u64) {
+        self.charge_cpu(tuples * self.cpu.tuple_scan_ns);
+    }
+
+    /// Charges moving `tuples` rows (partitioning, counting sort).
+    pub fn charge_moves(&mut self, tuples: u64) {
+        self.charge_cpu(tuples * self.cpu.tuple_move_ns);
+    }
+
+    /// Charges `n` key-element comparisons (sorting, skip-list search).
+    pub fn charge_comparisons(&mut self, n: u64) {
+        self.charge_cpu(n * self.cpu.cmp_ns);
+    }
+
+    /// Charges `n` in-place aggregate updates.
+    pub fn charge_agg_updates(&mut self, n: u64) {
+        self.charge_cpu(n * self.cpu.agg_update_ns);
+    }
+
+    /// Charges `n` hash-table probes.
+    pub fn charge_hash_probes(&mut self, n: u64) {
+        self.charge_cpu(n * self.cpu.hash_probe_ns);
+    }
+
+    /// Charges fixed per-task setup overhead.
+    pub fn charge_task_overhead(&mut self) {
+        self.charge_cpu(self.cpu.task_overhead_ns);
+        self.stats.tasks += 1;
+    }
+
+    /// Writes `bytes` of cells to the output file identified by `file`
+    /// (one file per cuboid, as the paper's implementations keep). A write
+    /// to a different file than the previous one pays the switch penalty —
+    /// this single rule reproduces the depth- vs breadth-first writing gap.
+    pub fn write_cells(&mut self, file: u64, bytes: u64, cells: u64) {
+        let mut t = bytes * self.disk.write_byte_ns;
+        if self.last_file != Some(file) {
+            t += self.disk.switch_ns;
+            self.stats.file_switches += 1;
+            self.last_file = Some(file);
+        }
+        self.clock_ns += t;
+        self.stats.disk_write_ns += t;
+        self.stats.bytes_written += bytes;
+        self.stats.cells_written += cells;
+        self.charge_cpu(cells * self.cpu.cell_emit_ns);
+    }
+
+    /// Reads `bytes` sequentially from local disk.
+    pub fn read_bytes(&mut self, bytes: u64) {
+        let t = bytes * self.disk.read_byte_ns;
+        self.clock_ns += t;
+        self.stats.disk_read_ns += t;
+        self.stats.bytes_read += bytes;
+    }
+
+    /// Charges time spent waiting on / driving a network transfer this
+    /// node requested (the requester side of a chunk fetch).
+    pub fn charge_net(&mut self, ns: u64) {
+        self.clock_ns += ns;
+        self.stats.net_ns += ns;
+    }
+
+    /// Charges one manager/worker RPC round trip (request + reply).
+    pub fn charge_rpc(&mut self) {
+        let t = 2 * self.net.rpc_ns();
+        self.clock_ns += t;
+        self.stats.net_ns += t;
+        self.stats.messages += 2;
+    }
+
+    /// Notes an allocation of `bytes`, tracking the peak for the memory
+    /// figures and for the hash-tree algorithm's out-of-memory failure.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.mem_used += bytes;
+        self.stats.peak_mem_bytes = self.stats.peak_mem_bytes.max(self.mem_used);
+    }
+
+    /// Notes that `bytes` were released.
+    pub fn free(&mut self, bytes: u64) {
+        self.mem_used = self.mem_used.saturating_sub(bytes);
+    }
+
+    /// Live memory estimate.
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used
+    }
+
+    /// True when an allocation of `bytes` more would exceed the node's
+    /// physical memory.
+    pub fn would_exceed_memory(&self, bytes: u64) -> bool {
+        self.mem_used + bytes > self.spec.mem_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, DiskModel};
+
+    fn node() -> SimNode {
+        let c = ClusterConfig::fast_ethernet(1);
+        SimNode::new(0, c.nodes[0], c.disk, c.net, c.cpu)
+    }
+
+    #[test]
+    fn cpu_charges_scale_with_clock_speed() {
+        let c = ClusterConfig::fast_ethernet(1);
+        let mut fast = SimNode::new(0, NodeSpec::FAST, c.disk, c.net, c.cpu);
+        let mut slow = SimNode::new(1, NodeSpec::SLOW, c.disk, c.net, c.cpu);
+        fast.charge_cpu(1_000_000);
+        slow.charge_cpu(1_000_000);
+        let ratio = slow.clock_ns() as f64 / fast.clock_ns() as f64;
+        assert!((ratio - 500.0 / 266.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn file_switches_cost_a_seek() {
+        let mut n = node();
+        n.write_cells(1, 100, 1);
+        let one_switch = n.stats.file_switches;
+        n.write_cells(1, 100, 1); // same file: sequential
+        assert_eq!(n.stats.file_switches, one_switch);
+        n.write_cells(2, 100, 1); // different file: seek
+        n.write_cells(1, 100, 1); // back again: seek
+        assert_eq!(n.stats.file_switches, 3);
+        assert_eq!(n.stats.cells_written, 4);
+        assert_eq!(n.stats.bytes_written, 400);
+    }
+
+    #[test]
+    fn scattered_writes_cost_more_than_sequential() {
+        let mut scattered = node();
+        let mut sequential = node();
+        for i in 0..100u64 {
+            scattered.write_cells(i % 7, 36, 1);
+            sequential.write_cells(0, 36, 1);
+        }
+        assert!(scattered.stats.disk_write_ns > 3 * sequential.stats.disk_write_ns);
+    }
+
+    #[test]
+    fn wait_until_accrues_idle_and_never_rewinds() {
+        let mut n = node();
+        n.charge_cpu(500);
+        let t = n.clock_ns();
+        n.wait_until(t + 1000);
+        assert_eq!(n.stats.idle_ns, 1000);
+        n.wait_until(0);
+        assert_eq!(n.clock_ns(), t + 1000);
+    }
+
+    #[test]
+    fn memory_tracking_peaks_and_frees() {
+        let mut n = node();
+        n.alloc(1000);
+        n.alloc(2000);
+        n.free(2500);
+        n.alloc(100);
+        assert_eq!(n.mem_used(), 600);
+        assert_eq!(n.stats.peak_mem_bytes, 3000);
+        assert!(!n.would_exceed_memory(1024));
+        assert!(n.would_exceed_memory(u64::MAX / 2));
+    }
+
+    #[test]
+    fn disk_model_constants_are_sane() {
+        let d = DiskModel::COMMODITY;
+        // The switch penalty should dominate a small cell write but not a
+        // large sequential flush.
+        assert!(d.switch_ns > 36 * d.write_byte_ns);
+        assert!(d.switch_ns < 100_000 * d.write_byte_ns);
+    }
+}

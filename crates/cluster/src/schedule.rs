@@ -1,0 +1,228 @@
+//! Demand-driven (manager/worker) scheduling, simulated deterministically.
+//!
+//! ASL, AHT and PT assign tasks dynamically: "a processor is designated the
+//! job of being the manager responsible for dynamically assigning the next
+//! task to a worker processor" (Section 3.3.2). In the simulation, the
+//! manager is realized as a greedy event loop: the node with the smallest
+//! virtual clock is by definition the next to request work, so the loop
+//! repeatedly serves that node, asks the [`TaskSource`] for the best task
+//! given the node's *previous* task (affinity), executes it, and advances
+//! that node's clock by the task's measured cost. Ties break by node id,
+//! making every schedule bit-for-bit reproducible.
+//!
+//! As in the paper, the manager overlaps a worker on node 0, so no node is
+//! reserved; the RPC round trip per task is charged to the worker.
+
+use crate::SimCluster;
+
+/// Supplies tasks to the demand scheduler.
+///
+/// `next_task` receives the requesting node and its previously executed
+/// task so implementations can apply prefix/subset affinity; returning
+/// `None` retires the node.
+pub trait TaskSource<T> {
+    /// Picks the next task for `node`, or `None` when no work remains.
+    fn next_task(&mut self, node: usize, prev: Option<&T>) -> Option<T>;
+}
+
+/// Blanket implementation so plain closures can serve as sources.
+impl<T, F> TaskSource<T> for F
+where
+    F: FnMut(usize, Option<&T>) -> Option<T>,
+{
+    fn next_task(&mut self, node: usize, prev: Option<&T>) -> Option<T> {
+        self(node, prev)
+    }
+}
+
+/// Runs demand scheduling to completion.
+///
+/// `exec` performs the task on the given node, charging whatever virtual
+/// time it costs; it receives the node's previous task for affinity reuse.
+/// Returns the per-node task histories.
+pub fn run_demand<T, S, F>(cluster: &mut SimCluster, source: &mut S, mut exec: F) -> Vec<Vec<T>>
+where
+    T: Clone,
+    S: TaskSource<T>,
+    F: FnMut(&mut SimCluster, usize, &T, Option<&T>),
+{
+    let n = cluster.len();
+    let mut prev: Vec<Option<T>> = vec![None; n];
+    let mut history: Vec<Vec<T>> = vec![Vec::new(); n];
+    let mut retired = vec![false; n];
+    let mut live = n;
+    while live > 0 {
+        // The next node to request work is the one with the smallest clock.
+        let node = (0..n)
+            .filter(|&i| !retired[i])
+            .min_by_key(|&i| (cluster.nodes[i].clock_ns(), i))
+            .expect("live > 0 guarantees a candidate");
+        // Worker → manager RPC round trip to obtain the assignment.
+        cluster.nodes[node].charge_rpc();
+        match source.next_task(node, prev[node].as_ref()) {
+            Some(task) => {
+                cluster.nodes[node].charge_task_overhead();
+                exec(cluster, node, &task, prev[node].as_ref());
+                history[node].push(task.clone());
+                prev[node] = Some(task);
+            }
+            None => {
+                retired[node] = true;
+                live -= 1;
+            }
+        }
+    }
+    // Workers that finish early idle until the last one completes — the
+    // paper's wall clock is the max over processors.
+    let end = cluster.makespan_ns();
+    for node in &mut cluster.nodes {
+        node.wait_until(end);
+    }
+    history
+}
+
+/// Demand scheduling with caller-managed task state.
+///
+/// Like [`run_demand`], but the callback owns task selection *and*
+/// execution: it is invoked for the node with the smallest clock and
+/// returns `false` to retire that node. Used by algorithms whose affinity
+/// decisions depend on per-worker state richer than "the previous task"
+/// (e.g. ASL's first-and-previous skip lists).
+pub fn run_demand_steps<F>(cluster: &mut SimCluster, mut step: F)
+where
+    F: FnMut(&mut SimCluster, usize) -> bool,
+{
+    let n = cluster.len();
+    let mut retired = vec![false; n];
+    let mut live = n;
+    while live > 0 {
+        let node = (0..n)
+            .filter(|&i| !retired[i])
+            .min_by_key(|&i| (cluster.nodes[i].clock_ns(), i))
+            .expect("live > 0 guarantees a candidate");
+        cluster.nodes[node].charge_rpc();
+        if !step(cluster, node) {
+            retired[node] = true;
+            live -= 1;
+        }
+    }
+    let end = cluster.makespan_ns();
+    for node in &mut cluster.nodes {
+        node.wait_until(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    /// A source handing out `k` equal tasks in order.
+    struct Counter {
+        next: usize,
+        total: usize,
+    }
+
+    impl TaskSource<usize> for Counter {
+        fn next_task(&mut self, _node: usize, _prev: Option<&usize>) -> Option<usize> {
+            if self.next < self.total {
+                self.next += 1;
+                Some(self.next - 1)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn equal_tasks_spread_evenly() {
+        let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(4));
+        let mut src = Counter { next: 0, total: 16 };
+        let hist = run_demand(&mut cluster, &mut src, |c, node, _task, _prev| {
+            c.nodes[node].charge_cpu(1_000_000);
+        });
+        assert_eq!(hist.iter().map(Vec::len).sum::<usize>(), 16);
+        // Homogeneous nodes with equal tasks: perfect 4/4/4/4 split.
+        assert!(hist.iter().all(|h| h.len() == 4), "{hist:?}");
+    }
+
+    #[test]
+    fn slower_nodes_receive_fewer_tasks() {
+        let mut cluster = SimCluster::new(ClusterConfig::heterogeneous_16());
+        let mut src = Counter { next: 0, total: 160 };
+        let hist = run_demand(&mut cluster, &mut src, |c, node, _task, _prev| {
+            c.nodes[node].charge_cpu(10_000_000);
+        });
+        let fast: usize = hist[..8].iter().map(Vec::len).sum();
+        let slow: usize = hist[8..].iter().map(Vec::len).sum();
+        assert!(fast > slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn uneven_tasks_balance_by_demand() {
+        // One long task and many short ones: demand scheduling should give
+        // the long-task node nothing else while others absorb the rest.
+        let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(2));
+        let costs = [100u64, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let mut next = 0usize;
+        let mut src = move |_node: usize, _prev: Option<&usize>| {
+            if next < costs.len() {
+                next += 1;
+                Some(next - 1)
+            } else {
+                None
+            }
+        };
+        let hist = run_demand(&mut cluster, &mut src, |c, node, task, _prev| {
+            c.nodes[node].charge_cpu(costs[*task] * 1_000_000_000);
+        });
+        let with_long = hist.iter().position(|h| h.contains(&0)).unwrap();
+        assert_eq!(hist[with_long].len(), 1, "{hist:?}");
+        assert_eq!(hist[1 - with_long].len(), 9);
+    }
+
+    #[test]
+    fn previous_task_is_passed_for_affinity() {
+        let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+        let mut seen_prev: Vec<Option<usize>> = Vec::new();
+        let mut next = 0usize;
+        let mut src = move |_node: usize, prev: Option<&usize>| {
+            // record what the source observed
+            if next < 3 {
+                next += 1;
+                Some((prev.map(|p| p * 10).unwrap_or(0)) + 1)
+            } else {
+                None
+            }
+        };
+        let hist = run_demand(&mut cluster, &mut src, |c, node, _t, prev| {
+            seen_prev.push(prev.copied());
+            c.nodes[node].charge_cpu(1);
+        });
+        assert_eq!(hist[0], vec![1, 11, 111]);
+    }
+
+    #[test]
+    fn all_clocks_align_at_the_end() {
+        let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(3));
+        let mut src = Counter { next: 0, total: 4 };
+        run_demand(&mut cluster, &mut src, |c, node, _t, _p| {
+            c.nodes[node].charge_cpu(5_000_000);
+        });
+        let end = cluster.makespan_ns();
+        assert!(cluster.nodes.iter().all(|n| n.clock_ns() == end));
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let run = || {
+            let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(4));
+            let mut src = Counter { next: 0, total: 33 };
+            let hist = run_demand(&mut cluster, &mut src, |c, node, t, _p| {
+                c.nodes[node].charge_cpu((*t as u64 % 7 + 1) * 1_000_000);
+            });
+            (hist, cluster.makespan_ns())
+        };
+        assert_eq!(run(), run());
+    }
+}

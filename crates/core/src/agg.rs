@@ -1,0 +1,211 @@
+//! Aggregates and their classification (Gray et al., ICDE 1996).
+
+/// The running aggregate of one cube cell.
+///
+/// The paper's queries are `SUM(measure) … HAVING COUNT(*) >= minsup`;
+/// carrying count+sum+min+max covers all the *distributive* functions and,
+/// by composition (`avg = sum/count`), the *algebraic* ones too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aggregate {
+    /// `COUNT(*)` — the support the iceberg condition tests.
+    pub count: u64,
+    /// `SUM(measure)`.
+    pub sum: i64,
+    /// `MIN(measure)`.
+    pub min: i64,
+    /// `MAX(measure)`.
+    pub max: i64,
+}
+
+impl Aggregate {
+    /// The identity aggregate (empty cell).
+    pub fn empty() -> Self {
+        Aggregate { count: 0, sum: 0, min: i64::MAX, max: i64::MIN }
+    }
+
+    /// The aggregate of a single measure value.
+    pub fn of(measure: i64) -> Self {
+        Aggregate { count: 1, sum: measure, min: measure, max: measure }
+    }
+
+    /// Folds one more measure value in.
+    #[inline]
+    pub fn update(&mut self, measure: i64) {
+        self.count += 1;
+        self.sum += measure;
+        self.min = self.min.min(measure);
+        self.max = self.max.max(measure);
+    }
+
+    /// Merges another partial aggregate (the distributive `G` of Gray et
+    /// al.: `F(T) = G({F(Si)})` over any disjoint partition of the input).
+    #[inline]
+    pub fn merge(&mut self, other: &Aggregate) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The algebraic `AVG`, if the cell is non-empty.
+    pub fn avg(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Whether the cell meets an iceberg minimum support.
+    pub fn meets(&self, minsup: u64) -> bool {
+        self.count >= minsup
+    }
+}
+
+impl Default for Aggregate {
+    fn default() -> Self {
+        Aggregate::empty()
+    }
+}
+
+/// Gray et al.'s classification of aggregate functions (Section 2.2).
+///
+/// * `Distributive`: `F(T) = G({F(Si)})` with a single intermediate value —
+///   SUM, COUNT, MIN, MAX.
+/// * `Algebraic`: an M-tuple of intermediates suffices — AVG (sum, count),
+///   standard deviation, MaxN/MinN.
+/// * `Holistic`: no constant-size intermediate — MEDIAN, RANK. These cannot
+///   be computed from sub-aggregates, which is why the cube algorithms
+///   carry only distributive state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggClass {
+    /// Combinable with one intermediate value per partition.
+    Distributive,
+    /// Combinable with a constant-size tuple of intermediates.
+    Algebraic,
+    /// Requires the full input.
+    Holistic,
+}
+
+/// Named aggregate functions and their classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(measure)`.
+    Sum,
+    /// `MIN(measure)`.
+    Min,
+    /// `MAX(measure)`.
+    Max,
+    /// `AVG(measure)`.
+    Avg,
+    /// `MEDIAN(measure)` — holistic; listed for classification only.
+    Median,
+    /// `RANK` — holistic; listed for classification only.
+    Rank,
+}
+
+impl AggFn {
+    /// The function's class per Gray et al.
+    pub fn class(self) -> AggClass {
+        match self {
+            AggFn::Count | AggFn::Sum | AggFn::Min | AggFn::Max => AggClass::Distributive,
+            AggFn::Avg => AggClass::Algebraic,
+            AggFn::Median | AggFn::Rank => AggClass::Holistic,
+        }
+    }
+
+    /// Whether [`Aggregate`] can evaluate this function.
+    pub fn supported(self) -> bool {
+        self.class() != AggClass::Holistic
+    }
+
+    /// Evaluates the function over a finished aggregate, if supported.
+    pub fn eval(self, agg: &Aggregate) -> Option<f64> {
+        match self {
+            AggFn::Count => Some(agg.count as f64),
+            AggFn::Sum => Some(agg.sum as f64),
+            AggFn::Min => (agg.count > 0).then_some(agg.min as f64),
+            AggFn::Max => (agg.count > 0).then_some(agg.max as f64),
+            AggFn::Avg => agg.avg(),
+            AggFn::Median | AggFn::Rank => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_accumulates_all_components() {
+        let mut a = Aggregate::empty();
+        for m in [5, -3, 12] {
+            a.update(m);
+        }
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 14);
+        assert_eq!(a.min, -3);
+        assert_eq!(a.max, 12);
+        assert!((a.avg().unwrap() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_update_over_partitions() {
+        // The distributive property: aggregating disjoint partitions and
+        // merging equals aggregating everything.
+        let values = [4i64, 8, -1, 0, 7, 3, 3];
+        let mut whole = Aggregate::empty();
+        for &v in &values {
+            whole.update(v);
+        }
+        let mut left = Aggregate::empty();
+        let mut right = Aggregate::empty();
+        for &v in &values[..3] {
+            left.update(v);
+        }
+        for &v in &values[3..] {
+            right.update(v);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn empty_cell_has_no_avg_and_merges_as_identity() {
+        let empty = Aggregate::empty();
+        assert_eq!(empty.avg(), None);
+        let mut a = Aggregate::of(9);
+        a.merge(&empty);
+        assert_eq!(a, Aggregate::of(9));
+    }
+
+    #[test]
+    fn meets_tests_count_only() {
+        let mut a = Aggregate::of(1_000_000);
+        assert!(a.meets(1));
+        assert!(!a.meets(2));
+        a.update(0);
+        assert!(a.meets(2));
+    }
+
+    #[test]
+    fn classification_matches_gray() {
+        assert_eq!(AggFn::Sum.class(), AggClass::Distributive);
+        assert_eq!(AggFn::Count.class(), AggClass::Distributive);
+        assert_eq!(AggFn::Avg.class(), AggClass::Algebraic);
+        assert_eq!(AggFn::Median.class(), AggClass::Holistic);
+        assert!(!AggFn::Median.supported());
+        assert!(AggFn::Avg.supported());
+    }
+
+    #[test]
+    fn eval_handles_empty_cells() {
+        let empty = Aggregate::empty();
+        assert_eq!(AggFn::Min.eval(&empty), None);
+        assert_eq!(AggFn::Count.eval(&empty), Some(0.0));
+        assert_eq!(AggFn::Median.eval(&Aggregate::of(1)), None);
+        assert_eq!(AggFn::Max.eval(&Aggregate::of(5)), Some(5.0));
+    }
+}

@@ -1,0 +1,522 @@
+//! Algorithm AHT — Affinity Hash Table (Section 3.5.2, Figure 3.13).
+//!
+//! AHT is ASL's sibling with a hash table as the cell store. Each CUBE
+//! attribute is assigned a number of index bits; a cell's bucket is the
+//! concatenation of its values' low bits (the paper's "naive MOD hash").
+//! The payoff is the **collapse** operation: when a new task's dimensions
+//! are a subset of the previous task's, buckets differing only in the
+//! dropped attributes' bits merge — no re-read of the data, no sorting
+//! ever (a cuboid is "post-sorted" only if a user asks).
+//!
+//! The cost is the index: the total bits are capped by the table size
+//! (the paper fixes the bucket count to the tuple count), so at high
+//! dimensionality or sparseness each attribute gets too few bits,
+//! collisions pile up in the chains, and performance degrades — the
+//! behaviour Figures 4.4 and 4.6 show. The chains are real here, so the
+//! degradation emerges rather than being modelled.
+
+use crate::agg::Aggregate;
+use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
+use crate::cell::{Cell, CellBuf, CellSink};
+use crate::error::AlgoError;
+use crate::query::IcebergQuery;
+use icecube_cluster::{run_demand_steps, ClusterConfig, SimCluster};
+use icecube_data::Relation;
+use icecube_lattice::{CuboidMask, Lattice};
+use std::rc::Rc;
+
+/// The bucket-index function AHT uses (Section 4.9.2 suggests replacing
+/// the naive MOD hash with "a more sophisticated hash function" to relieve
+/// AHT on sparse, high-dimensional cubes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AhtHash {
+    /// The thesis' implementation: concatenate each value's low bits.
+    #[default]
+    NaiveMod,
+    /// Fibonacci (multiplicative) hashing of the whole key — the
+    /// suggested improvement, which mixes high bits into the index.
+    Fibonacci,
+}
+
+/// A collapsible, bit-indexed hash table holding one cuboid's cells.
+#[derive(Debug)]
+pub struct AffinityHashTable {
+    cuboid: CuboidMask,
+    /// Ascending dimensions of `cuboid`.
+    dims: Vec<usize>,
+    /// Cardinalities of those dimensions (for bit re-assignment on
+    /// collapse).
+    cards: Vec<u32>,
+    /// The fixed bucket budget every table is sized to (the paper pins it
+    /// to the tuple count of R).
+    target_buckets: usize,
+    /// Index bits granted to each dimension (aligned with `dims`).
+    bits: Vec<u8>,
+    buckets: Vec<Vec<(Box<[u32]>, Aggregate)>>,
+    hash: AhtHash,
+    len: usize,
+    probes: u64,
+    key_cmps: u64,
+}
+
+impl AffinityHashTable {
+    /// Distributes index bits over the attributes: each starts at
+    /// `ceil(log2 cardinality)` and the widest attributes shed bits until
+    /// the table fits `target_buckets` (the paper sizes tables to the
+    /// tuple count). Every attribute keeps at least one bit.
+    pub fn assign_bits(cards: &[u32], target_buckets: usize) -> Vec<u8> {
+        assert!(!cards.is_empty(), "need at least one attribute");
+        let target_bits = (target_buckets.max(2) as f64).log2().ceil() as u32;
+        let mut bits: Vec<u8> =
+            cards.iter().map(|&c| (32 - c.max(2).leading_zeros()).max(1) as u8).collect();
+        loop {
+            let total: u32 = bits.iter().map(|&b| b as u32).sum();
+            if total <= target_bits.max(cards.len() as u32) {
+                return bits;
+            }
+            // Shrink the currently widest attribute.
+            let widest = bits
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &b)| (b, usize::MAX - i))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            if bits[widest] <= 1 {
+                return bits;
+            }
+            bits[widest] -= 1;
+        }
+    }
+
+    /// Creates an empty table for `cuboid` over dimensions with the given
+    /// cardinalities, sized to the fixed bucket budget: every attribute
+    /// gets its share of `log2(target_buckets)` index bits.
+    pub fn new(cuboid: CuboidMask, cards: Vec<u32>, target_buckets: usize) -> Self {
+        Self::with_hash(cuboid, cards, target_buckets, AhtHash::NaiveMod)
+    }
+
+    /// [`AffinityHashTable::new`] with an explicit hash function.
+    pub fn with_hash(
+        cuboid: CuboidMask,
+        cards: Vec<u32>,
+        target_buckets: usize,
+        hash: AhtHash,
+    ) -> Self {
+        let dims = cuboid.dims();
+        assert_eq!(dims.len(), cards.len(), "one cardinality per dimension");
+        let bits = Self::assign_bits(&cards, target_buckets);
+        let total: u32 = bits.iter().map(|&b| b as u32).sum();
+        assert!(total <= 26, "table of 2^{total} buckets is unreasonable");
+        AffinityHashTable {
+            cuboid,
+            dims,
+            cards,
+            target_buckets,
+            bits,
+            buckets: vec![Vec::new(); 1usize << total],
+            hash,
+            len: 0,
+            probes: 0,
+            key_cmps: 0,
+        }
+    }
+
+    /// The per-dimension index bit widths currently in force.
+    pub fn bit_widths(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// The cuboid this table holds.
+    pub fn cuboid(&self) -> CuboidMask {
+        self.cuboid
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no cell has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket index of a key: the concatenated low bits of each value
+    /// (`v mod 2^b` — the paper's naive MOD hash).
+    #[inline]
+    pub fn index(&self, key: &[u32]) -> usize {
+        match self.hash {
+            AhtHash::NaiveMod => {
+                let mut idx = 0usize;
+                for (&v, &b) in key.iter().zip(&self.bits) {
+                    idx = (idx << b) | (v as usize & ((1usize << b) - 1));
+                }
+                idx
+            }
+            AhtHash::Fibonacci => {
+                let total: u32 = self.bits.iter().map(|&b| b as u32).sum();
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for &v in key {
+                    h ^= v as u64;
+                    h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                }
+                (h >> (64 - total.max(1))) as usize
+            }
+        }
+    }
+
+    /// Inserts or merges a cell.
+    ///
+    /// Chains are kept sorted and binary-searched so that the *simulation*
+    /// stays fast even when the paper's naive MOD index degenerates; the
+    /// comparison counter is charged with the cost a linearly probed chain
+    /// (the paper's implementation) would pay — about one key element per
+    /// chain entry scanned (mismatches are detected on the first element)
+    /// plus a full-key compare on a hit — so the virtual-time degradation
+    /// at high collision rates is faithful without being quadratic in
+    /// real time.
+    pub fn upsert(&mut self, key: &[u32], agg: &Aggregate) {
+        let idx = self.index(key);
+        self.probes += 1;
+        let chain = &mut self.buckets[idx];
+        let klen = key.len() as u64;
+        match chain.binary_search_by(|(k, _)| (**k).cmp(key)) {
+            Ok(pos) => {
+                // Linear probe: ~half the chain fails on its first key
+                // element, the hit compares the whole key.
+                self.key_cmps += (chain.len() as u64).div_ceil(2) + klen;
+                chain[pos].1.merge(agg);
+            }
+            Err(pos) => {
+                self.key_cmps += chain.len() as u64;
+                chain.insert(pos, (key.into(), *agg));
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Builds a table from the raw relation.
+    pub fn build(cuboid: CuboidMask, rel: &Relation, target_buckets: usize) -> Self {
+        let dims = cuboid.dims();
+        let cards: Vec<u32> =
+            dims.iter().map(|&d| rel.schema().cardinality(d)).collect();
+        Self::build_with_hash(cuboid, rel, target_buckets, AhtHash::NaiveMod, cards)
+    }
+
+    /// [`AffinityHashTable::build`] with an explicit hash function.
+    pub fn build_with_hash(
+        cuboid: CuboidMask,
+        rel: &Relation,
+        target_buckets: usize,
+        hash: AhtHash,
+        cards: Vec<u32>,
+    ) -> Self {
+        let dims = cuboid.dims();
+        let mut table = Self::with_hash(cuboid, cards, target_buckets, hash);
+        let mut key = vec![0u32; dims.len()];
+        for (row, m) in rel.rows() {
+            cuboid.project_row(row, &mut key);
+            table.upsert(&key, &Aggregate::of(m));
+        }
+        table
+    }
+
+    /// Collapses onto a subset of the dimensions (Figure 3.13's
+    /// `subset-collapse`): cells are re-bucketed with the dropped
+    /// attributes' bits removed and merged by projected key. The bucket
+    /// budget is fixed (the paper pins the table size), so the kept
+    /// dimensions re-share the full budget's index bits.
+    pub fn collapse(&self, new_cuboid: CuboidMask) -> AffinityHashTable {
+        assert!(
+            new_cuboid.is_subset_of(self.cuboid),
+            "collapse requires subset affinity"
+        );
+        let keep: Vec<usize> = self
+            .dims
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| new_cuboid.contains(d))
+            .map(|(i, _)| i)
+            .collect();
+        let cards: Vec<u32> = keep.iter().map(|&i| self.cards[i]).collect();
+        let mut out =
+            AffinityHashTable::with_hash(new_cuboid, cards, self.target_buckets, self.hash);
+        let mut key = vec![0u32; keep.len()];
+        for chain in &self.buckets {
+            for (k, agg) in chain {
+                for (slot, &i) in key.iter_mut().zip(&keep) {
+                    *slot = k[i];
+                }
+                out.upsert(&key, agg);
+            }
+        }
+        out
+    }
+
+    /// Iterates cells in bucket order (unsorted — AHT post-sorts only on
+    /// demand).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], &Aggregate)> {
+        self.buckets.iter().flatten().map(|(k, a)| (&**k, a))
+    }
+
+    /// Drains the probe/comparison counters for cost charging.
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.probes), std::mem::take(&mut self.key_cmps))
+    }
+
+    /// Longest collision chain (the degradation the paper describes).
+    pub fn max_chain(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Approximate memory footprint: bucket headers plus cells.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.buckets.len() * std::mem::size_of::<Vec<(Box<[u32]>, Aggregate)>>()) as u64
+            + self.len as u64 * (self.dims.len() as u64 * 4 + 48)
+    }
+}
+
+/// Runs AHT over a simulated cluster.
+pub fn run_aht(
+    rel: &Relation,
+    query: &IcebergQuery,
+    config: &ClusterConfig,
+    opts: &RunOptions,
+) -> Result<RunOutcome, AlgoError> {
+    let mut cluster = SimCluster::new(config.clone());
+    let n = cluster.len();
+    load_replicated(&mut cluster, rel);
+    let lattice = Lattice::new(query.dims);
+    let mut remaining: Vec<CuboidMask> = lattice.cuboids().collect();
+    remaining.sort_unstable_by(|a, b| b.dim_count().cmp(&a.dim_count()).then(a.cmp(b)));
+
+    struct Worker {
+        first: Option<Rc<AffinityHashTable>>,
+        prev: Option<Rc<AffinityHashTable>>,
+    }
+    let mut workers: Vec<Worker> =
+        (0..n).map(|_| Worker { first: None, prev: None }).collect();
+    let mut sinks: Vec<CellBuf> = (0..n)
+        .map(|_| if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() })
+        .collect();
+    let minsup = query.minsup;
+    let affinity = opts.affinity;
+    let target_buckets = rel.len();
+
+    run_demand_steps(&mut cluster, |cluster, node_id| {
+        if remaining.is_empty() {
+            return false;
+        }
+        let w = &mut workers[node_id];
+        // AHT treats prefix affinity as ordinary subset affinity
+        // (Section 3.5.2): two passes — subset of previous, subset of
+        // first — then largest remaining.
+        let mut choice: Option<(usize, bool)> = None; // (position, from_prev)
+        if affinity {
+            for (held, from_prev) in [(&w.prev, true), (&w.first, false)] {
+                if let Some(t) = held {
+                    if let Some(pos) =
+                        remaining.iter().position(|&c| c.is_subset_of(t.cuboid()))
+                    {
+                        choice = Some((pos, from_prev));
+                        break;
+                    }
+                }
+            }
+        }
+        let node = &mut cluster.nodes[node_id];
+        node.charge_task_overhead();
+        let built = match choice {
+            Some((pos, from_prev)) => {
+                let task = remaining.remove(pos);
+                let held =
+                    if from_prev { w.prev.as_ref() } else { w.first.as_ref() }.expect("held");
+                let mut table = held.collapse(task);
+                node.charge_scan(held.len() as u64);
+                node.charge_agg_updates(held.len() as u64);
+                let (probes, cmps) = table.take_counters();
+                node.charge_hash_probes(probes);
+                node.charge_comparisons(cmps);
+                table
+            }
+            None => {
+                let task = remaining.remove(0);
+                let cards: Vec<u32> =
+                    task.dims().iter().map(|&d| rel.schema().cardinality(d)).collect();
+                let mut table = AffinityHashTable::build_with_hash(
+                    task,
+                    rel,
+                    target_buckets,
+                    opts.aht_hash,
+                    cards,
+                );
+                node.charge_scan(rel.len() as u64);
+                node.charge_agg_updates(rel.len() as u64);
+                let (probes, cmps) = table.take_counters();
+                node.charge_hash_probes(probes);
+                node.charge_comparisons(cmps);
+                table
+            }
+        };
+        // Emit qualifying cells in bucket order (no sort: post-sorting is
+        // deferred to query time in AHT).
+        let mut cells = 0u64;
+        for (key, agg) in built.iter() {
+            if agg.meets(minsup) {
+                sinks[node_id].emit(built.cuboid(), key, agg);
+                cells += 1;
+            }
+        }
+        if cells > 0 {
+            node.write_cells(
+                built.cuboid().bits() as u64,
+                cells * Cell::disk_bytes(built.cuboid().dim_count()),
+                cells,
+            );
+        }
+        // Install as the worker's previous (and first, if none yet).
+        node.alloc(built.memory_bytes());
+        if let Some(old) = w.prev.take() {
+            let is_first = w.first.as_ref().is_some_and(|f| Rc::ptr_eq(f, &old));
+            if !is_first {
+                node.free(old.memory_bytes());
+            }
+        }
+        let rc = Rc::new(built);
+        if w.first.is_none() {
+            w.first = Some(Rc::clone(&rc));
+        }
+        w.prev = Some(rc);
+        true
+    });
+    Ok(finish(Algorithm::Aht, &cluster, sinks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::sales;
+    use crate::naive::{naive_cuboid, naive_iceberg_cube};
+    use crate::verify::assert_same_cells;
+    use icecube_data::presets;
+
+    #[test]
+    fn assign_bits_respects_target_and_minimums() {
+        let bits = AffinityHashTable::assign_bits(&[2000, 500, 100, 2], 1 << 12);
+        let total: u32 = bits.iter().map(|&b| b as u32).sum();
+        assert!(total <= 12, "total {total} bits {bits:?}");
+        assert!(bits.iter().all(|&b| b >= 1));
+        // A tiny target still grants one bit each.
+        let bits = AffinityHashTable::assign_bits(&[1000; 8], 4);
+        assert!(bits.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn upsert_merges_duplicates() {
+        let cuboid = CuboidMask::from_dims(&[0, 1]);
+        let mut t = AffinityHashTable::new(cuboid, vec![4, 4], 16);
+        t.upsert(&[1, 2], &Aggregate::of(10));
+        t.upsert(&[1, 2], &Aggregate::of(5));
+        t.upsert(&[1, 3], &Aggregate::of(1));
+        assert_eq!(t.len(), 2);
+        let total: u64 = t.iter().map(|(_, a)| a.count).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn colliding_keys_chain_correctly() {
+        // One bit per dim: keys 0 and 2 collide (same low bit).
+        let cuboid = CuboidMask::from_dims(&[0]);
+        let mut t = AffinityHashTable::new(cuboid, vec![8], 2);
+        t.upsert(&[0], &Aggregate::of(1));
+        t.upsert(&[2], &Aggregate::of(2));
+        t.upsert(&[4], &Aggregate::of(3));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.max_chain(), 3);
+        let (_, cmps) = t.take_counters();
+        assert!(cmps > 0, "chained inserts must compare keys");
+    }
+
+    #[test]
+    fn collapse_equals_naive_cuboid() {
+        let rel = presets::tiny(5).generate().unwrap();
+        let abcd = CuboidMask::from_dims(&[0, 1, 2, 3]);
+        let full = AffinityHashTable::build(abcd, &rel, rel.len());
+        for target in [&[0usize, 2][..], &[1], &[0, 1, 3]] {
+            let sub = CuboidMask::from_dims(target);
+            let collapsed = full.collapse(sub);
+            let mut got: Vec<Cell> = collapsed
+                .iter()
+                .map(|(k, a)| Cell { cuboid: sub, key: k.to_vec(), agg: *a })
+                .collect();
+            let mut want = Vec::new();
+            naive_cuboid(&rel, sub, 1, &mut want);
+            crate::cell::sort_cells(&mut got);
+            crate::cell::sort_cells(&mut want);
+            assert_eq!(got, want, "cuboid {sub}");
+        }
+    }
+
+    fn check(rel: &Relation, minsup: u64, nodes: usize) {
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        let cfg = ClusterConfig::fast_ethernet(nodes);
+        let out = run_aht(rel, &q, &cfg, &RunOptions::default()).unwrap();
+        let want = naive_iceberg_cube(rel, &q);
+        assert_same_cells(want, out.cells, &format!("AHT n={nodes} minsup={minsup}"));
+    }
+
+    #[test]
+    fn matches_naive_across_configurations() {
+        let rel = sales();
+        for nodes in [1, 2, 4] {
+            check(&rel, 1, nodes);
+            check(&rel, 2, nodes);
+        }
+        for seed in [2, 8] {
+            let rel = presets::tiny(seed).generate().unwrap();
+            for minsup in [1, 3] {
+                check(&rel, minsup, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_without_affinity() {
+        let rel = presets::tiny(1).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let out = run_aht(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(2),
+            &RunOptions { affinity: false, ..RunOptions::default() },
+        )
+        .unwrap();
+        assert_same_cells(
+            naive_iceberg_cube(&rel, &q),
+            out.cells,
+            "AHT without affinity",
+        );
+    }
+
+    #[test]
+    fn dense_data_keeps_chains_short_sparse_grows_them() {
+        // The Figure 4.6 mechanism: with cells ≪ buckets chains stay ~1;
+        // when distinct cells rival the bucket budget, chains grow.
+        let dense = icecube_data::SyntheticSpec::uniform(4000, vec![4, 4], 1)
+            .generate()
+            .unwrap();
+        let t = AffinityHashTable::build(CuboidMask::from_dims(&[0, 1]), &dense, dense.len());
+        assert_eq!(t.max_chain(), 1);
+        let sparse = icecube_data::SyntheticSpec::uniform(4000, vec![3000, 3000], 1)
+            .generate()
+            .unwrap();
+        let t2 =
+            AffinityHashTable::build(CuboidMask::from_dims(&[0, 1]), &sparse, 256);
+        assert!(t2.max_chain() > 4, "max chain {}", t2.max_chain());
+    }
+}

@@ -1,0 +1,462 @@
+//! Algorithm ASL — Affinity Skip List (Section 3.3, Figure 3.8).
+//!
+//! ASL puts load balancing first: every cuboid is its own task, assigned
+//! dynamically by a manager. Cells of the cuboid under construction live
+//! in a **skip list**, which grows incrementally and is always sorted, so
+//! a finished cuboid streams out in order with no sort step.
+//!
+//! The manager exploits two affinities between a worker's new task and the
+//! skip lists it already holds (its *previous* and its *first*):
+//!
+//! * **prefix affinity** — the new cuboid's dimensions are a prefix of the
+//!   held list's: the list is already in the right order, so one
+//!   accumulate-runs scan produces the result (subroutine `prefix-reuse`);
+//! * **subset affinity** — the new cuboid's dimensions are a subset: the
+//!   held list's cells (far fewer than raw tuples) seed the new skip list
+//!   (subroutine `subset-create`).
+//!
+//! Only when neither applies does the worker fall back to scanning the raw
+//! data, and the manager then hands it the largest remaining cuboid to
+//! maximize future affinity. Each worker keeps its first list alive for
+//! the whole run — it has the most dimensions and thus the widest subset
+//! coverage.
+//!
+//! ASL cannot prune: whether a cell meets the threshold is unknown until
+//! the scan ends, and sub-threshold cells still feed later tasks, so the
+//! minimum support filters only the *output* (the paper's Figure 4.5
+//! observation that ASL gains from higher support only through less I/O).
+
+use crate::agg::Aggregate;
+use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
+use crate::cell::{Cell, CellBuf, CellSink};
+use crate::error::AlgoError;
+use crate::query::IcebergQuery;
+use icecube_cluster::{run_demand_steps, ClusterConfig, SimCluster, SimNode};
+use icecube_data::Relation;
+use icecube_lattice::{CuboidMask, Lattice};
+use icecube_skiplist::SkipList;
+use std::rc::Rc;
+
+/// A materialized cuboid: its identity plus the skip list of *all* its
+/// cells (unfiltered — sub-threshold cells feed later tasks).
+pub(crate) struct CuboidList {
+    pub(crate) cuboid: CuboidMask,
+    pub(crate) list: SkipList<Aggregate>,
+}
+
+/// How the manager sourced a task for a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Source {
+    /// Prefix of the worker's previous list: aggregate it in one scan.
+    PrefixPrev,
+    /// Prefix of the worker's first list.
+    PrefixFirst,
+    /// Subset of the previous list: build a new skip list from its cells.
+    SubsetPrev,
+    /// Subset of the first list.
+    SubsetFirst,
+    /// No affinity: build from the raw data.
+    Scratch,
+}
+
+/// The manager's task-selection policy (Section 3.3.2): prefer prefix
+/// affinity, then subset affinity, else hand out the remaining cuboid with
+/// the most dimensions. `remaining` must be sorted by descending dimension
+/// count so "first match" is also "most dimensions".
+pub(crate) fn pick_task(
+    remaining: &mut Vec<CuboidMask>,
+    prev: Option<CuboidMask>,
+    first: Option<CuboidMask>,
+    affinity: bool,
+    longest_prefix: bool,
+) -> Option<(CuboidMask, Source)> {
+    if remaining.is_empty() {
+        return None;
+    }
+    if affinity {
+        type AffinityPass = (Option<CuboidMask>, Source, fn(CuboidMask, CuboidMask) -> bool);
+        let passes: [AffinityPass; 4] = [
+            (prev, Source::PrefixPrev, CuboidMask::is_prefix_of),
+            (first, Source::PrefixFirst, CuboidMask::is_prefix_of),
+            (prev, Source::SubsetPrev, CuboidMask::is_subset_of),
+            (first, Source::SubsetFirst, CuboidMask::is_subset_of),
+        ];
+        for (held, source, relation) in passes {
+            let Some(held) = held else { continue };
+            let pos = if longest_prefix
+                && matches!(source, Source::SubsetPrev | Source::SubsetFirst)
+            {
+                // Section 4.9.2: among the subset-affine candidates,
+                // prefer the longest shared key prefix with the held
+                // list — its cells then stream out in near-sorted order.
+                remaining
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| relation(c, held))
+                    .max_by_key(|(i, &c)| (c.shared_prefix_len(held), usize::MAX - i))
+                    .map(|(i, _)| i)
+            } else {
+                remaining.iter().position(|&c| relation(c, held))
+            };
+            if let Some(pos) = pos {
+                return Some((remaining.remove(pos), source));
+            }
+        }
+    }
+    Some((remaining.remove(0), Source::Scratch))
+}
+
+/// Per-worker state: the first and most recent skip lists it built.
+#[derive(Default)]
+struct Worker {
+    first: Option<Rc<CuboidList>>,
+    prev: Option<Rc<CuboidList>>,
+}
+
+impl Worker {
+    fn install(&mut self, node: &mut SimNode, built: CuboidList) {
+        node.alloc(built.list.memory_bytes());
+        // Release the superseded previous list unless it is also the first.
+        if let Some(old) = self.prev.take() {
+            let is_first =
+                self.first.as_ref().is_some_and(|f| Rc::ptr_eq(f, &old));
+            if !is_first {
+                node.free(old.list.memory_bytes());
+            }
+        }
+        let rc = Rc::new(built);
+        if self.first.is_none() {
+            self.first = Some(Rc::clone(&rc));
+        }
+        self.prev = Some(rc);
+    }
+}
+
+/// Runs ASL over a simulated cluster.
+pub fn run_asl(
+    rel: &Relation,
+    query: &IcebergQuery,
+    config: &ClusterConfig,
+    opts: &RunOptions,
+) -> Result<RunOutcome, AlgoError> {
+    let mut cluster = SimCluster::new(config.clone());
+    let n = cluster.len();
+    load_replicated(&mut cluster, rel);
+    let lattice = Lattice::new(query.dims);
+    // All cuboids, most dimensions first (ties by mask for determinism).
+    let mut remaining: Vec<CuboidMask> = lattice.cuboids().collect();
+    remaining.sort_unstable_by(|a, b| b.dim_count().cmp(&a.dim_count()).then(a.cmp(b)));
+
+    let mut workers: Vec<Worker> = (0..n).map(|_| Worker::default()).collect();
+    let mut sinks: Vec<CellBuf> = (0..n)
+        .map(|_| if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() })
+        .collect();
+    let seed = config.seed;
+    let minsup = query.minsup;
+    let affinity = opts.affinity;
+    let longest_prefix = opts.asl_longest_prefix;
+
+    run_demand_steps(&mut cluster, |cluster, node_id| {
+        let w = &mut workers[node_id];
+        let prev_c = w.prev.as_ref().map(|l| l.cuboid);
+        let first_c = w.first.as_ref().map(|l| l.cuboid);
+        let Some((task, source)) =
+            pick_task(&mut remaining, prev_c, first_c, affinity, longest_prefix)
+        else {
+            return false;
+        };
+        let node = &mut cluster.nodes[node_id];
+        node.charge_task_overhead();
+        let list_seed = seed ^ ((node_id as u64) << 32) ^ task.bits() as u64;
+        match source {
+            Source::PrefixPrev | Source::PrefixFirst => {
+                let held = if source == Source::PrefixPrev {
+                    w.prev.as_ref().expect("prefix source requires a list")
+                } else {
+                    w.first.as_ref().expect("prefix source requires a list")
+                };
+                prefix_reuse(held, task, minsup, node, &mut sinks[node_id]);
+                // No new list is created; the worker's lists are unchanged.
+            }
+            Source::SubsetPrev | Source::SubsetFirst => {
+                let held = if source == Source::SubsetPrev {
+                    w.prev.as_ref().expect("subset source requires a list")
+                } else {
+                    w.first.as_ref().expect("subset source requires a list")
+                };
+                let built = subset_create(held, task, list_seed, node);
+                emit_list(&built, minsup, node, &mut sinks[node_id]);
+                w.install(node, built);
+            }
+            Source::Scratch => {
+                let built = scratch_create(rel, task, list_seed, node);
+                emit_list(&built, minsup, node, &mut sinks[node_id]);
+                w.install(node, built);
+            }
+        }
+        true
+    });
+    Ok(finish(Algorithm::Asl, &cluster, sinks))
+}
+
+/// Subroutine `prefix-reuse` (Figure 3.8): the held list is sorted with the
+/// task's dimensions as a key prefix, so one accumulate-runs scan both
+/// aggregates and emits in sorted order.
+fn prefix_reuse<S: CellSink>(
+    held: &CuboidList,
+    task: CuboidMask,
+    minsup: u64,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    debug_assert!(task.is_prefix_of(held.cuboid));
+    let k = task.dim_count();
+    let mut run_key: Vec<u32> = Vec::new();
+    let mut run_agg = Aggregate::empty();
+    let mut cells = 0u64;
+    let flush = |key: &mut Vec<u32>, agg: &mut Aggregate, sink: &mut S, cells: &mut u64| {
+        if !key.is_empty() {
+            if agg.meets(minsup) {
+                sink.emit(task, key, agg);
+                *cells += 1;
+            }
+            key.clear();
+            *agg = Aggregate::empty();
+        }
+    };
+    let mut scanned = 0u64;
+    for (key, agg) in held.list.iter() {
+        scanned += 1;
+        let prefix = &key[..k];
+        if run_key.as_slice() != prefix {
+            flush(&mut run_key, &mut run_agg, sink, &mut cells);
+            run_key.extend_from_slice(prefix);
+        }
+        run_agg.merge(agg);
+    }
+    flush(&mut run_key, &mut run_agg, sink, &mut cells);
+    node.charge_comparisons(scanned * k as u64);
+    node.charge_agg_updates(scanned);
+    if cells > 0 {
+        node.write_cells(task.bits() as u64, cells * Cell::disk_bytes(k), cells);
+    }
+}
+
+/// Subroutine `subset-create` (Figure 3.8): seed a new skip list from the
+/// held list's cells instead of re-reading the raw data.
+fn subset_create(held: &CuboidList, task: CuboidMask, seed: u64, node: &mut SimNode) -> CuboidList {
+    debug_assert!(task.is_subset_of(held.cuboid));
+    let positions: Vec<usize> = {
+        let hdims = held.cuboid.dims();
+        task.dims()
+            .iter()
+            .map(|d| hdims.iter().position(|h| h == d).expect("task ⊆ held"))
+            .collect()
+    };
+    let mut list = SkipList::with_capacity(task.dim_count(), seed, held.list.len());
+    let mut key = vec![0u32; positions.len()];
+    let mut scanned = 0u64;
+    for (hkey, agg) in held.list.iter() {
+        scanned += 1;
+        for (slot, &p) in key.iter_mut().zip(&positions) {
+            *slot = hkey[p];
+        }
+        list.insert_or_update(&key, || *agg, |a| a.merge(agg));
+    }
+    node.charge_scan(scanned);
+    node.charge_agg_updates(scanned);
+    node.charge_comparisons(list.take_comparisons());
+    CuboidList { cuboid: task, list }
+}
+
+/// Builds the task's skip list from the raw data (no affinity available).
+fn scratch_create(rel: &Relation, task: CuboidMask, seed: u64, node: &mut SimNode) -> CuboidList {
+    let mut list = SkipList::new(task.dim_count(), seed);
+    let mut key = vec![0u32; task.dim_count()];
+    for (row, m) in rel.rows() {
+        task.project_row(row, &mut key);
+        list.insert_or_update(&key, || Aggregate::of(m), |a| a.update(m));
+    }
+    node.charge_scan(rel.len() as u64);
+    node.charge_agg_updates(rel.len() as u64);
+    node.charge_comparisons(list.take_comparisons());
+    CuboidList { cuboid: task, list }
+}
+
+/// Streams a finished skip list to disk in key order (breadth-first: one
+/// contiguous cuboid write), filtering by minimum support.
+fn emit_list<S: CellSink>(built: &CuboidList, minsup: u64, node: &mut SimNode, sink: &mut S) {
+    let mut cells = 0u64;
+    for (key, agg) in built.list.iter() {
+        if agg.meets(minsup) {
+            sink.emit(built.cuboid, key, agg);
+            cells += 1;
+        }
+    }
+    if cells > 0 {
+        node.write_cells(
+            built.cuboid.bits() as u64,
+            cells * Cell::disk_bytes(built.cuboid.dim_count()),
+            cells,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::sales;
+    use crate::naive::naive_iceberg_cube;
+    use crate::verify::assert_same_cells;
+    use icecube_data::presets;
+
+    fn check(rel: &Relation, minsup: u64, nodes: usize) {
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        let cfg = ClusterConfig::fast_ethernet(nodes);
+        let out = run_asl(rel, &q, &cfg, &RunOptions::default()).unwrap();
+        let want = naive_iceberg_cube(rel, &q);
+        assert_same_cells(want, out.cells, &format!("ASL n={nodes} minsup={minsup}"));
+    }
+
+    #[test]
+    fn matches_naive_across_configurations() {
+        let rel = sales();
+        for nodes in [1, 2, 4] {
+            check(&rel, 1, nodes);
+            check(&rel, 2, nodes);
+        }
+        for seed in [0, 9] {
+            let rel = presets::tiny(seed).generate().unwrap();
+            for minsup in [1, 3] {
+                check(&rel, minsup, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_without_affinity() {
+        // The ablation switch must not affect correctness, only cost.
+        let rel = presets::tiny(4).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let cfg = ClusterConfig::fast_ethernet(3);
+        let out = run_asl(
+            &rel,
+            &q,
+            &cfg,
+            &RunOptions { affinity: false, ..RunOptions::default() },
+        )
+        .unwrap();
+        let want = naive_iceberg_cube(&rel, &q);
+        assert_same_cells(want, out.cells, "ASL without affinity");
+    }
+
+    #[test]
+    fn affinity_scheduling_saves_work() {
+        let rel = presets::tiny(4).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let cfg = ClusterConfig::fast_ethernet(2);
+        let with = run_asl(&rel, &q, &cfg, &RunOptions::default()).unwrap();
+        let without = run_asl(
+            &rel,
+            &q,
+            &cfg,
+            &RunOptions { affinity: false, ..RunOptions::default() },
+        )
+        .unwrap();
+        let cpu = |o: &RunOutcome| -> u64 { o.stats.nodes().iter().map(|s| s.cpu_ns).sum() };
+        assert!(
+            cpu(&with) < cpu(&without),
+            "affinity {} vs scratch-only {}",
+            cpu(&with),
+            cpu(&without)
+        );
+    }
+
+    #[test]
+    fn pick_prefers_prefix_then_subset_then_largest() {
+        let abcd = CuboidMask::from_dims(&[0, 1, 2, 3]);
+        let abc = CuboidMask::from_dims(&[0, 1, 2]);
+        let bcd = CuboidMask::from_dims(&[1, 2, 3]);
+        let cd = CuboidMask::from_dims(&[2, 3]);
+        // Remaining sorted by descending dims.
+        let mut remaining = vec![abc, bcd, cd];
+        // prev = ABCD: ABC is a prefix, picked first.
+        let (t, s) = pick_task(&mut remaining, Some(abcd), Some(abcd), true, false).unwrap();
+        assert_eq!((t, s), (abc, Source::PrefixPrev));
+        // Next: BCD is a subset of ABCD (not a prefix).
+        let (t, s) = pick_task(&mut remaining, Some(abcd), Some(abcd), true, false).unwrap();
+        assert_eq!((t, s), (bcd, Source::SubsetPrev));
+        // prev = something unrelated, first = ABCD: falls to the first list.
+        let e = CuboidMask::from_dims(&[4]);
+        let (t, s) = pick_task(&mut remaining, Some(e), Some(abcd), true, false).unwrap();
+        assert_eq!((t, s), (cd, Source::SubsetFirst));
+        assert!(pick_task(&mut remaining, Some(abcd), None, true, false).is_none());
+    }
+
+    #[test]
+    fn pick_without_lists_or_affinity_takes_largest() {
+        let abc = CuboidMask::from_dims(&[0, 1, 2]);
+        let ab = CuboidMask::from_dims(&[0, 1]);
+        let mut remaining = vec![abc, ab];
+        let (t, s) = pick_task(&mut remaining, None, None, true, false).unwrap();
+        assert_eq!((t, s), (abc, Source::Scratch));
+        let mut remaining = vec![abc, ab];
+        let (t, s) = pick_task(&mut remaining, Some(abc), Some(abc), false, false).unwrap();
+        assert_eq!((t, s), (abc, Source::Scratch));
+    }
+
+    #[test]
+    fn longest_prefix_prefers_shared_prefix_among_subsets() {
+        let abcd = CuboidMask::from_dims(&[0, 1, 2, 3]);
+        let bd = CuboidMask::from_dims(&[1, 3]);
+        let ac = CuboidMask::from_dims(&[0, 2]);
+        // Both are subsets of ABCD, neither a prefix; AC shares prefix A.
+        let mut remaining = vec![bd, ac];
+        let (t, s) = pick_task(&mut remaining, Some(abcd), Some(abcd), true, true).unwrap();
+        assert_eq!((t, s), (ac, Source::SubsetPrev));
+        // Without the refinement, plain first-match order applies.
+        let mut remaining = vec![bd, ac];
+        let (t, _) = pick_task(&mut remaining, Some(abcd), Some(abcd), true, false).unwrap();
+        assert_eq!(t, bd);
+    }
+
+    #[test]
+    fn longest_prefix_does_not_change_the_answer() {
+        let rel = presets::tiny(17).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let cfg = ClusterConfig::fast_ethernet(3);
+        let out = run_asl(
+            &rel,
+            &q,
+            &cfg,
+            &RunOptions { asl_longest_prefix: true, ..RunOptions::default() },
+        )
+        .unwrap();
+        assert_same_cells(
+            crate::naive::naive_iceberg_cube(&rel, &q),
+            out.cells,
+            "ASL with longest-prefix scheduling",
+        );
+    }
+
+    #[test]
+    fn single_node_runs_the_whole_lattice() {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 1);
+        let out = run_asl(&rel, &q, &ClusterConfig::fast_ethernet(1), &RunOptions::default())
+            .unwrap();
+        assert_eq!(out.total_cells, 47);
+        // One scratch build (the top cuboid) and affinity for the rest:
+        // the single worker executed all 7 tasks.
+        assert_eq!(out.stats.nodes()[0].tasks, 7);
+    }
+
+    #[test]
+    fn load_balance_is_strong_on_skewed_data() {
+        let rel = presets::tiny(12).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let out = run_asl(&rel, &q, &ClusterConfig::fast_ethernet(4), &RunOptions::default())
+            .unwrap();
+        assert!(out.stats.imbalance() < 1.6, "imbalance {}", out.stats.imbalance());
+    }
+}

@@ -1,0 +1,431 @@
+//! Sequential BUC engines: depth-first (the original BUC of Beyer &
+//! Ramakrishnan, Figure 2.9) and breadth-first writing (BPP-BUC,
+//! Figure 3.5).
+//!
+//! Both engines compute the group-bys of one [`TreeTask`] — a full or
+//! chopped subtree of the BUC processing tree — bottom-up with minimum
+//! support pruning: a partition below the threshold can contribute no cell
+//! to any descendant group-by, so it is dropped before recursing.
+//!
+//! The difference is **when cells are written**:
+//!
+//! * [`buc_depth_first`] writes each cell the moment its partition is
+//!   aggregated, interleaving output across cuboids exactly as BUC's
+//!   recursion visits them — the scattered writes RP inherits;
+//! * [`bpp_buc`] completes a whole cuboid (all value combinations of the
+//!   current prefix) and writes it contiguously before recursing — BPP's
+//!   breadth-first writing, one file switch per cuboid.
+//!
+//! On the simulated disk the two orders differ only through the per-switch
+//! penalty, which is precisely the paper's Figure 3.6 comparison.
+
+use crate::agg::Aggregate;
+use crate::cell::{Cell, CellSink};
+use crate::partition::{full_index, Group, Partitioner};
+use icecube_cluster::SimNode;
+use icecube_data::Relation;
+use icecube_lattice::{CuboidMask, TreeTask};
+
+/// Computes `task`'s group-bys with the original depth-first-writing BUC.
+pub fn buc_depth_first<S: CellSink>(
+    rel: &Relation,
+    minsup: u64,
+    task: TreeTask,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    if rel.is_empty() {
+        return;
+    }
+    debug_assert_eq!(task.d, rel.arity());
+    let mut eng = Engine { rel, minsup, d: task.d, node, sink, part: Partitioner::new(), key: Vec::new() };
+    let mut idx = full_index(rel);
+    let rdims = task.root.dims();
+    eng.df_descend(&mut idx, &rdims, 0, task);
+}
+
+/// Computes `task`'s group-bys with BPP-BUC (breadth-first writing).
+pub fn bpp_buc<S: CellSink>(
+    rel: &Relation,
+    minsup: u64,
+    task: TreeTask,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    if rel.is_empty() {
+        return;
+    }
+    debug_assert_eq!(task.d, rel.arity());
+    let mut eng = Engine { rel, minsup, d: task.d, node, sink, part: Partitioner::new(), key: Vec::new() };
+    let idx = full_index(rel);
+    let groups = vec![(0u32, rel.len() as u32)];
+    eng.bpp_from_root(idx, groups, task);
+}
+
+/// Computes `task`'s group-bys with BPP-BUC over an index that is already
+/// sorted (grouped) by the task root's dimensions — PT's entry point, which
+/// lets a worker reuse the sort it made for a previous task with a shared
+/// root prefix (Section 3.4: "sort R on the root of T, exploiting prefix
+/// affinity if possible").
+///
+/// `groups` must be the runs of equal root-dimension values over `idx`,
+/// *unpruned* (this function applies the support filter itself). For a
+/// task rooted at "all", pass the single group covering the whole index.
+pub fn bpp_buc_presorted<S: CellSink>(
+    rel: &Relation,
+    minsup: u64,
+    task: TreeTask,
+    idx: &[u32],
+    groups: &[Group],
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    if rel.is_empty() || idx.is_empty() {
+        return;
+    }
+    debug_assert_eq!(task.d, rel.arity());
+    let mut eng = Engine { rel, minsup, d: task.d, node, sink, part: Partitioner::new(), key: Vec::new() };
+    if task.root.is_all() {
+        for k in task.from_dim..task.d {
+            eng.bpp_recurse(idx.to_vec(), groups.to_vec(), CuboidMask::ALL, k);
+        }
+    } else {
+        let (pi, pg) = eng.emit_cuboid_and_prune(idx, groups, task.root);
+        if pi.is_empty() {
+            return;
+        }
+        for k in task.from_dim..task.d {
+            eng.bpp_recurse(pi.clone(), pg.clone(), task.root, k);
+        }
+    }
+}
+
+/// Shared state of one engine run.
+struct Engine<'a, S: CellSink> {
+    rel: &'a Relation,
+    minsup: u64,
+    d: usize,
+    node: &'a mut SimNode,
+    sink: &'a mut S,
+    part: Partitioner,
+    key: Vec<u32>,
+}
+
+impl<'a, S: CellSink> Engine<'a, S> {
+    /// Aggregates `idx[s..e]` and charges the per-tuple update cost.
+    fn aggregate(&mut self, idx: &[u32], s: u32, e: u32) -> Aggregate {
+        let mut agg = Aggregate::empty();
+        for &row in &idx[s as usize..e as usize] {
+            agg.update(self.rel.measure(row as usize));
+        }
+        self.node.charge_agg_updates((e - s) as u64);
+        agg
+    }
+
+    /// Fills `self.key` with the cell key of the group starting at `row`.
+    fn project_key(&mut self, mask: CuboidMask, row: u32) {
+        let rel = self.rel;
+        self.key.clear();
+        self.key.resize(mask.dim_count(), 0);
+        mask.project_row(rel.row(row as usize), &mut self.key);
+    }
+
+    // ---- depth-first (BUC / RP) -------------------------------------
+
+    /// Navigates the task root's dimensions; partitions below the support
+    /// threshold are pruned (their cells, and all refinements, cannot
+    /// qualify). Intermediate prefixes' cells belong to other tasks and
+    /// are not emitted; the root cuboid's cells are.
+    fn df_descend(&mut self, idx: &mut [u32], rdims: &[usize], depth: usize, task: TreeTask) {
+        if depth == rdims.len() {
+            if rdims.is_empty() {
+                // Whole-lattice task: no root cell (the "all" node is
+                // special), go straight to the subtree loop.
+                self.df(idx, CuboidMask::ALL, task.from_dim);
+            }
+            return;
+        }
+        let dim = rdims[depth];
+        let mut groups = Vec::new();
+        let len = idx.len() as u32;
+        self.part.split(self.rel, idx, (0, len), dim, self.node, &mut groups);
+        let last = depth + 1 == rdims.len();
+        for (s, e) in groups {
+            if ((e - s) as u64) < self.minsup {
+                continue;
+            }
+            if last {
+                // This is a cell of the task's root cuboid: BUC writes the
+                // aggregate before recursing (Figure 2.9, line 13).
+                let agg = self.aggregate(idx, s, e);
+                self.project_key(task.root, idx[s as usize]);
+                self.emit_one(task.root, &agg);
+                self.df(&mut idx[s as usize..e as usize], task.root, task.from_dim);
+            } else {
+                self.df_descend(&mut idx[s as usize..e as usize], rdims, depth + 1, task);
+            }
+        }
+    }
+
+    /// The BUC recursion: extend `mask` by each dimension `k ≥ from`,
+    /// writing each qualifying cell then refining it depth-first.
+    fn df(&mut self, idx: &mut [u32], mask: CuboidMask, from: usize) {
+        for k in from..self.d {
+            let mut groups = Vec::new();
+            let len = idx.len() as u32;
+            self.part.split(self.rel, idx, (0, len), k, self.node, &mut groups);
+            let child = mask.with_dim(k);
+            for (s, e) in groups {
+                if ((e - s) as u64) < self.minsup {
+                    continue;
+                }
+                let agg = self.aggregate(idx, s, e);
+                self.project_key(child, idx[s as usize]);
+                self.emit_one(child, &agg);
+                self.df(&mut idx[s as usize..e as usize], child, k + 1);
+            }
+        }
+    }
+
+    /// Writes a single cell immediately (depth-first / scattered writing).
+    fn emit_one(&mut self, cuboid: CuboidMask, agg: &Aggregate) {
+        self.sink.emit(cuboid, &self.key, agg);
+        self.node
+            .write_cells(cuboid.bits() as u64, Cell::disk_bytes(self.key.len()), 1);
+    }
+
+    // ---- breadth-first (BPP-BUC / BPP / PT) --------------------------
+
+    /// Descends to the task root (pruning, not emitting, intermediate
+    /// prefixes — they belong to other tasks), emits the root cuboid, then
+    /// recurses over the allowed child dimensions.
+    fn bpp_from_root(&mut self, mut idx: Vec<u32>, mut groups: Vec<Group>, task: TreeTask) {
+        let rdims = task.root.dims();
+        let mut mask = CuboidMask::ALL;
+        for (i, &dim) in rdims.iter().enumerate() {
+            let mut fine = Vec::new();
+            self.part.refine(self.rel, &mut idx, &groups, dim, self.node, &mut fine);
+            mask = mask.with_dim(dim);
+            if i + 1 == rdims.len() {
+                let (pi, pg) = self.emit_cuboid_and_prune(&idx, &fine, mask);
+                idx = pi;
+                groups = pg;
+            } else {
+                let (pi, pg) = self.prune_only(&idx, &fine);
+                idx = pi;
+                groups = pg;
+            }
+            if idx.is_empty() {
+                return;
+            }
+        }
+        for k in task.from_dim..self.d {
+            self.bpp_recurse(idx.clone(), groups.clone(), mask, k);
+        }
+    }
+
+    /// One BPP-BUC call: refine the (already prefix-grouped) data by `k`,
+    /// write the whole cuboid `mask ∪ {k}` contiguously, prune, recurse.
+    fn bpp_recurse(&mut self, mut idx: Vec<u32>, groups: Vec<Group>, mask: CuboidMask, k: usize) {
+        let mut fine = Vec::new();
+        self.part.refine(self.rel, &mut idx, &groups, k, self.node, &mut fine);
+        let child = mask.with_dim(k);
+        let (pruned_idx, pruned_groups) = self.emit_cuboid_and_prune(&idx, &fine, child);
+        if pruned_idx.is_empty() {
+            return;
+        }
+        for k2 in k + 1..self.d {
+            self.bpp_recurse(pruned_idx.clone(), pruned_groups.clone(), child, k2);
+        }
+    }
+
+    /// Emits every qualifying cell of `mask` (one contiguous write) and
+    /// returns the index compacted to qualifying tuples.
+    fn emit_cuboid_and_prune(
+        &mut self,
+        idx: &[u32],
+        groups: &[Group],
+        mask: CuboidMask,
+    ) -> (Vec<u32>, Vec<Group>) {
+        let kd = mask.dim_count();
+        let mut new_idx = Vec::with_capacity(idx.len());
+        let mut new_groups = Vec::with_capacity(groups.len());
+        let mut cells = 0u64;
+        for &(s, e) in groups {
+            if ((e - s) as u64) < self.minsup {
+                continue;
+            }
+            let agg = self.aggregate(idx, s, e);
+            self.project_key(mask, idx[s as usize]);
+            self.sink.emit(mask, &self.key, &agg);
+            cells += 1;
+            let ns = new_idx.len() as u32;
+            new_idx.extend_from_slice(&idx[s as usize..e as usize]);
+            new_groups.push((ns, new_idx.len() as u32));
+        }
+        if cells > 0 {
+            // One contiguous write for the whole cuboid: breadth-first.
+            self.node
+                .write_cells(mask.bits() as u64, cells * Cell::disk_bytes(kd), cells);
+        }
+        self.node.charge_moves(new_idx.len() as u64);
+        (new_idx, new_groups)
+    }
+
+    /// Compacts the index to tuples in qualifying groups without emitting
+    /// (used while descending to a chopped task's root).
+    fn prune_only(&mut self, idx: &[u32], groups: &[Group]) -> (Vec<u32>, Vec<Group>) {
+        if groups.iter().all(|&(s, e)| ((e - s) as u64) >= self.minsup) {
+            return (idx.to_vec(), groups.to_vec());
+        }
+        let mut new_idx = Vec::with_capacity(idx.len());
+        let mut new_groups = Vec::with_capacity(groups.len());
+        for &(s, e) in groups {
+            if ((e - s) as u64) < self.minsup {
+                continue;
+            }
+            let ns = new_idx.len() as u32;
+            new_idx.extend_from_slice(&idx[s as usize..e as usize]);
+            new_groups.push((ns, new_idx.len() as u32));
+        }
+        self.node.charge_moves(new_idx.len() as u64);
+        (new_idx, new_groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{sort_cells, CellBuf};
+    use crate::fixtures::sales;
+    use crate::naive::naive_iceberg_cube;
+    use crate::query::IcebergQuery;
+    use icecube_cluster::{ClusterConfig, SimCluster};
+    use icecube_data::presets;
+
+    fn run_engine(
+        rel: &Relation,
+        minsup: u64,
+        task: TreeTask,
+        depth_first: bool,
+    ) -> (Vec<Cell>, SimCluster) {
+        let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+        let mut sink = CellBuf::collecting();
+        if depth_first {
+            buc_depth_first(rel, minsup, task, &mut cluster.nodes[0], &mut sink);
+        } else {
+            bpp_buc(rel, minsup, task, &mut cluster.nodes[0], &mut sink);
+        }
+        let mut cells = sink.into_cells();
+        sort_cells(&mut cells);
+        (cells, cluster)
+    }
+
+    fn check_against_naive(rel: &Relation, minsup: u64) {
+        let d = rel.arity();
+        let want = naive_iceberg_cube(rel, &IcebergQuery::count_cube(d, minsup));
+        let task = TreeTask::whole_lattice(d);
+        let (df, _) = run_engine(rel, minsup, task, true);
+        let (bf, _) = run_engine(rel, minsup, task, false);
+        assert_eq!(df, want, "depth-first BUC mismatch at minsup {minsup}");
+        assert_eq!(bf, want, "BPP-BUC mismatch at minsup {minsup}");
+    }
+
+    #[test]
+    fn both_engines_match_naive_on_sales() {
+        let rel = sales();
+        for minsup in [1, 2, 3, 6, 18, 19] {
+            check_against_naive(&rel, minsup);
+        }
+    }
+
+    #[test]
+    fn both_engines_match_naive_on_skewed_synthetic() {
+        for seed in 0..3 {
+            let rel = presets::tiny(seed).generate().unwrap();
+            for minsup in [1, 2, 5] {
+                check_against_naive(&rel, minsup);
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_tasks_cover_exactly_their_members() {
+        let rel = presets::tiny(7).generate().unwrap();
+        let minsup = 2;
+        let want = naive_iceberg_cube(&rel, &IcebergQuery::count_cube(4, minsup));
+        for target in [1usize, 3, 8, 15] {
+            let tasks = icecube_lattice::divide_tasks(4, target);
+            let mut all = Vec::new();
+            for &task in &tasks {
+                let (mut cells, _) = run_engine(&rel, minsup, task, false);
+                // Each task emits only its own cuboids.
+                let members: std::collections::HashSet<_> =
+                    task.members().into_iter().collect();
+                assert!(cells.iter().all(|c| members.contains(&c.cuboid)));
+                all.append(&mut cells);
+            }
+            sort_cells(&mut all);
+            assert_eq!(all, want, "target {target}");
+        }
+    }
+
+    #[test]
+    fn depth_first_tasks_also_cover_their_members() {
+        let rel = presets::tiny(9).generate().unwrap();
+        let want = naive_iceberg_cube(&rel, &IcebergQuery::count_cube(4, 2));
+        // RP-style: one full subtree per dimension.
+        let mut all = Vec::new();
+        for k in 0..4 {
+            let task = TreeTask::full_subtree(CuboidMask::from_dims(&[k]), 4);
+            let (mut cells, _) = run_engine(&rel, 2, task, true);
+            all.append(&mut cells);
+        }
+        sort_cells(&mut all);
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn breadth_first_switches_files_less() {
+        // The Figure 3.6 effect at engine level: same cells, far fewer
+        // file switches under breadth-first writing.
+        let rel = presets::tiny(3).generate().unwrap();
+        let task = TreeTask::whole_lattice(4);
+        let (df_cells, df) = run_engine(&rel, 1, task, true);
+        let (bf_cells, bf) = run_engine(&rel, 1, task, false);
+        assert_eq!(df_cells, bf_cells);
+        let df_switches = df.nodes[0].stats.file_switches;
+        let bf_switches = bf.nodes[0].stats.file_switches;
+        assert!(
+            df_switches > 3 * bf_switches,
+            "depth-first {df_switches} vs breadth-first {bf_switches}"
+        );
+        assert!(df.nodes[0].stats.disk_write_ns > bf.nodes[0].stats.disk_write_ns);
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let rel = presets::tiny(5).generate().unwrap();
+        let task = TreeTask::whole_lattice(4);
+        let (_, loose) = run_engine(&rel, 1, task, false);
+        let (_, tight) = run_engine(&rel, 8, task, false);
+        assert!(tight.nodes[0].stats.cpu_ns < loose.nodes[0].stats.cpu_ns);
+        assert!(tight.nodes[0].stats.cells_written < loose.nodes[0].stats.cells_written);
+    }
+
+    #[test]
+    fn empty_relation_emits_nothing() {
+        let rel = Relation::new(icecube_data::Schema::from_cardinalities(&[2, 2]).unwrap());
+        let (cells, _) = run_engine(&rel, 1, TreeTask::whole_lattice(2), false);
+        assert!(cells.is_empty());
+        let (cells, _) = run_engine(&rel, 1, TreeTask::whole_lattice(2), true);
+        assert!(cells.is_empty());
+    }
+
+    #[test]
+    fn minsup_above_data_size_emits_nothing() {
+        let rel = sales();
+        let (cells, _) = run_engine(&rel, 100, TreeTask::whole_lattice(3), false);
+        assert!(cells.is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for cube computation.
+
+use std::fmt;
+
+/// Errors from running a cube algorithm.
+#[derive(Debug)]
+pub enum AlgoError {
+    /// The query's dimensionality does not match the relation's arity.
+    DimensionMismatch {
+        /// Dimensions the query names.
+        query_dims: usize,
+        /// Dimensions the relation has.
+        relation_dims: usize,
+    },
+    /// The algorithm exhausted a node's physical memory — the paper's
+    /// hash-tree algorithm "used up memory too rapidly that it fails to
+    /// process large data sets" (Section 3.5.1).
+    MemoryExhausted {
+        /// Node that ran out.
+        node: usize,
+        /// Bytes the algorithm wanted live at once.
+        required_bytes: u64,
+        /// The node's physical memory.
+        available_bytes: u64,
+    },
+    /// The relation holds no rows; the cube is empty and the algorithms
+    /// have nothing meaningful to schedule.
+    EmptyInput,
+    /// Underlying data error.
+    Data(icecube_data::DataError),
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::DimensionMismatch { query_dims, relation_dims } => write!(
+                f,
+                "query names {query_dims} dimensions but the relation has {relation_dims}"
+            ),
+            AlgoError::MemoryExhausted { node, required_bytes, available_bytes } => write!(
+                f,
+                "node {node} out of memory: needs {required_bytes} bytes, has {available_bytes}"
+            ),
+            AlgoError::EmptyInput => write!(f, "input relation is empty"),
+            AlgoError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgoError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<icecube_data::DataError> for AlgoError {
+    fn from(e: icecube_data::DataError) -> Self {
+        AlgoError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AlgoError::MemoryExhausted { node: 3, required_bytes: 10, available_bytes: 5 };
+        assert!(e.to_string().contains("node 3"));
+        let e = AlgoError::DimensionMismatch { query_dims: 4, relation_dims: 9 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('9'));
+    }
+}

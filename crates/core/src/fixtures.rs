@@ -1,0 +1,82 @@
+//! Shared example relations used by tests, examples and documentation.
+
+use icecube_data::{Relation, Schema};
+
+/// The paper's running example (Figure 2.2): relation SALES(Model, Year,
+/// Color, Sales) with 18 rows.
+///
+/// Encoding: Model 0=Chevy 1=Ford; Year 0=1990 1=1991 2=1992;
+/// Color 0=red 1=white 2=blue.
+pub fn sales() -> Relation {
+    let schema = Schema::from_cardinalities(&[2, 3, 3]).expect("static schema is valid");
+    let mut r = Relation::new(schema);
+    let rows: [(u32, u32, u32, i64); 18] = [
+        (0, 0, 0, 5),
+        (0, 0, 1, 87),
+        (0, 0, 2, 62),
+        (0, 1, 0, 54),
+        (0, 1, 1, 95),
+        (0, 1, 2, 49),
+        (0, 2, 0, 31),
+        (0, 2, 1, 54),
+        (0, 2, 2, 71),
+        (1, 0, 0, 64),
+        (1, 0, 1, 62),
+        (1, 0, 2, 63),
+        (1, 1, 0, 52),
+        (1, 1, 1, 9),
+        (1, 1, 2, 55),
+        (1, 2, 0, 27),
+        (1, 2, 1, 62),
+        (1, 2, 2, 39),
+    ];
+    for (a, b, c, m) in rows {
+        r.push_row(&[a, b, c], m).expect("static rows are valid");
+    }
+    r
+}
+
+/// The paper's iceberg-query example (Table 2.1): relation R(Item,
+/// Location, Customer, Sales) with 6 rows. With minimum support 2 on
+/// (Item, Location), only ⟨Sony 25" TV, Seattle, 2100⟩ qualifies.
+///
+/// Encoding: Item 0=Sony TV 1=JVC TV 2=Panasonic VCR; Location 0=Seattle
+/// 1=Vancouver 2=LA; Customer 0=joe 1=fred 2=sally 3=bob 4=tom.
+pub fn iceberg_example() -> Relation {
+    let schema = Schema::from_cardinalities(&[3, 3, 5]).expect("static schema is valid");
+    let mut r = Relation::new(schema);
+    let rows: [(u32, u32, u32, i64); 6] = [
+        (0, 0, 0, 700),
+        (1, 1, 1, 400),
+        (0, 0, 2, 700),
+        (1, 2, 2, 400),
+        (0, 0, 3, 700),
+        (2, 1, 4, 250),
+    ];
+    for (a, b, c, m) in rows {
+        r.push_row(&[a, b, c], m).expect("static rows are valid");
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_iceberg_cube;
+    use crate::query::IcebergQuery;
+    use icecube_lattice::CuboidMask;
+
+    #[test]
+    fn iceberg_example_matches_the_papers_answer() {
+        // Section 2.1: "the result would be the tuple
+        // <Sony 25\" TV, Seattle, 2100>" for T=2, GROUP BY item, location.
+        let r = iceberg_example();
+        let cells = naive_iceberg_cube(&r, &IcebergQuery::count_cube(3, 2));
+        let il = CuboidMask::from_dims(&[0, 1]);
+        let qualifying: Vec<_> = cells.iter().filter(|c| c.cuboid == il).collect();
+        assert_eq!(qualifying.len(), 1);
+        assert_eq!(qualifying[0].key, vec![0, 0]);
+        assert_eq!(qualifying[0].agg.sum, 2100);
+        assert_eq!(qualifying[0].agg.count, 3);
+    }
+}

@@ -1,0 +1,399 @@
+//! The hash-tree (Apriori-style) cube algorithm (Section 3.5.1) — including
+//! its failure mode.
+//!
+//! The paper noticed that finding frequent itemsets and computing an
+//! iceberg cube are the same problem "if we imagine items are attributes
+//! with only one value", and ported Apriori: treat every (dimension,
+//! value) pair as an item, enumerate candidate itemsets level-wise
+//! (breadth-first, bottom-up), store candidates in a hash tree for fast
+//! per-tuple subset counting, and prune candidates with an infrequent
+//! subset.
+//!
+//! The paper's verdict: "Breadth-first searching creates too many
+//! candidates … the global index table contains too many items, exactly
+//! the sum of the cardinalities of all CUBE attributes … the hash tree is
+//! still a huge burden before pruning, and quickly consumes all available
+//! memory. Unfortunately, we had to admit this attempt failed." This
+//! implementation is faithful to that: it is correct on small inputs and
+//! returns [`AlgoError::MemoryExhausted`] when the candidate set would
+//! exceed the node's physical memory — which it does on the paper-sized
+//! datasets.
+
+use crate::agg::Aggregate;
+use crate::algorithms::{finish, Algorithm, RunOptions, RunOutcome};
+use crate::cell::{Cell, CellBuf, CellSink};
+use crate::error::AlgoError;
+use crate::query::IcebergQuery;
+use icecube_cluster::{ClusterConfig, SimCluster, SimNode};
+use icecube_data::Relation;
+use icecube_lattice::CuboidMask;
+use std::collections::HashMap;
+
+/// Max candidates per hash-tree leaf before it splits.
+const LEAF_CAP: usize = 8;
+
+/// Accounting estimate of one candidate's in-memory size at level `k`.
+fn candidate_bytes(k: usize) -> u64 {
+    (k * 4 + 40) as u64
+}
+
+/// A node of the candidate hash tree (Figure 3.12): internal nodes hash on
+/// the item at the node's depth; leaves hold candidate indices.
+enum HNode {
+    Internal(HashMap<u32, HNode>),
+    Leaf(Vec<usize>),
+}
+
+/// The candidate hash tree for one Apriori level.
+struct HashTree {
+    root: HNode,
+    /// Structure-walk operations, for CPU charging.
+    visits: u64,
+}
+
+impl HashTree {
+    fn build(candidates: &[Vec<u32>], k: usize) -> Self {
+        let mut tree = HashTree { root: HNode::Leaf(Vec::new()), visits: 0 };
+        for (ci, _) in candidates.iter().enumerate() {
+            Self::insert(&mut tree.root, candidates, ci, 0, k);
+        }
+        tree
+    }
+
+    fn insert(node: &mut HNode, candidates: &[Vec<u32>], ci: usize, depth: usize, k: usize) {
+        match node {
+            HNode::Internal(children) => {
+                let item = candidates[ci][depth];
+                let child =
+                    children.entry(item).or_insert_with(|| HNode::Leaf(Vec::new()));
+                Self::insert(child, candidates, ci, depth + 1, k);
+            }
+            HNode::Leaf(list) => {
+                list.push(ci);
+                if list.len() > LEAF_CAP && depth < k {
+                    // Split: redistribute by the item at this depth.
+                    let moved = std::mem::take(list);
+                    *node = HNode::Internal(HashMap::new());
+                    if let HNode::Internal(ch) = node {
+                        for mi in moved {
+                            let item = candidates[mi][depth];
+                            let child =
+                                ch.entry(item).or_insert_with(|| HNode::Leaf(Vec::new()));
+                            Self::insert(child, candidates, mi, depth + 1, k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The subset operation (Figure 3.12): count every candidate that is a
+    /// subset of the tuple's item list.
+    fn count_subsets(&mut self, items: &[u32], candidates: &[Vec<u32>], counts: &mut [u64]) {
+        Self::walk(&self.root, items, 0, candidates, counts, &mut self.visits);
+    }
+
+    fn walk(
+        node: &HNode,
+        items: &[u32],
+        start: usize,
+        candidates: &[Vec<u32>],
+        counts: &mut [u64],
+        visits: &mut u64,
+    ) {
+        *visits += 1;
+        match node {
+            HNode::Internal(children) => {
+                for (i, &item) in items.iter().enumerate().skip(start) {
+                    if let Some(child) = children.get(&item) {
+                        Self::walk(child, items, i + 1, candidates, counts, visits);
+                    }
+                }
+            }
+            HNode::Leaf(list) => {
+                for &ci in list {
+                    *visits += 1;
+                    if is_subset(&candidates[ci], items) {
+                        counts[ci] += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// True when the sorted `needle` is a subsequence of the sorted `hay`.
+fn is_subset(needle: &[u32], hay: &[u32]) -> bool {
+    let mut h = 0usize;
+    'outer: for &n in needle {
+        while h < hay.len() {
+            match hay[h].cmp(&n) {
+                std::cmp::Ordering::Less => h += 1,
+                std::cmp::Ordering::Equal => {
+                    h += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Runs the hash-tree algorithm. Executes on node 0 only — the paper never
+/// obtained a viable parallel version, and excludes it from the Chapter 4
+/// evaluation because "its performance lags far behind".
+pub fn run_hash_tree(
+    rel: &Relation,
+    query: &IcebergQuery,
+    config: &ClusterConfig,
+    opts: &RunOptions,
+) -> Result<RunOutcome, AlgoError> {
+    let mut cluster = SimCluster::new(config.clone());
+    let mut sink =
+        if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() };
+    {
+        let node = &mut cluster.nodes[0];
+        node.read_bytes(rel.byte_size());
+        node.charge_scan(rel.len() as u64);
+        node.alloc(rel.byte_size());
+        apriori(rel, query, node, &mut sink)?;
+    }
+    let end = cluster.makespan_ns();
+    for node in &mut cluster.nodes {
+        node.wait_until(end);
+    }
+    let mut sinks: Vec<CellBuf> = (1..cluster.len()).map(|_| CellBuf::counting()).collect();
+    sinks.insert(0, sink);
+    Ok(finish(Algorithm::HashTree, &cluster, sinks))
+}
+
+fn apriori<S: CellSink>(
+    rel: &Relation,
+    query: &IcebergQuery,
+    node: &mut SimNode,
+    sink: &mut S,
+) -> Result<(), AlgoError> {
+    let d = rel.arity();
+    // The global index table: item id = dim offset + value.
+    let offsets: Vec<u32> = {
+        let mut acc = 0u32;
+        let mut v = Vec::with_capacity(d);
+        for dim in 0..d {
+            v.push(acc);
+            acc += rel.schema().cardinality(dim);
+        }
+        v
+    };
+    let total_items = offsets[d - 1] + rel.schema().cardinality(d - 1);
+    let dim_of = |item: u32| -> usize {
+        offsets.partition_point(|&o| o <= item) - 1
+    };
+
+    // Level 1: count every item in one scan.
+    let mut item_aggs: Vec<Aggregate> = vec![Aggregate::empty(); total_items as usize];
+    let mut tuple_items: Vec<Vec<u32>> = Vec::with_capacity(rel.len());
+    for (row, m) in rel.rows() {
+        let items: Vec<u32> =
+            row.iter().enumerate().map(|(dim, &v)| offsets[dim] + v).collect();
+        for &it in &items {
+            item_aggs[it as usize].update(m);
+        }
+        tuple_items.push(items);
+    }
+    node.charge_scan(rel.len() as u64 * d as u64);
+    node.alloc(total_items as u64 * 32 + rel.byte_size());
+
+    let mut frequent: Vec<Vec<u32>> = Vec::new();
+    for (item, agg) in item_aggs.iter().enumerate() {
+        if agg.meets(query.minsup) {
+            let itemset = vec![item as u32];
+            emit_itemset(&itemset, agg, &offsets, dim_of(item as u32), node, sink);
+            frequent.push(itemset);
+        }
+    }
+    let mut frequent_set: std::collections::HashSet<Vec<u32>> =
+        frequent.iter().cloned().collect();
+
+    // Levels 2..=d: candidate generation, hash-tree counting, pruning.
+    for k in 2..=d {
+        let mut candidates: Vec<Vec<u32>> = Vec::new();
+        let mut mem_estimate = 0u64;
+        for i in 0..frequent.len() {
+            for j in i + 1..frequent.len() {
+                let (a, b) = (&frequent[i], &frequent[j]);
+                if a[..k - 2] != b[..k - 2] {
+                    continue;
+                }
+                let (la, lb) = (a[k - 2], b[k - 2]);
+                if la >= lb || dim_of(la) == dim_of(lb) {
+                    continue;
+                }
+                let mut cand = a.clone();
+                cand.push(lb);
+                // Apriori pruning: every (k-1)-subset must be frequent.
+                let prunable = (0..k).any(|drop| {
+                    let mut sub = cand.clone();
+                    sub.remove(drop);
+                    !frequent_set.contains(&sub)
+                });
+                if prunable {
+                    continue;
+                }
+                mem_estimate += candidate_bytes(k);
+                if node.would_exceed_memory(mem_estimate) {
+                    // The paper's observed failure: the candidate set (and
+                    // with it the hash tree) no longer fits in memory.
+                    return Err(AlgoError::MemoryExhausted {
+                        node: node.id(),
+                        required_bytes: node.mem_used() + mem_estimate,
+                        available_bytes: node.spec().mem_bytes(),
+                    });
+                }
+                candidates.push(cand);
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        node.alloc(mem_estimate);
+        node.charge_hash_probes(candidates.len() as u64);
+
+        let mut tree = HashTree::build(&candidates, k);
+        let mut counts = vec![0u64; candidates.len()];
+        for items in &tuple_items {
+            tree.count_subsets(items, &candidates, &mut counts);
+        }
+        node.charge_hash_probes(tree.visits);
+
+        // Second pass for the measure aggregates of the frequent ones.
+        let survivors: Vec<usize> =
+            (0..candidates.len()).filter(|&i| counts[i] >= query.minsup).collect();
+        let mut aggs: HashMap<&[u32], Aggregate> =
+            survivors.iter().map(|&i| (candidates[i].as_slice(), Aggregate::empty())).collect();
+        if !survivors.is_empty() {
+            for (items, (_, m)) in tuple_items.iter().zip(rel.rows()) {
+                for (key, agg) in aggs.iter_mut() {
+                    if is_subset(key, items) {
+                        agg.update(m);
+                    }
+                }
+            }
+            node.charge_agg_updates(rel.len() as u64 * survivors.len() as u64);
+        }
+
+        let mut next: Vec<Vec<u32>> = Vec::with_capacity(survivors.len());
+        for &i in &survivors {
+            let itemset = &candidates[i];
+            let agg = aggs[itemset.as_slice()];
+            emit_itemset(itemset, &agg, &offsets, usize::MAX, node, sink);
+            next.push(itemset.clone());
+        }
+        node.free(mem_estimate);
+        frequent = next;
+        frequent_set = frequent.iter().cloned().collect();
+        if frequent.is_empty() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Decodes an itemset back into a cube cell and writes it.
+fn emit_itemset<S: CellSink>(
+    itemset: &[u32],
+    agg: &Aggregate,
+    offsets: &[u32],
+    hint_dim: usize,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    let mut mask = CuboidMask::ALL;
+    let mut key = Vec::with_capacity(itemset.len());
+    for &item in itemset {
+        let dim = if itemset.len() == 1 && hint_dim != usize::MAX {
+            hint_dim
+        } else {
+            offsets.partition_point(|&o| o <= item) - 1
+        };
+        mask = mask.with_dim(dim);
+        key.push(item - offsets[dim]);
+    }
+    sink.emit(mask, &key, agg);
+    node.write_cells(mask.bits() as u64, Cell::disk_bytes(key.len()), 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::sales;
+    use crate::naive::naive_iceberg_cube;
+    use crate::verify::assert_same_cells;
+    use icecube_cluster::NodeSpec;
+    use icecube_data::presets;
+
+    #[test]
+    fn is_subset_handles_edges() {
+        assert!(is_subset(&[], &[1, 2]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[4], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 2], &[2, 3]));
+        assert!(!is_subset(&[1], &[]));
+    }
+
+    fn check(rel: &Relation, minsup: u64) {
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        let cfg = ClusterConfig::fast_ethernet(2);
+        let out = run_hash_tree(rel, &q, &cfg, &RunOptions::default()).unwrap();
+        let want = naive_iceberg_cube(rel, &q);
+        assert_same_cells(want, out.cells, &format!("HashTree minsup={minsup}"));
+    }
+
+    #[test]
+    fn matches_naive_on_small_inputs() {
+        let rel = sales();
+        for minsup in [1, 2, 3, 6] {
+            check(&rel, minsup);
+        }
+        let rel = presets::tiny(3).generate().unwrap();
+        for minsup in [2, 4] {
+            check(&rel, minsup);
+        }
+    }
+
+    #[test]
+    fn runs_out_of_memory_on_large_sparse_inputs() {
+        // The paper's finding, reproduced: give the node a realistically
+        // small memory and a high-cardinality dataset; candidate
+        // generation at level 2 must abort.
+        let spec = icecube_data::SyntheticSpec::uniform(
+            20_000,
+            vec![4000, 4000, 4000, 4000],
+            5,
+        );
+        let rel = spec.generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 1);
+        let mut cfg = ClusterConfig::fast_ethernet(1);
+        cfg.nodes[0] = NodeSpec { mhz: 500, mem_mb: 8 };
+        let err = run_hash_tree(&rel, &q, &cfg, &RunOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, AlgoError::MemoryExhausted { .. }),
+            "expected OOM, got {err}"
+        );
+    }
+
+    #[test]
+    fn only_node_zero_works() {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 2);
+        let out =
+            run_hash_tree(&rel, &q, &ClusterConfig::fast_ethernet(4), &RunOptions::default())
+                .unwrap();
+        let stats = out.stats.nodes();
+        assert!(stats[0].cpu_ns > 0);
+        assert_eq!(stats[1].cells_written, 0);
+        assert!(out.stats.imbalance() > 3.0, "no parallelism at all");
+    }
+}

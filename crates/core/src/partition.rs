@@ -1,0 +1,217 @@
+//! Counting-sort partitioning, the workhorse of the BUC family.
+//!
+//! BUC repeatedly splits a run of tuples into groups by one attribute
+//! (Figure 2.10). Dimension values are dictionary-encoded and dense, so the
+//! split is a counting sort — linear in the run length, no comparisons —
+//! exactly the "Partition" primitive of the original BUC paper. The
+//! partitioner owns reusable scratch buffers so recursion does not
+//! re-allocate, and charges the simulated node per tuple scanned and moved.
+
+use icecube_cluster::SimNode;
+use icecube_data::Relation;
+
+/// A `[start, end)` run of the index array holding one partition.
+pub type Group = (u32, u32);
+
+/// Reusable counting-sort state.
+#[derive(Debug, Default)]
+pub struct Partitioner {
+    counts: Vec<u32>,
+    scratch: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl Partitioner {
+    /// Creates a partitioner with empty scratch space.
+    pub fn new() -> Self {
+        Partitioner::default()
+    }
+
+    /// Counting-sorts `idx[start..end)` by `dim`, appending the resulting
+    /// non-empty groups to `out`. Tuples with equal `dim` values become
+    /// contiguous; group order follows the value order.
+    ///
+    /// Charges one scan pass plus one move per tuple to `node`.
+    pub fn split(
+        &mut self,
+        rel: &Relation,
+        idx: &mut [u32],
+        range: Group,
+        dim: usize,
+        node: &mut SimNode,
+        out: &mut Vec<Group>,
+    ) {
+        let (start, end) = (range.0 as usize, range.1 as usize);
+        debug_assert!(start <= end && end <= idx.len());
+        let len = end - start;
+        if len == 0 {
+            return;
+        }
+        let card = rel.schema().cardinality(dim) as usize;
+        if self.counts.len() < card {
+            self.counts.resize(card, 0);
+        }
+        self.touched.clear();
+        // Count occurrences of each value in the run.
+        for &row in &idx[start..end] {
+            let v = rel.value(row as usize, dim) as usize;
+            if self.counts[v] == 0 {
+                self.touched.push(v as u32);
+            }
+            self.counts[v] += 1;
+        }
+        node.charge_scan(len as u64);
+        // Values must come out in ascending order for deterministic output.
+        self.touched.sort_unstable();
+        // Prefix sums over the touched values only (cardinality can exceed
+        // the run length by orders of magnitude on sparse cubes).
+        let mut offset = 0u32;
+        for &v in &self.touched {
+            let c = self.counts[v as usize];
+            self.counts[v as usize] = offset;
+            out.push((range.0 + offset, range.0 + offset + c));
+            offset += c;
+        }
+        // Scatter into scratch, then copy back.
+        self.scratch.clear();
+        self.scratch.resize(len, 0);
+        for &row in &idx[start..end] {
+            let v = rel.value(row as usize, dim) as usize;
+            self.scratch[self.counts[v] as usize] = row;
+            self.counts[v] += 1;
+        }
+        idx[start..end].copy_from_slice(&self.scratch);
+        node.charge_moves(len as u64);
+        // Reset the touched counters for the next call.
+        for &v in &self.touched {
+            self.counts[v as usize] = 0;
+        }
+    }
+
+    /// Refines every group of `groups` by `dim`, appending the finer groups
+    /// to `out` (BPP-BUC's "sort R according to the attributes ordered in
+    /// prefix" — the data is already grouped by the previous prefix, so
+    /// only a per-group counting sort on the new attribute is needed).
+    pub fn refine(
+        &mut self,
+        rel: &Relation,
+        idx: &mut [u32],
+        groups: &[Group],
+        dim: usize,
+        node: &mut SimNode,
+        out: &mut Vec<Group>,
+    ) {
+        for &g in groups {
+            self.split(rel, idx, g, dim, node, out);
+        }
+    }
+}
+
+/// Builds the identity index array `0..n` for a relation.
+pub fn full_index(rel: &Relation) -> Vec<u32> {
+    (0..rel.len() as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icecube_cluster::{ClusterConfig, SimCluster};
+    use icecube_data::{Relation, Schema};
+
+    fn test_node() -> SimCluster {
+        SimCluster::new(ClusterConfig::fast_ethernet(1))
+    }
+
+    fn rel() -> Relation {
+        let schema = Schema::from_cardinalities(&[4, 3]).unwrap();
+        let mut r = Relation::new(schema);
+        for (a, b) in [(2, 1), (0, 2), (2, 0), (1, 1), (0, 0), (2, 1)] {
+            r.push_row(&[a, b], 1).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn split_groups_by_value_in_order() {
+        let r = rel();
+        let mut c = test_node();
+        let mut idx = full_index(&r);
+        let mut p = Partitioner::new();
+        let mut groups = Vec::new();
+        p.split(&r, &mut idx, (0, 6), 0, &mut c.nodes[0], &mut groups);
+        assert_eq!(groups, vec![(0, 2), (2, 3), (3, 6)]);
+        let vals: Vec<u32> = idx.iter().map(|&i| r.value(i as usize, 0)).collect();
+        assert_eq!(vals, vec![0, 0, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn split_is_stable_within_runs_after_scatter() {
+        // Rows 0, 2, 5 have value 2 in dim 0; original order is preserved.
+        let r = rel();
+        let mut c = test_node();
+        let mut idx = full_index(&r);
+        let mut p = Partitioner::new();
+        let mut groups = Vec::new();
+        p.split(&r, &mut idx, (0, 6), 0, &mut c.nodes[0], &mut groups);
+        assert_eq!(&idx[3..6], &[0, 2, 5]);
+    }
+
+    #[test]
+    fn refine_respects_group_boundaries() {
+        let r = rel();
+        let mut c = test_node();
+        let mut idx = full_index(&r);
+        let mut p = Partitioner::new();
+        let mut level1 = Vec::new();
+        p.split(&r, &mut idx, (0, 6), 0, &mut c.nodes[0], &mut level1);
+        let mut level2 = Vec::new();
+        p.refine(&r, &mut idx, &level1, 1, &mut c.nodes[0], &mut level2);
+        // Groups for (a=0): b values 0 and 2; (a=1): b=1; (a=2): b=0, b=1×2.
+        assert_eq!(level2.len(), 5);
+        let sizes: Vec<u32> = level2.iter().map(|g| g.1 - g.0).collect();
+        assert_eq!(sizes, vec![1, 1, 1, 1, 2]);
+        // Each level-2 group is homogeneous on both dims.
+        for &(s, e) in &level2 {
+            let first = r.row(idx[s as usize] as usize).to_vec();
+            for &i in &idx[s as usize..e as usize] {
+                assert_eq!(r.row(i as usize), &first[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let r = rel();
+        let mut c = test_node();
+        let mut idx = full_index(&r);
+        let mut p = Partitioner::new();
+        let mut groups = Vec::new();
+        p.split(&r, &mut idx, (3, 3), 0, &mut c.nodes[0], &mut groups);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn costs_are_charged() {
+        let r = rel();
+        let mut c = test_node();
+        let mut idx = full_index(&r);
+        let mut p = Partitioner::new();
+        let mut groups = Vec::new();
+        p.split(&r, &mut idx, (0, 6), 0, &mut c.nodes[0], &mut groups);
+        assert!(c.nodes[0].stats.cpu_ns > 0);
+    }
+
+    #[test]
+    fn reuse_across_calls_stays_correct() {
+        // The counters must be properly reset between calls.
+        let r = rel();
+        let mut c = test_node();
+        let mut p = Partitioner::new();
+        for _ in 0..3 {
+            let mut idx = full_index(&r);
+            let mut groups = Vec::new();
+            p.split(&r, &mut idx, (0, 6), 0, &mut c.nodes[0], &mut groups);
+            assert_eq!(groups.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! PipeSort (Agarwal et al., VLDB 1996) — the sort-based top-down baseline
+//! the paper reviews in Section 2.4.1.
+//!
+//! PipeSort's two ideas, both implemented here:
+//!
+//! * **Planning.** Every cuboid at level `k−1` is computed from a parent at
+//!   level `k`. A parent can hand its sort order to *one* child for the
+//!   cheap cost `A(parent)` (scan, no sort); every other child pays
+//!   `S(parent)` (re-sort then scan). Level by level, the assignment that
+//!   minimizes total cost is a minimum-cost bipartite matching; this
+//!   implementation uses the standard greedy approximation on the savings
+//!   `S_min(child) − A(parent)` (exact matching only changes constants,
+//!   not the baseline's shape, and the thesis never evaluates PipeSort
+//!   directly).
+//! * **Pipelines.** Chains of share-sort edges execute in a single scan:
+//!   sorting once in the head's attribute order computes every cuboid on
+//!   the chain simultaneously, maintaining one running aggregate per
+//!   prefix length (Figure 2.6b). Only pipeline heads sort.
+//!
+//! Like every top-down algorithm, PipeSort cannot prune on minimum
+//! support; the threshold filters output only.
+
+use crate::agg::Aggregate;
+use crate::cell::{Cell, CellSink};
+use crate::query::IcebergQuery;
+use icecube_cluster::SimNode;
+use icecube_data::Relation;
+use icecube_lattice::{CuboidMask, Lattice};
+use std::collections::HashMap;
+
+/// The per-cuboid plan: where its data comes from and in which attribute
+/// order its cells are produced.
+#[derive(Debug, Clone)]
+struct PlanNode {
+    /// Attribute order of this cuboid's cells.
+    order: Vec<usize>,
+    /// The cuboid this one is computed from (`None` = raw data).
+    parent: Option<CuboidMask>,
+    /// Whether the parent's sort order is reused (pipelined) or a re-sort
+    /// is required (this cuboid heads a pipeline).
+    pipelined: bool,
+}
+
+/// The complete PipeSort plan.
+#[derive(Debug, Clone)]
+pub struct PipeSortPlan {
+    nodes: HashMap<CuboidMask, PlanNode>,
+    d: usize,
+}
+
+impl PipeSortPlan {
+    /// The cube dimensionality the plan was built for.
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    /// Number of pipelines (cuboids that require their own sort).
+    pub fn pipeline_count(&self) -> usize {
+        self.nodes.values().filter(|n| !n.pipelined).count()
+    }
+
+    /// The planned attribute order of a cuboid.
+    pub fn order_of(&self, g: CuboidMask) -> Option<&[usize]> {
+        self.nodes.get(&g).map(|n| n.order.as_slice())
+    }
+}
+
+/// Estimated cuboid size: `min(∏ cardinalities, tuples)` — the cost basis
+/// PipeSort plans with (the paper notes this estimate is what breaks down
+/// on sparse data, motivating PartitionedCube).
+fn est_size(g: CuboidMask, cards: &[u32], tuples: usize) -> u64 {
+    let mut prod = 1u64;
+    for d in g.iter_dims() {
+        prod = prod.saturating_mul(cards[d] as u64);
+        if prod >= tuples as u64 {
+            return tuples as u64;
+        }
+    }
+    prod.min(tuples as u64)
+}
+
+/// A-cost: computing one child from this parent without sorting.
+fn a_cost(p: CuboidMask, cards: &[u32], tuples: usize) -> u64 {
+    est_size(p, cards, tuples)
+}
+
+/// S-cost: re-sorting the parent first.
+fn s_cost(p: CuboidMask, cards: &[u32], tuples: usize) -> u64 {
+    let n = est_size(p, cards, tuples);
+    n.saturating_mul(n.max(2).ilog2() as u64 + 1)
+}
+
+/// Builds the PipeSort plan for a cube over the given schema.
+pub fn plan(dims: usize, cards: &[u32], tuples: usize) -> PipeSortPlan {
+    let lattice = Lattice::new(dims);
+    // matched[parent] = child that inherits the parent's sort order.
+    let mut matched_child: HashMap<CuboidMask, CuboidMask> = HashMap::new();
+    let mut parent_of: HashMap<CuboidMask, (CuboidMask, bool)> = HashMap::new();
+
+    for k in (1..=dims).rev() {
+        let children: Vec<CuboidMask> = lattice.level(k - 1).collect();
+        if children.is_empty() {
+            continue;
+        }
+        // For each child, the cheapest re-sort parent as the fallback.
+        let best_s: HashMap<CuboidMask, (CuboidMask, u64)> = children
+            .iter()
+            .map(|&c| {
+                let best = lattice
+                    .level(k)
+                    .filter(|&p| c.is_subset_of(p))
+                    .map(|p| (p, s_cost(p, cards, tuples)))
+                    .min_by_key(|&(p, cost)| (cost, p))
+                    .expect("every non-top cuboid has a parent");
+                (c, best)
+            })
+            .collect();
+        // Greedy maximum-savings matching: edges (child, parent) with
+        // savings = S_min(child) − A(parent).
+        let mut edges: Vec<(u64, CuboidMask, CuboidMask)> = Vec::new();
+        for &c in &children {
+            let s_min = best_s[&c].1;
+            for p in lattice.level(k).filter(|&p| c.is_subset_of(p)) {
+                let a = a_cost(p, cards, tuples);
+                if a < s_min {
+                    edges.push((s_min - a, c, p));
+                }
+            }
+        }
+        edges.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
+        let mut child_done: HashMap<CuboidMask, ()> = HashMap::new();
+        for (_, c, p) in edges {
+            if child_done.contains_key(&c) || matched_child.contains_key(&p) {
+                continue;
+            }
+            child_done.insert(c, ());
+            matched_child.insert(p, c);
+            parent_of.insert(c, (p, true));
+        }
+        for &c in &children {
+            if !child_done.contains_key(&c) {
+                parent_of.insert(c, (best_s[&c].0, false));
+            }
+        }
+    }
+
+    // Assign attribute orders: walk each share-sort chain from its bottom.
+    // A cuboid's order is fixed by the chain below it: the bottom member
+    // takes ascending order; each parent appends its extra dimension.
+    let mut nodes: HashMap<CuboidMask, PlanNode> = HashMap::new();
+    // Bottoms: cuboids that are not a matched parent (no child inherits).
+    let all: Vec<CuboidMask> = lattice.cuboids().collect();
+    for &g in &all {
+        if matched_child.contains_key(&g) {
+            continue; // its order is derived from below
+        }
+        // Build the chain upward from g.
+        let mut order: Vec<usize> = g.dims();
+        let mut cur = g;
+        loop {
+            let (parent, pipelined) = match parent_of.get(&cur) {
+                Some(&(p, pl)) => (Some(p), pl),
+                None => (None, false), // the top cuboid: sorted from raw data
+            };
+            nodes.insert(
+                cur,
+                PlanNode { order: order.clone(), parent, pipelined },
+            );
+            // Does `cur`'s parent pipeline into it? Then extend the order.
+            match parent {
+                Some(p) if pipelined && matched_child.get(&p) == Some(&cur) => {
+                    let extra = p
+                        .iter_dims()
+                        .find(|d| !cur.contains(*d))
+                        .expect("parent has one extra dimension");
+                    order.push(extra);
+                    cur = p;
+                }
+                _ => break,
+            }
+        }
+    }
+    PipeSortPlan { nodes, d: dims }
+}
+
+/// Executes PipeSort: plans, then runs every pipeline, emitting qualifying
+/// cells and charging the simulated node.
+pub fn pipesort<S: CellSink>(
+    rel: &Relation,
+    query: &IcebergQuery,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    assert_eq!(query.dims, rel.arity(), "query dims must match the relation");
+    if rel.is_empty() {
+        return;
+    }
+    let cards = rel.schema().cardinalities();
+    let the_plan = plan(query.dims, &cards, rel.len());
+    execute(rel, query, &the_plan, node, sink);
+}
+
+/// A materialized cuboid during execution.
+type Cells = Vec<(Vec<u32>, Aggregate)>;
+
+fn execute<S: CellSink>(
+    rel: &Relation,
+    query: &IcebergQuery,
+    plan: &PipeSortPlan,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    let mut materialized: HashMap<CuboidMask, Cells> = HashMap::new();
+    // How many pipeline heads will still read each cuboid as their input;
+    // a materialized cuboid is dropped once its last consumer has run.
+    let mut consumers: HashMap<CuboidMask, usize> = HashMap::new();
+    for n in plan.nodes.values() {
+        if !n.pipelined {
+            if let Some(p) = n.parent {
+                *consumers.entry(p).or_insert(0) += 1;
+            }
+        }
+    }
+    // Pipelines execute heads-by-level descending, so a head's parent is
+    // always materialized first.
+    let mut heads: Vec<CuboidMask> = plan
+        .nodes
+        .iter()
+        .filter(|(_, n)| !n.pipelined)
+        .map(|(&g, _)| g)
+        .collect();
+    heads.sort_unstable_by(|a, b| b.dim_count().cmp(&a.dim_count()).then(a.cmp(b)));
+
+    for head in heads {
+        // The members of this pipeline: the chain of cuboids that inherit
+        // the head's sort order, one prefix shorter each.
+        let mut members = vec![head];
+        let mut cur = head;
+        loop {
+            let next = plan
+                .nodes
+                .iter()
+                .find(|(_, n)| n.pipelined && n.parent == Some(cur))
+                .map(|(&g, _)| g);
+            match next {
+                Some(g) => {
+                    members.push(g);
+                    cur = g;
+                }
+                None => break,
+            }
+        }
+        let head_order = &plan.nodes[&head].order;
+        // Input: the head's parent (re-sorted), or the raw data for the top.
+        let input: Cells = match plan.nodes[&head].parent {
+            None => sort_raw(rel, head_order, node),
+            Some(p) => {
+                let parent_cells = materialized.get(&p).expect("parent before child");
+                let resorted = resort(parent_cells, &plan.nodes[&p].order, head_order, node);
+                let remaining = consumers.get_mut(&p).expect("counted above");
+                *remaining -= 1;
+                if *remaining == 0 {
+                    if let Some(freed) = materialized.remove(&p) {
+                        node.free(cells_bytes(&freed));
+                    }
+                }
+                resorted
+            }
+        };
+        // One scan computes every member: running aggregate per prefix.
+        run_pipeline(
+            &input,
+            &members,
+            plan,
+            query,
+            &consumers,
+            node,
+            sink,
+            &mut materialized,
+        );
+    }
+}
+
+/// Memory accounting for a materialized cuboid.
+fn cells_bytes(cells: &Cells) -> u64 {
+    cells.iter().map(|(k, _)| k.len() as u64 * 4 + 32).sum()
+}
+
+/// Sorts the raw relation by `order` and pre-aggregates duplicate keys.
+fn sort_raw(rel: &Relation, order: &[usize], node: &mut SimNode) -> Cells {
+    let mut idx: Vec<u32> = (0..rel.len() as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        let (ra, rb) = (rel.row(a as usize), rel.row(b as usize));
+        order.iter().map(|&d| ra[d]).cmp(order.iter().map(|&d| rb[d]))
+    });
+    let n = rel.len() as u64;
+    node.charge_comparisons(n * (n.max(2).ilog2() as u64) * order.len() as u64);
+    let mut out: Cells = Vec::new();
+    let mut key = vec![0u32; order.len()];
+    for &i in &idx {
+        let row = rel.row(i as usize);
+        for (slot, &d) in key.iter_mut().zip(order) {
+            *slot = row[d];
+        }
+        match out.last_mut() {
+            Some((k, agg)) if *k == key => agg.update(rel.measure(i as usize)),
+            _ => out.push((key.clone(), Aggregate::of(rel.measure(i as usize)))),
+        }
+    }
+    node.charge_agg_updates(n);
+    out
+}
+
+/// Re-sorts a parent's cells from its order into the head's order
+/// (projecting away the parent's extra dimension).
+fn resort(parent: &Cells, parent_order: &[usize], head_order: &[usize], node: &mut SimNode) -> Cells {
+    let positions: Vec<usize> = head_order
+        .iter()
+        .map(|d| parent_order.iter().position(|p| p == d).expect("head ⊂ parent"))
+        .collect();
+    let mut projected: Cells = parent
+        .iter()
+        .map(|(k, a)| (positions.iter().map(|&p| k[p]).collect(), *a))
+        .collect();
+    projected.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let n = parent.len() as u64;
+    node.charge_comparisons(n * (n.max(2).ilog2() as u64) * positions.len() as u64);
+    // Accumulate duplicates created by the projection.
+    let mut out: Cells = Vec::new();
+    for (k, a) in projected {
+        match out.last_mut() {
+            Some((pk, pa)) if *pk == k => pa.merge(&a),
+            _ => out.push((k, a)),
+        }
+    }
+    node.charge_agg_updates(n);
+    out
+}
+
+/// The pipelined scan: one pass over `input` (sorted by `head_order`)
+/// computing every member simultaneously — member `i` is the prefix of
+/// length `member_len[i]` of the head's order.
+#[allow(clippy::too_many_arguments)]
+fn run_pipeline<S: CellSink>(
+    input: &Cells,
+    members: &[CuboidMask],
+    plan: &PipeSortPlan,
+    query: &IcebergQuery,
+    consumers: &HashMap<CuboidMask, usize>,
+    node: &mut SimNode,
+    sink: &mut S,
+    materialized: &mut HashMap<CuboidMask, Cells>,
+) {
+    let mut outputs: Vec<Cells> = vec![Cells::new(); members.len()];
+    let lens: Vec<usize> = members.iter().map(|m| m.dim_count()).collect();
+    debug_assert!(lens.windows(2).all(|w| w[0] == w[1] + 1));
+    let mut running: Vec<(Vec<u32>, Aggregate)> = lens
+        .iter()
+        .map(|&l| (vec![u32::MAX; l], Aggregate::empty()))
+        .collect();
+    for (key, agg) in input {
+        for (mi, &len) in lens.iter().enumerate() {
+            let prefix = &key[..len];
+            if running[mi].0.as_slice() != prefix {
+                if running[mi].1.count > 0 {
+                    let (k, a) = std::mem::replace(
+                        &mut running[mi],
+                        (prefix.to_vec(), Aggregate::empty()),
+                    );
+                    outputs[mi].push((k, a));
+                } else {
+                    running[mi].0.clear();
+                    running[mi].0.extend_from_slice(prefix);
+                }
+            }
+            running[mi].1.merge(agg);
+        }
+        node.charge_agg_updates(lens.len() as u64);
+    }
+    for (mi, (k, a)) in running.into_iter().enumerate() {
+        if a.count > 0 {
+            outputs[mi].push((k, a));
+        }
+    }
+    // Emit qualifying cells; keys are in the member's *planned* order,
+    // which may differ from ascending-dimension order — normalize on emit.
+    for (mi, member) in members.iter().enumerate() {
+        let order = &plan.nodes[member].order;
+        let member_dims = member.dims();
+        let remap: Vec<usize> = member_dims
+            .iter()
+            .map(|d| order.iter().position(|o| o == d).expect("same dims"))
+            .collect();
+        let mut emitted = 0u64;
+        let mut cell_key = vec![0u32; member_dims.len()];
+        for (k, a) in &outputs[mi] {
+            if a.meets(query.minsup) {
+                for (slot, &p) in cell_key.iter_mut().zip(&remap) {
+                    *slot = k[p];
+                }
+                sink.emit(*member, &cell_key, a);
+                emitted += 1;
+            }
+        }
+        if emitted > 0 {
+            node.write_cells(
+                member.bits() as u64,
+                emitted * Cell::disk_bytes(member_dims.len()),
+                emitted,
+            );
+        }
+        // Materialize only cuboids some later pipeline reads.
+        if consumers.get(member).copied().unwrap_or(0) > 0 {
+            let cells = std::mem::take(&mut outputs[mi]);
+            node.alloc(cells_bytes(&cells));
+            materialized.insert(*member, cells);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{sort_cells, CellBuf};
+    use crate::fixtures::sales;
+    use crate::naive::naive_iceberg_cube;
+    use icecube_cluster::{ClusterConfig, SimCluster};
+    use icecube_data::presets;
+
+    fn run(rel: &Relation, minsup: u64) -> Vec<Cell> {
+        let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+        let mut sink = CellBuf::collecting();
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        pipesort(rel, &q, &mut cluster.nodes[0], &mut sink);
+        let mut cells = sink.into_cells();
+        sort_cells(&mut cells);
+        cells
+    }
+
+    #[test]
+    fn matches_naive_on_sales() {
+        let rel = sales();
+        for minsup in [1, 2, 3, 6] {
+            let got = run(&rel, minsup);
+            let want = naive_iceberg_cube(&rel, &IcebergQuery::count_cube(3, minsup));
+            assert_eq!(got, want, "minsup {minsup}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_synthetic() {
+        for seed in [0, 7] {
+            let rel = presets::tiny(seed).generate().unwrap();
+            for minsup in [1, 3] {
+                let got = run(&rel, minsup);
+                let want =
+                    naive_iceberg_cube(&rel, &IcebergQuery::count_cube(4, minsup));
+                assert_eq!(got, want, "seed {seed} minsup {minsup}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_shares_sorts() {
+        // With shared sorts, far fewer pipelines than cuboids.
+        let cards = presets::baseline().cardinalities;
+        let p = plan(9, &cards, 176_631);
+        let pipelines = p.pipeline_count();
+        assert!(pipelines < 511, "pipelines {pipelines}");
+        // Lower bound: at least C(9, 4) = 126 pipelines are needed to
+        // cover the widest lattice level (each pipeline crosses a level
+        // at most once).
+        assert!(pipelines >= 126, "pipelines {pipelines}");
+    }
+
+    #[test]
+    fn plan_orders_are_consistent() {
+        let p = plan(4, &[4, 3, 5, 2], 1000);
+        let l = Lattice::new(4);
+        for g in l.cuboids() {
+            let order = p.order_of(g).expect("every cuboid planned");
+            assert_eq!(order.len(), g.dim_count());
+            let mut dims: Vec<usize> = order.to_vec();
+            dims.sort_unstable();
+            assert_eq!(dims, g.dims(), "order must permute the cuboid's dims");
+        }
+    }
+
+    #[test]
+    fn pipelined_members_are_prefixes_of_their_parents() {
+        let p = plan(5, &[6, 5, 4, 3, 2], 5000);
+        for (g, n) in &p.nodes {
+            if n.pipelined {
+                let parent = n.parent.expect("pipelined implies parent");
+                let porder = p.order_of(parent).unwrap();
+                let order = p.order_of(*g).unwrap();
+                assert_eq!(&porder[..order.len()], order, "cuboid {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_valid_for_many_shapes() {
+        // Property-style sweep without proptest's RNG (plans are pure
+        // functions of the shape): for a range of dimensionalities and
+        // cardinality profiles, every plan must permute each cuboid's
+        // dims, make every pipelined child a strict order-prefix of its
+        // parent, and chain every cuboid up to a head.
+        for d in 2..=7usize {
+            for profile in 0..4u32 {
+                let cards: Vec<u32> =
+                    (0..d).map(|i| 2 + ((i as u32 + 1) * (profile + 3)) % 97).collect();
+                let p = plan(d, &cards, 10_000);
+                let l = Lattice::new(d);
+                for g in l.cuboids() {
+                    let order = p.order_of(g).unwrap_or_else(|| panic!("{g} unplanned"));
+                    let mut sorted: Vec<usize> = order.to_vec();
+                    sorted.sort_unstable();
+                    assert_eq!(sorted, g.dims(), "order must permute {g}");
+                }
+                for (g, n) in &p.nodes {
+                    if n.pipelined {
+                        let parent = n.parent.expect("pipelined implies parent");
+                        let porder = p.order_of(parent).unwrap();
+                        let order = p.order_of(*g).unwrap();
+                        assert_eq!(&porder[..order.len()], order, "{g} under {parent}");
+                    }
+                }
+                assert!(p.pipeline_count() <= l.cuboid_count());
+            }
+        }
+    }
+
+    #[test]
+    fn sort_sharing_reduces_comparisons_vs_always_resorting() {
+        let rel = presets::tiny(3).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 1);
+        let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(2));
+        let mut sink = CellBuf::counting();
+        pipesort(&rel, &q, &mut cluster.nodes[0], &mut sink);
+        // Re-sorting at every cuboid would be >= one n log n per cuboid.
+        let n = rel.len() as u64;
+        let always = 15 * n * (n.ilog2() as u64);
+        assert!(cluster.nodes[0].stats.cpu_ns < always * 8);
+    }
+}

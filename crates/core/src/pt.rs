@@ -1,0 +1,269 @@
+//! Algorithm PT — Partitioned Tree (Section 3.4, Figures 3.9 and 3.10).
+//!
+//! PT strikes the balance between RP's coarse subtrees and ASL's
+//! single-cuboid tasks: recursive **binary division** of the BUC
+//! processing tree yields `32 × n` near-equal subtrees
+//! ([`divide_tasks`]); a manager assigns them on demand with **prefix
+//! affinity on the subtree roots** (top-down scheduling), and each task is
+//! then computed **bottom-up** by BPP-BUC with breadth-first writing —
+//! combining sort-sharing with minimum-support pruning, the hybrid the
+//! paper recommends as the default algorithm.
+//!
+//! Prefix affinity is realized through a per-worker *sort cache*: the
+//! index array stays grouped by the previous root's dimensions, and a new
+//! root sharing a prefix of length `p` only refines from level `p`
+//! onwards. Deeper refinements happen strictly within groups, so truncated
+//! cache levels stay valid across tasks.
+
+use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
+use crate::buc::bpp_buc_presorted;
+use crate::cell::CellBuf;
+use crate::error::AlgoError;
+use crate::partition::{full_index, Group, Partitioner};
+use crate::query::IcebergQuery;
+use icecube_cluster::{run_demand_steps, ClusterConfig, SimCluster, SimNode};
+use icecube_data::Relation;
+use icecube_lattice::{divide_tasks, TreeTask};
+
+/// A worker's sorted-index cache: `idx` is grouped by `root_dims[..k]` at
+/// level `k`; `levels[k]` are the groups after refining by `root_dims[..=k]`.
+#[derive(Default)]
+struct SortCache {
+    root_dims: Vec<usize>,
+    idx: Vec<u32>,
+    levels: Vec<Vec<Group>>,
+    part: Partitioner,
+}
+
+impl SortCache {
+    /// Re-sorts (or incrementally refines) for a task root, returning the
+    /// root-level groups. Charges only the refinement passes actually run.
+    fn prepare(&mut self, rel: &Relation, root_dims: &[usize], affinity: bool, node: &mut SimNode) {
+        let shared = if affinity && !self.idx.is_empty() {
+            self.root_dims.iter().zip(root_dims).take_while(|(a, b)| a == b).count()
+        } else {
+            0
+        };
+        if shared == 0 {
+            self.idx = full_index(rel);
+            node.charge_scan(rel.len() as u64);
+            self.root_dims.clear();
+            self.levels.clear();
+        } else {
+            self.root_dims.truncate(shared);
+            self.levels.truncate(shared);
+        }
+        for &dim in &root_dims[self.root_dims.len()..] {
+            let base: Vec<Group> = match self.levels.last() {
+                Some(g) => g.clone(),
+                None => vec![(0, self.idx.len() as u32)],
+            };
+            let mut fine = Vec::new();
+            self.part.refine(rel, &mut self.idx, &base, dim, node, &mut fine);
+            self.levels.push(fine);
+            self.root_dims.push(dim);
+        }
+    }
+
+    fn groups(&self) -> Vec<Group> {
+        match self.levels.last() {
+            Some(g) => g.clone(),
+            None => vec![(0, self.idx.len() as u32)],
+        }
+    }
+}
+
+/// The manager's pick: the remaining task whose root shares the longest
+/// prefix with the worker's previous root; ties (and the no-affinity case)
+/// go to the largest remaining task. `remaining` must be sorted largest
+/// first, as [`divide_tasks`] returns it.
+fn pick_task(
+    remaining: &mut Vec<TreeTask>,
+    prev_root_dims: Option<&[usize]>,
+    affinity: bool,
+) -> Option<TreeTask> {
+    if remaining.is_empty() {
+        return None;
+    }
+    let pos = match (affinity, prev_root_dims) {
+        (true, Some(prev)) => {
+            let score = |t: &TreeTask| -> usize {
+                t.root.dims().iter().zip(prev).take_while(|(a, b)| a == b).count()
+            };
+            // Earliest (largest) task among those with the best score.
+            let mut best = 0usize;
+            let mut best_score = score(&remaining[0]);
+            for (i, t) in remaining.iter().enumerate().skip(1) {
+                let s = score(t);
+                if s > best_score {
+                    best = i;
+                    best_score = s;
+                }
+            }
+            best
+        }
+        _ => 0,
+    };
+    Some(remaining.remove(pos))
+}
+
+/// Runs PT over a simulated cluster.
+pub fn run_pt(
+    rel: &Relation,
+    query: &IcebergQuery,
+    config: &ClusterConfig,
+    opts: &RunOptions,
+) -> Result<RunOutcome, AlgoError> {
+    let mut cluster = SimCluster::new(config.clone());
+    let n = cluster.len();
+    load_replicated(&mut cluster, rel);
+    // Planning: binary division until there are ratio·n tasks ("32n" in
+    // the paper's experiments).
+    let target = opts.pt_task_ratio.max(1) * n;
+    let mut remaining = divide_tasks(query.dims, target);
+    let mut caches: Vec<SortCache> = (0..n).map(|_| SortCache::default()).collect();
+    let mut prev_roots: Vec<Option<Vec<usize>>> = vec![None; n];
+    let mut sinks: Vec<CellBuf> = (0..n)
+        .map(|_| if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() })
+        .collect();
+    let minsup = query.minsup;
+    let affinity = opts.affinity;
+
+    run_demand_steps(&mut cluster, |cluster, node_id| {
+        let Some(task) =
+            pick_task(&mut remaining, prev_roots[node_id].as_deref(), affinity)
+        else {
+            return false;
+        };
+        let node = &mut cluster.nodes[node_id];
+        node.charge_task_overhead();
+        let root_dims = task.root.dims();
+        let cache = &mut caches[node_id];
+        cache.prepare(rel, &root_dims, affinity, node);
+        let groups = cache.groups();
+        bpp_buc_presorted(rel, minsup, task, &cache.idx, &groups, node, &mut sinks[node_id]);
+        prev_roots[node_id] = Some(root_dims);
+        true
+    });
+    Ok(finish(Algorithm::Pt, &cluster, sinks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::sales;
+    use crate::naive::naive_iceberg_cube;
+    use crate::verify::assert_same_cells;
+    use icecube_data::presets;
+    use icecube_lattice::CuboidMask;
+
+    fn check(rel: &Relation, minsup: u64, nodes: usize, ratio: usize) {
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        let cfg = ClusterConfig::fast_ethernet(nodes);
+        let opts = RunOptions { pt_task_ratio: ratio, ..RunOptions::default() };
+        let out = run_pt(rel, &q, &cfg, &opts).unwrap();
+        let want = naive_iceberg_cube(rel, &q);
+        assert_same_cells(want, out.cells, &format!("PT n={nodes} minsup={minsup} r={ratio}"));
+    }
+
+    #[test]
+    fn matches_naive_across_configurations() {
+        let rel = sales();
+        for nodes in [1, 2, 4] {
+            for ratio in [1, 4, 32] {
+                check(&rel, 2, nodes, ratio);
+            }
+        }
+        for seed in [1, 6] {
+            let rel = presets::tiny(seed).generate().unwrap();
+            for minsup in [1, 3] {
+                check(&rel, minsup, 4, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_without_affinity() {
+        let rel = presets::tiny(2).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let out = run_pt(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(3),
+            &RunOptions { affinity: false, ..RunOptions::default() },
+        )
+        .unwrap();
+        let want = naive_iceberg_cube(&rel, &q);
+        assert_same_cells(want, out.cells, "PT without affinity");
+    }
+
+    #[test]
+    fn pick_prefers_shared_root_prefix() {
+        let d = 4;
+        let mk = |dims: &[usize], from: usize| TreeTask {
+            root: CuboidMask::from_dims(dims),
+            from_dim: from,
+            d,
+        };
+        let mut remaining = vec![mk(&[1], 2), mk(&[0, 1], 2), mk(&[0], 2)];
+        // Previous root was A: prefer a root starting with A; among AB and
+        // A the shared-prefix score with [0] is 1 for both — the earlier
+        // (larger) task wins.
+        let t = pick_task(&mut remaining, Some(&[0]), true).unwrap();
+        assert_eq!(t.root, CuboidMask::from_dims(&[0, 1]));
+        // No affinity: plain largest-first.
+        let t = pick_task(&mut remaining, Some(&[0]), false).unwrap();
+        assert_eq!(t.root, CuboidMask::from_dims(&[1]));
+    }
+
+    #[test]
+    fn sort_cache_reuse_reduces_cpu() {
+        let rel = presets::tiny(3).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 1);
+        let cfg = ClusterConfig::fast_ethernet(1);
+        let with = run_pt(&rel, &q, &cfg, &RunOptions::default()).unwrap();
+        let without = run_pt(
+            &rel,
+            &q,
+            &cfg,
+            &RunOptions { affinity: false, ..RunOptions::default() },
+        )
+        .unwrap();
+        let cpu = |o: &RunOutcome| o.stats.nodes()[0].cpu_ns;
+        assert!(cpu(&with) <= cpu(&without));
+    }
+
+    #[test]
+    fn task_ratio_trades_balance_for_pruning() {
+        // Higher ratio → finer tasks → better balance (the paper's dotted
+        // line in Figure 3.9).
+        let rel = presets::tiny(7).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let cfg = ClusterConfig::fast_ethernet(4);
+        let coarse = run_pt(
+            &rel,
+            &q,
+            &cfg,
+            &RunOptions { pt_task_ratio: 1, ..RunOptions::default() },
+        )
+        .unwrap();
+        let fine = run_pt(
+            &rel,
+            &q,
+            &cfg,
+            &RunOptions { pt_task_ratio: 32, ..RunOptions::default() },
+        )
+        .unwrap();
+        assert!(fine.stats.imbalance() <= coarse.stats.imbalance() + 0.25);
+        assert_same_cells(coarse.cells, fine.cells, "ratio must not change output");
+    }
+
+    #[test]
+    fn strong_load_balance_on_eight_nodes() {
+        let rel = presets::tiny(10).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let out = run_pt(&rel, &q, &ClusterConfig::fast_ethernet(8), &RunOptions::default())
+            .unwrap();
+        assert!(out.stats.imbalance() < 1.8, "imbalance {}", out.stats.imbalance());
+    }
+}

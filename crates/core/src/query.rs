@@ -1,0 +1,69 @@
+//! The iceberg-cube query description.
+
+/// An iceberg-cube query:
+///
+/// ```sql
+/// SELECT dims…, SUM(measure) FROM R
+/// CUBE BY dims…
+/// HAVING COUNT(*) >= minsup
+/// ```
+///
+/// The paper restricts the iceberg condition to minimum support on
+/// `COUNT(*)` ("other aggregate conditions can be handled as well"); so
+/// does this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcebergQuery {
+    /// Number of CUBE dimensions (must equal the relation's arity).
+    pub dims: usize,
+    /// Minimum support: cells with `COUNT(*) < minsup` are suppressed.
+    /// `minsup = 1` computes the full cube.
+    pub minsup: u64,
+}
+
+impl IcebergQuery {
+    /// Builds a count-condition iceberg-cube query.
+    ///
+    /// # Panics
+    /// Panics when `dims` is zero or `minsup` is zero (support below one
+    /// is meaningless — every present cell has count ≥ 1).
+    pub fn count_cube(dims: usize, minsup: u64) -> Self {
+        assert!(dims > 0, "a cube needs at least one dimension");
+        assert!(minsup > 0, "minimum support must be at least 1");
+        IcebergQuery { dims, minsup }
+    }
+
+    /// Whether this query computes the *full* cube (no pruning possible).
+    pub fn is_full_cube(&self) -> bool {
+        self.minsup == 1
+    }
+
+    /// Number of group-bys the cube comprises, excluding "all".
+    pub fn cuboid_count(&self) -> usize {
+        (1usize << self.dims) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        let q = IcebergQuery::count_cube(9, 2);
+        assert_eq!(q.cuboid_count(), 511);
+        assert!(!q.is_full_cube());
+        assert!(IcebergQuery::count_cube(3, 1).is_full_cube());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_minsup_rejected() {
+        let _ = IcebergQuery::count_cube(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dims_rejected() {
+        let _ = IcebergQuery::count_cube(0, 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! The algorithm-selection recipe of Figure 4.7.
+//!
+//! The paper's key finding is that iceberg-cube computation on PC clusters
+//! is not "one algorithm fits all"; its evaluation distills into a recipe:
+//!
+//! | situation                         | recommendation            |
+//! |-----------------------------------|---------------------------|
+//! | dense cubes (≲10⁸ total cells)    | AHT, ASL                  |
+//! | small dimensionality (< 5)        | any (RP for simplicity)   |
+//! | high dimensionality               | PT                        |
+//! | less memory occupation            | BPP                       |
+//! | otherwise                         | PT (AHT/ASL close behind) |
+//! | online support                    | POL (Chapter 5)           |
+
+use crate::algorithms::Algorithm;
+use icecube_data::Relation;
+
+/// What the recipe can recommend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// One of the offline cube algorithms.
+    Algo(Algorithm),
+    /// The online-aggregation algorithm POL (implemented in
+    /// `icecube-online`).
+    OnlinePol,
+}
+
+/// Workload description the recipe decides on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CubeProfile {
+    /// Number of CUBE dimensions.
+    pub dims: usize,
+    /// Estimated total cells across all cuboids (see
+    /// [`estimate_total_cells`]).
+    pub expected_total_cells: f64,
+    /// Whether per-node memory is the binding constraint.
+    pub memory_constrained: bool,
+    /// Whether the user needs instant responses with progressive
+    /// refinement (online aggregation).
+    pub online: bool,
+}
+
+impl CubeProfile {
+    /// Profiles a relation directly.
+    pub fn from_relation(rel: &Relation) -> Self {
+        let cards = rel.schema().cardinalities();
+        CubeProfile {
+            dims: rel.arity(),
+            expected_total_cells: estimate_total_cells(&cards, rel.len()),
+            memory_constrained: false,
+            online: false,
+        }
+    }
+}
+
+/// Estimates the total number of cells over all `2^d − 1` cuboids: each
+/// cuboid holds at most `min(∏ cardinalities, tuples)` cells. Exact
+/// enumeration up to 20 dimensions; the paper's density threshold only
+/// needs the order of magnitude.
+pub fn estimate_total_cells(cards: &[u32], tuples: usize) -> f64 {
+    let d = cards.len();
+    assert!(d >= 1, "need at least one dimension");
+    if d <= 20 {
+        let mut total = 0f64;
+        for mask in 1u32..(1u32 << d) {
+            let mut prod = 1f64;
+            let mut bits = mask;
+            while bits != 0 {
+                let dim = bits.trailing_zeros() as usize;
+                prod *= cards[dim] as f64;
+                bits &= bits - 1;
+                if prod > tuples as f64 {
+                    break;
+                }
+            }
+            total += prod.min(tuples as f64);
+        }
+        total
+    } else {
+        // Upper bound: every cuboid saturated at the tuple count.
+        (2f64.powi(d as i32) - 1.0) * tuples as f64
+    }
+}
+
+/// Dense-cube threshold from the paper: "when the total number of cells in
+/// the data cube is not too high (e.g., < 10⁸)".
+pub const DENSE_CELL_THRESHOLD: f64 = 1e8;
+
+/// Dimensionality below which "almost all algorithms behave similarly".
+pub const SMALL_DIMENSIONALITY: usize = 5;
+
+/// Dimensionality from which PT's advantage is significant (the paper's
+/// 13-dimension runs separate the field decisively).
+pub const HIGH_DIMENSIONALITY: usize = 10;
+
+/// Applies the Figure 4.7 recipe: returns choices in preference order
+/// (first = primary recommendation).
+///
+/// ```
+/// use icecube_core::recipe::{recommend, Choice, CubeProfile};
+/// use icecube_core::Algorithm;
+///
+/// let profile = CubeProfile {
+///     dims: 9,
+///     expected_total_cells: 1e10,
+///     memory_constrained: false,
+///     online: false,
+/// };
+/// // The paper's default: PT.
+/// assert_eq!(recommend(&profile)[0], Choice::Algo(Algorithm::Pt));
+/// ```
+pub fn recommend(p: &CubeProfile) -> Vec<Choice> {
+    use Algorithm::*;
+    if p.online {
+        // "The last entry in Figure 4.7 concerns online support" — POL,
+        // which is built on ASL.
+        return vec![Choice::OnlinePol, Choice::Algo(Asl)];
+    }
+    if p.memory_constrained {
+        // BPP is the only algorithm whose footprint is a chunk, not the
+        // whole relation (Section 4.1).
+        return vec![Choice::Algo(Bpp), Choice::Algo(Pt)];
+    }
+    if p.dims >= HIGH_DIMENSIONALITY {
+        // "For cubes of high dimensionality, there is significant
+        // difference … and PT should be used."
+        return vec![Choice::Algo(Pt)];
+    }
+    if p.expected_total_cells < DENSE_CELL_THRESHOLD && p.dims >= SMALL_DIMENSIONALITY {
+        // "AHT and ASL dominate all other algorithms when the cube is
+        // dense" — AHT first (it wins outright when collisions are rare),
+        // ASL as the robust second.
+        return vec![Choice::Algo(Aht), Choice::Algo(Asl), Choice::Algo(Pt)];
+    }
+    if p.dims < SMALL_DIMENSIONALITY {
+        // "almost all algorithms behave similarly. RP may have a slight
+        // edge in that it is the simplest to implement."
+        return vec![Choice::Algo(Rp), Choice::Algo(Pt), Choice::Algo(Asl), Choice::Algo(Aht)];
+    }
+    // "For all other situations … PT, AHT and ASL are relatively close,
+    // with PT typically a constant factor faster."
+    vec![Choice::Algo(Pt), Choice::Algo(Aht), Choice::Algo(Asl)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Algorithm::*;
+
+    fn profile(dims: usize, cells: f64) -> CubeProfile {
+        CubeProfile {
+            dims,
+            expected_total_cells: cells,
+            memory_constrained: false,
+            online: false,
+        }
+    }
+
+    #[test]
+    fn online_chooses_pol() {
+        let mut p = profile(12, 1e12);
+        p.online = true;
+        assert_eq!(recommend(&p)[0], Choice::OnlinePol);
+    }
+
+    #[test]
+    fn memory_constrained_chooses_bpp() {
+        let mut p = profile(9, 1e12);
+        p.memory_constrained = true;
+        assert_eq!(recommend(&p)[0], Choice::Algo(Bpp));
+    }
+
+    #[test]
+    fn high_dimensionality_chooses_pt() {
+        assert_eq!(recommend(&profile(13, 1e12)), vec![Choice::Algo(Pt)]);
+    }
+
+    #[test]
+    fn dense_cubes_choose_aht_then_asl() {
+        let r = recommend(&profile(8, 1e6));
+        assert_eq!(&r[..2], &[Choice::Algo(Aht), Choice::Algo(Asl)]);
+    }
+
+    #[test]
+    fn small_dimensionality_allows_rp() {
+        let r = recommend(&profile(4, 1e5));
+        assert_eq!(r[0], Choice::Algo(Rp));
+    }
+
+    #[test]
+    fn default_is_pt() {
+        let r = recommend(&profile(9, 1e10));
+        assert_eq!(r[0], Choice::Algo(Pt));
+    }
+
+    #[test]
+    fn estimate_counts_small_cubes_exactly() {
+        // cards [2,3]: cuboids A (2), B (3), AB (6) → 11 with many tuples.
+        assert_eq!(estimate_total_cells(&[2, 3], 1000), 11.0);
+        // With only 4 tuples each cuboid caps at 4: 2 + 3 + 4 = 9.
+        assert_eq!(estimate_total_cells(&[2, 3], 4), 9.0);
+    }
+
+    #[test]
+    fn estimate_handles_the_baseline_shape() {
+        let cards = icecube_data::presets::baseline().cardinalities;
+        let cells = estimate_total_cells(&cards, 176_631);
+        // Sparse: hundreds of millions of potential cells → not "dense".
+        assert!(cells > DENSE_CELL_THRESHOLD / 10.0, "cells {cells}");
+    }
+
+    #[test]
+    fn profile_from_relation() {
+        let rel = crate::fixtures::sales();
+        let p = CubeProfile::from_relation(&rel);
+        assert_eq!(p.dims, 3);
+        assert!(p.expected_total_cells < 100.0);
+        assert_eq!(recommend(&p)[0], Choice::Algo(Rp));
+    }
+}

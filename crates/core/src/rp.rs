@@ -1,0 +1,121 @@
+//! Algorithm RP — Replicated Parallel BUC (Section 3.1, Figure 3.1).
+//!
+//! The simplest parallelization of BUC: the processing tree's `d`
+//! independent subtrees (rooted at each dimension) become the tasks,
+//! assigned to processors round-robin; the dataset is replicated on every
+//! node; each node runs plain depth-first BUC on its subtrees and writes
+//! cuboids to its local disk.
+//!
+//! RP inherits BUC's pruning but also its scattered depth-first writing,
+//! and its task granularity is coarse and uneven — the subtree rooted at
+//! `A` has `2^(d-1)` cuboids while `D`'s has one — so load balance is weak
+//! (Figure 4.1). Both weaknesses are what BPP and PT then attack.
+
+use crate::algorithms::{finish, load_replicated, RunOptions, RunOutcome};
+use crate::buc::buc_depth_first;
+use crate::cell::CellBuf;
+use crate::error::AlgoError;
+use crate::query::IcebergQuery;
+use icecube_cluster::{ClusterConfig, SimCluster};
+use icecube_data::Relation;
+use icecube_lattice::{CuboidMask, TreeTask};
+
+/// Runs RP over a simulated cluster.
+pub fn run_rp(
+    rel: &Relation,
+    query: &IcebergQuery,
+    config: &ClusterConfig,
+    opts: &RunOptions,
+) -> Result<RunOutcome, AlgoError> {
+    let mut cluster = SimCluster::new(config.clone());
+    let n = cluster.len();
+    load_replicated(&mut cluster, rel);
+    let d = query.dims;
+    let mut sinks: Vec<CellBuf> = (0..n)
+        .map(|_| if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() })
+        .collect();
+    // Static round-robin assignment: subtree rooted at dimension i goes to
+    // processor i mod n. With more processors than dimensions, some idle.
+    for i in 0..d {
+        let node_id = i % n;
+        let task = TreeTask::full_subtree(CuboidMask::from_dims(&[i]), d);
+        let node = &mut cluster.nodes[node_id];
+        node.charge_task_overhead();
+        buc_depth_first(rel, query.minsup, task, node, &mut sinks[node_id]);
+    }
+    // The run ends when the slowest processor finishes.
+    let end = cluster.makespan_ns();
+    for node in &mut cluster.nodes {
+        node.wait_until(end);
+    }
+    Ok(finish(crate::algorithms::Algorithm::Rp, &cluster, sinks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::sales;
+    use crate::naive::naive_iceberg_cube;
+    use crate::verify::assert_same_cells;
+    use icecube_data::presets;
+
+    fn check(rel: &Relation, minsup: u64, nodes: usize) {
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        let cfg = ClusterConfig::fast_ethernet(nodes);
+        let out = run_rp(rel, &q, &cfg, &RunOptions::default()).unwrap();
+        let want = naive_iceberg_cube(rel, &q);
+        assert_same_cells(want, out.cells, &format!("RP n={nodes} minsup={minsup}"));
+    }
+
+    #[test]
+    fn matches_naive_across_cluster_sizes() {
+        let rel = sales();
+        for nodes in [1, 2, 3, 8] {
+            check(&rel, 2, nodes);
+        }
+        let rel = presets::tiny(11).generate().unwrap();
+        for minsup in [1, 2, 4] {
+            check(&rel, minsup, 4);
+        }
+    }
+
+    #[test]
+    fn load_is_skewed_toward_early_dimensions() {
+        // T_A has 2^(d-1) cuboids vs T_D's 1: the node holding dimension 0
+        // does far more work (the paper's Figure 4.1 observation).
+        let rel = presets::tiny(5).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let out = run_rp(&rel, &q, &ClusterConfig::fast_ethernet(4), &RunOptions::default())
+            .unwrap();
+        let loads = out.stats.loads_ns();
+        assert!(loads[0] > loads[3], "loads {loads:?}");
+        assert!(out.stats.imbalance() > 1.1, "imbalance {}", out.stats.imbalance());
+    }
+
+    #[test]
+    fn extra_processors_idle() {
+        // More processors than dimensions leaves some idle but must not
+        // break anything.
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 1);
+        let out = run_rp(&rel, &q, &ClusterConfig::fast_ethernet(8), &RunOptions::default())
+            .unwrap();
+        let idle_nodes =
+            out.stats.nodes().iter().filter(|s| s.cells_written == 0).count();
+        assert_eq!(idle_nodes, 5);
+        let want = naive_iceberg_cube(&rel, &q);
+        assert_same_cells(want, out.cells, "RP with idle processors");
+    }
+
+    #[test]
+    fn counting_mode_tracks_without_retaining() {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 1);
+        let counted =
+            run_rp(&rel, &q, &ClusterConfig::fast_ethernet(2), &RunOptions::counting())
+                .unwrap();
+        assert!(counted.cells.is_empty());
+        assert_eq!(counted.total_cells, 47);
+        assert_eq!(counted.stats.total_cells(), 47);
+    }
+}

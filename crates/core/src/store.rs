@@ -1,0 +1,511 @@
+//! A queryable store for computed iceberg cubes: the precomputation side
+//! of the paper's motivating workflow.
+//!
+//! Section 2.1: analysts iterate — *drill-down* ("the previous query
+//! returned too few results, GROUP BY on more attributes") and *roll-up*
+//! ("too much detail, GROUP BY on fewer"). Precomputing the iceberg cube
+//! and serving those navigations from the stored cells is precisely what
+//! the parallel algorithms exist for; Chapter 5 adds the caveat this store
+//! enforces: a stored cube computed at minimum support `s` can only answer
+//! queries with threshold `>= s` (anything lower needs recomputation or
+//! online aggregation — see `icecube-online`).
+
+use crate::agg::Aggregate;
+use crate::algorithms::RunOutcome;
+use crate::cell::Cell;
+use crate::error::AlgoError;
+use icecube_lattice::CuboidMask;
+use std::collections::HashMap;
+
+/// File magic for the persisted store format.
+const MAGIC: &[u8; 8] = b"ICECUBE1";
+
+/// One cuboid's cells, sorted by key for binary search.
+#[derive(Debug, Clone, Default)]
+struct StoredCuboid {
+    /// Concatenated keys, stride = cuboid arity.
+    keys: Vec<u32>,
+    aggs: Vec<Aggregate>,
+    arity: usize,
+}
+
+impl StoredCuboid {
+    fn key(&self, i: usize) -> &[u32] {
+        &self.keys[i * self.arity..(i + 1) * self.arity]
+    }
+
+    fn len(&self) -> usize {
+        self.aggs.len()
+    }
+
+    fn find(&self, key: &[u32]) -> Option<usize> {
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.key(mid).cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+}
+
+/// A precomputed iceberg cube, indexed by cuboid, answering point lookups,
+/// slices, drill-downs and roll-ups.
+///
+/// ```
+/// use icecube_core::fixtures::sales;
+/// use icecube_core::{run_parallel, Algorithm, CubeStore, IcebergQuery};
+/// use icecube_cluster::ClusterConfig;
+/// use icecube_lattice::CuboidMask;
+///
+/// let rel = sales();
+/// let q = IcebergQuery::count_cube(3, 2);
+/// let out = run_parallel(Algorithm::Pt, &rel, &q,
+///                        &ClusterConfig::fast_ethernet(2)).unwrap();
+/// let store = CubeStore::from_outcome(3, 2, out);
+/// // Drill Chevy (model=0) down by year: three qualifying cells.
+/// let by_model = CuboidMask::from_dims(&[0]);
+/// assert_eq!(store.drill_down(by_model, &[0], 1).unwrap().len(), 3);
+/// // A lower threshold than the precomputation used is not answerable.
+/// assert!(!store.can_answer(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CubeStore {
+    dims: usize,
+    minsup: u64,
+    cuboids: HashMap<CuboidMask, StoredCuboid>,
+}
+
+impl CubeStore {
+    /// Builds a store from canonically sortable cells computed at
+    /// `minsup` over a `dims`-dimensional cube.
+    pub fn from_cells(dims: usize, minsup: u64, mut cells: Vec<Cell>) -> Self {
+        crate::cell::sort_cells(&mut cells);
+        let mut cuboids: HashMap<CuboidMask, StoredCuboid> = HashMap::new();
+        for cell in cells {
+            let entry = cuboids.entry(cell.cuboid).or_insert_with(|| StoredCuboid {
+                arity: cell.cuboid.dim_count(),
+                ..StoredCuboid::default()
+            });
+            entry.keys.extend_from_slice(&cell.key);
+            entry.aggs.push(cell.agg);
+        }
+        CubeStore { dims, minsup, cuboids }
+    }
+
+    /// Builds a store from a parallel run's outcome (which must have been
+    /// collected with [`crate::RunOptions::collect_cells`] on).
+    pub fn from_outcome(dims: usize, minsup: u64, outcome: RunOutcome) -> Self {
+        CubeStore::from_cells(dims, minsup, outcome.cells)
+    }
+
+    /// Number of cube dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The minimum support the cube was computed at: the lowest threshold
+    /// this store can answer.
+    pub fn minsup(&self) -> u64 {
+        self.minsup
+    }
+
+    /// Total stored cells.
+    pub fn len(&self) -> usize {
+        self.cuboids.values().map(StoredCuboid::len).sum()
+    }
+
+    /// True when the cube held no qualifying cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.cuboids.is_empty()
+    }
+
+    /// Whether an iceberg query with threshold `minsup` is answerable from
+    /// this store (Section 5: "if the threshold set by online queries
+    /// differs from what the precomputation assumed, precomputed cuboids
+    /// can no longer be used").
+    pub fn can_answer(&self, minsup: u64) -> bool {
+        minsup >= self.minsup
+    }
+
+    fn cuboid_or_err(&self, g: CuboidMask) -> Result<Option<&StoredCuboid>, AlgoError> {
+        if g.max_dim().is_some_and(|m| m >= self.dims) {
+            return Err(AlgoError::DimensionMismatch {
+                query_dims: g.max_dim().unwrap_or(0) + 1,
+                relation_dims: self.dims,
+            });
+        }
+        Ok(self.cuboids.get(&g))
+    }
+
+    /// Point lookup: the aggregate of one cell.
+    pub fn get(&self, g: CuboidMask, key: &[u32]) -> Option<&Aggregate> {
+        let stored = self.cuboids.get(&g)?;
+        stored.find(key).map(|i| &stored.aggs[i])
+    }
+
+    /// All qualifying cells of one group-by at threshold `minsup`
+    /// (must be `>= self.minsup()`).
+    pub fn query(
+        &self,
+        g: CuboidMask,
+        minsup: u64,
+    ) -> Result<Vec<(Vec<u32>, Aggregate)>, AlgoError> {
+        assert!(
+            self.can_answer(minsup),
+            "store computed at minsup {} cannot answer threshold {minsup}; recompute or \
+             aggregate online",
+            self.minsup
+        );
+        let Some(stored) = self.cuboid_or_err(g)? else {
+            return Ok(Vec::new());
+        };
+        Ok((0..stored.len())
+            .filter(|&i| stored.aggs[i].meets(minsup))
+            .map(|i| (stored.key(i).to_vec(), stored.aggs[i]))
+            .collect())
+    }
+
+    /// Slice: cells of group-by `g` whose value on `dim` equals `value`
+    /// (`dim` must belong to `g`).
+    pub fn slice(
+        &self,
+        g: CuboidMask,
+        dim: usize,
+        value: u32,
+    ) -> Result<Vec<(Vec<u32>, Aggregate)>, AlgoError> {
+        assert!(g.contains(dim), "slice dimension must belong to the group-by");
+        let pos = g.iter_dims().position(|d| d == dim).expect("contained");
+        let Some(stored) = self.cuboid_or_err(g)? else {
+            return Ok(Vec::new());
+        };
+        Ok((0..stored.len())
+            .filter(|&i| stored.key(i)[pos] == value)
+            .map(|i| (stored.key(i).to_vec(), stored.aggs[i]))
+            .collect())
+    }
+
+    /// Drill-down from one cell: the finer cells obtained by adding
+    /// dimension `dim` to the group-by ("GROUP BY on more attributes").
+    ///
+    /// Returns the qualifying refinements of `(g, key)` in `g ∪ {dim}`.
+    pub fn drill_down(
+        &self,
+        g: CuboidMask,
+        key: &[u32],
+        dim: usize,
+    ) -> Result<Vec<(Vec<u32>, Aggregate)>, AlgoError> {
+        assert!(!g.contains(dim), "drill-down adds a new dimension");
+        let child = g.with_dim(dim);
+        let Some(stored) = self.cuboid_or_err(child)? else {
+            return Ok(Vec::new());
+        };
+        // Position of every original dimension inside the child's key.
+        let child_dims = child.dims();
+        let positions: Vec<usize> = g
+            .dims()
+            .iter()
+            .map(|d| child_dims.iter().position(|c| c == d).expect("subset"))
+            .collect();
+        Ok((0..stored.len())
+            .filter(|&i| {
+                let ck = stored.key(i);
+                positions.iter().zip(key).all(|(&p, &v)| ck[p] == v)
+            })
+            .map(|i| (stored.key(i).to_vec(), stored.aggs[i]))
+            .collect())
+    }
+
+    /// Roll-up from one cell: the coarser cell obtained by removing
+    /// dimension `dim` ("GROUP BY on fewer attributes"). `None` when the
+    /// coarser cell was itself pruned — impossible for count-based iceberg
+    /// cubes, where support only grows upward, unless the roll-up target is
+    /// the "all" node (not stored).
+    pub fn roll_up(
+        &self,
+        g: CuboidMask,
+        key: &[u32],
+        dim: usize,
+    ) -> Result<Option<(Vec<u32>, Aggregate)>, AlgoError> {
+        assert!(g.contains(dim), "roll-up removes a present dimension");
+        let parent = g.without_dim(dim);
+        if parent.is_all() {
+            return Ok(None);
+        }
+        let pos = g.iter_dims().position(|d| d == dim).expect("contained");
+        let mut pkey = key.to_vec();
+        pkey.remove(pos);
+        let Some(stored) = self.cuboid_or_err(parent)? else {
+            return Ok(None);
+        };
+        Ok(stored.find(&pkey).map(|i| (pkey, stored.aggs[i])))
+    }
+
+    /// Serializes the store into a writer (a small versioned binary
+    /// format: header, then per cuboid its mask, cell count, keys and
+    /// aggregates). This is the "precompute, save to disks" step of the
+    /// paper's workflow.
+    pub fn write_to<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        let w64 = |out: &mut W, v: u64| out.write_all(&v.to_le_bytes());
+        let wi64 = |out: &mut W, v: i64| out.write_all(&v.to_le_bytes());
+        out.write_all(MAGIC)?;
+        w64(out, 1)?; // format version
+        w64(out, self.dims as u64)?;
+        w64(out, self.minsup)?;
+        w64(out, self.cuboids.len() as u64)?;
+        // Deterministic order for reproducible files.
+        let mut masks: Vec<&CuboidMask> = self.cuboids.keys().collect();
+        masks.sort_unstable();
+        for mask in masks {
+            let stored = &self.cuboids[mask];
+            w64(out, mask.bits() as u64)?;
+            w64(out, stored.len() as u64)?;
+            for &k in &stored.keys {
+                out.write_all(&k.to_le_bytes())?;
+            }
+            for a in &stored.aggs {
+                w64(out, a.count)?;
+                wi64(out, a.sum)?;
+                wi64(out, a.min)?;
+                wi64(out, a.max)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a store written by [`CubeStore::write_to`].
+    pub fn read_from<R: std::io::Read>(input: &mut R) -> std::io::Result<CubeStore> {
+        use std::io::{Error, ErrorKind, Read};
+        fn r64<R: Read>(input: &mut R) -> std::io::Result<u64> {
+            let mut buf = [0u8; 8];
+            input.read_exact(&mut buf)?;
+            Ok(u64::from_le_bytes(buf))
+        }
+        fn ri64<R: Read>(input: &mut R) -> std::io::Result<i64> {
+            let mut buf = [0u8; 8];
+            input.read_exact(&mut buf)?;
+            Ok(i64::from_le_bytes(buf))
+        }
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if magic != *MAGIC {
+            return Err(Error::new(ErrorKind::InvalidData, "not an icecube store"));
+        }
+        let version = r64(input)?;
+        if version != 1 {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("unsupported store version {version}"),
+            ));
+        }
+        let dims = r64(input)? as usize;
+        if dims == 0 || dims > 26 {
+            return Err(Error::new(ErrorKind::InvalidData, "corrupt dimension count"));
+        }
+        let minsup = r64(input)?;
+        let cuboid_count = r64(input)? as usize;
+        if cuboid_count > (1usize << dims) {
+            return Err(Error::new(ErrorKind::InvalidData, "corrupt cuboid count"));
+        }
+        let mut cuboids = HashMap::with_capacity(cuboid_count);
+        for _ in 0..cuboid_count {
+            let mask = CuboidMask::from_bits(r64(input)? as u32);
+            let arity = mask.dim_count();
+            let cells = r64(input)? as usize;
+            let mut keys = vec![0u32; cells * arity];
+            for k in &mut keys {
+                let mut buf = [0u8; 4];
+                input.read_exact(&mut buf)?;
+                *k = u32::from_le_bytes(buf);
+            }
+            let mut aggs = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                aggs.push(Aggregate {
+                    count: r64(input)?,
+                    sum: ri64(input)?,
+                    min: ri64(input)?,
+                    max: ri64(input)?,
+                });
+            }
+            cuboids.insert(mask, StoredCuboid { keys, aggs, arity });
+        }
+        Ok(CubeStore { dims, minsup, cuboids })
+    }
+
+    /// Iterates all stored cells (unordered across cuboids).
+    pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
+        self.cuboids.iter().flat_map(|(&cuboid, stored)| {
+            (0..stored.len()).map(move |i| Cell {
+                cuboid,
+                key: stored.key(i).to_vec(),
+                agg: stored.aggs[i],
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{run_parallel, Algorithm};
+    use crate::fixtures::sales;
+    use crate::query::IcebergQuery;
+    use icecube_cluster::ClusterConfig;
+    use proptest::prelude::*;
+
+    fn store(minsup: u64) -> CubeStore {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, minsup);
+        let out =
+            run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
+        CubeStore::from_outcome(3, minsup, out)
+    }
+
+    #[test]
+    fn point_lookup_matches_published_sums() {
+        let s = store(1);
+        let model = CuboidMask::from_dims(&[0]);
+        assert_eq!(s.get(model, &[0]).unwrap().sum, 508); // Chevy
+        assert_eq!(s.get(model, &[1]).unwrap().sum, 433); // Ford
+        assert_eq!(s.get(model, &[7]), None);
+        assert_eq!(s.len(), 47);
+    }
+
+    #[test]
+    fn query_respects_threshold_floor() {
+        let s = store(2);
+        assert!(s.can_answer(2));
+        assert!(s.can_answer(10));
+        assert!(!s.can_answer(1));
+        let my = CuboidMask::from_dims(&[0, 1]);
+        let cells = s.query(my, 3).unwrap();
+        assert_eq!(cells.len(), 6); // every (model, year) has support 3
+        let cells = s.query(my, 4).unwrap();
+        assert!(cells.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot answer threshold")]
+    fn lower_threshold_is_refused() {
+        let s = store(2);
+        let _ = s.query(CuboidMask::from_dims(&[0]), 1);
+    }
+
+    #[test]
+    fn drill_down_refines_one_cell() {
+        let s = store(1);
+        // Chevy (model=0) drilled down by year → three cells.
+        let refined = s.drill_down(CuboidMask::from_dims(&[0]), &[0], 1).unwrap();
+        assert_eq!(refined.len(), 3);
+        let total: i64 = refined.iter().map(|(_, a)| a.sum).sum();
+        assert_eq!(total, 508, "drill-down partitions the parent cell");
+    }
+
+    #[test]
+    fn roll_up_recovers_the_parent() {
+        let s = store(1);
+        let my = CuboidMask::from_dims(&[0, 1]);
+        let (pkey, agg) = s.roll_up(my, &[0, 2], 1).unwrap().unwrap();
+        assert_eq!(pkey, vec![0]);
+        assert_eq!(agg.sum, 508);
+        // Rolling up the last dimension reaches "all", which is special.
+        assert_eq!(s.roll_up(CuboidMask::from_dims(&[0]), &[0], 0).unwrap(), None);
+    }
+
+    #[test]
+    fn slice_filters_on_one_dimension() {
+        let s = store(1);
+        let myc = CuboidMask::from_dims(&[0, 1, 2]);
+        let white_1991 = s
+            .slice(myc, 2, 1)
+            .unwrap()
+            .into_iter()
+            .filter(|(k, _)| k[1] == 1)
+            .collect::<Vec<_>>();
+        assert_eq!(white_1991.len(), 2); // Chevy & Ford, 1991, white
+    }
+
+    #[test]
+    fn out_of_range_dimension_is_an_error() {
+        let s = store(1);
+        assert!(s.query(CuboidMask::from_dims(&[9]), 1).is_err());
+    }
+
+    #[test]
+    fn persistence_roundtrips() {
+        let s = store(2);
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).unwrap();
+        let again = CubeStore::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(again.dims(), s.dims());
+        assert_eq!(again.minsup(), s.minsup());
+        assert_eq!(again.len(), s.len());
+        let g = CuboidMask::from_dims(&[0, 1]);
+        assert_eq!(again.query(g, 2).unwrap(), s.query(g, 2).unwrap());
+        assert_eq!(
+            again.get(CuboidMask::from_dims(&[0]), &[0]),
+            s.get(CuboidMask::from_dims(&[0]), &[0])
+        );
+    }
+
+    #[test]
+    fn persistence_rejects_garbage() {
+        assert!(CubeStore::read_from(&mut &b"not a store"[..]).is_err());
+        let mut buf = Vec::new();
+        store(1).write_to(&mut buf).unwrap();
+        buf[8] = 9; // wrong version
+        assert!(CubeStore::read_from(&mut buf.as_slice()).is_err());
+        let mut buf2 = Vec::new();
+        store(1).write_to(&mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 3); // truncated file
+        assert!(CubeStore::read_from(&mut buf2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn iter_roundtrips_through_from_cells() {
+        let s = store(2);
+        let again = CubeStore::from_cells(3, 2, s.iter().collect());
+        assert_eq!(again.len(), s.len());
+        let g = CuboidMask::from_dims(&[0, 1]);
+        assert_eq!(again.query(g, 2).unwrap(), s.query(g, 2).unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn persistence_roundtrips_arbitrary_cells(
+            raw in proptest::collection::vec(
+                (1u32..15, proptest::collection::vec(0u32..9, 0..4), 1u64..50, -99i64..99),
+                0..60,
+            )
+        ) {
+            // Build arbitrary (well-formed) cells: the cuboid mask's arity
+            // is forced to match the key length.
+            let mut unique = std::collections::BTreeMap::new();
+            for (bits, key, count, m) in raw {
+                let dims: Vec<usize> = (0..4).filter(|i| bits & (1 << i) != 0).collect();
+                let dims = if dims.is_empty() { vec![0] } else { dims };
+                let key: Vec<u32> =
+                    (0..dims.len()).map(|i| key.get(i).copied().unwrap_or(0)).collect();
+                let mut agg = Aggregate::empty();
+                for _ in 0..count {
+                    agg.update(m);
+                }
+                let cuboid = CuboidMask::from_dims(&dims);
+                unique.insert((cuboid, key.clone()), Cell { cuboid, key, agg });
+            }
+            let cells: Vec<Cell> = unique.into_values().collect();
+            let store = CubeStore::from_cells(4, 1, cells);
+            let mut buf = Vec::new();
+            store.write_to(&mut buf).unwrap();
+            let again = CubeStore::read_from(&mut buf.as_slice()).unwrap();
+            prop_assert_eq!(again.len(), store.len());
+            for cell in store.iter() {
+                prop_assert_eq!(again.get(cell.cuboid, &cell.key), Some(&cell.agg));
+            }
+        }
+    }
+}

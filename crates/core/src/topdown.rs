@@ -1,0 +1,226 @@
+//! A sequential share-sort top-down baseline (the PipeSort/PipeHash
+//! lineage of Section 2.4.1).
+//!
+//! Top-down algorithms compute each group-by from a *parent* one level up,
+//! exploiting two facts the paper reviews: a smaller parent is cheaper to
+//! aggregate than the raw data (*smallest parent*), and a parent sorted
+//! with the child's dimensions as a prefix needs no re-sort (*share-sorts*).
+//! This implementation materializes cuboids down the processing tree of
+//! Figure 2.4(b): every cuboid is computed from its
+//! [`topdown_parent`](icecube_lattice::Lattice::topdown_parent); when the
+//! child is a prefix of the parent a single accumulate-runs scan suffices,
+//! otherwise the parent's cells are re-sorted first.
+//!
+//! Top-down traversal cannot prune on minimum support (a cell below the
+//! threshold still feeds qualifying ancestors), which is exactly why BUC
+//! wins on iceberg queries — this baseline exists to exhibit that contrast
+//! and to serve ASL's precomputation mode.
+
+use crate::agg::Aggregate;
+use crate::cell::{Cell, CellSink};
+use crate::query::IcebergQuery;
+use icecube_cluster::SimNode;
+use icecube_data::Relation;
+use icecube_lattice::{CuboidMask, Lattice};
+
+/// A materialized cuboid: cells sorted by key, *unfiltered* (top-down must
+/// keep sub-threshold cells because they feed ancestors).
+#[derive(Debug, Clone)]
+struct Materialized {
+    cuboid: CuboidMask,
+    cells: Vec<(Vec<u32>, Aggregate)>,
+}
+
+/// Computes the iceberg cube top-down with sort sharing, charging costs to
+/// `node` and emitting qualifying cells to `sink`.
+pub fn topdown_shared<S: CellSink>(
+    rel: &Relation,
+    query: &IcebergQuery,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    assert_eq!(query.dims, rel.arity(), "query dims must match the relation");
+    if rel.is_empty() {
+        return;
+    }
+    let lattice = Lattice::new(query.dims);
+    // Children of each node in the top-down processing tree.
+    let mut children: Vec<Vec<CuboidMask>> = vec![Vec::new(); 1 << query.dims];
+    for g in lattice.cuboids() {
+        if let Some(p) = lattice.topdown_parent(g) {
+            children[p.bits() as usize].push(g);
+        }
+    }
+    // The top cuboid comes from the raw data.
+    let top = build_top(rel, lattice.top(), node);
+    emit(&top, query.minsup, node, sink);
+    descend(&top, &children, query.minsup, node, sink);
+}
+
+fn descend<S: CellSink>(
+    parent: &Materialized,
+    children: &[Vec<CuboidMask>],
+    minsup: u64,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    for &child in &children[parent.cuboid.bits() as usize] {
+        let m = aggregate_from_parent(parent, child, node);
+        emit(&m, minsup, node, sink);
+        descend(&m, children, minsup, node, sink);
+    }
+}
+
+/// Sorts the raw data and aggregates the most detailed cuboid.
+fn build_top(rel: &Relation, top: CuboidMask, node: &mut SimNode) -> Materialized {
+    let d = rel.arity();
+    let mut idx: Vec<u32> = (0..rel.len() as u32).collect();
+    idx.sort_unstable_by(|&a, &b| rel.row(a as usize).cmp(rel.row(b as usize)));
+    // n log n comparisons of d-element keys.
+    let n = rel.len() as u64;
+    node.charge_comparisons(n * n.max(2).ilog2() as u64 * d as u64);
+    let mut cells: Vec<(Vec<u32>, Aggregate)> = Vec::new();
+    for &i in &idx {
+        let row = rel.row(i as usize);
+        match cells.last_mut() {
+            Some((key, agg)) if key.as_slice() == row => agg.update(rel.measure(i as usize)),
+            _ => cells.push((row.to_vec(), Aggregate::of(rel.measure(i as usize)))),
+        }
+    }
+    node.charge_agg_updates(n);
+    Materialized { cuboid: top, cells }
+}
+
+/// Computes `child` from a materialized parent, re-sorting only when the
+/// child is not a prefix of the parent (share-sorts).
+fn aggregate_from_parent(
+    parent: &Materialized,
+    child: CuboidMask,
+    node: &mut SimNode,
+) -> Materialized {
+    let positions: Vec<usize> = {
+        // Position of each child dim within the parent's key.
+        let pdims = parent.cuboid.dims();
+        child
+            .dims()
+            .iter()
+            .map(|d| pdims.iter().position(|p| p == d).expect("child ⊆ parent"))
+            .collect()
+    };
+    let is_prefix = positions.iter().copied().eq(0..positions.len());
+    let n = parent.cells.len() as u64;
+    let project = |key: &[u32]| -> Vec<u32> { positions.iter().map(|&p| key[p]).collect() };
+
+    let mut cells: Vec<(Vec<u32>, Aggregate)> = Vec::new();
+    if is_prefix {
+        // Share-sort: parent order is already child order — one scan.
+        for (key, agg) in &parent.cells {
+            let ckey = project(key);
+            match cells.last_mut() {
+                Some((k, a)) if *k == ckey => a.merge(agg),
+                _ => cells.push((ckey, *agg)),
+            }
+        }
+        node.charge_comparisons(n * positions.len() as u64);
+    } else {
+        // Re-sort the parent's cells by the child key, then accumulate.
+        let mut projected: Vec<(Vec<u32>, Aggregate)> =
+            parent.cells.iter().map(|(k, a)| (project(k), *a)).collect();
+        projected.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        node.charge_comparisons(n * n.max(2).ilog2() as u64 * positions.len() as u64);
+        for (ckey, agg) in projected {
+            match cells.last_mut() {
+                Some((k, a)) if *k == ckey => a.merge(&agg),
+                _ => cells.push((ckey, agg)),
+            }
+        }
+    }
+    node.charge_agg_updates(n);
+    Materialized { cuboid: child, cells }
+}
+
+/// Writes a materialized cuboid's qualifying cells (breadth-first: one
+/// contiguous write).
+fn emit<S: CellSink>(m: &Materialized, minsup: u64, node: &mut SimNode, sink: &mut S) {
+    let mut count = 0u64;
+    for (key, agg) in &m.cells {
+        if agg.meets(minsup) {
+            sink.emit(m.cuboid, key, agg);
+            count += 1;
+        }
+    }
+    if count > 0 {
+        node.write_cells(
+            m.cuboid.bits() as u64,
+            count * Cell::disk_bytes(m.cuboid.dim_count()),
+            count,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{sort_cells, CellBuf};
+    use crate::fixtures::sales;
+    use crate::naive::naive_iceberg_cube;
+    use icecube_cluster::{ClusterConfig, SimCluster};
+    use icecube_data::presets;
+
+    fn run(rel: &Relation, minsup: u64) -> (Vec<Cell>, SimCluster) {
+        let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+        let mut sink = CellBuf::collecting();
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        topdown_shared(rel, &q, &mut cluster.nodes[0], &mut sink);
+        let mut cells = sink.into_cells();
+        sort_cells(&mut cells);
+        (cells, cluster)
+    }
+
+    #[test]
+    fn matches_naive_on_sales() {
+        let rel = sales();
+        for minsup in [1, 2, 3, 6] {
+            let (cells, _) = run(&rel, minsup);
+            let want = naive_iceberg_cube(&rel, &IcebergQuery::count_cube(3, minsup));
+            assert_eq!(cells, want, "minsup {minsup}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_synthetic() {
+        for seed in [0, 4] {
+            let rel = presets::tiny(seed).generate().unwrap();
+            for minsup in [1, 3] {
+                let (cells, _) = run(&rel, minsup);
+                let want =
+                    naive_iceberg_cube(&rel, &IcebergQuery::count_cube(4, minsup));
+                assert_eq!(cells, want, "seed {seed} minsup {minsup}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_pruning_means_minsup_does_not_cut_compute() {
+        // Top-down cannot prune: CPU cost is (nearly) the same at any
+        // minsup; only output I/O shrinks. This is the structural contrast
+        // with BUC the paper draws.
+        let rel = presets::tiny(1).generate().unwrap();
+        let (_, loose) = run(&rel, 1);
+        let (_, tight) = run(&rel, 10);
+        // The aggregation work is identical; only the per-cell emission
+        // overhead (and I/O) shrinks with the threshold.
+        let (l, t) = (loose.nodes[0].stats.cpu_ns, tight.nodes[0].stats.cpu_ns);
+        assert!(t <= l && t * 10 > l * 8, "loose {l} vs tight {t}");
+        assert!(tight.nodes[0].stats.bytes_written < loose.nodes[0].stats.bytes_written);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let rel = Relation::new(icecube_data::Schema::from_cardinalities(&[2, 2]).unwrap());
+        let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+        let mut sink = CellBuf::collecting();
+        topdown_shared(&rel, &IcebergQuery::count_cube(2, 1), &mut cluster.nodes[0], &mut sink);
+        assert_eq!(sink.count, 0);
+    }
+}

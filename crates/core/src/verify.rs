@@ -1,0 +1,143 @@
+//! Output verification: compare any algorithm's cells against the naive
+//! reference (or against each other).
+
+use crate::cell::{sort_cells, Cell};
+use std::fmt;
+
+/// The difference between two cell sets.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct CellDiff {
+    /// Cells present in `expected` but missing from `actual`.
+    pub missing: Vec<Cell>,
+    /// Cells present in `actual` but not in `expected`.
+    pub unexpected: Vec<Cell>,
+    /// Cells present in both but with different aggregates.
+    pub mismatched: Vec<(Cell, Cell)>,
+}
+
+impl CellDiff {
+    /// True when the two sets were identical.
+    pub fn is_empty(&self) -> bool {
+        self.missing.is_empty() && self.unexpected.is_empty() && self.mismatched.is_empty()
+    }
+}
+
+impl fmt::Display for CellDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "outputs identical");
+        }
+        writeln!(
+            f,
+            "{} missing, {} unexpected, {} mismatched",
+            self.missing.len(),
+            self.unexpected.len(),
+            self.mismatched.len()
+        )?;
+        for c in self.missing.iter().take(5) {
+            writeln!(f, "  missing    {} {:?}", c.cuboid, c.key)?;
+        }
+        for c in self.unexpected.iter().take(5) {
+            writeln!(f, "  unexpected {} {:?}", c.cuboid, c.key)?;
+        }
+        for (e, a) in self.mismatched.iter().take(5) {
+            writeln!(f, "  mismatch   {} {:?}: {:?} vs {:?}", e.cuboid, e.key, e.agg, a.agg)?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares two cell sets (order-insensitive). Inputs are sorted in place.
+pub fn diff_cells(expected: &mut [Cell], actual: &mut [Cell]) -> CellDiff {
+    sort_cells(expected);
+    sort_cells(actual);
+    let mut diff = CellDiff::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < expected.len() && j < actual.len() {
+        let e = &expected[i];
+        let a = &actual[j];
+        match (e.cuboid, &e.key).cmp(&(a.cuboid, &a.key)) {
+            std::cmp::Ordering::Less => {
+                diff.missing.push(e.clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                diff.unexpected.push(a.clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if e.agg != a.agg {
+                    diff.mismatched.push((e.clone(), a.clone()));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    diff.missing.extend_from_slice(&expected[i..]);
+    diff.unexpected.extend_from_slice(&actual[j..]);
+    diff
+}
+
+/// Asserts two cell sets are equal, with a readable diff on failure.
+pub fn assert_same_cells(mut expected: Vec<Cell>, mut actual: Vec<Cell>, context: &str) {
+    let diff = diff_cells(&mut expected, &mut actual);
+    assert!(diff.is_empty(), "{context}: {diff}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::Aggregate;
+    use icecube_lattice::CuboidMask;
+
+    fn cell(dims: &[usize], key: &[u32], count: u64) -> Cell {
+        let mut agg = Aggregate::empty();
+        for _ in 0..count {
+            agg.update(1);
+        }
+        Cell { cuboid: CuboidMask::from_dims(dims), key: key.to_vec(), agg }
+    }
+
+    #[test]
+    fn identical_sets_diff_empty() {
+        let a = vec![cell(&[0], &[1], 2), cell(&[1], &[0], 3)];
+        let mut x = a.clone();
+        let mut y = a;
+        assert!(diff_cells(&mut x, &mut y).is_empty());
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let mut x = vec![cell(&[0], &[1], 2), cell(&[1], &[0], 3)];
+        let mut y = vec![cell(&[1], &[0], 3), cell(&[0], &[1], 2)];
+        assert!(diff_cells(&mut x, &mut y).is_empty());
+    }
+
+    #[test]
+    fn missing_and_unexpected_are_reported() {
+        let mut x = vec![cell(&[0], &[1], 2), cell(&[0], &[2], 2)];
+        let mut y = vec![cell(&[0], &[2], 2), cell(&[0], &[3], 2)];
+        let d = diff_cells(&mut x, &mut y);
+        assert_eq!(d.missing.len(), 1);
+        assert_eq!(d.unexpected.len(), 1);
+        assert_eq!(d.missing[0].key, vec![1]);
+        assert_eq!(d.unexpected[0].key, vec![3]);
+        assert!(d.to_string().contains("1 missing"));
+    }
+
+    #[test]
+    fn aggregate_mismatch_is_reported() {
+        let mut x = vec![cell(&[0], &[1], 2)];
+        let mut y = vec![cell(&[0], &[1], 5)];
+        let d = diff_cells(&mut x, &mut y);
+        assert_eq!(d.mismatched.len(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "test-context")]
+    fn assert_same_cells_panics_with_context() {
+        assert_same_cells(vec![cell(&[0], &[1], 2)], vec![], "test-context");
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal CSV loading/saving with dictionary encoding.
+//!
+//! Good enough for the runnable examples to ingest user data; not a general
+//! CSV implementation (no quoting/escaping — the weather-style inputs the
+//! paper uses are plain comma-separated fields).
+
+use crate::dictionary::Dictionary;
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::schema::{Dimension, Schema};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A relation together with the dictionaries that encoded it, so results can
+/// be decoded back to the original strings.
+#[derive(Debug)]
+pub struct EncodedTable {
+    /// The encoded fact table.
+    pub relation: Relation,
+    /// One dictionary per dimension, in schema order.
+    pub dictionaries: Vec<Dictionary>,
+}
+
+/// Reads CSV from `input`.
+///
+/// * The first line must be a header naming every column.
+/// * `dim_cols` names the columns to treat as CUBE dimensions (their values
+///   are dictionary-encoded in order of first appearance).
+/// * `measure_col` names the numeric measure column; pass `None` to use a
+///   constant measure of 1 (pure COUNT cubes).
+pub fn read_csv<R: Read>(
+    input: R,
+    dim_cols: &[&str],
+    measure_col: Option<&str>,
+) -> Result<EncodedTable, DataError> {
+    let mut lines = BufReader::new(input).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| DataError::Csv { line: 1, message: "missing header".into() })??;
+    let names: Vec<&str> = header.split(',').map(str::trim).collect();
+    let col_of = |name: &str, line: usize| -> Result<usize, DataError> {
+        names.iter().position(|&n| n == name).ok_or_else(|| DataError::Csv {
+            line,
+            message: format!("column {name:?} not in header"),
+        })
+    };
+    let dim_idx: Vec<usize> =
+        dim_cols.iter().map(|c| col_of(c, 1)).collect::<Result<_, _>>()?;
+    let measure_idx = measure_col.map(|c| col_of(c, 1)).transpose()?;
+
+    let mut dictionaries: Vec<Dictionary> = dim_cols.iter().map(|_| Dictionary::new()).collect();
+    // Two passes would let us size the schema first; instead encode into
+    // temporary storage and build the schema from final dictionary sizes.
+    let mut rows: Vec<(Vec<u32>, i64)> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let lineno = lineno + 2; // 1-based, after the header
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != names.len() {
+            return Err(DataError::Csv {
+                line: lineno,
+                message: format!("expected {} fields, got {}", names.len(), fields.len()),
+            });
+        }
+        let mut encoded = Vec::with_capacity(dim_idx.len());
+        for (d, &i) in dim_idx.iter().enumerate() {
+            encoded.push(dictionaries[d].encode(fields[i]));
+        }
+        let measure = match measure_idx {
+            Some(i) => fields[i].parse::<i64>().map_err(|e| DataError::Csv {
+                line: lineno,
+                message: format!("bad measure {:?}: {e}", fields[i]),
+            })?,
+            None => 1,
+        };
+        rows.push((encoded, measure));
+    }
+
+    let dims: Vec<Dimension> = dim_cols
+        .iter()
+        .zip(&dictionaries)
+        .map(|(name, dict)| Dimension::new(*name, dict.len().max(1)))
+        .collect();
+    let schema = Schema::new(dims, measure_col.unwrap_or("count"))?;
+    let mut relation = Relation::with_capacity(schema, rows.len());
+    for (encoded, measure) in rows {
+        relation.push_row_unchecked(&encoded, measure);
+    }
+    Ok(EncodedTable { relation, dictionaries })
+}
+
+/// Writes a relation as CSV, decoding values through the dictionaries when
+/// provided (otherwise raw ids are written).
+pub fn write_csv<W: Write>(
+    out: &mut W,
+    table: &Relation,
+    dictionaries: Option<&[Dictionary]>,
+) -> Result<(), DataError> {
+    let names: Vec<String> =
+        table.schema().dims().iter().map(|d| d.name.clone()).collect();
+    writeln!(out, "{},{}", names.join(","), table.schema().measure_name())?;
+    for (row, m) in table.rows() {
+        for (d, &v) in row.iter().enumerate() {
+            if d > 0 {
+                write!(out, ",")?;
+            }
+            match dictionaries.and_then(|ds| ds.get(d)).and_then(|dict| dict.decode(v)) {
+                Some(s) => write!(out, "{s}")?,
+                None => write!(out, "{v}")?,
+            }
+        }
+        writeln!(out, ",{m}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+item,location,customer,sales
+Sony TV,Seattle,joe,700
+JVC TV,Vancouver,fred,400
+Sony TV,Seattle,sally,700
+JVC TV,LA,sally,400
+Sony TV,Seattle,bob,700
+Panasonic VCR,Vancouver,tom,250
+";
+
+    #[test]
+    fn reads_the_papers_example_relation() {
+        let t = read_csv(SAMPLE.as_bytes(), &["item", "location"], Some("sales")).unwrap();
+        assert_eq!(t.relation.len(), 6);
+        assert_eq!(t.relation.arity(), 2);
+        assert_eq!(t.relation.schema().cardinality(0), 3);
+        assert_eq!(t.relation.schema().cardinality(1), 3);
+        assert_eq!(t.dictionaries[0].decode(0), Some("Sony TV"));
+        assert_eq!(t.relation.total_measure(), 3150);
+    }
+
+    #[test]
+    fn count_cube_defaults_measure_to_one() {
+        let t = read_csv(SAMPLE.as_bytes(), &["customer"], None).unwrap();
+        assert_eq!(t.relation.total_measure(), 6);
+        assert_eq!(t.relation.schema().cardinality(0), 5);
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let err = read_csv(SAMPLE.as_bytes(), &["nope"], None).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn ragged_rows_are_an_error() {
+        let bad = "a,b\n1,2\n3\n";
+        let err = read_csv(bad.as_bytes(), &["a"], None).unwrap_err();
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn bad_measure_is_an_error() {
+        let bad = "a,m\nx,notanumber\n";
+        let err = read_csv(bad.as_bytes(), &["a"], Some("m")).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn roundtrip_through_write() {
+        let t = read_csv(SAMPLE.as_bytes(), &["item", "location"], Some("sales")).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &t.relation, Some(&t.dictionaries)).unwrap();
+        let again =
+            read_csv(buf.as_slice(), &["item", "location"], Some("sales")).unwrap();
+        assert_eq!(again.relation, t.relation);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let data = "a,m\nx,1\n\n y ,2\n";
+        let t = read_csv(data.as_bytes(), &["a"], Some("m")).unwrap();
+        assert_eq!(t.relation.len(), 2);
+        assert_eq!(t.dictionaries[0].decode(1), Some("y"));
+    }
+}

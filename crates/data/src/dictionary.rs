@@ -1,0 +1,94 @@
+//! String-to-id dictionary encoding for dimension values.
+
+use std::collections::HashMap;
+
+/// A per-dimension dictionary mapping raw string values to dense `u32` ids.
+///
+/// Encoding dimension values densely is what allows the cube algorithms to
+/// partition with counting sort and AHT to assign index bits per attribute.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Encodes `value`, assigning a fresh id on first sight.
+    pub fn encode(&mut self, value: &str) -> u32 {
+        if let Some(&id) = self.index.get(value) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.values.push(value.to_owned());
+        self.index.insert(value.to_owned(), id);
+        id
+    }
+
+    /// Looks up an id without inserting.
+    pub fn get(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// Decodes an id back to its string value.
+    pub fn decode(&self, id: u32) -> Option<&str> {
+        self.values.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values seen so far (the dimension cardinality).
+    pub fn len(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    /// True when no value has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.encode("Vancouver");
+        let b = d.encode("Seattle");
+        let a2 = d.encode("Vancouver");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.decode(a), Some("Vancouver"));
+        assert_eq!(d.decode(b), Some("Seattle"));
+        assert_eq!(d.decode(99), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.get("x"), None);
+        assert!(d.is_empty());
+        d.encode("x");
+        assert_eq!(d.get("x"), Some(0));
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut d = Dictionary::new();
+        for v in ["c", "a", "b"] {
+            d.encode(v);
+        }
+        let got: Vec<_> = d.iter().collect();
+        assert_eq!(got, vec![(0, "c"), (1, "a"), (2, "b")]);
+    }
+}

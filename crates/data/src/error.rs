@@ -1,0 +1,97 @@
+//! Error type for data loading and construction.
+
+use std::fmt;
+
+/// Errors raised while building, loading or validating relations.
+#[derive(Debug)]
+pub enum DataError {
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        /// Number of dimensions the schema declares.
+        expected: usize,
+        /// Number of dimension values the row supplied.
+        got: usize,
+    },
+    /// An encoded dimension value is outside the declared cardinality.
+    ValueOutOfRange {
+        /// Index of the offending dimension.
+        dim: usize,
+        /// The encoded value.
+        value: u32,
+        /// Declared cardinality of that dimension.
+        cardinality: u32,
+    },
+    /// A schema with zero dimensions was supplied.
+    EmptySchema,
+    /// A dimension was declared with cardinality zero.
+    ZeroCardinality {
+        /// Index of the offending dimension.
+        dim: usize,
+    },
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+            DataError::ValueOutOfRange { dim, value, cardinality } => write!(
+                f,
+                "value {value} out of range for dimension {dim} (cardinality {cardinality})"
+            ),
+            DataError::EmptySchema => write!(f, "schema must declare at least one dimension"),
+            DataError::ZeroCardinality { dim } => {
+                write!(f, "dimension {dim} declared with cardinality zero")
+            }
+            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("arity 2"));
+        let e = DataError::ValueOutOfRange { dim: 1, value: 9, cardinality: 4 };
+        assert!(e.to_string().contains("dimension 1"));
+        let e = DataError::Csv { line: 7, message: "bad int".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DataError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,269 @@
+//! Zipf-skewed synthetic workload generation.
+//!
+//! The paper evaluates on a real weather dataset whose relevant properties
+//! are its *shape*: tuple count, dimension count, per-dimension cardinality
+//! (their product is the sparseness axis of Figure 4.6) and per-dimension
+//! skew (range-partitioning the real data on one dimension yields a 40×
+//! size imbalance, which is what breaks BPP's load balance). This module
+//! generates datasets with exactly those dials.
+
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(θ) sampler over ranks `0..n` using an explicit CDF table.
+///
+/// P(rank = k) ∝ 1 / (k+1)^θ. θ = 0 is uniform; θ ≥ 1 is heavily skewed.
+/// Sampling is a binary search over the CDF — O(log n) and deterministic
+/// given the RNG, which keeps every experiment reproducible.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: u32, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point drift so sampling can never fall off
+        // the end of the table.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// True when there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of elements < u, i.e. the first
+        // index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: u32) -> f64 {
+        let k = k as usize;
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// Specification of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Number of tuples to generate.
+    pub tuples: usize,
+    /// Cardinality of each dimension.
+    pub cardinalities: Vec<u32>,
+    /// Zipf exponent for each dimension (0 = uniform). Must be the same
+    /// length as `cardinalities`.
+    pub skews: Vec<f64>,
+    /// Range of the integer measure, inclusive-exclusive.
+    pub measure_range: (i64, i64),
+    /// RNG seed — every generated dataset is a pure function of its spec.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// A uniform (skew-free) spec.
+    pub fn uniform(tuples: usize, cardinalities: Vec<u32>, seed: u64) -> Self {
+        let skews = vec![0.0; cardinalities.len()];
+        SyntheticSpec { tuples, cardinalities, skews, measure_range: (1, 1000), seed }
+    }
+
+    /// Overrides the skew vector.
+    pub fn with_skews(mut self, skews: Vec<f64>) -> Self {
+        assert_eq!(skews.len(), self.cardinalities.len(), "one skew per dimension");
+        self.skews = skews;
+        self
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Result<Relation, DataError> {
+        assert_eq!(
+            self.skews.len(),
+            self.cardinalities.len(),
+            "one skew per dimension"
+        );
+        let schema = Schema::from_cardinalities(&self.cardinalities)?;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let samplers: Vec<Zipf> = self
+            .cardinalities
+            .iter()
+            .zip(&self.skews)
+            .map(|(&c, &t)| Zipf::new(c, t))
+            .collect();
+        // Scatter Zipf ranks over the value domain with a per-dimension
+        // multiplicative permutation, so that "popular" values are not all
+        // clustered at the low end of the domain. Range partitioning then
+        // sees realistic skew anywhere in the domain rather than always in
+        // the first chunk.
+        let scatter: Vec<u64> = self
+            .cardinalities
+            .iter()
+            .map(|&c| Self::coprime_multiplier(c))
+            .collect();
+        let mut rel = Relation::with_capacity(schema, self.tuples);
+        let mut row = vec![0u32; self.cardinalities.len()];
+        let (lo, hi) = self.measure_range;
+        for _ in 0..self.tuples {
+            for (d, sampler) in samplers.iter().enumerate() {
+                let rank = sampler.sample(&mut rng) as u64;
+                let card = self.cardinalities[d] as u64;
+                row[d] = ((rank * scatter[d]) % card) as u32;
+            }
+            let m = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+            rel.push_row_unchecked(&row, m);
+        }
+        Ok(rel)
+    }
+
+    /// Picks a multiplier coprime with `card` for the scatter permutation.
+    fn coprime_multiplier(card: u32) -> u64 {
+        if card <= 2 {
+            return 1;
+        }
+        // A fixed odd constant; walk upward until coprime with card.
+        let mut m = (card as u64 / 2) | 1;
+        while gcd(m, card as u64) != 1 {
+            m += 2;
+        }
+        m
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_uniform_is_flat() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(z.pmf(4), 0.0);
+    }
+
+    #[test]
+    fn zipf_skewed_front_loads_mass() {
+        let z = Zipf::new(100, 1.2);
+        assert!(z.pmf(0) > 10.0 * z.pmf(50));
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf_roughly() {
+        let z = Zipf::new(8, 1.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 40_000;
+        let mut counts = [0usize; 8];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for k in 0u32..8 {
+            let expected = z.pmf(k) * n as f64;
+            let got = counts[k as usize] as f64;
+            assert!(
+                (got - expected).abs() < 5.0 * expected.sqrt().max(10.0),
+                "rank {k}: expected {expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero_ranks() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let spec = SyntheticSpec::uniform(500, vec![10, 20, 5], 99);
+        let a = spec.generate().unwrap();
+        let b = spec.generate().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a.arity(), 3);
+    }
+
+    #[test]
+    fn generator_respects_cardinalities() {
+        let spec =
+            SyntheticSpec::uniform(2000, vec![3, 7], 5).with_skews(vec![1.5, 0.0]);
+        let r = spec.generate().unwrap();
+        for (row, _) in r.rows() {
+            assert!(row[0] < 3);
+            assert!(row[1] < 7);
+        }
+    }
+
+    #[test]
+    fn skewed_dimension_produces_partition_imbalance() {
+        let spec = SyntheticSpec::uniform(50_000, vec![64, 64], 11)
+            .with_skews(vec![1.4, 0.0]);
+        let r = spec.generate().unwrap();
+        // The skewed dimension should partition far less evenly than the
+        // uniform one.
+        assert!(r.partition_skew(0, 8) > 4.0 * r.partition_skew(1, 8));
+    }
+
+    #[test]
+    fn measure_range_is_respected() {
+        let mut spec = SyntheticSpec::uniform(100, vec![4], 1);
+        spec.measure_range = (5, 6);
+        let r = spec.generate().unwrap();
+        assert!(r.rows().all(|(_, m)| m == 5));
+    }
+
+    #[test]
+    fn coprime_multiplier_is_coprime() {
+        for card in 2..200u32 {
+            let m = SyntheticSpec::coprime_multiplier(card);
+            assert_eq!(gcd(m, card as u64), 1, "card {card} multiplier {m}");
+        }
+    }
+}

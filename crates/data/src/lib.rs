@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Relations, dictionary encoding and synthetic workload generation for
+//! iceberg-cube experiments.
+//!
+//! This crate is the data substrate of the reproduction of *Iceberg-cube
+//! computation with PC clusters* (SIGMOD 2001). The paper's experiments run
+//! over a real weather dataset; this crate provides:
+//!
+//! * [`Relation`] — a dictionary-encoded, row-major fact table with the
+//!   operations the cube algorithms need (lexicographic sorting, range
+//!   partitioning, sampling, projection),
+//! * [`Dictionary`] / [`Schema`] — value encoding and table metadata,
+//! * [`generator`] — a Zipf-skewed synthetic generator whose dials (tuple
+//!   count, per-dimension cardinality, per-dimension skew) are exactly the
+//!   parameters the paper's evaluation sweeps,
+//! * [`presets`] — ready-made configurations matching each experiment in the
+//!   paper (the 176,631-tuple / 9-dimension baseline, the sparseness sweep of
+//!   Figure 4.6, the 1M-tuple online dataset of Chapter 5, ...),
+//! * [`csv`] — a small loader/saver so the examples can run on user data.
+
+pub mod csv;
+pub mod dictionary;
+pub mod error;
+pub mod generator;
+pub mod presets;
+pub mod relation;
+pub mod schema;
+
+pub use dictionary::Dictionary;
+pub use error::DataError;
+pub use generator::{SyntheticSpec, Zipf};
+pub use relation::{Relation, RowsIter};
+pub use schema::{Dimension, Schema};

@@ -1,0 +1,455 @@
+//! Row-major, dictionary-encoded fact tables.
+
+use crate::error::DataError;
+use crate::schema::Schema;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A fact table: `n` rows of `arity` encoded dimension values plus one
+/// `i64` measure per row.
+///
+/// Storage is row-major (`dims` has stride `arity`) which is what the BUC
+/// family of algorithms wants: they repeatedly re-partition contiguous runs
+/// of tuples on one attribute at a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    dims: Vec<u32>,
+    measures: Vec<i64>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, dims: Vec::new(), measures: Vec::new() }
+    }
+
+    /// Creates an empty relation pre-sized for `rows` rows.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let arity = schema.arity();
+        Relation {
+            schema,
+            dims: Vec::with_capacity(rows * arity),
+            measures: Vec::with_capacity(rows),
+        }
+    }
+
+    /// The schema of this relation.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// True when the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.measures.is_empty()
+    }
+
+    /// Appends a row, validating arity and value ranges.
+    pub fn push_row(&mut self, values: &[u32], measure: i64) -> Result<(), DataError> {
+        if values.len() != self.arity() {
+            return Err(DataError::ArityMismatch { expected: self.arity(), got: values.len() });
+        }
+        for (dim, &v) in values.iter().enumerate() {
+            let card = self.schema.cardinality(dim);
+            if v >= card {
+                return Err(DataError::ValueOutOfRange { dim, value: v, cardinality: card });
+            }
+        }
+        self.dims.extend_from_slice(values);
+        self.measures.push(measure);
+        Ok(())
+    }
+
+    /// Appends a row without range validation. The caller must guarantee
+    /// values are within the schema cardinalities; used on hot paths
+    /// (generator, partitioning) where the source is already validated.
+    pub fn push_row_unchecked(&mut self, values: &[u32], measure: i64) {
+        debug_assert_eq!(values.len(), self.arity());
+        self.dims.extend_from_slice(values);
+        self.measures.push(measure);
+    }
+
+    /// Dimension values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        let a = self.arity();
+        &self.dims[i * a..(i + 1) * a]
+    }
+
+    /// Measure of row `i`.
+    #[inline]
+    pub fn measure(&self, i: usize) -> i64 {
+        self.measures[i]
+    }
+
+    /// Value of dimension `dim` in row `i`.
+    #[inline]
+    pub fn value(&self, i: usize, dim: usize) -> u32 {
+        self.dims[i * self.arity() + dim]
+    }
+
+    /// Iterates `(dims, measure)` pairs in row order.
+    pub fn rows(&self) -> RowsIter<'_> {
+        RowsIter { rel: self, next: 0 }
+    }
+
+    /// Approximate on-disk/in-memory footprint of the relation in bytes
+    /// (4 bytes per dimension value, 8 per measure). Drives the simulated
+    /// disk and network cost models.
+    pub fn byte_size(&self) -> u64 {
+        (self.dims.len() * 4 + self.measures.len() * 8) as u64
+    }
+
+    /// Bytes per row under the same accounting.
+    pub fn row_bytes(&self) -> u64 {
+        (self.arity() * 4 + 8) as u64
+    }
+
+    /// Sorts rows lexicographically by the given dimension order.
+    ///
+    /// Top-down algorithms and BPP's breadth-first writer rely on prefix
+    /// sorts; `order` may name any subset of dimensions.
+    pub fn sort_by_dims(&mut self, order: &[usize]) {
+        let n = self.len();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        {
+            let arity = self.arity();
+            let dims = &self.dims;
+            idx.sort_unstable_by(|&a, &b| {
+                let ra = &dims[a as usize * arity..a as usize * arity + arity];
+                let rb = &dims[b as usize * arity..b as usize * arity + arity];
+                for &d in order {
+                    match ra[d].cmp(&rb[d]) {
+                        std::cmp::Ordering::Equal => {}
+                        o => return o,
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        self.apply_permutation(&idx);
+    }
+
+    fn apply_permutation(&mut self, idx: &[u32]) {
+        let arity = self.arity();
+        let mut new_dims = Vec::with_capacity(self.dims.len());
+        let mut new_measures = Vec::with_capacity(self.measures.len());
+        for &i in idx {
+            let i = i as usize;
+            new_dims.extend_from_slice(&self.dims[i * arity..(i + 1) * arity]);
+            new_measures.push(self.measures[i]);
+        }
+        self.dims = new_dims;
+        self.measures = new_measures;
+    }
+
+    /// Range-partitions the relation on `dim` into `parts` chunks by value
+    /// range, as BPP's pre-processing step does. Chunk `j` receives rows
+    /// whose value `v` satisfies `boundaries[j] <= v < boundaries[j+1]`.
+    ///
+    /// The split points divide the *value domain* evenly, so a skewed
+    /// dimension yields unbalanced chunks — exactly the effect that hurts
+    /// BPP in the paper's evaluation.
+    pub fn range_partition(&self, dim: usize, parts: usize) -> Vec<Relation> {
+        assert!(parts > 0, "parts must be positive");
+        let card = self.schema.cardinality(dim) as u64;
+        let mut out: Vec<Relation> =
+            (0..parts).map(|_| Relation::new(self.schema.clone())).collect();
+        for (row, m) in self.rows() {
+            let v = row[dim] as u64;
+            // Even split of the domain [0, card) into `parts` ranges.
+            let j = ((v * parts as u64) / card.max(1)) as usize;
+            out[j.min(parts - 1)].push_row_unchecked(row, m);
+        }
+        out
+    }
+
+    /// Ratio of the largest to the smallest *non-empty* chunk under
+    /// [`Relation::range_partition`]. The paper reports a 40× ratio when
+    /// partitioning the weather data on its 11th dimension.
+    pub fn partition_skew(&self, dim: usize, parts: usize) -> f64 {
+        let sizes: Vec<usize> = self
+            .range_partition(dim, parts)
+            .iter()
+            .map(Relation::len)
+            .filter(|&s| s > 0)
+            .collect();
+        if sizes.is_empty() {
+            return 1.0;
+        }
+        let max = *sizes.iter().max().expect("non-empty") as f64;
+        let min = *sizes.iter().min().expect("non-empty") as f64;
+        max / min
+    }
+
+    /// Splits into `parts` chunks of near-equal row count, in row order
+    /// (POL's initial horizontal data distribution across nodes).
+    pub fn split_even(&self, parts: usize) -> Vec<Relation> {
+        assert!(parts > 0, "parts must be positive");
+        let n = self.len();
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for j in 0..parts {
+            let end = n * (j + 1) / parts;
+            let mut r = Relation::with_capacity(self.schema.clone(), end - start);
+            for i in start..end {
+                r.push_row_unchecked(self.row(i), self.measure(i));
+            }
+            out.push(r);
+            start = end;
+        }
+        out
+    }
+
+    /// Copies rows `start..end` into a new relation (POL reads its local
+    /// partition block by block).
+    pub fn slice(&self, start: usize, end: usize) -> Relation {
+        let end = end.min(self.len());
+        let start = start.min(end);
+        let mut r = Relation::with_capacity(self.schema.clone(), end - start);
+        for i in start..end {
+            r.push_row_unchecked(self.row(i), self.measure(i));
+        }
+        r
+    }
+
+    /// Draws a uniform sample of `k` rows without replacement.
+    pub fn sample<R: Rng>(&self, k: usize, rng: &mut R) -> Relation {
+        let k = k.min(self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(k);
+        let mut r = Relation::with_capacity(self.schema.clone(), k);
+        for i in idx {
+            r.push_row_unchecked(self.row(i), self.measure(i));
+        }
+        r
+    }
+
+    /// Projects onto the given dimensions (in the given order), keeping the
+    /// measure. Used by the dimensionality sweep of Figure 4.4.
+    pub fn project(&self, dims: &[usize]) -> Result<Relation, DataError> {
+        let schema = self.schema.project(dims)?;
+        let mut r = Relation::with_capacity(schema, self.len());
+        let mut buf = vec![0u32; dims.len()];
+        for i in 0..self.len() {
+            let row = self.row(i);
+            for (o, &d) in dims.iter().enumerate() {
+                buf[o] = row[d];
+            }
+            r.push_row_unchecked(&buf, self.measure(i));
+        }
+        Ok(r)
+    }
+
+    /// Appends all rows of `other` (schemas must match).
+    pub fn extend_from(&mut self, other: &Relation) -> Result<(), DataError> {
+        if other.arity() != self.arity() {
+            return Err(DataError::ArityMismatch { expected: self.arity(), got: other.arity() });
+        }
+        self.dims.extend_from_slice(&other.dims);
+        self.measures.extend_from_slice(&other.measures);
+        Ok(())
+    }
+
+    /// Number of distinct values actually present in dimension `dim`.
+    pub fn distinct_count(&self, dim: usize) -> usize {
+        let card = self.schema.cardinality(dim) as usize;
+        let mut seen = vec![false; card];
+        let mut count = 0usize;
+        for i in 0..self.len() {
+            let v = self.value(i, dim) as usize;
+            if !seen[v] {
+                seen[v] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Sum of the measure over all rows (the "all" cell of the cube).
+    pub fn total_measure(&self) -> i64 {
+        self.measures.iter().sum()
+    }
+}
+
+/// Iterator over `(dims, measure)` pairs of a [`Relation`].
+pub struct RowsIter<'a> {
+    rel: &'a Relation,
+    next: usize,
+}
+
+impl<'a> Iterator for RowsIter<'a> {
+    type Item = (&'a [u32], i64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.rel.len() {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        Some((self.rel.row(i), self.rel.measure(i)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.rel.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<'a> ExactSizeIterator for RowsIter<'a> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rel3() -> Relation {
+        let schema = Schema::from_cardinalities(&[4, 3, 2]).unwrap();
+        let mut r = Relation::new(schema);
+        r.push_row(&[3, 0, 1], 10).unwrap();
+        r.push_row(&[1, 2, 0], 20).unwrap();
+        r.push_row(&[1, 1, 1], 30).unwrap();
+        r.push_row(&[0, 2, 0], 40).unwrap();
+        r
+    }
+
+    #[test]
+    fn push_validates() {
+        let schema = Schema::from_cardinalities(&[2, 2]).unwrap();
+        let mut r = Relation::new(schema);
+        assert!(matches!(r.push_row(&[0], 1), Err(DataError::ArityMismatch { .. })));
+        assert!(matches!(
+            r.push_row(&[0, 5], 1),
+            Err(DataError::ValueOutOfRange { dim: 1, value: 5, .. })
+        ));
+        r.push_row(&[1, 1], 1).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn sort_by_dims_is_lexicographic_on_selected_dims() {
+        let mut r = rel3();
+        r.sort_by_dims(&[0, 1]);
+        let keys: Vec<(u32, u32)> = (0..r.len()).map(|i| (r.value(i, 0), r.value(i, 1))).collect();
+        assert_eq!(keys, vec![(0, 2), (1, 1), (1, 2), (3, 0)]);
+        // Measures travel with their rows.
+        assert_eq!(r.measure(0), 40);
+        assert_eq!(r.measure(3), 10);
+    }
+
+    #[test]
+    fn sort_by_single_dim_ignores_others() {
+        let mut r = rel3();
+        r.sort_by_dims(&[2]);
+        let vals: Vec<u32> = (0..r.len()).map(|i| r.value(i, 2)).collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn range_partition_covers_all_rows_disjointly() {
+        let r = rel3();
+        let parts = r.range_partition(0, 2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts.iter().map(Relation::len).sum::<usize>(), r.len());
+        // Domain [0,4) split at 2: first chunk gets values 0..2.
+        for (row, _) in parts[0].rows() {
+            assert!(row[0] < 2);
+        }
+        for (row, _) in parts[1].rows() {
+            assert!(row[0] >= 2);
+        }
+    }
+
+    #[test]
+    fn range_partition_more_parts_than_values() {
+        let schema = Schema::from_cardinalities(&[2, 2]).unwrap();
+        let mut r = Relation::new(schema);
+        r.push_row(&[0, 0], 1).unwrap();
+        r.push_row(&[1, 1], 2).unwrap();
+        let parts = r.range_partition(0, 4);
+        assert_eq!(parts.iter().map(Relation::len).sum::<usize>(), 2);
+        // Only two of the four chunks can be non-empty.
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn split_even_balances_counts() {
+        let r = rel3();
+        let parts = r.split_even(3);
+        let sizes: Vec<usize> = parts.iter().map(Relation::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 4);
+        assert!(sizes.iter().all(|&s| s == 1 || s == 2));
+    }
+
+    #[test]
+    fn slice_bounds_are_clamped() {
+        let r = rel3();
+        assert_eq!(r.slice(2, 100).len(), 2);
+        assert_eq!(r.slice(10, 20).len(), 0);
+        assert_eq!(r.slice(1, 1).len(), 0);
+    }
+
+    #[test]
+    fn sample_is_without_replacement() {
+        let r = rel3();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s = r.sample(3, &mut rng);
+        assert_eq!(s.len(), 3);
+        let s = r.sample(100, &mut rng);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let r = rel3();
+        let p = r.project(&[2, 0]).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.row(0), &[1, 3]);
+        assert_eq!(p.measure(0), 10);
+    }
+
+    #[test]
+    fn distinct_and_total() {
+        let r = rel3();
+        assert_eq!(r.distinct_count(0), 3);
+        assert_eq!(r.distinct_count(2), 2);
+        assert_eq!(r.total_measure(), 100);
+    }
+
+    #[test]
+    fn byte_size_accounting() {
+        let r = rel3();
+        assert_eq!(r.row_bytes(), 3 * 4 + 8);
+        assert_eq!(r.byte_size(), 4 * (3 * 4 + 8));
+    }
+
+    #[test]
+    fn rows_iter_is_exact_size() {
+        let r = rel3();
+        let it = r.rows();
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.count(), 4);
+    }
+
+    #[test]
+    fn extend_from_checks_arity() {
+        let mut r = rel3();
+        let other = rel3();
+        r.extend_from(&other).unwrap();
+        assert_eq!(r.len(), 8);
+        let bad = Relation::new(Schema::from_cardinalities(&[2]).unwrap());
+        assert!(r.extend_from(&bad).is_err());
+    }
+}

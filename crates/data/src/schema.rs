@@ -1,0 +1,139 @@
+//! Table metadata: dimension names and cardinalities.
+
+use crate::error::DataError;
+
+/// One CUBE dimension (a GROUP BY attribute in the paper's terminology).
+///
+/// Values of a dimension are dictionary-encoded into the dense range
+/// `0..cardinality`, which lets the cube algorithms partition with counting
+/// sort and lets AHT assign index bits per attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimension {
+    /// Human-readable attribute name.
+    pub name: String,
+    /// Number of distinct values the dimension may take.
+    pub cardinality: u32,
+}
+
+impl Dimension {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cardinality: u32) -> Self {
+        Dimension { name: name.into(), cardinality }
+    }
+}
+
+/// Schema of a fact table: an ordered list of dimensions plus one numeric
+/// measure (the paper aggregates a single `Sales`-like field).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    dims: Vec<Dimension>,
+    measure_name: String,
+}
+
+impl Schema {
+    /// Builds a schema, validating that it is non-empty and every dimension
+    /// has non-zero cardinality.
+    pub fn new(dims: Vec<Dimension>, measure_name: impl Into<String>) -> Result<Self, DataError> {
+        if dims.is_empty() {
+            return Err(DataError::EmptySchema);
+        }
+        for (i, d) in dims.iter().enumerate() {
+            if d.cardinality == 0 {
+                return Err(DataError::ZeroCardinality { dim: i });
+            }
+        }
+        Ok(Schema { dims, measure_name: measure_name.into() })
+    }
+
+    /// Builds a schema from bare cardinalities, naming dimensions `d0..dN`.
+    pub fn from_cardinalities(cards: &[u32]) -> Result<Self, DataError> {
+        let dims = cards
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Dimension::new(format!("d{i}"), c))
+            .collect();
+        Schema::new(dims, "measure")
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The dimensions, in declaration order.
+    pub fn dims(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Cardinality of dimension `i`.
+    pub fn cardinality(&self, i: usize) -> u32 {
+        self.dims[i].cardinality
+    }
+
+    /// All cardinalities, in declaration order.
+    pub fn cardinalities(&self) -> Vec<u32> {
+        self.dims.iter().map(|d| d.cardinality).collect()
+    }
+
+    /// Name of the measure attribute.
+    pub fn measure_name(&self) -> &str {
+        &self.measure_name
+    }
+
+    /// Product of the cardinalities, saturating at `u128::MAX`.
+    ///
+    /// The paper calls a cube *sparse* when this product is large relative to
+    /// the tuple count; Figure 4.6 sweeps its order of magnitude.
+    pub fn cardinality_product(&self) -> u128 {
+        self.dims
+            .iter()
+            .fold(1u128, |acc, d| acc.saturating_mul(d.cardinality as u128))
+    }
+
+    /// Base-10 exponent of the cardinality product (the x-axis of Fig 4.6).
+    pub fn cardinality_exponent(&self) -> f64 {
+        self.dims.iter().map(|d| (d.cardinality as f64).log10()).sum()
+    }
+
+    /// Returns a schema restricted to the given dimensions (in the given
+    /// order). Used by projections and by the dimensionality sweep.
+    pub fn project(&self, dims: &[usize]) -> Result<Schema, DataError> {
+        let picked = dims.iter().map(|&i| self.dims[i].clone()).collect();
+        Schema::new(picked, self.measure_name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_zero_cardinality() {
+        assert!(matches!(Schema::new(vec![], "m"), Err(DataError::EmptySchema)));
+        let dims = vec![Dimension::new("a", 3), Dimension::new("b", 0)];
+        assert!(matches!(Schema::new(dims, "m"), Err(DataError::ZeroCardinality { dim: 1 })));
+    }
+
+    #[test]
+    fn cardinality_product_and_exponent() {
+        let s = Schema::from_cardinalities(&[10, 100, 1000]).unwrap();
+        assert_eq!(s.cardinality_product(), 1_000_000);
+        assert!((s.cardinality_exponent() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cardinality_product_saturates() {
+        let s = Schema::from_cardinalities(&[u32::MAX; 8]).unwrap();
+        // (2^32)^8 > u128::MAX so it must saturate rather than wrap.
+        assert!(s.cardinality_product() > 0);
+    }
+
+    #[test]
+    fn projection_picks_and_reorders() {
+        let s = Schema::from_cardinalities(&[2, 3, 5, 7]).unwrap();
+        let p = s.project(&[3, 1]).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.cardinality(0), 7);
+        assert_eq!(p.cardinality(1), 3);
+    }
+}

@@ -1,0 +1,310 @@
+//! Cuboid identities as bitmasks over dimensions.
+
+use std::fmt;
+
+/// A cuboid (one group-by of the cube) as a bitmask: bit `i` set means
+/// dimension `i` is a GROUP BY attribute.
+///
+/// Dimensions are displayed `A`, `B`, `C`, … as in the paper, so the mask
+/// `{0,1,3}` of a 4-dimensional cube prints as `ABD`. The empty mask is the
+/// special "all" node (total aggregate).
+///
+/// ```
+/// use icecube_lattice::CuboidMask;
+///
+/// let abc = CuboidMask::from_dims(&[0, 1, 2]);
+/// let ab = CuboidMask::from_dims(&[0, 1]);
+/// let bc = CuboidMask::from_dims(&[1, 2]);
+/// assert_eq!(abc.to_string(), "ABC");
+/// // AB is a *prefix* of ABC (cheap scan); BC is only a *subset*.
+/// assert!(ab.is_prefix_of(abc));
+/// assert!(bc.is_subset_of(abc) && !bc.is_prefix_of(abc));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CuboidMask(u32);
+
+impl CuboidMask {
+    /// The empty mask — the "all" group-by.
+    pub const ALL: CuboidMask = CuboidMask(0);
+
+    /// Builds a mask from raw bits.
+    pub fn from_bits(bits: u32) -> Self {
+        CuboidMask(bits)
+    }
+
+    /// Raw bits.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Builds a mask containing the given dimensions.
+    pub fn from_dims(dims: &[usize]) -> Self {
+        let mut bits = 0u32;
+        for &d in dims {
+            assert!(d < 32, "dimension index out of range");
+            bits |= 1 << d;
+        }
+        CuboidMask(bits)
+    }
+
+    /// The mask of all `d` dimensions.
+    pub fn full(d: usize) -> Self {
+        assert!(d <= 32, "dimension count out of range");
+        if d == 32 {
+            CuboidMask(u32::MAX)
+        } else {
+            CuboidMask((1u32 << d) - 1)
+        }
+    }
+
+    /// True when the mask is the "all" node.
+    pub fn is_all(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of dimensions in the group-by.
+    pub fn dim_count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether dimension `d` participates.
+    pub fn contains(self, d: usize) -> bool {
+        d < 32 && self.0 & (1 << d) != 0
+    }
+
+    /// This mask with dimension `d` added.
+    pub fn with_dim(self, d: usize) -> Self {
+        assert!(d < 32, "dimension index out of range");
+        CuboidMask(self.0 | (1 << d))
+    }
+
+    /// This mask with dimension `d` removed.
+    pub fn without_dim(self, d: usize) -> Self {
+        assert!(d < 32, "dimension index out of range");
+        CuboidMask(self.0 & !(1 << d))
+    }
+
+    /// Smallest dimension, if any.
+    pub fn min_dim(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Largest dimension, if any.
+    pub fn max_dim(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(31 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// Dimensions in ascending order.
+    pub fn dims(self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.dim_count());
+        let mut bits = self.0;
+        while bits != 0 {
+            let d = bits.trailing_zeros() as usize;
+            out.push(d);
+            bits &= bits - 1;
+        }
+        out
+    }
+
+    /// Iterates dimensions in ascending order without allocating.
+    pub fn iter_dims(self) -> DimsIter {
+        DimsIter(self.0)
+    }
+
+    /// True when every dimension of `self` also belongs to `other` — the
+    /// *subset affinity* relation of ASL and AHT (Section 3.3.2): a skip
+    /// list or hash table built for `other` can produce `self` by
+    /// aggregation/collapse.
+    pub fn is_subset_of(self, other: CuboidMask) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// True when `self`'s dimensions are exactly the smallest `k`
+    /// dimensions of `other` — the *prefix affinity* relation
+    /// (Section 3.3.2): a cell store sorted for `other` is already sorted
+    /// for `self`, so `self` falls out by a single scan with no re-sort.
+    ///
+    /// A mask is a prefix of itself; `ALL` is a prefix of everything.
+    pub fn is_prefix_of(self, other: CuboidMask) -> bool {
+        if !self.is_subset_of(other) {
+            return false;
+        }
+        match self.max_dim() {
+            None => true,
+            Some(m) => {
+                // Every dimension of `other` at or below m must be in self.
+                let below = if m == 31 { u32::MAX } else { (1u32 << (m + 1)) - 1 };
+                other.0 & below == self.0
+            }
+        }
+    }
+
+    /// The number of leading dimensions `self` and `other` share (length of
+    /// the common prefix of their ascending dimension lists) — used by the
+    /// "longest possible prefix" improvement the paper suggests in §4.9.2.
+    pub fn shared_prefix_len(self, other: CuboidMask) -> usize {
+        let mut a = self.iter_dims();
+        let mut b = other.iter_dims();
+        let mut n = 0;
+        loop {
+            match (a.next(), b.next()) {
+                (Some(x), Some(y)) if x == y => n += 1,
+                _ => return n,
+            }
+        }
+    }
+
+    /// Projects a full-arity row onto this cuboid's dimensions, writing into
+    /// `out` (which must have length `dim_count()`).
+    pub fn project_row(self, row: &[u32], out: &mut [u32]) {
+        debug_assert_eq!(out.len(), self.dim_count());
+        for (slot, d) in out.iter_mut().zip(self.iter_dims()) {
+            *slot = row[d];
+        }
+    }
+}
+
+/// Ascending iterator over the dimensions of a mask.
+pub struct DimsIter(u32);
+
+impl Iterator for DimsIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let d = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(d)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DimsIter {}
+
+impl fmt::Display for CuboidMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_all() {
+            return write!(f, "all");
+        }
+        for d in self.iter_dims() {
+            if d < 26 {
+                write!(f, "{}", (b'A' + d as u8) as char)?;
+            } else {
+                write!(f, "[{d}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_display() {
+        let abd = CuboidMask::from_dims(&[0, 1, 3]);
+        assert_eq!(abd.to_string(), "ABD");
+        assert_eq!(abd.dim_count(), 3);
+        assert_eq!(abd.dims(), vec![0, 1, 3]);
+        assert_eq!(CuboidMask::ALL.to_string(), "all");
+        assert_eq!(CuboidMask::full(3).to_string(), "ABC");
+    }
+
+    #[test]
+    fn min_max_dims() {
+        let m = CuboidMask::from_dims(&[2, 5, 9]);
+        assert_eq!(m.min_dim(), Some(2));
+        assert_eq!(m.max_dim(), Some(9));
+        assert_eq!(CuboidMask::ALL.min_dim(), None);
+        assert_eq!(CuboidMask::ALL.max_dim(), None);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let ab = CuboidMask::from_dims(&[0, 1]);
+        let abc = CuboidMask::from_dims(&[0, 1, 2]);
+        let bd = CuboidMask::from_dims(&[1, 3]);
+        assert!(ab.is_subset_of(abc));
+        assert!(!abc.is_subset_of(ab));
+        assert!(!bd.is_subset_of(abc));
+        assert!(CuboidMask::ALL.is_subset_of(ab));
+        assert!(ab.is_subset_of(ab));
+    }
+
+    #[test]
+    fn prefix_relation_matches_the_papers_examples() {
+        // Section 3.3.2: after ABCD, task ABC has prefix affinity;
+        // task BCD has only subset affinity.
+        let abcd = CuboidMask::from_dims(&[0, 1, 2, 3]);
+        let abc = CuboidMask::from_dims(&[0, 1, 2]);
+        let bcd = CuboidMask::from_dims(&[1, 2, 3]);
+        assert!(abc.is_prefix_of(abcd));
+        assert!(!bcd.is_prefix_of(abcd));
+        assert!(bcd.is_subset_of(abcd));
+        assert!(CuboidMask::ALL.is_prefix_of(abcd));
+        assert!(abcd.is_prefix_of(abcd));
+        // AC is a subset of ABC but not a prefix (B is missing).
+        let ac = CuboidMask::from_dims(&[0, 2]);
+        assert!(ac.is_subset_of(abc));
+        assert!(!ac.is_prefix_of(abc));
+    }
+
+    #[test]
+    fn shared_prefix_lengths() {
+        let abc = CuboidMask::from_dims(&[0, 1, 2]);
+        let abd = CuboidMask::from_dims(&[0, 1, 3]);
+        let bcd = CuboidMask::from_dims(&[1, 2, 3]);
+        assert_eq!(abc.shared_prefix_len(abd), 2);
+        assert_eq!(abc.shared_prefix_len(bcd), 0);
+        assert_eq!(abc.shared_prefix_len(abc), 3);
+    }
+
+    #[test]
+    fn project_row_picks_dimensions_in_order() {
+        let m = CuboidMask::from_dims(&[1, 3]);
+        let mut out = [0u32; 2];
+        m.project_row(&[10, 20, 30, 40], &mut out);
+        assert_eq!(out, [20, 40]);
+    }
+
+    #[test]
+    fn with_without_roundtrip() {
+        let m = CuboidMask::from_dims(&[4]);
+        assert!(m.with_dim(7).contains(7));
+        assert_eq!(m.with_dim(7).without_dim(7), m);
+    }
+
+    proptest! {
+        #[test]
+        fn prefix_implies_subset(a in 0u32..1024, b in 0u32..1024) {
+            let (a, b) = (CuboidMask::from_bits(a), CuboidMask::from_bits(b));
+            if a.is_prefix_of(b) {
+                prop_assert!(a.is_subset_of(b));
+                prop_assert_eq!(a.shared_prefix_len(b), a.dim_count());
+            }
+        }
+
+        #[test]
+        fn dims_roundtrip(bits in 0u32..(1 << 20)) {
+            let m = CuboidMask::from_bits(bits);
+            prop_assert_eq!(CuboidMask::from_dims(&m.dims()), m);
+            prop_assert_eq!(m.iter_dims().count(), m.dim_count());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Skip-list partitioning: boundary keys from an initial sample
+//! (Section 5.3.1).
+//!
+//! POL splits the *result* key space across processors so that each node
+//! owns one contiguous range of the final skip list. The manager "takes a
+//! sample, and determines the boundaries of skip list partitions assigned
+//! to each processor" (Figure 5.2, line 5); thereafter a tuple's owner is
+//! found by binary search over the boundary keys.
+
+use icecube_lattice::CuboidMask;
+use rand::Rng;
+
+/// The `n − 1` sorted split keys dividing the key space into `n` ranges.
+///
+/// Range `j` owns keys `k` with `boundaries[j-1] <= k < boundaries[j]`
+/// (ends open as appropriate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Boundaries {
+    splits: Vec<Vec<u32>>,
+    parts: usize,
+}
+
+impl Boundaries {
+    /// Derives boundaries for `parts` ranges from a sample of projected
+    /// keys. The sample is sorted and split at even quantiles; duplicate
+    /// split keys collapse (skew can leave some ranges empty, which is the
+    /// load-imbalance risk the paper notes for POL).
+    pub fn from_sample(mut sample: Vec<Vec<u32>>, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one partition");
+        sample.sort_unstable();
+        let mut splits = Vec::with_capacity(parts.saturating_sub(1));
+        if !sample.is_empty() {
+            for j in 1..parts {
+                let pos = j * sample.len() / parts;
+                let key = sample[pos.min(sample.len() - 1)].clone();
+                if splits.last() != Some(&key) {
+                    splits.push(key);
+                }
+            }
+        }
+        Boundaries { splits, parts }
+    }
+
+    /// Samples `k` rows of `rel` projected on `dims` and derives boundaries.
+    pub fn sample_relation<R: Rng>(
+        rel: &icecube_data::Relation,
+        dims: CuboidMask,
+        parts: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> Self {
+        let sample_rel = rel.sample(k, rng);
+        let mut keys = Vec::with_capacity(sample_rel.len());
+        let mut key = vec![0u32; dims.dim_count()];
+        for (row, _) in sample_rel.rows() {
+            dims.project_row(row, &mut key);
+            keys.push(key.clone());
+        }
+        Boundaries::from_sample(keys, parts)
+    }
+
+    /// Number of ranges.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The range (processor) owning `key`.
+    pub fn owner(&self, key: &[u32]) -> usize {
+        // partition_point gives the count of splits <= key; keys equal to a
+        // split belong to the right-hand range.
+        self.splits.partition_point(|s| s.as_slice() <= key).min(self.parts - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn even_sample_splits_evenly() {
+        let sample: Vec<Vec<u32>> = (0..100u32).map(|k| vec![k]).collect();
+        let b = Boundaries::from_sample(sample, 4);
+        assert_eq!(b.parts(), 4);
+        assert_eq!(b.owner(&[0]), 0);
+        assert_eq!(b.owner(&[24]), 0);
+        assert_eq!(b.owner(&[25]), 1);
+        assert_eq!(b.owner(&[99]), 3);
+        assert_eq!(b.owner(&[1000]), 3);
+    }
+
+    #[test]
+    fn owner_is_monotone_in_key() {
+        let sample: Vec<Vec<u32>> =
+            (0..200u32).map(|k| vec![k % 17, k % 5]).collect();
+        let b = Boundaries::from_sample(sample, 5);
+        let mut prev = 0usize;
+        for a in 0..17u32 {
+            for c in 0..5u32 {
+                let o = b.owner(&[a, c]);
+                assert!(o >= prev || a == 0, "owner must not decrease");
+                prev = o;
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_owns_everything() {
+        let b = Boundaries::from_sample(vec![vec![5], vec![9]], 1);
+        assert_eq!(b.owner(&[0]), 0);
+        assert_eq!(b.owner(&[100]), 0);
+    }
+
+    #[test]
+    fn empty_sample_degenerates_gracefully() {
+        let b = Boundaries::from_sample(Vec::new(), 4);
+        // Everything lands in range 0 — legal, just unbalanced.
+        assert_eq!(b.owner(&[42]), 0);
+    }
+
+    #[test]
+    fn heavy_duplicates_collapse_splits() {
+        let sample: Vec<Vec<u32>> = std::iter::repeat_n(vec![7u32], 50).collect();
+        let b = Boundaries::from_sample(sample, 4);
+        // One distinct key: at most one split survives.
+        assert!(b.owner(&[6]) <= 1);
+        assert_eq!(b.owner(&[7]), b.owner(&[8]));
+    }
+
+    #[test]
+    fn sampling_a_relation_covers_all_parts() {
+        let rel = icecube_data::presets::tiny(3).generate().unwrap();
+        let dims = CuboidMask::from_dims(&[0, 1]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let b = Boundaries::sample_relation(&rel, dims, 3, 64, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        let mut key = vec![0u32; 2];
+        for (row, _) in rel.rows() {
+            dims.project_row(row, &mut key);
+            seen.insert(b.owner(&key));
+        }
+        assert!(seen.len() >= 2, "expected multiple owners, got {seen:?}");
+    }
+}

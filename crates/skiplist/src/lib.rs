@@ -1,0 +1,469 @@
+#![warn(missing_docs)]
+
+//! An arena-based skip list keyed by fixed-arity `u32` tuples.
+//!
+//! This is the cuboid cell store behind the paper's ASL algorithm
+//! (Section 3.3) and POL (Chapter 5). The paper chose a skip list (Pugh,
+//! CACM 1990) for three reasons it lists explicitly: balanced-tree-like
+//! average behaviour with a much simpler implementation, small per-node
+//! overhead, and *incremental* growth with the sort order always maintained
+//! — cells can stream in and the cuboid can be emitted in sorted order at
+//! any time, which is what makes ASL's sort-sharing and POL's progressive
+//! refinement work.
+//!
+//! Implementation notes:
+//!
+//! * Nodes live in flat arenas (`keys`, `values`, links) indexed by `u32`,
+//!   not behind per-node allocations — cache-friendly and entirely safe
+//!   code.
+//! * As in the thesis, a node has at most [`MAX_LEVEL`] (16) forward links;
+//!   levels are drawn geometrically (p = 1/4) from a seeded RNG so every run
+//!   is reproducible.
+//! * Every key comparison is counted ([`SkipList::comparisons`]); the
+//!   simulated cluster charges CPU time from these counters, which is how
+//!   the reproduction captures ASL's growing key-comparison cost at high
+//!   dimensionality (Figure 4.4).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+
+/// Maximum number of forward links per node (the thesis caps this at 16).
+pub const MAX_LEVEL: usize = 16;
+
+/// Sentinel "null" link.
+const NIL: u32 = u32::MAX;
+
+/// A skip list mapping fixed-arity `u32` keys to values of type `V`.
+///
+/// Keys are slices of exactly `arity` values, compared lexicographically.
+///
+/// ```
+/// use icecube_skiplist::SkipList;
+///
+/// let mut cells: SkipList<u64> = SkipList::new(2, 42);
+/// cells.insert_or_update(&[3, 1], || 1, |c| *c += 1);
+/// cells.insert_or_update(&[1, 2], || 1, |c| *c += 1);
+/// cells.insert_or_update(&[3, 1], || 1, |c| *c += 1);
+/// // Iteration is always in sorted key order — the property ASL relies on.
+/// let keys: Vec<_> = cells.iter().map(|(k, _)| k.to_vec()).collect();
+/// assert_eq!(keys, vec![vec![1, 2], vec![3, 1]]);
+/// assert_eq!(cells.get(&[3, 1]), Some(&2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkipList<V> {
+    arity: usize,
+    /// Concatenated keys; node `i` owns `keys[i*arity..(i+1)*arity]`.
+    keys: Vec<u32>,
+    values: Vec<V>,
+    /// Concatenated forward links; node `i` owns
+    /// `links[link_start[i] .. link_start[i] + level[i]]`.
+    links: Vec<u32>,
+    link_start: Vec<u32>,
+    node_level: Vec<u8>,
+    /// Forward links of the head pseudo-node, one per level.
+    head: [u32; MAX_LEVEL],
+    /// Highest level currently in use.
+    level: usize,
+    rng: SmallRng,
+    comparisons: u64,
+}
+
+impl<V> SkipList<V> {
+    /// Creates an empty skip list for keys of `arity` values.
+    pub fn new(arity: usize, seed: u64) -> Self {
+        assert!(arity > 0, "arity must be positive");
+        SkipList {
+            arity,
+            keys: Vec::new(),
+            values: Vec::new(),
+            links: Vec::new(),
+            link_start: Vec::new(),
+            node_level: Vec::new(),
+            head: [NIL; MAX_LEVEL],
+            level: 1,
+            rng: SmallRng::seed_from_u64(seed),
+            comparisons: 0,
+        }
+    }
+
+    /// Creates an empty skip list pre-sized for `capacity` nodes.
+    pub fn with_capacity(arity: usize, seed: u64, capacity: usize) -> Self {
+        let mut s = SkipList::new(arity, seed);
+        s.keys.reserve(capacity * arity);
+        s.values.reserve(capacity);
+        s.link_start.reserve(capacity);
+        s.node_level.reserve(capacity);
+        // Expected links per node is 1/(1-p) = 4/3.
+        s.links.reserve(capacity + capacity / 2);
+        s
+    }
+
+    /// Key arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the list holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Cumulative number of `u32` element comparisons performed by searches
+    /// and insertions. The cluster simulator charges CPU time from this.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Resets the comparison counter, returning the previous value.
+    pub fn take_comparisons(&mut self) -> u64 {
+        std::mem::take(&mut self.comparisons)
+    }
+
+    /// Approximate memory footprint in bytes (keys + values + links).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.keys.len() * 4
+            + self.values.len() * std::mem::size_of::<V>()
+            + self.links.len() * 4
+            + self.link_start.len() * 4
+            + self.node_level.len()) as u64
+    }
+
+    #[inline]
+    fn key_of(&self, node: u32) -> &[u32] {
+        let i = node as usize * self.arity;
+        &self.keys[i..i + self.arity]
+    }
+
+    #[inline]
+    fn link(&self, node: u32, lvl: usize) -> u32 {
+        if node == NIL {
+            NIL
+        } else {
+            self.links[self.link_start[node as usize] as usize + lvl]
+        }
+    }
+
+    fn set_link(&mut self, node: u32, lvl: usize, target: u32) {
+        let i = self.link_start[node as usize] as usize + lvl;
+        self.links[i] = target;
+    }
+
+    /// Lexicographic comparison that counts element comparisons.
+    #[inline]
+    fn cmp_key(&mut self, node: u32, key: &[u32]) -> Ordering {
+        let a = node as usize * self.arity;
+        for (i, &k) in key.iter().enumerate() {
+            self.comparisons += 1;
+            match self.keys[a + i].cmp(&k) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Walks the search path for `key`, filling `update` with the last node
+    /// strictly less than `key` at each level (NIL meaning the head).
+    /// Returns the candidate node at level 0 (the first node >= key).
+    fn search_path(&mut self, key: &[u32], update: &mut [u32; MAX_LEVEL]) -> u32 {
+        let mut x = NIL; // NIL as "head"
+        for lvl in (0..self.level).rev() {
+            loop {
+                let next = if x == NIL { self.head[lvl] } else { self.link(x, lvl) };
+                if next == NIL || self.cmp_key(next, key) != Ordering::Less {
+                    break;
+                }
+                x = next;
+            }
+            update[lvl] = x;
+        }
+        if x == NIL {
+            self.head[0]
+        } else {
+            self.link(x, 0)
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: &[u32]) -> Option<&V> {
+        debug_assert_eq!(key.len(), self.arity);
+        let mut update = [NIL; MAX_LEVEL];
+        let cand = self.search_path(key, &mut update);
+        if cand != NIL && self.cmp_key(cand, key) == Ordering::Equal {
+            Some(&self.values[cand as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Inserts `key` with `init()` if absent, otherwise applies `update` to
+    /// the existing value. Returns `true` when a new node was created.
+    pub fn insert_or_update(
+        &mut self,
+        key: &[u32],
+        init: impl FnOnce() -> V,
+        update: impl FnOnce(&mut V),
+    ) -> bool {
+        debug_assert_eq!(key.len(), self.arity);
+        let mut path = [NIL; MAX_LEVEL];
+        let cand = self.search_path(key, &mut path);
+        if cand != NIL && self.cmp_key(cand, key) == Ordering::Equal {
+            update(&mut self.values[cand as usize]);
+            return false;
+        }
+        // Draw the level: geometric with p = 1/4, capped at MAX_LEVEL.
+        // One RNG draw: each pair of trailing zero bits is one promotion
+        // (P(bit pair == 00) = 1/4), identical in distribution to repeated
+        // quarter-probability coin flips but much cheaper per insert.
+        let r: u32 = self.rng.gen();
+        let lvl = (1 + r.trailing_zeros() as usize / 2).min(MAX_LEVEL);
+        if lvl > self.level {
+            for slot in &mut path[self.level..lvl] {
+                *slot = NIL;
+            }
+            self.level = lvl;
+        }
+        let node = self.values.len() as u32;
+        self.keys.extend_from_slice(key);
+        self.values.push(init());
+        self.node_level.push(lvl as u8);
+        self.link_start.push(self.links.len() as u32);
+        for (l, &prev) in path.iter().enumerate().take(lvl) {
+            let next = if prev == NIL { self.head[l] } else { self.link(prev, l) };
+            self.links.push(next);
+            if prev == NIL {
+                self.head[l] = node;
+            } else {
+                self.set_link(prev, l, node);
+            }
+        }
+        true
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter { list: self, node: self.head[0] }
+    }
+
+    /// The smallest key, if any.
+    pub fn first_key(&self) -> Option<&[u32]> {
+        if self.head[0] == NIL {
+            None
+        } else {
+            Some(self.key_of(self.head[0]))
+        }
+    }
+
+    /// Collects all entries into a sorted `Vec` of `(key, value)` clones.
+    pub fn to_sorted_vec(&self) -> Vec<(Vec<u32>, V)>
+    where
+        V: Clone,
+    {
+        self.iter().map(|(k, v)| (k.to_vec(), v.clone())).collect()
+    }
+
+    /// Checks internal structural invariants; used by property tests.
+    ///
+    /// Verifies that every level's linked list is strictly ascending and
+    /// that each level is a subsequence of the level below.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for lvl in 0..self.level {
+            let mut node = self.head[lvl];
+            let mut prev: Option<u32> = None;
+            while node != NIL {
+                if (self.node_level[node as usize] as usize) <= lvl {
+                    return Err(format!("node {node} linked above its level"));
+                }
+                if let Some(p) = prev {
+                    if self.key_of(p) >= self.key_of(node) {
+                        return Err(format!("level {lvl} not strictly ascending at {node}"));
+                    }
+                }
+                prev = Some(node);
+                node = self.link(node, lvl);
+            }
+        }
+        // Level-0 chain must contain every node.
+        let mut seen = 0usize;
+        let mut node = self.head[0];
+        while node != NIL {
+            seen += 1;
+            node = self.link(node, 0);
+        }
+        if seen != self.len() {
+            return Err(format!("level-0 chain has {seen} nodes, expected {}", self.len()));
+        }
+        Ok(())
+    }
+}
+
+/// Ordered iterator over `(key, &value)` entries.
+pub struct Iter<'a, V> {
+    list: &'a SkipList<V>,
+    node: u32,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (&'a [u32], &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.node == NIL {
+            return None;
+        }
+        let n = self.node;
+        self.node = self.list.link(n, 0);
+        Some((self.list.key_of(n), &self.list.values[n as usize]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.list.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut s: SkipList<i64> = SkipList::new(2, 1);
+        assert!(s.insert_or_update(&[3, 1], || 10, |_| unreachable!()));
+        assert!(s.insert_or_update(&[1, 2], || 20, |_| unreachable!()));
+        assert!(!s.insert_or_update(&[3, 1], || 0, |v| *v += 5));
+        assert_eq!(s.get(&[3, 1]), Some(&15));
+        assert_eq!(s.get(&[1, 2]), Some(&20));
+        assert_eq!(s.get(&[9, 9]), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut s: SkipList<u32> = SkipList::new(1, 2);
+        for k in [17u32, 5, 9, 1, 12, 3, 21, 7] {
+            s.insert_or_update(&[k], || k, |_| {});
+        }
+        let keys: Vec<u32> = s.iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9, 12, 17, 21]);
+        assert_eq!(s.first_key(), Some(&[1u32][..]));
+    }
+
+    #[test]
+    fn duplicate_keys_update_in_place() {
+        let mut s: SkipList<u64> = SkipList::new(3, 3);
+        for _ in 0..100 {
+            s.insert_or_update(&[1, 2, 3], || 1, |v| *v += 1);
+        }
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&[1, 2, 3]), Some(&100));
+    }
+
+    #[test]
+    fn comparisons_are_counted_and_resettable() {
+        let mut s: SkipList<u32> = SkipList::new(2, 4);
+        for k in 0..100u32 {
+            s.insert_or_update(&[k / 10, k % 10], || 0, |_| {});
+        }
+        assert!(s.comparisons() > 0);
+        let c = s.take_comparisons();
+        assert!(c > 0);
+        assert_eq!(s.comparisons(), 0);
+    }
+
+    #[test]
+    fn longer_keys_cost_more_comparisons() {
+        // The Figure 4.4 effect: ASL's key comparison cost grows with the
+        // number of dimensions.
+        let mut short: SkipList<u32> = SkipList::new(2, 5);
+        let mut long: SkipList<u32> = SkipList::new(12, 5);
+        let mut long_key = [7u32; 12];
+        for k in 0..500u32 {
+            short.insert_or_update(&[7, k], || 0, |_| {});
+            long_key[11] = k;
+            long.insert_or_update(&long_key, || 0, |_| {});
+        }
+        assert!(long.comparisons() > short.comparisons());
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let mut s: SkipList<u32> = SkipList::new(4, 6);
+        assert!(s.is_empty());
+        assert_eq!(s.get(&[0, 0, 0, 0]), None);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.first_key(), None);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut s: SkipList<u32> = SkipList::new(1, 42);
+            for k in 0..1000u32 {
+                s.insert_or_update(&[(k * 37) % 1000], || k, |_| {});
+            }
+            (s.comparisons(), s.memory_bytes())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn memory_accounting_grows() {
+        let mut s: SkipList<u64> = SkipList::new(2, 8);
+        let before = s.memory_bytes();
+        for k in 0..100u32 {
+            s.insert_or_update(&[k, k], || 0, |_| {});
+        }
+        assert!(s.memory_bytes() > before);
+    }
+
+    #[test]
+    fn with_capacity_matches_new() {
+        let mut a: SkipList<u32> = SkipList::new(2, 9);
+        let mut b: SkipList<u32> = SkipList::with_capacity(2, 9, 1000);
+        for k in 0..200u32 {
+            a.insert_or_update(&[k % 17, k], || k, |_| {});
+            b.insert_or_update(&[k % 17, k], || k, |_| {});
+        }
+        assert_eq!(a.to_sorted_vec(), b.to_sorted_vec());
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_btreemap(ops in proptest::collection::vec(
+            (proptest::collection::vec(0u32..16, 3), 0i64..100), 0..300)) {
+            let mut model = std::collections::BTreeMap::<Vec<u32>, i64>::new();
+            let mut s: SkipList<i64> = SkipList::new(3, 7);
+            for (key, delta) in &ops {
+                *model.entry(key.clone()).or_insert(0) += delta;
+                s.insert_or_update(key, || *delta, |v| *v += delta);
+            }
+            let got: Vec<(Vec<u32>, i64)> = s.to_sorted_vec();
+            let want: Vec<(Vec<u32>, i64)> =
+                model.into_iter().collect();
+            prop_assert_eq!(got, want);
+            prop_assert!(s.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn invariants_hold_under_random_inserts(keys in proptest::collection::vec(
+            proptest::collection::vec(0u32..50, 2), 0..500)) {
+            let mut s: SkipList<u32> = SkipList::new(2, 11);
+            for key in &keys {
+                s.insert_or_update(key, || 1, |v| *v += 1);
+            }
+            prop_assert!(s.check_invariants().is_ok());
+            // Iteration yields strictly ascending unique keys.
+            let collected: Vec<Vec<u32>> = s.iter().map(|(k, _)| k.to_vec()).collect();
+            for w in collected.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! OLAP navigation over a precomputed iceberg cube: the drill-down /
+//! roll-up workflow the paper's Section 2.1 motivates, served from a
+//! [`CubeStore`](icecube::core::CubeStore).
+//!
+//! ```text
+//! cargo run --example olap_navigation
+//! ```
+
+use icecube::cluster::ClusterConfig;
+use icecube::core::fixtures::sales;
+use icecube::core::{run_parallel, Algorithm, CubeStore, IcebergQuery};
+use icecube::lattice::CuboidMask;
+
+fn main() {
+    // Precompute the iceberg cube once (PT, 4 simulated nodes, minsup 2)…
+    let relation = sales();
+    let minsup = 2;
+    let query = IcebergQuery::count_cube(relation.arity(), minsup);
+    let outcome = run_parallel(Algorithm::Pt, &relation, &query, &ClusterConfig::fast_ethernet(4))
+        .expect("valid query");
+    let store = CubeStore::from_outcome(relation.arity(), minsup, outcome);
+    println!(
+        "precomputed cube: {} cells at minimum support {} (can answer thresholds >= {})",
+        store.len(),
+        store.minsup(),
+        store.minsup()
+    );
+
+    let models = ["Chevy", "Ford"];
+    let years = ["1990", "1991", "1992"];
+    let colors = ["red", "white", "blue"];
+
+    // The analyst starts coarse: sales by model.
+    let by_model = CuboidMask::from_dims(&[0]);
+    println!("\nGROUP BY model:");
+    for (key, agg) in store.query(by_model, minsup).expect("in range") {
+        println!("  {:6} sum={} count={}", models[key[0] as usize], agg.sum, agg.count);
+    }
+
+    // Too coarse → drill down Chevy by year ("GROUP BY on more attributes").
+    println!("\ndrill-down: Chevy by year:");
+    for (key, agg) in store.drill_down(by_model, &[0], 1).expect("in range") {
+        println!(
+            "  Chevy {}  sum={} count={}",
+            years[key[1] as usize], agg.sum, agg.count
+        );
+    }
+
+    // Still curious → drill 1991 down by color.
+    let model_year = CuboidMask::from_dims(&[0, 1]);
+    println!("\ndrill-down: Chevy 1991 by color:");
+    let fine = store.drill_down(model_year, &[0, 1], 2).expect("in range");
+    if fine.is_empty() {
+        // The iceberg cut in action: every (model, year, color) combination
+        // occurs exactly once, below the support threshold of 2.
+        println!("  (nothing qualifies — the iceberg cut removed all support-1 cells)");
+    }
+    for (key, agg) in fine {
+        println!(
+            "  Chevy 1991 {:5}  sum={} count={}",
+            colors[key[2] as usize], agg.sum, agg.count
+        );
+    }
+
+    // Too detailed → roll back up ("GROUP BY on fewer attributes").
+    let (key, agg) = store
+        .roll_up(CuboidMask::from_dims(&[0, 1, 2]), &[0, 1, 1], 2)
+        .expect("in range")
+        .expect("parent cell qualifies");
+    println!(
+        "\nroll-up of (Chevy, 1991, white) over color → (Chevy, {}): sum={} count={}",
+        years[key[1] as usize], agg.sum, agg.count
+    );
+
+    // And a slice: all white cells across the (model, color) cuboid.
+    let mc = CuboidMask::from_dims(&[0, 2]);
+    let white = store.slice(mc, 2, 1).expect("in range");
+    println!("\nslice color=white over (model, color):");
+    for (key, agg) in white {
+        println!("  {:6} white  sum={} count={}", models[key[0] as usize], agg.sum, agg.count);
+    }
+
+    // A query below the precomputed threshold must go back to the engines
+    // (Chapter 5's motivation for online aggregation).
+    println!(
+        "\ncan this store answer minsup 1? {} — that is what POL/recomputation are for.",
+        store.can_answer(1)
+    );
+}

@@ -1,0 +1,136 @@
+//! Property-based integration tests: cube invariants hold for random
+//! relations, and all algorithms agree on them.
+
+use icecube::cluster::ClusterConfig;
+use icecube::core::naive::naive_iceberg_cube;
+use icecube::core::verify::diff_cells;
+use icecube::core::{run_parallel, Algorithm, IcebergQuery};
+use icecube::data::{Relation, Schema};
+use icecube::lattice::{CuboidMask, Lattice};
+use proptest::prelude::*;
+
+/// Strategy: a random relation with 2–4 dimensions of small cardinality
+/// (small domains force heavy aggregation and pruning edge cases).
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    (2usize..=4)
+        .prop_flat_map(|d| {
+            let cards = proptest::collection::vec(2u32..6, d);
+            (Just(d), cards)
+        })
+        .prop_flat_map(|(d, cards)| {
+            let rows = proptest::collection::vec(
+                (proptest::collection::vec(0u32..6, d), -50i64..50),
+                1..120,
+            );
+            (Just(cards), rows)
+        })
+        .prop_map(|(cards, rows)| {
+            let schema = Schema::from_cardinalities(&cards).expect("valid cards");
+            let mut rel = Relation::new(schema);
+            for (mut dims, m) in rows {
+                for (v, &c) in dims.iter_mut().zip(&cards) {
+                    *v %= c;
+                }
+                rel.push_row(&dims, m).expect("in range");
+            }
+            rel
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_algorithm_matches_naive(rel in relation_strategy(), minsup in 1u64..5) {
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        let want = naive_iceberg_cube(&rel, &q);
+        for alg in [Algorithm::Rp, Algorithm::Bpp, Algorithm::Asl, Algorithm::Pt,
+                    Algorithm::Aht, Algorithm::HashTree] {
+            let out = run_parallel(alg, &rel, &q, &ClusterConfig::fast_ethernet(3))
+                .expect("small inputs never exhaust memory");
+            let mut expected = want.clone();
+            let mut actual = out.cells;
+            let diff = diff_cells(&mut expected, &mut actual);
+            prop_assert!(diff.is_empty(), "{alg}: {diff}");
+        }
+    }
+
+    #[test]
+    fn rollup_sums_are_consistent(rel in relation_strategy()) {
+        // Invariant: within every cuboid of the FULL cube, the cells
+        // partition the rows — counts sum to |R| and sums to SUM(measure).
+        let q = IcebergQuery::count_cube(rel.arity(), 1);
+        let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2))
+            .expect("valid");
+        let lattice = Lattice::new(rel.arity());
+        for cuboid in lattice.cuboids() {
+            let cells: Vec<_> = out.cells.iter().filter(|c| c.cuboid == cuboid).collect();
+            let count: u64 = cells.iter().map(|c| c.agg.count).sum();
+            let sum: i64 = cells.iter().map(|c| c.agg.sum).sum();
+            prop_assert_eq!(count, rel.len() as u64, "cuboid {}", cuboid);
+            prop_assert_eq!(sum, rel.total_measure(), "cuboid {}", cuboid);
+        }
+    }
+
+    #[test]
+    fn iceberg_is_monotone_in_minsup(rel in relation_strategy()) {
+        // Raising the threshold can only remove cells, never change one.
+        let loose = run_parallel(
+            Algorithm::Pt,
+            &rel,
+            &IcebergQuery::count_cube(rel.arity(), 1),
+            &ClusterConfig::fast_ethernet(2),
+        ).expect("valid");
+        let tight = run_parallel(
+            Algorithm::Pt,
+            &rel,
+            &IcebergQuery::count_cube(rel.arity(), 3),
+            &ClusterConfig::fast_ethernet(2),
+        ).expect("valid");
+        prop_assert!(tight.cells.len() <= loose.cells.len());
+        let loose_set: std::collections::HashMap<_, _> = loose
+            .cells
+            .iter()
+            .map(|c| ((c.cuboid, c.key.clone()), c.agg))
+            .collect();
+        for c in &tight.cells {
+            prop_assert_eq!(
+                loose_set.get(&(c.cuboid, c.key.clone())).copied(),
+                Some(c.agg),
+                "tight cell must exist identically in the loose cube"
+            );
+        }
+    }
+
+    #[test]
+    fn anti_monotonicity_of_support(rel in relation_strategy()) {
+        // A cell's support never exceeds any of its projections' — the
+        // property BUC's pruning and Apriori's candidate pruning rely on.
+        let q = IcebergQuery::count_cube(rel.arity(), 1);
+        let cells = naive_iceberg_cube(&rel, &q);
+        let index: std::collections::HashMap<_, _> =
+            cells.iter().map(|c| ((c.cuboid, c.key.clone()), c.agg.count)).collect();
+        for c in &cells {
+            for drop_dim in c.cuboid.iter_dims() {
+                let parent = c.cuboid.without_dim(drop_dim);
+                if parent.is_all() {
+                    continue;
+                }
+                let pos = c.cuboid.iter_dims().position(|d| d == drop_dim).expect("present");
+                let mut pkey = c.key.clone();
+                pkey.remove(pos);
+                let pcount = index[&(parent, pkey)];
+                prop_assert!(pcount >= c.agg.count);
+            }
+        }
+    }
+}
+
+#[test]
+fn all_mask_projections_are_consistent() {
+    // Deterministic spot check of the projection helper used everywhere.
+    let mask = CuboidMask::from_dims(&[1, 3]);
+    let mut out = [0u32; 2];
+    mask.project_row(&[9, 8, 7, 6], &mut out);
+    assert_eq!(out, [8, 6]);
+}

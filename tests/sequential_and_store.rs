@@ -1,0 +1,85 @@
+//! Integration: the sequential baselines and the cube store compose with
+//! the parallel algorithms.
+
+use icecube::cluster::ClusterConfig;
+use icecube::core::{
+    run_parallel, run_sequential, Algorithm, CubeStore, IcebergQuery, SeqAlgorithm,
+};
+use icecube::data::presets;
+use icecube::lattice::{CuboidMask, Lattice};
+
+#[test]
+fn sequential_and_parallel_agree() {
+    let rel = presets::tiny(61).generate().unwrap();
+    for minsup in [1u64, 3] {
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        let cfg = ClusterConfig::fast_ethernet(1);
+        let reference = run_sequential(SeqAlgorithm::Naive, &rel, &q, &cfg).unwrap();
+        for seq in SeqAlgorithm::all() {
+            let out = run_sequential(seq, &rel, &q, &cfg).unwrap();
+            assert_eq!(out.cells, reference.cells, "{seq} at minsup {minsup}");
+        }
+        for par in Algorithm::evaluated() {
+            let out =
+                run_parallel(par, &rel, &q, &ClusterConfig::fast_ethernet(4)).unwrap();
+            assert_eq!(out.cells, reference.cells, "{par} at minsup {minsup}");
+        }
+    }
+}
+
+#[test]
+fn store_built_from_any_algorithm_answers_identically() {
+    let rel = presets::tiny(62).generate().unwrap();
+    let q = IcebergQuery::count_cube(rel.arity(), 2);
+    let cfg = ClusterConfig::fast_ethernet(3);
+    let stores: Vec<CubeStore> = [Algorithm::Pt, Algorithm::Asl, Algorithm::Aht]
+        .into_iter()
+        .map(|a| {
+            let out = run_parallel(a, &rel, &q, &cfg).unwrap();
+            CubeStore::from_outcome(rel.arity(), 2, out)
+        })
+        .collect();
+    let lattice = Lattice::new(rel.arity());
+    for g in lattice.cuboids() {
+        let first = stores[0].query(g, 2).unwrap();
+        for s in &stores[1..] {
+            assert_eq!(s.query(g, 2).unwrap(), first, "cuboid {g}");
+        }
+    }
+}
+
+#[test]
+fn drill_down_and_roll_up_are_inverse_navigations() {
+    let rel = presets::tiny(63).generate().unwrap();
+    let q = IcebergQuery::count_cube(rel.arity(), 1);
+    let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
+    let store = CubeStore::from_outcome(rel.arity(), 1, out);
+    let a = CuboidMask::from_dims(&[0]);
+    for (key, agg) in store.query(a, 1).unwrap() {
+        // Drill down by dimension 2, then roll every child back up.
+        let children = store.drill_down(a, &key, 2).unwrap();
+        let child_sum: u64 = children.iter().map(|(_, a)| a.count).sum();
+        assert_eq!(child_sum, agg.count, "drill-down partitions the cell");
+        for (ckey, _) in &children {
+            let (rkey, ragg) =
+                store.roll_up(a.with_dim(2), ckey, 2).unwrap().expect("parent exists");
+            assert_eq!(rkey, key);
+            assert_eq!(ragg, agg);
+        }
+    }
+}
+
+#[test]
+fn pipesort_pipelines_cover_every_cuboid_once() {
+    // Planning-level integration: the PipeSort plan assigns every cuboid
+    // to exactly one pipeline and the pipeline count is far below the
+    // cuboid count (sort sharing).
+    let cards = presets::tiny(0).cardinalities;
+    let plan = icecube::core::pipesort::plan(4, &cards, 300);
+    let lattice = Lattice::new(4);
+    for g in lattice.cuboids() {
+        assert!(plan.order_of(g).is_some(), "cuboid {g} missing from plan");
+    }
+    assert!(plan.pipeline_count() < 15);
+    assert!(plan.pipeline_count() >= 6, "at least C(4,2) pipelines needed");
+}
