@@ -3,10 +3,10 @@
 //! the `ablation_affinity` experiment).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use icecube_cluster::ClusterConfig;
 use icecube_core::{run_parallel_with, Algorithm, IcebergQuery, RunOptions};
 use icecube_data::presets;
+use std::time::Duration;
 
 fn bench_affinity(c: &mut Criterion) {
     let mut spec = presets::baseline();
@@ -21,18 +21,17 @@ fn bench_affinity(c: &mut Criterion) {
     for alg in [Algorithm::Asl, Algorithm::Pt] {
         for on in [true, false] {
             let label = if on { "on" } else { "off" };
-            group.bench_with_input(
-                BenchmarkId::new(alg.to_string(), label),
-                &on,
-                |b, &on| {
-                    let opts = RunOptions { affinity: on, ..RunOptions::counting() };
-                    b.iter(|| {
-                        let out = run_parallel_with(alg, &rel, &q, &cfg, &opts)
-                            .expect("valid configuration");
-                        black_box(out.total_cells)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.to_string(), label), &on, |b, &on| {
+                let opts = RunOptions {
+                    affinity: on,
+                    ..RunOptions::counting()
+                };
+                b.iter(|| {
+                    let out =
+                        run_parallel_with(alg, &rel, &q, &cfg, &opts).expect("valid configuration");
+                    black_box(out.total_cells)
+                })
+            });
         }
     }
     group.finish();

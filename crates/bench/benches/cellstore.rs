@@ -7,17 +7,19 @@
 //! generate (many repeated keys, skewed values).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use icecube_core::agg::Aggregate;
 use icecube_data::presets;
 use icecube_skiplist::SkipList;
 use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
 
 fn keys(n_tuples: usize, arity: usize) -> Vec<Vec<u32>> {
     let mut spec = presets::tiny(99);
     spec.tuples = n_tuples;
     let rel = spec.generate().expect("preset is valid");
-    rel.rows().map(|(row, _)| row[..arity.min(row.len())].to_vec()).collect()
+    rel.rows()
+        .map(|(row, _)| row[..arity.min(row.len())].to_vec())
+        .collect()
 }
 
 fn bench_cellstore(c: &mut Criterion) {
@@ -40,23 +42,31 @@ fn bench_cellstore(c: &mut Criterion) {
             b.iter(|| {
                 let mut s: BTreeMap<Vec<u32>, Aggregate> = BTreeMap::new();
                 for k in data {
-                    s.entry(k.clone()).or_insert_with(Aggregate::empty).update(1);
+                    s.entry(k.clone())
+                        .or_insert_with(Aggregate::empty)
+                        .update(1);
                 }
                 black_box(s.len())
             })
         });
-        group.bench_with_input(BenchmarkId::new("hashmap_plus_sort", n), &data, |b, data| {
-            b.iter(|| {
-                let mut s: HashMap<Vec<u32>, Aggregate> = HashMap::new();
-                for k in data {
-                    s.entry(k.clone()).or_insert_with(Aggregate::empty).update(1);
-                }
-                // The cube output must be sorted; a hash store pays here.
-                let mut cells: Vec<_> = s.into_iter().collect();
-                cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-                black_box(cells.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hashmap_plus_sort", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut s: HashMap<Vec<u32>, Aggregate> = HashMap::new();
+                    for k in data {
+                        s.entry(k.clone())
+                            .or_insert_with(Aggregate::empty)
+                            .update(1);
+                    }
+                    // The cube output must be sorted; a hash store pays here.
+                    let mut cells: Vec<_> = s.into_iter().collect();
+                    cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    black_box(cells.len())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -3,10 +3,10 @@
 //! primitive.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use icecube_cluster::{ClusterConfig, SimCluster};
 use icecube_core::partition::{full_index, Partitioner};
 use icecube_data::presets;
+use std::time::Duration;
 
 fn bench_partition(c: &mut Criterion) {
     let mut spec = presets::baseline();
@@ -27,7 +27,14 @@ fn bench_partition(c: &mut Criterion) {
                     let mut idx = full_index(&rel);
                     let mut groups = Vec::new();
                     let len = idx.len() as u32;
-                    part.split(&rel, &mut idx, (0, len), dim, &mut cluster.nodes[0], &mut groups);
+                    part.split(
+                        &rel,
+                        &mut idx,
+                        (0, len),
+                        dim,
+                        &mut cluster.nodes[0],
+                        &mut groups,
+                    );
                     black_box(groups.len())
                 })
             },

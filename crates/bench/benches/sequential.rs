@@ -3,10 +3,10 @@
 //! sparse and a dense workload.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use icecube_cluster::ClusterConfig;
 use icecube_core::{run_sequential, IcebergQuery, SeqAlgorithm};
 use icecube_data::{presets, SyntheticSpec};
+use std::time::Duration;
 
 fn bench_sequential(c: &mut Criterion) {
     let sparse = {
@@ -28,17 +28,12 @@ fn bench_sequential(c: &mut Criterion) {
             if alg == SeqAlgorithm::Naive {
                 continue; // dominates the plot without adding signal
             }
-            group.bench_with_input(
-                BenchmarkId::new(alg.to_string(), name),
-                &alg,
-                |b, &alg| {
-                    b.iter(|| {
-                        let out = run_sequential(alg, rel, &q, &cfg)
-                            .expect("valid configuration");
-                        black_box(out.cells.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.to_string(), name), &alg, |b, &alg| {
+                b.iter(|| {
+                    let out = run_sequential(alg, rel, &q, &cfg).expect("valid configuration");
+                    black_box(out.cells.len())
+                })
+            });
         }
     }
     group.finish();

@@ -4,12 +4,12 @@
 //! asserted by `ablation_writing` in the experiments harness.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use icecube_cluster::{ClusterConfig, SimCluster};
 use icecube_core::buc::{bpp_buc, buc_depth_first};
 use icecube_core::cell::CellBuf;
 use icecube_data::presets;
 use icecube_lattice::TreeTask;
+use std::time::Duration;
 
 fn bench_writing(c: &mut Criterion) {
     let mut spec = presets::baseline();

@@ -70,7 +70,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if (ctx.scale - 1.0).abs() > 1e-9 {
-        println!("(running at scale {} of the paper's dataset sizes)\n", ctx.scale);
+        println!(
+            "(running at scale {} of the paper's dataset sizes)\n",
+            ctx.scale
+        );
     }
     for id in ids {
         let started = std::time::Instant::now();
@@ -80,7 +83,11 @@ fn main() -> ExitCode {
         };
         println!("{}", report.render());
         match report.save_csv(&ctx.out_dir) {
-            Ok(path) => println!("  (csv: {}; took {:.1?})\n", path.display(), started.elapsed()),
+            Ok(path) => println!(
+                "  (csv: {}; took {:.1?})\n",
+                path.display(),
+                started.elapsed()
+            ),
             Err(e) => eprintln!("  (csv write failed: {e})"),
         }
     }

@@ -20,7 +20,10 @@ pub fn granularity(ctx: &Ctx) -> Report {
     let mut t = Table::new(["ratio", "tasks", "wall_s", "imbalance"]);
     let mut walls = Vec::new();
     for ratio in [1usize, 2, 4, 8, 16, 32, 64] {
-        let opts = RunOptions { pt_task_ratio: ratio, ..RunOptions::counting() };
+        let opts = RunOptions {
+            pt_task_ratio: ratio,
+            ..RunOptions::counting()
+        };
         let out = measure_opts(Algorithm::Pt, &rel, presets::BASELINE_MINSUP, 8, &opts);
         walls.push(out.stats.makespan_ns());
         t.row([
@@ -54,7 +57,10 @@ pub fn affinity(ctx: &Ctx) -> Report {
     for alg in [Algorithm::Asl, Algorithm::Pt] {
         let mut pair = Vec::new();
         for on in [true, false] {
-            let opts = RunOptions { affinity: on, ..RunOptions::counting() };
+            let opts = RunOptions {
+                affinity: on,
+                ..RunOptions::counting()
+            };
             let out = measure_opts(alg, &rel, presets::BASELINE_MINSUP, 8, &opts);
             let cpu: u64 = out.stats.nodes().iter().map(|s| s.cpu_ns).sum();
             pair.push(out.stats.makespan_ns());
@@ -98,14 +104,31 @@ pub fn writing(ctx: &Ctx) -> Report {
         let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
         let mut sink = CellBuf::counting();
         if depth_first {
-            buc_depth_first(&rel, presets::BASELINE_MINSUP, task, &mut cluster.nodes[0], &mut sink);
+            buc_depth_first(
+                &rel,
+                presets::BASELINE_MINSUP,
+                task,
+                &mut cluster.nodes[0],
+                &mut sink,
+            );
         } else {
-            bpp_buc(&rel, presets::BASELINE_MINSUP, task, &mut cluster.nodes[0], &mut sink);
+            bpp_buc(
+                &rel,
+                presets::BASELINE_MINSUP,
+                task,
+                &mut cluster.nodes[0],
+                &mut sink,
+            );
         }
         let s = &cluster.nodes[0].stats;
         ios.push(s.io_ns());
         t.row([
-            if depth_first { "depth-first (BUC)" } else { "breadth-first (BPP-BUC)" }.to_string(),
+            if depth_first {
+                "depth-first (BUC)"
+            } else {
+                "breadth-first (BPP-BUC)"
+            }
+            .to_string(),
             secs(s.io_ns()),
             s.file_switches.to_string(),
             s.cells_written.to_string(),
@@ -140,8 +163,8 @@ pub fn pol_stealing(ctx: &Ctx) -> Report {
         q.buffer_tuples = (8000.0 * ctx.scale).max(64.0) as usize;
         q.snapshot_every = 32;
         q.work_stealing = stealing;
-        let out = run_pol(&rel, &q, &ClusterConfig::fast_ethernet(8))
-            .expect("valid POL configuration");
+        let out =
+            run_pol(&rel, &q, &ClusterConfig::fast_ethernet(8)).expect("valid POL configuration");
         walls.push(out.stats.makespan_ns());
         t.row([
             stealing.to_string(),
@@ -157,13 +180,16 @@ pub fn pol_stealing(ctx: &Ctx) -> Report {
     );
     r.note(format!(
         "Stealing {} the makespan on a skewed key space ({} vs {}).",
-        if walls[0] <= walls[1] { "improves (or matches)" } else { "did not improve" },
+        if walls[0] <= walls[1] {
+            "improves (or matches)"
+        } else {
+            "did not improve"
+        },
         secs(walls[0]),
         secs(walls[1])
     ));
     r
 }
-
 
 /// The sequential baselines of Chapter 2 head to head: the bottom-up
 /// family (BUC) prunes on the threshold; the top-down family (TopDown,
@@ -253,13 +279,23 @@ pub fn improvements(ctx: &Ctx) -> Report {
         ("AHT naive-mod hash", RunOptions::counting(), Algorithm::Aht),
         (
             "AHT fibonacci hash",
-            RunOptions { aht_hash: AhtHash::Fibonacci, ..RunOptions::counting() },
+            RunOptions {
+                aht_hash: AhtHash::Fibonacci,
+                ..RunOptions::counting()
+            },
             Algorithm::Aht,
         ),
-        ("ASL first-match subsets", RunOptions::counting(), Algorithm::Asl),
+        (
+            "ASL first-match subsets",
+            RunOptions::counting(),
+            Algorithm::Asl,
+        ),
         (
             "ASL longest-prefix subsets",
-            RunOptions { asl_longest_prefix: true, ..RunOptions::counting() },
+            RunOptions {
+                asl_longest_prefix: true,
+                ..RunOptions::counting()
+            },
             Algorithm::Asl,
         ),
     ];
@@ -277,10 +313,18 @@ pub fn improvements(ctx: &Ctx) -> Report {
     r.note(format!(
         "AHT: fibonacci hash {} the naive MOD ({} vs {}); ASL: longest-prefix {} \
          first-match ({} vs {}).",
-        if walls[1] <= walls[0] { "beats" } else { "does not beat" },
+        if walls[1] <= walls[0] {
+            "beats"
+        } else {
+            "does not beat"
+        },
         secs(walls[1]),
         secs(walls[0]),
-        if walls[3] <= walls[2] { "beats (or matches)" } else { "does not beat" },
+        if walls[3] <= walls[2] {
+            "beats (or matches)"
+        } else {
+            "does not beat"
+        },
         secs(walls[3]),
         secs(walls[2]),
     ));

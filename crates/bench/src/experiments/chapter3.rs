@@ -12,7 +12,13 @@ pub fn table1_1() -> Report {
     let mut t = Table::new(["Algorithm", "Writing", "LoadBalance", "Cuboids", "Data"]);
     for alg in [Algorithm::Rp, Algorithm::Bpp, Algorithm::Asl, Algorithm::Pt] {
         let f = alg.features();
-        t.row([f.name, f.writing, f.load_balance, f.traversal, f.decomposition]);
+        t.row([
+            f.name,
+            f.writing,
+            f.load_balance,
+            f.traversal,
+            f.decomposition,
+        ]);
     }
     let mut r = Report::new("table1_1", "Key features of the algorithms (Table 1.1)", t);
     r.note("Static reproduction of the paper's Table 1.1.".to_string());
@@ -47,8 +53,18 @@ pub fn fig3_6(ctx: &Ctx) -> Report {
             secs(rio),
             secs(bio),
             f2(ratio),
-            rp.stats.nodes().iter().map(|s| s.file_switches).sum::<u64>().to_string(),
-            bpp.stats.nodes().iter().map(|s| s.file_switches).sum::<u64>().to_string(),
+            rp.stats
+                .nodes()
+                .iter()
+                .map(|s| s.file_switches)
+                .sum::<u64>()
+                .to_string(),
+            bpp.stats
+                .nodes()
+                .iter()
+                .map(|s| s.file_switches)
+                .sum::<u64>()
+                .to_string(),
             mb(rp.stats.total_bytes_written()),
         ]);
     }
@@ -63,7 +79,11 @@ pub fn fig3_6(ctx: &Ctx) -> Report {
          Measured I/O ratio ranges {:.1}x–{:.1}x — shape {}.",
         min,
         ratios.iter().cloned().fold(0.0, f64::max),
-        if min > 2.0 { "reproduced" } else { "NOT reproduced" }
+        if min > 2.0 {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     ));
     r
 }

@@ -8,8 +8,13 @@ use icecube_core::{Algorithm, RunOutcome};
 use icecube_data::presets;
 use icecube_data::Relation;
 
-const EVAL: [Algorithm; 5] =
-    [Algorithm::Rp, Algorithm::Bpp, Algorithm::Asl, Algorithm::Pt, Algorithm::Aht];
+const EVAL: [Algorithm; 5] = [
+    Algorithm::Rp,
+    Algorithm::Bpp,
+    Algorithm::Asl,
+    Algorithm::Pt,
+    Algorithm::Aht,
+];
 
 fn baseline_rel(ctx: &Ctx) -> Relation {
     let mut spec = presets::baseline();
@@ -23,11 +28,17 @@ pub fn fig4_1(ctx: &Ctx) -> Report {
     let mut headers = vec!["node".to_string()];
     headers.extend(EVAL.iter().map(|a| format!("{a}_load_s")));
     let mut t = Table::new(headers);
-    let outcomes: Vec<RunOutcome> =
-        EVAL.iter().map(|&a| measure(a, &rel, presets::BASELINE_MINSUP, 8)).collect();
+    let outcomes: Vec<RunOutcome> = EVAL
+        .iter()
+        .map(|&a| measure(a, &rel, presets::BASELINE_MINSUP, 8))
+        .collect();
     for node in 0..8 {
         let mut row = vec![node.to_string()];
-        row.extend(outcomes.iter().map(|o| secs(o.stats.nodes()[node].busy_ns())));
+        row.extend(
+            outcomes
+                .iter()
+                .map(|o| secs(o.stats.nodes()[node].busy_ns())),
+        );
         t.row(row);
     }
     let mut imb = vec!["imbalance".to_string()];
@@ -35,16 +46,24 @@ pub fn fig4_1(ctx: &Ctx) -> Report {
     t.row(imb);
     let mut r = Report::new("fig4_1", "Load balancing on 8 processors (Figure 4.1)", t);
     let get = |a: Algorithm| {
-        outcomes[EVAL.iter().position(|&x| x == a).expect("in EVAL")].stats.imbalance()
+        outcomes[EVAL.iter().position(|&x| x == a).expect("in EVAL")]
+            .stats
+            .imbalance()
     };
-    let strong = get(Algorithm::Asl).max(get(Algorithm::Aht)).max(get(Algorithm::Pt));
+    let strong = get(Algorithm::Asl)
+        .max(get(Algorithm::Aht))
+        .max(get(Algorithm::Pt));
     let weak = get(Algorithm::Rp).max(get(Algorithm::Bpp));
     r.note(format!(
         "Paper: ASL, AHT and PT have even load; RP and BPP vary greatly. \
          Measured max imbalance — affinity algorithms {:.2}, static algorithms {:.2}: shape {}.",
         strong,
         weak,
-        if weak > strong { "reproduced" } else { "NOT reproduced" }
+        if weak > strong {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     ));
     r
 }
@@ -77,13 +96,21 @@ pub fn fig4_2(ctx: &Ctx) -> Report {
         }
         t.row(row);
     }
-    let mut r = Report::new("fig4_2", "Speedup with the number of processors (Figure 4.2)", t);
+    let mut r = Report::new(
+        "fig4_2",
+        "Speedup with the number of processors (Figure 4.2)",
+        t,
+    );
     let pt = at8[3];
     let rp = at8[0];
     r.note(format!(
         "Paper: PT best overall, RP worst; ASL/AHT scale well past 4 procs. \
          Measured at 8 procs: PT {pt:.2}s vs RP {rp:.2}s — shape {}.",
-        if pt < rp { "reproduced" } else { "NOT reproduced" }
+        if pt < rp {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     ));
     r
 }
@@ -122,15 +149,21 @@ pub fn fig4_3(ctx: &Ctx) -> Report {
         growth(3),
         growth(2),
         growth(0),
-        if growth(3) < 7.0 { "reproduced" } else { "NOT reproduced" }
+        if growth(3) < 7.0 {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     ));
     r
 }
 
 /// Figure 4.4 — varying the number of cube dimensions (5..13).
 pub fn fig4_4(ctx: &Ctx) -> Report {
-    let dims: Vec<usize> =
-        [5usize, 7, 9, 11, 13].into_iter().filter(|&d| d <= ctx.max_dims).collect();
+    let dims: Vec<usize> = [5usize, 7, 9, 11, 13]
+        .into_iter()
+        .filter(|&d| d <= ctx.max_dims)
+        .collect();
     let mut headers = vec!["dims".to_string()];
     headers.extend(EVAL.iter().map(|a| format!("{a}_s")));
     let mut t = Table::new(headers);
@@ -155,8 +188,11 @@ pub fn fig4_4(ctx: &Ctx) -> Report {
         }
         t.row(row);
     }
-    let mut r =
-        Report::new("fig4_4", "Varying the number of cube dimensions (Figure 4.4)", t);
+    let mut r = Report::new(
+        "fig4_4",
+        "Varying the number of cube dimensions (Figure 4.4)",
+        t,
+    );
     r.note(format!(
         "Paper: cost explodes with dimensionality; AHT scales worst, ASL falls behind the \
          BUC family, PT stays best. Measured at {top} dims: PT {:.1}s, ASL {:.1}s, AHT {:.1}s \
@@ -164,7 +200,11 @@ pub fn fig4_4(ctx: &Ctx) -> Report {
         at13[3],
         at13[2],
         at13[4],
-        if at13[3] <= at13[2] && at13[3] <= at13[4] { "reproduced" } else { "NOT reproduced" }
+        if at13[3] <= at13[2] && at13[3] <= at13[4] {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     ));
     r.note(format!(
         "Paper: at small dimensionality all algorithms are close. Measured spread at 5 dims: \
@@ -247,8 +287,11 @@ pub fn fig4_6(ctx: &Ctx) -> Report {
         }
         t.row(row);
     }
-    let mut r =
-        Report::new("fig4_6", "Varying the sparseness of the dataset (Figure 4.6)", t);
+    let mut r = Report::new(
+        "fig4_6",
+        "Varying the sparseness of the dataset (Figure 4.6)",
+        t,
+    );
     let aht_ok_dense = dense[4] <= dense[3] * 1.5;
     let pt_ok_sparse = sparse[3] <= sparse[2] && sparse[3] <= sparse[4];
     r.note(format!(
@@ -260,7 +303,11 @@ pub fn fig4_6(ctx: &Ctx) -> Report {
         sparse[3],
         sparse[2],
         sparse[4],
-        if aht_ok_dense && pt_ok_sparse { "reproduced" } else { "partially reproduced" }
+        if aht_ok_dense && pt_ok_sparse {
+            "reproduced"
+        } else {
+            "partially reproduced"
+        }
     ));
     r
 }
@@ -281,23 +328,48 @@ pub fn fig4_7() -> Report {
     let rows: [(&str, CubeProfile); 5] = [
         (
             "dense cube (< 1e8 cells)",
-            CubeProfile { dims: 8, expected_total_cells: 1e6, memory_constrained: false, online: false },
+            CubeProfile {
+                dims: 8,
+                expected_total_cells: 1e6,
+                memory_constrained: false,
+                online: false,
+            },
         ),
         (
             "small dimensionality (< 5)",
-            CubeProfile { dims: 4, expected_total_cells: 1e6, memory_constrained: false, online: false },
+            CubeProfile {
+                dims: 4,
+                expected_total_cells: 1e6,
+                memory_constrained: false,
+                online: false,
+            },
         ),
         (
             "high dimensionality",
-            CubeProfile { dims: 13, expected_total_cells: 1e12, memory_constrained: false, online: false },
+            CubeProfile {
+                dims: 13,
+                expected_total_cells: 1e12,
+                memory_constrained: false,
+                online: false,
+            },
         ),
         (
             "less memory occupation",
-            CubeProfile { dims: 9, expected_total_cells: 1e12, memory_constrained: true, online: false },
+            CubeProfile {
+                dims: 9,
+                expected_total_cells: 1e12,
+                memory_constrained: true,
+                online: false,
+            },
         ),
         (
             "online support",
-            CubeProfile { dims: 12, expected_total_cells: 1e12, memory_constrained: false, online: true },
+            CubeProfile {
+                dims: 12,
+                expected_total_cells: 1e12,
+                memory_constrained: false,
+                online: true,
+            },
         ),
     ];
     for (label, profile) in rows {
@@ -309,9 +381,15 @@ pub fn fig4_7() -> Report {
         memory_constrained: false,
         online: false,
     };
-    t.row(["otherwise (default)".to_string(), fmt(&recipe::recommend(&otherwise))]);
-    let mut r =
-        Report::new("fig4_7", "Recipe for selecting the best algorithm (Figure 4.7)", t);
+    t.row([
+        "otherwise (default)".to_string(),
+        fmt(&recipe::recommend(&otherwise)),
+    ]);
+    let mut r = Report::new(
+        "fig4_7",
+        "Recipe for selecting the best algorithm (Figure 4.7)",
+        t,
+    );
     r.note("Encodes the paper's Figure 4.7 decision table; PT is the default.".to_string());
     r
 }

@@ -48,8 +48,16 @@ pub fn sec5_1(ctx: &Ctx) -> Report {
 
     let mut t = Table::new(["plan", "stage", "seconds"]);
     t.row(["recompute (ASL, full cube)", "query", &secs(recompute_s)]);
-    t.row(["materialize leaves (minsup 1)", "precompute", &secs(precompute_s)]);
-    t.row(["materialize leaves (minsup 1)", "online query", &secs(online_s)]);
+    t.row([
+        "materialize leaves (minsup 1)",
+        "precompute",
+        &secs(precompute_s),
+    ]);
+    t.row([
+        "materialize leaves (minsup 1)",
+        "online query",
+        &secs(online_s),
+    ]);
     let mut r = Report::new(
         "sec5_1",
         "Selective materialization vs recompute (Section 5.1)",
@@ -62,7 +70,11 @@ pub fn sec5_1(ctx: &Ctx) -> Report {
         secs(recompute_s),
         secs(precompute_s),
         secs(online_s),
-        if online_s * 10 < recompute_s { "reproduced" } else { "NOT reproduced" }
+        if online_s * 10 < recompute_s {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     ));
     r
 }
@@ -72,8 +84,11 @@ pub fn table5_1() -> Report {
     let array = TaskArray::new(4);
     let mut t = Table::new(["owner", "processing order (source nodes)"]);
     for j in 0..4 {
-        let order: Vec<String> =
-            array.order_for(j).iter().map(|i| format!("Chunk_{}{}", j + 1, i + 1)).collect();
+        let order: Vec<String> = array
+            .order_for(j)
+            .iter()
+            .map(|i| format!("Chunk_{}{}", j + 1, i + 1))
+            .collect();
         t.row([format!("P{}", j + 1), order.join(" → ")]);
     }
     let mut r = Report::new("table5_1", "Task array for 4 processors (Table 5.1)", t);
@@ -89,8 +104,10 @@ fn online_query(rel_arity: usize) -> PolQuery {
     // The 12-dimensional group-by of the paper's POL experiments (minsup 2,
     // 8000-tuple buffers); the dimensions are chosen so the skip list ends
     // up near the paper's 924,585 nodes.
-    let dims: Vec<usize> =
-        presets::pol_query_dims().into_iter().filter(|&d| d < rel_arity).collect();
+    let dims: Vec<usize> = presets::pol_query_dims()
+        .into_iter()
+        .filter(|&d| d < rel_arity)
+        .collect();
     let mut q = PolQuery::new(CuboidMask::from_dims(&dims), 2);
     q.snapshot_every = 32;
     q
@@ -150,7 +167,11 @@ pub fn fig5_3(ctx: &Ctx) -> Report {
         sp(0),
         sp(1),
         sp(2),
-        if last[2] <= last[1] { "reproduced" } else { "NOT reproduced" }
+        if last[2] <= last[1] {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     ));
     r
 }
@@ -177,14 +198,22 @@ pub fn fig5_4(ctx: &Ctx) -> Report {
             out.stats.nodes()[0].barriers.to_string(),
         ]);
     }
-    let mut r = Report::new("fig5_4", "POL's scalability with buffer size (Figure 5.4)", t);
+    let mut r = Report::new(
+        "fig5_4",
+        "POL's scalability with buffer size (Figure 5.4)",
+        t,
+    );
     r.note(format!(
         "Paper: larger buffers mean fewer steps, fewer synchronizations, better times. \
          Measured: {:.2}s at the smallest buffer vs {:.2}s at the largest — monotone \
          improvement {}.",
         walls[0],
         walls[walls.len() - 1],
-        if walls[0] >= walls[walls.len() - 1] { "reproduced" } else { "NOT reproduced" }
+        if walls[0] >= walls[walls.len() - 1] {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     ));
     r
 }

@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod chapter3;
 pub mod chapter4;
 pub mod chapter5;
+pub mod serve;
 
 use crate::report::Report;
 use crate::Ctx;
@@ -28,6 +29,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "table5_1",
         "fig5_3",
         "fig5_4",
+        "serve",
         "ablation_granularity",
         "ablation_affinity",
         "ablation_writing",
@@ -53,6 +55,7 @@ pub fn run_by_id(id: &str, ctx: &Ctx) -> Option<Report> {
         "table5_1" => chapter5::table5_1(),
         "fig5_3" => chapter5::fig5_3(ctx),
         "fig5_4" => chapter5::fig5_4(ctx),
+        "serve" => serve::serve(ctx),
         "ablation_granularity" => ablations::granularity(ctx),
         "ablation_affinity" => ablations::affinity(ctx),
         "ablation_writing" => ablations::writing(ctx),
@@ -65,12 +68,7 @@ pub fn run_by_id(id: &str, ctx: &Ctx) -> Option<Report> {
 
 /// Runs `alg` over `rel` on an `n`-node fast-Ethernet cluster in counting
 /// mode (the experiments never retain the millions of cells).
-pub(crate) fn measure(
-    alg: Algorithm,
-    rel: &Relation,
-    minsup: u64,
-    nodes: usize,
-) -> RunOutcome {
+pub(crate) fn measure(alg: Algorithm, rel: &Relation, minsup: u64, nodes: usize) -> RunOutcome {
     measure_opts(alg, rel, minsup, nodes, &RunOptions::counting())
 }
 

@@ -14,13 +14,20 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header arity).
     pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
         let row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.headers.len(), "row arity must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
         self.rows.push(row);
     }
 
@@ -107,7 +114,12 @@ pub struct Report {
 impl Report {
     /// Creates a report shell.
     pub fn new(id: &str, title: &str, table: Table) -> Self {
-        Report { id: id.into(), title: title.into(), table, notes: Vec::new() }
+        Report {
+            id: id.into(),
+            title: title.into(),
+            table,
+            notes: Vec::new(),
+        }
     }
 
     /// Appends a note line.
@@ -117,7 +129,12 @@ impl Report {
 
     /// Renders to the console format.
     pub fn render(&self) -> String {
-        let mut out = format!("== {} — {} ==\n{}", self.id, self.title, self.table.render());
+        let mut out = format!(
+            "== {} — {} ==\n{}",
+            self.id,
+            self.title,
+            self.table.render()
+        );
         for n in &self.notes {
             out.push_str("  * ");
             out.push_str(n);

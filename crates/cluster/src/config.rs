@@ -22,9 +22,15 @@ pub struct NodeSpec {
 
 impl NodeSpec {
     /// The paper's fast node: 500 MHz PIII, 256 MB.
-    pub const FAST: NodeSpec = NodeSpec { mhz: 500, mem_mb: 256 };
+    pub const FAST: NodeSpec = NodeSpec {
+        mhz: 500,
+        mem_mb: 256,
+    };
     /// The paper's slow node: 266 MHz PII, 128 MB.
-    pub const SLOW: NodeSpec = NodeSpec { mhz: 266, mem_mb: 128 };
+    pub const SLOW: NodeSpec = NodeSpec {
+        mhz: 266,
+        mem_mb: 128,
+    };
 
     /// Multiplier applied to reference CPU costs on this node.
     pub fn cpu_scale(&self) -> f64 {
@@ -56,8 +62,11 @@ pub struct DiskModel {
 impl DiskModel {
     /// Commodity year-2001 IDE disk: ≈20 MB/s writes, ≈30 MB/s reads,
     /// 10 µs effective penalty per redirected (buffered) small write.
-    pub const COMMODITY: DiskModel =
-        DiskModel { switch_ns: 10_000, write_byte_ns: 50, read_byte_ns: 33 };
+    pub const COMMODITY: DiskModel = DiskModel {
+        switch_ns: 10_000,
+        write_byte_ns: 50,
+        read_byte_ns: 33,
+    };
 }
 
 /// Interconnect cost model: a message of `b` bytes takes
@@ -73,10 +82,16 @@ pub struct NetModel {
 impl NetModel {
     /// 100 Mbit switched Ethernet with MPI/TCP overheads: 12.5 MB/s,
     /// ≈100 µs latency.
-    pub const FAST_ETHERNET: NetModel = NetModel { latency_ns: 100_000, byte_ns: 80 };
+    pub const FAST_ETHERNET: NetModel = NetModel {
+        latency_ns: 100_000,
+        byte_ns: 80,
+    };
     /// Myrinet, which the paper measures as roughly 3× faster than its
     /// Ethernet.
-    pub const MYRINET: NetModel = NetModel { latency_ns: 30_000, byte_ns: 27 };
+    pub const MYRINET: NetModel = NetModel {
+        latency_ns: 30_000,
+        byte_ns: 27,
+    };
 
     /// Cost of moving `bytes` across the interconnect.
     pub fn transfer_ns(&self, bytes: u64) -> u64 {

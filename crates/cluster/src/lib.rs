@@ -112,8 +112,10 @@ impl SimCluster {
 
     /// Snapshot of per-node statistics.
     pub fn run_stats(&self) -> RunStats {
-        RunStats::new(self.nodes.iter().map(|n| n.stats.clone()).collect(),
-                      self.nodes.iter().map(|n| n.clock_ns()).collect())
+        RunStats::new(
+            self.nodes.iter().map(|n| n.stats.clone()).collect(),
+            self.nodes.iter().map(|n| n.clock_ns()).collect(),
+        )
     }
 }
 

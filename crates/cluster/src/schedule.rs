@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn slower_nodes_receive_fewer_tasks() {
         let mut cluster = SimCluster::new(ClusterConfig::heterogeneous_16());
-        let mut src = Counter { next: 0, total: 160 };
+        let mut src = Counter {
+            next: 0,
+            total: 160,
+        };
         let hist = run_demand(&mut cluster, &mut src, |c, node, _task, _prev| {
             c.nodes[node].charge_cpu(10_000_000);
         });

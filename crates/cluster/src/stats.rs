@@ -135,7 +135,11 @@ impl RunStats {
 
     /// Largest peak memory across nodes.
     pub fn peak_mem_bytes(&self) -> u64 {
-        self.nodes.iter().map(|n| n.peak_mem_bytes).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.peak_mem_bytes)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -144,7 +148,11 @@ mod tests {
     use super::*;
 
     fn stats(cpu: u64, io: u64) -> NodeStats {
-        NodeStats { cpu_ns: cpu, disk_write_ns: io, ..NodeStats::default() }
+        NodeStats {
+            cpu_ns: cpu,
+            disk_write_ns: io,
+            ..NodeStats::default()
+        }
     }
 
     #[test]

@@ -20,12 +20,22 @@ pub struct Aggregate {
 impl Aggregate {
     /// The identity aggregate (empty cell).
     pub fn empty() -> Self {
-        Aggregate { count: 0, sum: 0, min: i64::MAX, max: i64::MIN }
+        Aggregate {
+            count: 0,
+            sum: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+        }
     }
 
     /// The aggregate of a single measure value.
     pub fn of(measure: i64) -> Self {
-        Aggregate { count: 1, sum: measure, min: measure, max: measure }
+        Aggregate {
+            count: 1,
+            sum: measure,
+            min: measure,
+            max: measure,
+        }
     }
 
     /// Folds one more measure value in.

@@ -67,8 +67,10 @@ impl AffinityHashTable {
     pub fn assign_bits(cards: &[u32], target_buckets: usize) -> Vec<u8> {
         assert!(!cards.is_empty(), "need at least one attribute");
         let target_bits = (target_buckets.max(2) as f64).log2().ceil() as u32;
-        let mut bits: Vec<u8> =
-            cards.iter().map(|&c| (32 - c.max(2).leading_zeros()).max(1) as u8).collect();
+        let mut bits: Vec<u8> = cards
+            .iter()
+            .map(|&c| (32 - c.max(2).leading_zeros()).max(1) as u8)
+            .collect();
         loop {
             let total: u32 = bits.iter().map(|&b| b as u32).sum();
             if total <= target_bits.max(cards.len() as u32) {
@@ -203,8 +205,7 @@ impl AffinityHashTable {
     /// Builds a table from the raw relation.
     pub fn build(cuboid: CuboidMask, rel: &Relation, target_buckets: usize) -> Self {
         let dims = cuboid.dims();
-        let cards: Vec<u32> =
-            dims.iter().map(|&d| rel.schema().cardinality(d)).collect();
+        let cards: Vec<u32> = dims.iter().map(|&d| rel.schema().cardinality(d)).collect();
         Self::build_with_hash(cuboid, rel, target_buckets, AhtHash::NaiveMod, cards)
     }
 
@@ -266,7 +267,10 @@ impl AffinityHashTable {
 
     /// Drains the probe/comparison counters for cost charging.
     pub fn take_counters(&mut self) -> (u64, u64) {
-        (std::mem::take(&mut self.probes), std::mem::take(&mut self.key_cmps))
+        (
+            std::mem::take(&mut self.probes),
+            std::mem::take(&mut self.key_cmps),
+        )
     }
 
     /// Longest collision chain (the degradation the paper describes).
@@ -299,10 +303,20 @@ pub fn run_aht(
         first: Option<Rc<AffinityHashTable>>,
         prev: Option<Rc<AffinityHashTable>>,
     }
-    let mut workers: Vec<Worker> =
-        (0..n).map(|_| Worker { first: None, prev: None }).collect();
+    let mut workers: Vec<Worker> = (0..n)
+        .map(|_| Worker {
+            first: None,
+            prev: None,
+        })
+        .collect();
     let mut sinks: Vec<CellBuf> = (0..n)
-        .map(|_| if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() })
+        .map(|_| {
+            if opts.collect_cells {
+                CellBuf::collecting()
+            } else {
+                CellBuf::counting()
+            }
+        })
         .collect();
     let minsup = query.minsup;
     let affinity = opts.affinity;
@@ -320,9 +334,7 @@ pub fn run_aht(
         if affinity {
             for (held, from_prev) in [(&w.prev, true), (&w.first, false)] {
                 if let Some(t) = held {
-                    if let Some(pos) =
-                        remaining.iter().position(|&c| c.is_subset_of(t.cuboid()))
-                    {
+                    if let Some(pos) = remaining.iter().position(|&c| c.is_subset_of(t.cuboid())) {
                         choice = Some((pos, from_prev));
                         break;
                     }
@@ -334,8 +346,12 @@ pub fn run_aht(
         let built = match choice {
             Some((pos, from_prev)) => {
                 let task = remaining.remove(pos);
-                let held =
-                    if from_prev { w.prev.as_ref() } else { w.first.as_ref() }.expect("held");
+                let held = if from_prev {
+                    w.prev.as_ref()
+                } else {
+                    w.first.as_ref()
+                }
+                .expect("held");
                 let mut table = held.collapse(task);
                 node.charge_scan(held.len() as u64);
                 node.charge_agg_updates(held.len() as u64);
@@ -346,8 +362,11 @@ pub fn run_aht(
             }
             None => {
                 let task = remaining.remove(0);
-                let cards: Vec<u32> =
-                    task.dims().iter().map(|&d| rel.schema().cardinality(d)).collect();
+                let cards: Vec<u32> = task
+                    .dims()
+                    .iter()
+                    .map(|&d| rel.schema().cardinality(d))
+                    .collect();
                 let mut table = AffinityHashTable::build_with_hash(
                     task,
                     rel,
@@ -452,7 +471,11 @@ mod tests {
             let collapsed = full.collapse(sub);
             let mut got: Vec<Cell> = collapsed
                 .iter()
-                .map(|(k, a)| Cell { cuboid: sub, key: k.to_vec(), agg: *a })
+                .map(|(k, a)| Cell {
+                    cuboid: sub,
+                    key: k.to_vec(),
+                    agg: *a,
+                })
                 .collect();
             let mut want = Vec::new();
             naive_cuboid(&rel, sub, 1, &mut want);
@@ -493,7 +516,10 @@ mod tests {
             &rel,
             &q,
             &ClusterConfig::fast_ethernet(2),
-            &RunOptions { affinity: false, ..RunOptions::default() },
+            &RunOptions {
+                affinity: false,
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         assert_same_cells(
@@ -515,8 +541,7 @@ mod tests {
         let sparse = icecube_data::SyntheticSpec::uniform(4000, vec![3000, 3000], 1)
             .generate()
             .unwrap();
-        let t2 =
-            AffinityHashTable::build(CuboidMask::from_dims(&[0, 1]), &sparse, 256);
+        let t2 = AffinityHashTable::build(CuboidMask::from_dims(&[0, 1]), &sparse, 256);
         assert!(t2.max_chain() > 4, "max chain {}", t2.max_chain());
     }
 }

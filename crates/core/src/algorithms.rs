@@ -30,7 +30,13 @@ impl Algorithm {
     /// The five algorithms the paper evaluates in Chapter 4 (the hash-tree
     /// algorithm "lags far behind" and is excluded there, as here).
     pub fn evaluated() -> [Algorithm; 5] {
-        [Algorithm::Rp, Algorithm::Bpp, Algorithm::Asl, Algorithm::Pt, Algorithm::Aht]
+        [
+            Algorithm::Rp,
+            Algorithm::Bpp,
+            Algorithm::Asl,
+            Algorithm::Pt,
+            Algorithm::Aht,
+        ]
     }
 
     /// Every implemented algorithm.
@@ -156,7 +162,10 @@ impl RunOptions {
     /// Options for paper-sized experiment runs: count cells, don't keep
     /// them.
     pub fn counting() -> Self {
-        RunOptions { collect_cells: false, ..RunOptions::default() }
+        RunOptions {
+            collect_cells: false,
+            ..RunOptions::default()
+        }
     }
 }
 
@@ -247,7 +256,12 @@ pub(crate) fn finish(
         cells.extend(sink.into_cells());
     }
     sort_cells(&mut cells);
-    RunOutcome { algorithm, cells, total_cells: total, stats: cluster.run_stats() }
+    RunOutcome {
+        algorithm,
+        cells,
+        total_cells: total,
+        stats: cluster.run_stats(),
+    }
 }
 
 #[cfg(test)]
@@ -264,12 +278,22 @@ mod tests {
         );
         let bpp = Algorithm::Bpp.features();
         assert_eq!(
-            (bpp.writing, bpp.load_balance, bpp.traversal, bpp.decomposition),
+            (
+                bpp.writing,
+                bpp.load_balance,
+                bpp.traversal,
+                bpp.decomposition
+            ),
             ("breadth-first", "weak", "bottom-up", "partitioned")
         );
         let asl = Algorithm::Asl.features();
         assert_eq!(
-            (asl.writing, asl.load_balance, asl.traversal, asl.decomposition),
+            (
+                asl.writing,
+                asl.load_balance,
+                asl.traversal,
+                asl.decomposition
+            ),
             ("breadth-first", "strong", "top-down", "replicated")
         );
         let pt = Algorithm::Pt.features();
@@ -291,7 +315,10 @@ mod tests {
         let q = IcebergQuery::count_cube(4, 1);
         assert!(matches!(
             validate(&rel, &q),
-            Err(AlgoError::DimensionMismatch { query_dims: 4, relation_dims: 3 })
+            Err(AlgoError::DimensionMismatch {
+                query_dims: 4,
+                relation_dims: 3
+            })
         ));
         let empty = Relation::new(icecube_data::Schema::from_cardinalities(&[2]).unwrap());
         assert!(matches!(

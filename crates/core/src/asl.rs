@@ -74,7 +74,11 @@ pub(crate) fn pick_task(
         return None;
     }
     if affinity {
-        type AffinityPass = (Option<CuboidMask>, Source, fn(CuboidMask, CuboidMask) -> bool);
+        type AffinityPass = (
+            Option<CuboidMask>,
+            Source,
+            fn(CuboidMask, CuboidMask) -> bool,
+        );
         let passes: [AffinityPass; 4] = [
             (prev, Source::PrefixPrev, CuboidMask::is_prefix_of),
             (first, Source::PrefixFirst, CuboidMask::is_prefix_of),
@@ -83,21 +87,20 @@ pub(crate) fn pick_task(
         ];
         for (held, source, relation) in passes {
             let Some(held) = held else { continue };
-            let pos = if longest_prefix
-                && matches!(source, Source::SubsetPrev | Source::SubsetFirst)
-            {
-                // Section 4.9.2: among the subset-affine candidates,
-                // prefer the longest shared key prefix with the held
-                // list — its cells then stream out in near-sorted order.
-                remaining
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &c)| relation(c, held))
-                    .max_by_key(|(i, &c)| (c.shared_prefix_len(held), usize::MAX - i))
-                    .map(|(i, _)| i)
-            } else {
-                remaining.iter().position(|&c| relation(c, held))
-            };
+            let pos =
+                if longest_prefix && matches!(source, Source::SubsetPrev | Source::SubsetFirst) {
+                    // Section 4.9.2: among the subset-affine candidates,
+                    // prefer the longest shared key prefix with the held
+                    // list — its cells then stream out in near-sorted order.
+                    remaining
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| relation(c, held))
+                        .max_by_key(|(i, &c)| (c.shared_prefix_len(held), usize::MAX - i))
+                        .map(|(i, _)| i)
+                } else {
+                    remaining.iter().position(|&c| relation(c, held))
+                };
             if let Some(pos) = pos {
                 return Some((remaining.remove(pos), source));
             }
@@ -118,8 +121,7 @@ impl Worker {
         node.alloc(built.list.memory_bytes());
         // Release the superseded previous list unless it is also the first.
         if let Some(old) = self.prev.take() {
-            let is_first =
-                self.first.as_ref().is_some_and(|f| Rc::ptr_eq(f, &old));
+            let is_first = self.first.as_ref().is_some_and(|f| Rc::ptr_eq(f, &old));
             if !is_first {
                 node.free(old.list.memory_bytes());
             }
@@ -149,7 +151,13 @@ pub fn run_asl(
 
     let mut workers: Vec<Worker> = (0..n).map(|_| Worker::default()).collect();
     let mut sinks: Vec<CellBuf> = (0..n)
-        .map(|_| if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() })
+        .map(|_| {
+            if opts.collect_cells {
+                CellBuf::collecting()
+            } else {
+                CellBuf::counting()
+            }
+        })
         .collect();
     let seed = config.seed;
     let minsup = query.minsup;
@@ -343,7 +351,10 @@ mod tests {
             &rel,
             &q,
             &cfg,
-            &RunOptions { affinity: false, ..RunOptions::default() },
+            &RunOptions {
+                affinity: false,
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         let want = naive_iceberg_cube(&rel, &q);
@@ -360,7 +371,10 @@ mod tests {
             &rel,
             &q,
             &cfg,
-            &RunOptions { affinity: false, ..RunOptions::default() },
+            &RunOptions {
+                affinity: false,
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         let cpu = |o: &RunOutcome| -> u64 { o.stats.nodes().iter().map(|s| s.cpu_ns).sum() };
@@ -429,7 +443,10 @@ mod tests {
             &rel,
             &q,
             &cfg,
-            &RunOptions { asl_longest_prefix: true, ..RunOptions::default() },
+            &RunOptions {
+                asl_longest_prefix: true,
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         assert_same_cells(
@@ -443,8 +460,13 @@ mod tests {
     fn single_node_runs_the_whole_lattice() {
         let rel = sales();
         let q = IcebergQuery::count_cube(3, 1);
-        let out = run_asl(&rel, &q, &ClusterConfig::fast_ethernet(1), &RunOptions::default())
-            .unwrap();
+        let out = run_asl(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(1),
+            &RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(out.total_cells, 47);
         // One scratch build (the top cuboid) and affinity for the rest:
         // the single worker executed all 7 tasks.
@@ -455,8 +477,17 @@ mod tests {
     fn load_balance_is_strong_on_skewed_data() {
         let rel = presets::tiny(12).generate().unwrap();
         let q = IcebergQuery::count_cube(4, 2);
-        let out = run_asl(&rel, &q, &ClusterConfig::fast_ethernet(4), &RunOptions::default())
-            .unwrap();
-        assert!(out.stats.imbalance() < 1.6, "imbalance {}", out.stats.imbalance());
+        let out = run_asl(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(4),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            out.stats.imbalance() < 1.6,
+            "imbalance {}",
+            out.stats.imbalance()
+        );
     }
 }

@@ -64,7 +64,13 @@ pub fn run_bpp(
     }
 
     let mut sinks: Vec<CellBuf> = (0..n)
-        .map(|_| if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() })
+        .map(|_| {
+            if opts.collect_cells {
+                CellBuf::collecting()
+            } else {
+                CellBuf::counting()
+            }
+        })
         .collect();
     // Computation: node j reads its m local chunks and computes the
     // (partial) subtree rooted at each attribute over its chunk.
@@ -151,10 +157,18 @@ mod tests {
             .with_skews(vec![1.8, 0.0, 0.0]);
         let rel = spec.generate().unwrap();
         let q = IcebergQuery::count_cube(3, 2);
-        let out =
-            run_bpp(&rel, &q, &ClusterConfig::fast_ethernet(4), &RunOptions::default())
-                .unwrap();
-        assert!(out.stats.imbalance() > 1.05, "imbalance {}", out.stats.imbalance());
+        let out = run_bpp(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(4),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            out.stats.imbalance() > 1.05,
+            "imbalance {}",
+            out.stats.imbalance()
+        );
     }
 
     #[test]
@@ -167,11 +181,18 @@ mod tests {
             &rel,
             &q,
             &cfg,
-            &RunOptions { include_bpp_partitioning: true, ..RunOptions::default() },
+            &RunOptions {
+                include_bpp_partitioning: true,
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         assert!(with.stats.makespan_ns() > without.stats.makespan_ns());
-        assert_same_cells(without.cells, with.cells, "partitioning must not change output");
+        assert_same_cells(
+            without.cells,
+            with.cells,
+            "partitioning must not change output",
+        );
     }
 
     #[test]
@@ -180,10 +201,20 @@ mod tests {
         // the whole relation (Section 4.1).
         let rel = presets::tiny(8).generate().unwrap();
         let q = IcebergQuery::count_cube(4, 2);
-        let bpp = run_bpp(&rel, &q, &ClusterConfig::fast_ethernet(4), &RunOptions::default())
-            .unwrap();
-        let rp = run_rp(&rel, &q, &ClusterConfig::fast_ethernet(4), &RunOptions::default())
-            .unwrap();
+        let bpp = run_bpp(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(4),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let rp = run_rp(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(4),
+            &RunOptions::default(),
+        )
+        .unwrap();
         assert!(bpp.stats.peak_mem_bytes() < rp.stats.peak_mem_bytes());
     }
 }

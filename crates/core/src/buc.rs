@@ -38,7 +38,15 @@ pub fn buc_depth_first<S: CellSink>(
         return;
     }
     debug_assert_eq!(task.d, rel.arity());
-    let mut eng = Engine { rel, minsup, d: task.d, node, sink, part: Partitioner::new(), key: Vec::new() };
+    let mut eng = Engine {
+        rel,
+        minsup,
+        d: task.d,
+        node,
+        sink,
+        part: Partitioner::new(),
+        key: Vec::new(),
+    };
     let mut idx = full_index(rel);
     let rdims = task.root.dims();
     eng.df_descend(&mut idx, &rdims, 0, task);
@@ -56,7 +64,15 @@ pub fn bpp_buc<S: CellSink>(
         return;
     }
     debug_assert_eq!(task.d, rel.arity());
-    let mut eng = Engine { rel, minsup, d: task.d, node, sink, part: Partitioner::new(), key: Vec::new() };
+    let mut eng = Engine {
+        rel,
+        minsup,
+        d: task.d,
+        node,
+        sink,
+        part: Partitioner::new(),
+        key: Vec::new(),
+    };
     let idx = full_index(rel);
     let groups = vec![(0u32, rel.len() as u32)];
     eng.bpp_from_root(idx, groups, task);
@@ -84,7 +100,15 @@ pub fn bpp_buc_presorted<S: CellSink>(
         return;
     }
     debug_assert_eq!(task.d, rel.arity());
-    let mut eng = Engine { rel, minsup, d: task.d, node, sink, part: Partitioner::new(), key: Vec::new() };
+    let mut eng = Engine {
+        rel,
+        minsup,
+        d: task.d,
+        node,
+        sink,
+        part: Partitioner::new(),
+        key: Vec::new(),
+    };
     if task.root.is_all() {
         for k in task.from_dim..task.d {
             eng.bpp_recurse(idx.to_vec(), groups.to_vec(), CuboidMask::ALL, k);
@@ -148,7 +172,8 @@ impl<'a, S: CellSink> Engine<'a, S> {
         let dim = rdims[depth];
         let mut groups = Vec::new();
         let len = idx.len() as u32;
-        self.part.split(self.rel, idx, (0, len), dim, self.node, &mut groups);
+        self.part
+            .split(self.rel, idx, (0, len), dim, self.node, &mut groups);
         let last = depth + 1 == rdims.len();
         for (s, e) in groups {
             if ((e - s) as u64) < self.minsup {
@@ -173,7 +198,8 @@ impl<'a, S: CellSink> Engine<'a, S> {
         for k in from..self.d {
             let mut groups = Vec::new();
             let len = idx.len() as u32;
-            self.part.split(self.rel, idx, (0, len), k, self.node, &mut groups);
+            self.part
+                .split(self.rel, idx, (0, len), k, self.node, &mut groups);
             let child = mask.with_dim(k);
             for (s, e) in groups {
                 if ((e - s) as u64) < self.minsup {
@@ -204,7 +230,8 @@ impl<'a, S: CellSink> Engine<'a, S> {
         let mut mask = CuboidMask::ALL;
         for (i, &dim) in rdims.iter().enumerate() {
             let mut fine = Vec::new();
-            self.part.refine(self.rel, &mut idx, &groups, dim, self.node, &mut fine);
+            self.part
+                .refine(self.rel, &mut idx, &groups, dim, self.node, &mut fine);
             mask = mask.with_dim(dim);
             if i + 1 == rdims.len() {
                 let (pi, pg) = self.emit_cuboid_and_prune(&idx, &fine, mask);
@@ -228,7 +255,8 @@ impl<'a, S: CellSink> Engine<'a, S> {
     /// write the whole cuboid `mask ∪ {k}` contiguously, prune, recurse.
     fn bpp_recurse(&mut self, mut idx: Vec<u32>, groups: Vec<Group>, mask: CuboidMask, k: usize) {
         let mut fine = Vec::new();
-        self.part.refine(self.rel, &mut idx, &groups, k, self.node, &mut fine);
+        self.part
+            .refine(self.rel, &mut idx, &groups, k, self.node, &mut fine);
         let child = mask.with_dim(k);
         let (pruned_idx, pruned_groups) = self.emit_cuboid_and_prune(&idx, &fine, child);
         if pruned_idx.is_empty() {
@@ -360,8 +388,7 @@ mod tests {
             for &task in &tasks {
                 let (mut cells, _) = run_engine(&rel, minsup, task, false);
                 // Each task emits only its own cuboids.
-                let members: std::collections::HashSet<_> =
-                    task.members().into_iter().collect();
+                let members: std::collections::HashSet<_> = task.members().into_iter().collect();
                 assert!(cells.iter().all(|c| members.contains(&c.cuboid)));
                 all.append(&mut cells);
             }

@@ -58,7 +58,10 @@ pub struct CellBuf {
 impl CellBuf {
     /// A sink that retains every cell.
     pub fn collecting() -> Self {
-        CellBuf { collect: true, ..CellBuf::default() }
+        CellBuf {
+            collect: true,
+            ..CellBuf::default()
+        }
     }
 
     /// A sink that only counts.
@@ -77,7 +80,11 @@ impl CellSink for CellBuf {
         self.count += 1;
         self.bytes += Cell::disk_bytes(key.len());
         if self.collect {
-            self.cells.push(Cell { cuboid, key: key.to_vec(), agg: *agg });
+            self.cells.push(Cell {
+                cuboid,
+                key: key.to_vec(),
+                agg: *agg,
+            });
         }
     }
 }
@@ -102,7 +109,11 @@ mod tests {
     fn byte_accounting() {
         assert_eq!(Cell::disk_bytes(0), 16);
         assert_eq!(Cell::disk_bytes(9), 52);
-        let c = Cell { cuboid: CuboidMask::from_dims(&[0, 2]), key: vec![1, 2], agg: Aggregate::of(5) };
+        let c = Cell {
+            cuboid: CuboidMask::from_dims(&[0, 2]),
+            key: vec![1, 2],
+            agg: Aggregate::of(5),
+        };
         assert_eq!(c.byte_size(), 24);
     }
 

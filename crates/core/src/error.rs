@@ -26,6 +26,17 @@ pub enum AlgoError {
     /// The relation holds no rows; the cube is empty and the algorithms
     /// have nothing meaningful to schedule.
     EmptyInput,
+    /// A stored cube computed at minimum support `stored` was asked for a
+    /// threshold below it (Section 5: "if the threshold set by online
+    /// queries differs from what the precomputation assumed, precomputed
+    /// cuboids can no longer be used"). Answering would require
+    /// recomputation or online aggregation, not this store.
+    ThresholdTooLow {
+        /// Minimum support the store was computed at.
+        stored: u64,
+        /// The (lower) threshold the query asked for.
+        requested: u64,
+    },
     /// Underlying data error.
     Data(icecube_data::DataError),
 }
@@ -33,15 +44,27 @@ pub enum AlgoError {
 impl fmt::Display for AlgoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AlgoError::DimensionMismatch { query_dims, relation_dims } => write!(
+            AlgoError::DimensionMismatch {
+                query_dims,
+                relation_dims,
+            } => write!(
                 f,
                 "query names {query_dims} dimensions but the relation has {relation_dims}"
             ),
-            AlgoError::MemoryExhausted { node, required_bytes, available_bytes } => write!(
+            AlgoError::MemoryExhausted {
+                node,
+                required_bytes,
+                available_bytes,
+            } => write!(
                 f,
                 "node {node} out of memory: needs {required_bytes} bytes, has {available_bytes}"
             ),
             AlgoError::EmptyInput => write!(f, "input relation is empty"),
+            AlgoError::ThresholdTooLow { stored, requested } => write!(
+                f,
+                "store computed at minsup {stored} cannot answer threshold {requested}; \
+                 recompute or aggregate online"
+            ),
             AlgoError::Data(e) => write!(f, "data error: {e}"),
         }
     }
@@ -68,10 +91,23 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = AlgoError::MemoryExhausted { node: 3, required_bytes: 10, available_bytes: 5 };
+        let e = AlgoError::MemoryExhausted {
+            node: 3,
+            required_bytes: 10,
+            available_bytes: 5,
+        };
         assert!(e.to_string().contains("node 3"));
-        let e = AlgoError::DimensionMismatch { query_dims: 4, relation_dims: 9 };
+        let e = AlgoError::DimensionMismatch {
+            query_dims: 4,
+            relation_dims: 9,
+        };
         assert!(e.to_string().contains('4'));
         assert!(e.to_string().contains('9'));
+        let e = AlgoError::ThresholdTooLow {
+            stored: 5,
+            requested: 2,
+        };
+        assert!(e.to_string().contains("cannot answer threshold 2"));
+        assert!(e.to_string().contains("minsup 5"));
     }
 }

@@ -53,7 +53,10 @@ struct HashTree {
 
 impl HashTree {
     fn build(candidates: &[Vec<u32>], k: usize) -> Self {
-        let mut tree = HashTree { root: HNode::Leaf(Vec::new()), visits: 0 };
+        let mut tree = HashTree {
+            root: HNode::Leaf(Vec::new()),
+            visits: 0,
+        };
         for (ci, _) in candidates.iter().enumerate() {
             Self::insert(&mut tree.root, candidates, ci, 0, k);
         }
@@ -64,8 +67,9 @@ impl HashTree {
         match node {
             HNode::Internal(children) => {
                 let item = candidates[ci][depth];
-                let child =
-                    children.entry(item).or_insert_with(|| HNode::Leaf(Vec::new()));
+                let child = children
+                    .entry(item)
+                    .or_insert_with(|| HNode::Leaf(Vec::new()));
                 Self::insert(child, candidates, ci, depth + 1, k);
             }
             HNode::Leaf(list) => {
@@ -77,8 +81,7 @@ impl HashTree {
                     if let HNode::Internal(ch) = node {
                         for mi in moved {
                             let item = candidates[mi][depth];
-                            let child =
-                                ch.entry(item).or_insert_with(|| HNode::Leaf(Vec::new()));
+                            let child = ch.entry(item).or_insert_with(|| HNode::Leaf(Vec::new()));
                             Self::insert(child, candidates, mi, depth + 1, k);
                         }
                     }
@@ -151,8 +154,11 @@ pub fn run_hash_tree(
     opts: &RunOptions,
 ) -> Result<RunOutcome, AlgoError> {
     let mut cluster = SimCluster::new(config.clone());
-    let mut sink =
-        if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() };
+    let mut sink = if opts.collect_cells {
+        CellBuf::collecting()
+    } else {
+        CellBuf::counting()
+    };
     {
         let node = &mut cluster.nodes[0];
         node.read_bytes(rel.byte_size());
@@ -187,16 +193,17 @@ fn apriori<S: CellSink>(
         v
     };
     let total_items = offsets[d - 1] + rel.schema().cardinality(d - 1);
-    let dim_of = |item: u32| -> usize {
-        offsets.partition_point(|&o| o <= item) - 1
-    };
+    let dim_of = |item: u32| -> usize { offsets.partition_point(|&o| o <= item) - 1 };
 
     // Level 1: count every item in one scan.
     let mut item_aggs: Vec<Aggregate> = vec![Aggregate::empty(); total_items as usize];
     let mut tuple_items: Vec<Vec<u32>> = Vec::with_capacity(rel.len());
     for (row, m) in rel.rows() {
-        let items: Vec<u32> =
-            row.iter().enumerate().map(|(dim, &v)| offsets[dim] + v).collect();
+        let items: Vec<u32> = row
+            .iter()
+            .enumerate()
+            .map(|(dim, &v)| offsets[dim] + v)
+            .collect();
         for &it in &items {
             item_aggs[it as usize].update(m);
         }
@@ -213,8 +220,7 @@ fn apriori<S: CellSink>(
             frequent.push(itemset);
         }
     }
-    let mut frequent_set: std::collections::HashSet<Vec<u32>> =
-        frequent.iter().cloned().collect();
+    let mut frequent_set: std::collections::HashSet<Vec<u32>> = frequent.iter().cloned().collect();
 
     // Levels 2..=d: candidate generation, hash-tree counting, pruning.
     for k in 2..=d {
@@ -268,10 +274,13 @@ fn apriori<S: CellSink>(
         node.charge_hash_probes(tree.visits);
 
         // Second pass for the measure aggregates of the frequent ones.
-        let survivors: Vec<usize> =
-            (0..candidates.len()).filter(|&i| counts[i] >= query.minsup).collect();
-        let mut aggs: HashMap<&[u32], Aggregate> =
-            survivors.iter().map(|&i| (candidates[i].as_slice(), Aggregate::empty())).collect();
+        let survivors: Vec<usize> = (0..candidates.len())
+            .filter(|&i| counts[i] >= query.minsup)
+            .collect();
+        let mut aggs: HashMap<&[u32], Aggregate> = survivors
+            .iter()
+            .map(|&i| (candidates[i].as_slice(), Aggregate::empty()))
+            .collect();
         if !survivors.is_empty() {
             for (items, (_, m)) in tuple_items.iter().zip(rel.rows()) {
                 for (key, agg) in aggs.iter_mut() {
@@ -368,15 +377,14 @@ mod tests {
         // The paper's finding, reproduced: give the node a realistically
         // small memory and a high-cardinality dataset; candidate
         // generation at level 2 must abort.
-        let spec = icecube_data::SyntheticSpec::uniform(
-            20_000,
-            vec![4000, 4000, 4000, 4000],
-            5,
-        );
+        let spec = icecube_data::SyntheticSpec::uniform(20_000, vec![4000, 4000, 4000, 4000], 5);
         let rel = spec.generate().unwrap();
         let q = IcebergQuery::count_cube(4, 1);
         let mut cfg = ClusterConfig::fast_ethernet(1);
-        cfg.nodes[0] = NodeSpec { mhz: 500, mem_mb: 8 };
+        cfg.nodes[0] = NodeSpec {
+            mhz: 500,
+            mem_mb: 8,
+        };
         let err = run_hash_tree(&rel, &q, &cfg, &RunOptions::default()).unwrap_err();
         assert!(
             matches!(err, AlgoError::MemoryExhausted { .. }),
@@ -388,9 +396,13 @@ mod tests {
     fn only_node_zero_works() {
         let rel = sales();
         let q = IcebergQuery::count_cube(3, 2);
-        let out =
-            run_hash_tree(&rel, &q, &ClusterConfig::fast_ethernet(4), &RunOptions::default())
-                .unwrap();
+        let out = run_hash_tree(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(4),
+            &RunOptions::default(),
+        )
+        .unwrap();
         let stats = out.stats.nodes();
         assert!(stats[0].cpu_ns > 0);
         assert_eq!(stats[1].cells_written, 0);

@@ -49,7 +49,9 @@ pub mod topdown;
 pub mod verify;
 
 pub use agg::{AggClass, Aggregate};
-pub use algorithms::{run_parallel, run_parallel_with, AlgoFeatures, Algorithm, RunOptions, RunOutcome};
+pub use algorithms::{
+    run_parallel, run_parallel_with, AlgoFeatures, Algorithm, RunOptions, RunOutcome,
+};
 pub use cell::{Cell, CellBuf, CellSink};
 pub use error::AlgoError;
 pub use query::IcebergQuery;

@@ -15,7 +15,11 @@ use std::collections::HashMap;
 /// Computes the iceberg cube by brute force, returning cells sorted
 /// canonically (cuboid, then key).
 pub fn naive_iceberg_cube(rel: &Relation, query: &IcebergQuery) -> Vec<Cell> {
-    assert_eq!(query.dims, rel.arity(), "query dims must match the relation");
+    assert_eq!(
+        query.dims,
+        rel.arity(),
+        "query dims must match the relation"
+    );
     let lattice = Lattice::new(query.dims);
     let mut out = Vec::new();
     for cuboid in lattice.cuboids() {
@@ -31,7 +35,10 @@ pub fn naive_cuboid(rel: &Relation, cuboid: CuboidMask, minsup: u64, out: &mut V
     let mut key = vec![0u32; cuboid.dim_count()];
     for (row, m) in rel.rows() {
         cuboid.project_row(row, &mut key);
-        groups.entry(key.clone()).or_insert_with(Aggregate::empty).update(m);
+        groups
+            .entry(key.clone())
+            .or_insert_with(Aggregate::empty)
+            .update(m);
     }
     for (key, agg) in groups {
         if agg.meets(minsup) {
@@ -69,12 +76,12 @@ mod tests {
         assert_eq!(find(&[1], &[1]), 314); // ALL, 1991, ALL (paper row)
         assert_eq!(find(&[0, 1], &[0, 0]), 154); // Chevy, 1990, ALL (paper row)
         assert_eq!(find(&[0, 1, 2], &[0, 0, 1]), 87); // Chevy, 1990, white
-        // Derived sums over the base tuples.
+                                                      // Derived sums over the base tuples.
         assert_eq!(find(&[0], &[0]), 508); // Chevy, ALL, ALL
         assert_eq!(find(&[0], &[1]), 433); // Ford, ALL, ALL
         assert_eq!(find(&[0, 2], &[1, 2]), 157); // Ford, ALL, blue
         assert_eq!(find(&[1, 2], &[2, 0]), 58); // ALL, 1992, red
-        // Roll-up consistency: Chevy + Ford = grand total.
+                                                // Roll-up consistency: Chevy + Ford = grand total.
         assert_eq!(find(&[0], &[0]) + find(&[0], &[1]), r.total_measure());
     }
 
@@ -99,8 +106,11 @@ mod tests {
         let cells = naive_iceberg_cube(&r, &q);
         let l = Lattice::new(4);
         for cuboid in l.cuboids() {
-            let total: u64 =
-                cells.iter().filter(|c| c.cuboid == cuboid).map(|c| c.agg.count).sum();
+            let total: u64 = cells
+                .iter()
+                .filter(|c| c.cuboid == cuboid)
+                .map(|c| c.agg.count)
+                .sum();
             assert_eq!(total, r.len() as u64, "cuboid {cuboid}");
         }
     }

@@ -99,7 +99,11 @@ pub fn overlap<S: CellSink>(
     node: &mut SimNode,
     sink: &mut S,
 ) {
-    assert_eq!(query.dims, rel.arity(), "query dims must match the relation");
+    assert_eq!(
+        query.dims,
+        rel.arity(),
+        "query dims must match the relation"
+    );
     if rel.is_empty() {
         return;
     }
@@ -121,8 +125,7 @@ pub fn overlap<S: CellSink>(
     }
 
     // Top-down by level.
-    let mut order_by_level: Vec<CuboidMask> =
-        lattice.cuboids().filter(|&g| g != top).collect();
+    let mut order_by_level: Vec<CuboidMask> = lattice.cuboids().filter(|&g| g != top).collect();
     order_by_level.sort_unstable_by(|a, b| b.dim_count().cmp(&a.dim_count()).then(a.cmp(b)));
     for g in order_by_level {
         let (p, shared) = the_plan.parents[&g];
@@ -189,8 +192,10 @@ fn from_parent(
             end += 1;
         }
         // Project and sort this partition independently on the suffix.
-        let mut part: Cells =
-            parent[start..end].iter().map(|(k, a)| (project(k), *a)).collect();
+        let mut part: Cells = parent[start..end]
+            .iter()
+            .map(|(k, a)| (project(k), *a))
+            .collect();
         part.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let m = (end - start) as u64;
         sorted_elems += m * m.max(2).ilog2() as u64;
@@ -218,7 +223,11 @@ fn emit<S: CellSink>(cells: &Cells, g: CuboidMask, minsup: u64, node: &mut SimNo
         }
     }
     if emitted > 0 {
-        node.write_cells(g.bits() as u64, emitted * Cell::disk_bytes(g.dim_count()), emitted);
+        node.write_cells(
+            g.bits() as u64,
+            emitted * Cell::disk_bytes(g.dim_count()),
+            emitted,
+        );
     }
 }
 
@@ -269,7 +278,10 @@ mod tests {
         assert_eq!(parent, CuboidMask::from_dims(&[0, 1, 2]));
         // BD's best parents: ABD (shared 0) vs BCD (shared 1) → BCD.
         let bd = CuboidMask::from_dims(&[1, 3]);
-        assert_eq!(p.parent_of(bd).unwrap().0, CuboidMask::from_dims(&[1, 2, 3]));
+        assert_eq!(
+            p.parent_of(bd).unwrap().0,
+            CuboidMask::from_dims(&[1, 2, 3])
+        );
         assert!(p.mean_overlap() > 0.5);
     }
 

@@ -80,7 +80,11 @@ pub fn pipehash<S: CellSink>(
     node: &mut SimNode,
     sink: &mut S,
 ) {
-    assert_eq!(query.dims, rel.arity(), "query dims must match the relation");
+    assert_eq!(
+        query.dims,
+        rel.arity(),
+        "query dims must match the relation"
+    );
     if rel.is_empty() {
         return;
     }
@@ -144,9 +148,11 @@ pub fn pipehash<S: CellSink>(
                 .sum();
             node.free(freed);
         }
-        node.alloc(tables.get(&lattice.top()).map_or(0, |t| {
-            t.len() as u64 * cell_mem(query.dims)
-        }));
+        node.alloc(
+            tables
+                .get(&lattice.top())
+                .map_or(0, |t| t.len() as u64 * cell_mem(query.dims)),
+        );
         // Now the cuboids NOT containing the split attribute, top-down by
         // level from their MST parents (re-rooted through the top table).
         let mut rest: Vec<CuboidMask> = lattice
@@ -185,7 +191,10 @@ fn build_all<S: CellSink>(
     let top = lattice.top();
     let mut top_table: Table = HashMap::with_capacity(rel.len());
     for (row, m) in rel.rows() {
-        top_table.entry(row.to_vec()).or_insert_with(Aggregate::empty).update(m);
+        top_table
+            .entry(row.to_vec())
+            .or_insert_with(Aggregate::empty)
+            .update(m);
     }
     node.charge_scan(rel.len() as u64);
     node.charge_hash_probes(rel.len() as u64);
@@ -242,7 +251,9 @@ fn aggregate_from(parent: &Table, p: CuboidMask, child: CuboidMask, node: &mut S
         for (slot, &pos) in key.iter_mut().zip(&positions) {
             *slot = k[pos];
         }
-        out.entry(key.clone()).or_insert_with(Aggregate::empty).merge(a);
+        out.entry(key.clone())
+            .or_insert_with(Aggregate::empty)
+            .merge(a);
     }
     node.charge_scan(parent.len() as u64);
     node.charge_hash_probes(parent.len() as u64);
@@ -266,7 +277,11 @@ fn emit_table<S: CellSink>(
         }
     }
     if emitted > 0 {
-        node.write_cells(g.bits() as u64, emitted * Cell::disk_bytes(g.dim_count()), emitted);
+        node.write_cells(
+            g.bits() as u64,
+            emitted * Cell::disk_bytes(g.dim_count()),
+            emitted,
+        );
     }
 }
 
@@ -306,8 +321,7 @@ mod tests {
             let rel = presets::tiny(seed).generate().unwrap();
             for minsup in [1, 2] {
                 let got = run(&rel, minsup, 4_000);
-                let want =
-                    naive_iceberg_cube(&rel, &IcebergQuery::count_cube(4, minsup));
+                let want = naive_iceberg_cube(&rel, &IcebergQuery::count_cube(4, minsup));
                 assert_eq!(got, want, "seed {seed} minsup {minsup}");
             }
         }
@@ -339,8 +353,7 @@ mod tests {
         pipehash(&rel, &q, 2_000, &mut scarce.nodes[0], &mut sink2);
         assert_eq!(sink.count, sink2.count);
         assert!(
-            scarce.nodes[0].stats.peak_mem_bytes
-                < plentiful.nodes[0].stats.peak_mem_bytes,
+            scarce.nodes[0].stats.peak_mem_bytes < plentiful.nodes[0].stats.peak_mem_bytes,
             "partitioning must lower the peak ({} vs {})",
             scarce.nodes[0].stats.peak_mem_bytes,
             plentiful.nodes[0].stats.peak_mem_bytes

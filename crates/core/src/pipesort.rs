@@ -164,7 +164,11 @@ pub fn plan(dims: usize, cards: &[u32], tuples: usize) -> PipeSortPlan {
             };
             nodes.insert(
                 cur,
-                PlanNode { order: order.clone(), parent, pipelined },
+                PlanNode {
+                    order: order.clone(),
+                    parent,
+                    pipelined,
+                },
             );
             // Does `cur`'s parent pipeline into it? Then extend the order.
             match parent {
@@ -191,7 +195,11 @@ pub fn pipesort<S: CellSink>(
     node: &mut SimNode,
     sink: &mut S,
 ) {
-    assert_eq!(query.dims, rel.arity(), "query dims must match the relation");
+    assert_eq!(
+        query.dims,
+        rel.arity(),
+        "query dims must match the relation"
+    );
     if rel.is_empty() {
         return;
     }
@@ -291,7 +299,10 @@ fn sort_raw(rel: &Relation, order: &[usize], node: &mut SimNode) -> Cells {
     let mut idx: Vec<u32> = (0..rel.len() as u32).collect();
     idx.sort_unstable_by(|&a, &b| {
         let (ra, rb) = (rel.row(a as usize), rel.row(b as usize));
-        order.iter().map(|&d| ra[d]).cmp(order.iter().map(|&d| rb[d]))
+        order
+            .iter()
+            .map(|&d| ra[d])
+            .cmp(order.iter().map(|&d| rb[d]))
     });
     let n = rel.len() as u64;
     node.charge_comparisons(n * (n.max(2).ilog2() as u64) * order.len() as u64);
@@ -313,10 +324,20 @@ fn sort_raw(rel: &Relation, order: &[usize], node: &mut SimNode) -> Cells {
 
 /// Re-sorts a parent's cells from its order into the head's order
 /// (projecting away the parent's extra dimension).
-fn resort(parent: &Cells, parent_order: &[usize], head_order: &[usize], node: &mut SimNode) -> Cells {
+fn resort(
+    parent: &Cells,
+    parent_order: &[usize],
+    head_order: &[usize],
+    node: &mut SimNode,
+) -> Cells {
     let positions: Vec<usize> = head_order
         .iter()
-        .map(|d| parent_order.iter().position(|p| p == d).expect("head ⊂ parent"))
+        .map(|d| {
+            parent_order
+                .iter()
+                .position(|p| p == d)
+                .expect("head ⊂ parent")
+        })
         .collect();
     let mut projected: Cells = parent
         .iter()
@@ -363,10 +384,8 @@ fn run_pipeline<S: CellSink>(
             let prefix = &key[..len];
             if running[mi].0.as_slice() != prefix {
                 if running[mi].1.count > 0 {
-                    let (k, a) = std::mem::replace(
-                        &mut running[mi],
-                        (prefix.to_vec(), Aggregate::empty()),
-                    );
+                    let (k, a) =
+                        std::mem::replace(&mut running[mi], (prefix.to_vec(), Aggregate::empty()));
                     outputs[mi].push((k, a));
                 } else {
                     running[mi].0.clear();
@@ -453,8 +472,7 @@ mod tests {
             let rel = presets::tiny(seed).generate().unwrap();
             for minsup in [1, 3] {
                 let got = run(&rel, minsup);
-                let want =
-                    naive_iceberg_cube(&rel, &IcebergQuery::count_cube(4, minsup));
+                let want = naive_iceberg_cube(&rel, &IcebergQuery::count_cube(4, minsup));
                 assert_eq!(got, want, "seed {seed} minsup {minsup}");
             }
         }
@@ -508,8 +526,9 @@ mod tests {
         // parent, and chain every cuboid up to a head.
         for d in 2..=7usize {
             for profile in 0..4u32 {
-                let cards: Vec<u32> =
-                    (0..d).map(|i| 2 + ((i as u32 + 1) * (profile + 3)) % 97).collect();
+                let cards: Vec<u32> = (0..d)
+                    .map(|i| 2 + ((i as u32 + 1) * (profile + 3)) % 97)
+                    .collect();
                 let p = plan(d, &cards, 10_000);
                 let l = Lattice::new(d);
                 for g in l.cuboids() {

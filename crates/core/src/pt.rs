@@ -40,7 +40,11 @@ impl SortCache {
     /// root-level groups. Charges only the refinement passes actually run.
     fn prepare(&mut self, rel: &Relation, root_dims: &[usize], affinity: bool, node: &mut SimNode) {
         let shared = if affinity && !self.idx.is_empty() {
-            self.root_dims.iter().zip(root_dims).take_while(|(a, b)| a == b).count()
+            self.root_dims
+                .iter()
+                .zip(root_dims)
+                .take_while(|(a, b)| a == b)
+                .count()
         } else {
             0
         };
@@ -59,7 +63,8 @@ impl SortCache {
                 None => vec![(0, self.idx.len() as u32)],
             };
             let mut fine = Vec::new();
-            self.part.refine(rel, &mut self.idx, &base, dim, node, &mut fine);
+            self.part
+                .refine(rel, &mut self.idx, &base, dim, node, &mut fine);
             self.levels.push(fine);
             self.root_dims.push(dim);
         }
@@ -88,7 +93,12 @@ fn pick_task(
     let pos = match (affinity, prev_root_dims) {
         (true, Some(prev)) => {
             let score = |t: &TreeTask| -> usize {
-                t.root.dims().iter().zip(prev).take_while(|(a, b)| a == b).count()
+                t.root
+                    .dims()
+                    .iter()
+                    .zip(prev)
+                    .take_while(|(a, b)| a == b)
+                    .count()
             };
             // Earliest (largest) task among those with the best score.
             let mut best = 0usize;
@@ -124,15 +134,19 @@ pub fn run_pt(
     let mut caches: Vec<SortCache> = (0..n).map(|_| SortCache::default()).collect();
     let mut prev_roots: Vec<Option<Vec<usize>>> = vec![None; n];
     let mut sinks: Vec<CellBuf> = (0..n)
-        .map(|_| if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() })
+        .map(|_| {
+            if opts.collect_cells {
+                CellBuf::collecting()
+            } else {
+                CellBuf::counting()
+            }
+        })
         .collect();
     let minsup = query.minsup;
     let affinity = opts.affinity;
 
     run_demand_steps(&mut cluster, |cluster, node_id| {
-        let Some(task) =
-            pick_task(&mut remaining, prev_roots[node_id].as_deref(), affinity)
-        else {
+        let Some(task) = pick_task(&mut remaining, prev_roots[node_id].as_deref(), affinity) else {
             return false;
         };
         let node = &mut cluster.nodes[node_id];
@@ -141,7 +155,15 @@ pub fn run_pt(
         let cache = &mut caches[node_id];
         cache.prepare(rel, &root_dims, affinity, node);
         let groups = cache.groups();
-        bpp_buc_presorted(rel, minsup, task, &cache.idx, &groups, node, &mut sinks[node_id]);
+        bpp_buc_presorted(
+            rel,
+            minsup,
+            task,
+            &cache.idx,
+            &groups,
+            node,
+            &mut sinks[node_id],
+        );
         prev_roots[node_id] = Some(root_dims);
         true
     });
@@ -160,10 +182,17 @@ mod tests {
     fn check(rel: &Relation, minsup: u64, nodes: usize, ratio: usize) {
         let q = IcebergQuery::count_cube(rel.arity(), minsup);
         let cfg = ClusterConfig::fast_ethernet(nodes);
-        let opts = RunOptions { pt_task_ratio: ratio, ..RunOptions::default() };
+        let opts = RunOptions {
+            pt_task_ratio: ratio,
+            ..RunOptions::default()
+        };
         let out = run_pt(rel, &q, &cfg, &opts).unwrap();
         let want = naive_iceberg_cube(rel, &q);
-        assert_same_cells(want, out.cells, &format!("PT n={nodes} minsup={minsup} r={ratio}"));
+        assert_same_cells(
+            want,
+            out.cells,
+            &format!("PT n={nodes} minsup={minsup} r={ratio}"),
+        );
     }
 
     #[test]
@@ -190,7 +219,10 @@ mod tests {
             &rel,
             &q,
             &ClusterConfig::fast_ethernet(3),
-            &RunOptions { affinity: false, ..RunOptions::default() },
+            &RunOptions {
+                affinity: false,
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         let want = naive_iceberg_cube(&rel, &q);
@@ -226,7 +258,10 @@ mod tests {
             &rel,
             &q,
             &cfg,
-            &RunOptions { affinity: false, ..RunOptions::default() },
+            &RunOptions {
+                affinity: false,
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         let cpu = |o: &RunOutcome| o.stats.nodes()[0].cpu_ns;
@@ -244,14 +279,20 @@ mod tests {
             &rel,
             &q,
             &cfg,
-            &RunOptions { pt_task_ratio: 1, ..RunOptions::default() },
+            &RunOptions {
+                pt_task_ratio: 1,
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         let fine = run_pt(
             &rel,
             &q,
             &cfg,
-            &RunOptions { pt_task_ratio: 32, ..RunOptions::default() },
+            &RunOptions {
+                pt_task_ratio: 32,
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         assert!(fine.stats.imbalance() <= coarse.stats.imbalance() + 0.25);
@@ -262,8 +303,17 @@ mod tests {
     fn strong_load_balance_on_eight_nodes() {
         let rel = presets::tiny(10).generate().unwrap();
         let q = IcebergQuery::count_cube(4, 2);
-        let out = run_pt(&rel, &q, &ClusterConfig::fast_ethernet(8), &RunOptions::default())
-            .unwrap();
-        assert!(out.stats.imbalance() < 1.8, "imbalance {}", out.stats.imbalance());
+        let out = run_pt(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(8),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            out.stats.imbalance() < 1.8,
+            "imbalance {}",
+            out.stats.imbalance()
+        );
     }
 }

@@ -135,7 +135,12 @@ pub fn recommend(p: &CubeProfile) -> Vec<Choice> {
     if p.dims < SMALL_DIMENSIONALITY {
         // "almost all algorithms behave similarly. RP may have a slight
         // edge in that it is the simplest to implement."
-        return vec![Choice::Algo(Rp), Choice::Algo(Pt), Choice::Algo(Asl), Choice::Algo(Aht)];
+        return vec![
+            Choice::Algo(Rp),
+            Choice::Algo(Pt),
+            Choice::Algo(Asl),
+            Choice::Algo(Aht),
+        ];
     }
     // "For all other situations … PT, AHT and ASL are relatively close,
     // with PT typically a constant factor faster."

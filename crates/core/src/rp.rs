@@ -32,7 +32,13 @@ pub fn run_rp(
     load_replicated(&mut cluster, rel);
     let d = query.dims;
     let mut sinks: Vec<CellBuf> = (0..n)
-        .map(|_| if opts.collect_cells { CellBuf::collecting() } else { CellBuf::counting() })
+        .map(|_| {
+            if opts.collect_cells {
+                CellBuf::collecting()
+            } else {
+                CellBuf::counting()
+            }
+        })
         .collect();
     // Static round-robin assignment: subtree rooted at dimension i goes to
     // processor i mod n. With more processors than dimensions, some idle.
@@ -85,11 +91,20 @@ mod tests {
         // does far more work (the paper's Figure 4.1 observation).
         let rel = presets::tiny(5).generate().unwrap();
         let q = IcebergQuery::count_cube(4, 2);
-        let out = run_rp(&rel, &q, &ClusterConfig::fast_ethernet(4), &RunOptions::default())
-            .unwrap();
+        let out = run_rp(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(4),
+            &RunOptions::default(),
+        )
+        .unwrap();
         let loads = out.stats.loads_ns();
         assert!(loads[0] > loads[3], "loads {loads:?}");
-        assert!(out.stats.imbalance() > 1.1, "imbalance {}", out.stats.imbalance());
+        assert!(
+            out.stats.imbalance() > 1.1,
+            "imbalance {}",
+            out.stats.imbalance()
+        );
     }
 
     #[test]
@@ -98,10 +113,19 @@ mod tests {
         // break anything.
         let rel = sales();
         let q = IcebergQuery::count_cube(3, 1);
-        let out = run_rp(&rel, &q, &ClusterConfig::fast_ethernet(8), &RunOptions::default())
-            .unwrap();
-        let idle_nodes =
-            out.stats.nodes().iter().filter(|s| s.cells_written == 0).count();
+        let out = run_rp(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(8),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let idle_nodes = out
+            .stats
+            .nodes()
+            .iter()
+            .filter(|s| s.cells_written == 0)
+            .count();
         assert_eq!(idle_nodes, 5);
         let want = naive_iceberg_cube(&rel, &q);
         assert_same_cells(want, out.cells, "RP with idle processors");
@@ -111,9 +135,13 @@ mod tests {
     fn counting_mode_tracks_without_retaining() {
         let rel = sales();
         let q = IcebergQuery::count_cube(3, 1);
-        let counted =
-            run_rp(&rel, &q, &ClusterConfig::fast_ethernet(2), &RunOptions::counting())
-                .unwrap();
+        let counted = run_rp(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(2),
+            &RunOptions::counting(),
+        )
+        .unwrap();
         assert!(counted.cells.is_empty());
         assert_eq!(counted.total_cells, 47);
         assert_eq!(counted.stats.total_cells(), 47);

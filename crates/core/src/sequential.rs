@@ -115,10 +115,22 @@ pub fn run_sequential(
             }
         }
         SeqAlgorithm::Buc => {
-            buc_depth_first(rel, query.minsup, TreeTask::whole_lattice(query.dims), node, &mut sink);
+            buc_depth_first(
+                rel,
+                query.minsup,
+                TreeTask::whole_lattice(query.dims),
+                node,
+                &mut sink,
+            );
         }
         SeqAlgorithm::BppBuc => {
-            bpp_buc(rel, query.minsup, TreeTask::whole_lattice(query.dims), node, &mut sink);
+            bpp_buc(
+                rel,
+                query.minsup,
+                TreeTask::whole_lattice(query.dims),
+                node,
+                &mut sink,
+            );
         }
         SeqAlgorithm::TopDownShared => topdown_shared(rel, query, node, &mut sink),
         SeqAlgorithm::Overlap => crate::overlap::overlap(rel, query, node, &mut sink),
@@ -170,15 +182,20 @@ mod tests {
         let buc_drop = cpu(SeqAlgorithm::BppBuc, 1) as f64 / cpu(SeqAlgorithm::BppBuc, 8) as f64;
         let td_drop =
             cpu(SeqAlgorithm::TopDownShared, 1) as f64 / cpu(SeqAlgorithm::TopDownShared, 8) as f64;
-        assert!(buc_drop > td_drop, "BUC {buc_drop:.2}x vs TopDown {td_drop:.2}x");
+        assert!(
+            buc_drop > td_drop,
+            "BUC {buc_drop:.2}x vs TopDown {td_drop:.2}x"
+        );
         assert!(SeqAlgorithm::Buc.prunes());
         assert!(!SeqAlgorithm::PipeSort.prunes());
     }
 
     #[test]
     fn display_names_are_stable() {
-        let names: Vec<String> =
-            SeqAlgorithm::all().iter().map(ToString::to_string).collect();
+        let names: Vec<String> = SeqAlgorithm::all()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(
             names,
             ["Naive", "BUC", "BPP-BUC", "TopDown", "Overlap", "PipeSort", "PipeHash"]

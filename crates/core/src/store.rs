@@ -94,7 +94,11 @@ impl CubeStore {
             entry.keys.extend_from_slice(&cell.key);
             entry.aggs.push(cell.agg);
         }
-        CubeStore { dims, minsup, cuboids }
+        CubeStore {
+            dims,
+            minsup,
+            cuboids,
+        }
     }
 
     /// Builds a store from a parallel run's outcome (which must have been
@@ -148,19 +152,24 @@ impl CubeStore {
         stored.find(key).map(|i| &stored.aggs[i])
     }
 
-    /// All qualifying cells of one group-by at threshold `minsup`
-    /// (must be `>= self.minsup()`).
+    /// All qualifying cells of one group-by at threshold `minsup`.
+    ///
+    /// Thresholds below [`CubeStore::minsup`] are not answerable from a
+    /// precomputed iceberg cube (the sub-threshold cells were pruned at
+    /// computation time) and return [`AlgoError::ThresholdTooLow`] — a
+    /// typed error rather than a panic, so a serving layer can map it to a
+    /// clean error response instead of unwinding a worker thread.
     pub fn query(
         &self,
         g: CuboidMask,
         minsup: u64,
     ) -> Result<Vec<(Vec<u32>, Aggregate)>, AlgoError> {
-        assert!(
-            self.can_answer(minsup),
-            "store computed at minsup {} cannot answer threshold {minsup}; recompute or \
-             aggregate online",
-            self.minsup
-        );
+        if !self.can_answer(minsup) {
+            return Err(AlgoError::ThresholdTooLow {
+                stored: self.minsup,
+                requested: minsup,
+            });
+        }
         let Some(stored) = self.cuboid_or_err(g)? else {
             return Ok(Vec::new());
         };
@@ -178,7 +187,10 @@ impl CubeStore {
         dim: usize,
         value: u32,
     ) -> Result<Vec<(Vec<u32>, Aggregate)>, AlgoError> {
-        assert!(g.contains(dim), "slice dimension must belong to the group-by");
+        assert!(
+            g.contains(dim),
+            "slice dimension must belong to the group-by"
+        );
         let pos = g.iter_dims().position(|d| d == dim).expect("contained");
         let Some(stored) = self.cuboid_or_err(g)? else {
             return Ok(Vec::new());
@@ -278,8 +290,16 @@ impl CubeStore {
     }
 
     /// Deserializes a store written by [`CubeStore::write_to`].
+    ///
+    /// Hardened against hostile or damaged input: every malformed prefix of
+    /// a valid serialized store yields an `io::Error` (never a panic), and
+    /// allocation is bounded by the bytes actually present in the input —
+    /// a corrupt length field cannot force a huge up-front reservation.
     pub fn read_from<R: std::io::Read>(input: &mut R) -> std::io::Result<CubeStore> {
         use std::io::{Error, ErrorKind, Read};
+        // Upper bound on any single up-front reservation; vectors grow
+        // beyond it only as real input bytes arrive.
+        const RESERVE_CAP: usize = 1 << 16;
         fn r64<R: Read>(input: &mut R) -> std::io::Result<u64> {
             let mut buf = [0u8; 8];
             input.read_exact(&mut buf)?;
@@ -290,39 +310,52 @@ impl CubeStore {
             input.read_exact(&mut buf)?;
             Ok(i64::from_le_bytes(buf))
         }
+        fn bad(msg: impl Into<String>) -> Error {
+            Error::new(ErrorKind::InvalidData, msg.into())
+        }
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
         if magic != *MAGIC {
-            return Err(Error::new(ErrorKind::InvalidData, "not an icecube store"));
+            return Err(bad("not an icecube store"));
         }
         let version = r64(input)?;
         if version != 1 {
-            return Err(Error::new(
-                ErrorKind::InvalidData,
-                format!("unsupported store version {version}"),
-            ));
+            return Err(bad(format!("unsupported store version {version}")));
         }
-        let dims = r64(input)? as usize;
-        if dims == 0 || dims > 26 {
-            return Err(Error::new(ErrorKind::InvalidData, "corrupt dimension count"));
+        let dims64 = r64(input)?;
+        if dims64 == 0 || dims64 > 26 {
+            return Err(bad("corrupt dimension count"));
         }
+        let dims = dims64 as usize;
         let minsup = r64(input)?;
-        let cuboid_count = r64(input)? as usize;
-        if cuboid_count > (1usize << dims) {
-            return Err(Error::new(ErrorKind::InvalidData, "corrupt cuboid count"));
+        let cuboid_count64 = r64(input)?;
+        if cuboid_count64 > 1 << dims {
+            return Err(bad("corrupt cuboid count"));
         }
-        let mut cuboids = HashMap::with_capacity(cuboid_count);
+        let cuboid_count = cuboid_count64 as usize;
+        let mut cuboids = HashMap::with_capacity(cuboid_count.min(RESERVE_CAP));
         for _ in 0..cuboid_count {
-            let mask = CuboidMask::from_bits(r64(input)? as u32);
+            let bits = r64(input)?;
+            if bits == 0 || bits >= 1 << dims {
+                return Err(bad(format!(
+                    "cuboid mask {bits:#x} outside {dims} dimensions"
+                )));
+            }
+            let mask = CuboidMask::from_bits(bits as u32);
             let arity = mask.dim_count();
-            let cells = r64(input)? as usize;
-            let mut keys = vec![0u32; cells * arity];
-            for k in &mut keys {
+            let cells64 = r64(input)?;
+            let Some(key_words) = cells64.checked_mul(arity as u64) else {
+                return Err(bad("corrupt cell count"));
+            };
+            let cells = usize::try_from(cells64).map_err(|_| bad("corrupt cell count"))?;
+            let key_words = usize::try_from(key_words).map_err(|_| bad("corrupt cell count"))?;
+            let mut keys = Vec::with_capacity(key_words.min(RESERVE_CAP));
+            for _ in 0..key_words {
                 let mut buf = [0u8; 4];
                 input.read_exact(&mut buf)?;
-                *k = u32::from_le_bytes(buf);
+                keys.push(u32::from_le_bytes(buf));
             }
-            let mut aggs = Vec::with_capacity(cells);
+            let mut aggs = Vec::with_capacity(cells.min(RESERVE_CAP));
             for _ in 0..cells {
                 aggs.push(Aggregate {
                     count: r64(input)?,
@@ -331,9 +364,26 @@ impl CubeStore {
                     max: ri64(input)?,
                 });
             }
-            cuboids.insert(mask, StoredCuboid { keys, aggs, arity });
+            // Binary search over a cuboid requires strictly ascending keys;
+            // enforce it here so a length-consistent but scrambled file
+            // cannot produce a store that silently misses cells.
+            for i in 1..cells {
+                if keys[(i - 1) * arity..i * arity] >= keys[i * arity..(i + 1) * arity] {
+                    return Err(bad("cuboid keys not strictly ascending"));
+                }
+            }
+            if cuboids
+                .insert(mask, StoredCuboid { keys, aggs, arity })
+                .is_some()
+            {
+                return Err(bad("duplicate cuboid mask"));
+            }
         }
-        Ok(CubeStore { dims, minsup, cuboids })
+        Ok(CubeStore {
+            dims,
+            minsup,
+            cuboids,
+        })
     }
 
     /// Iterates all stored cells (unordered across cuboids).
@@ -345,6 +395,59 @@ impl CubeStore {
                 agg: stored.aggs[i],
             })
         })
+    }
+
+    /// Masks of every stored cuboid, ascending — the deterministic
+    /// iteration order sharding and serialization rely on.
+    pub fn cuboid_masks(&self) -> Vec<CuboidMask> {
+        let mut masks: Vec<CuboidMask> = self.cuboids.keys().copied().collect();
+        masks.sort_unstable();
+        masks
+    }
+
+    /// Number of cells stored for one cuboid (0 when absent).
+    pub fn cuboid_len(&self, g: CuboidMask) -> usize {
+        self.cuboids.get(&g).map_or(0, StoredCuboid::len)
+    }
+
+    /// Whether cuboid `g` was materialized in this store.
+    pub fn has_cuboid(&self, g: CuboidMask) -> bool {
+        self.cuboids.contains_key(&g)
+    }
+
+    /// Iterates one cuboid's cells in ascending key order (empty iterator
+    /// when the cuboid is absent).
+    pub fn cells_of(&self, g: CuboidMask) -> impl Iterator<Item = (&[u32], Aggregate)> + '_ {
+        let stored = self.cuboids.get(&g);
+        (0..stored.map_or(0, |s| s.len())).map(move |i| {
+            let s = stored.expect("nonzero length implies presence");
+            (s.key(i), s.aggs[i])
+        })
+    }
+
+    /// Even-quantile split keys dividing cuboid `g`'s cells into `parts`
+    /// contiguous key ranges, for range sharding: returns at most
+    /// `parts - 1` ascending keys; range `j` owns keys `k` with
+    /// `splits[j-1] <= k < splits[j]`. Duplicate split keys collapse, so
+    /// fewer than `parts - 1` keys can come back for tiny cuboids.
+    pub fn split_points(&self, g: CuboidMask, parts: usize) -> Vec<Vec<u32>> {
+        assert!(parts > 0, "need at least one part");
+        let Some(stored) = self.cuboids.get(&g) else {
+            return Vec::new();
+        };
+        let n = stored.len();
+        let mut splits: Vec<Vec<u32>> = Vec::with_capacity(parts.saturating_sub(1));
+        if n == 0 {
+            return splits;
+        }
+        for j in 1..parts {
+            let pos = (j * n / parts).min(n - 1);
+            let key = stored.key(pos);
+            if splits.last().map(Vec::as_slice) != Some(key) {
+                splits.push(key.to_vec());
+            }
+        }
+        splits
     }
 }
 
@@ -360,8 +463,7 @@ mod tests {
     fn store(minsup: u64) -> CubeStore {
         let rel = sales();
         let q = IcebergQuery::count_cube(3, minsup);
-        let out =
-            run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
+        let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
         CubeStore::from_outcome(3, minsup, out)
     }
 
@@ -389,10 +491,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot answer threshold")]
-    fn lower_threshold_is_refused() {
+    fn lower_threshold_is_a_typed_error() {
         let s = store(2);
-        let _ = s.query(CuboidMask::from_dims(&[0]), 1);
+        match s.query(CuboidMask::from_dims(&[0]), 1) {
+            Err(AlgoError::ThresholdTooLow {
+                stored: 2,
+                requested: 1,
+            }) => {}
+            other => panic!("expected ThresholdTooLow, got {other:?}"),
+        }
+        // The error carries the old panic message's wording for operators.
+        let e = s.query(CuboidMask::from_dims(&[0]), 1).unwrap_err();
+        assert!(e.to_string().contains("cannot answer threshold"));
     }
 
     #[test]
@@ -413,7 +523,10 @@ mod tests {
         assert_eq!(pkey, vec![0]);
         assert_eq!(agg.sum, 508);
         // Rolling up the last dimension reaches "all", which is special.
-        assert_eq!(s.roll_up(CuboidMask::from_dims(&[0]), &[0], 0).unwrap(), None);
+        assert_eq!(
+            s.roll_up(CuboidMask::from_dims(&[0]), &[0], 0).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -463,6 +576,128 @@ mod tests {
         store(1).write_to(&mut buf2).unwrap();
         buf2.truncate(buf2.len() - 3); // truncated file
         assert!(CubeStore::read_from(&mut buf2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn every_truncated_prefix_is_an_io_error() {
+        // The hardening satellite: any malformed prefix of a valid
+        // serialized store must fail cleanly — no panic, no over-allocation.
+        let mut buf = Vec::new();
+        store(1).write_to(&mut buf).unwrap();
+        assert!(CubeStore::read_from(&mut buf.as_slice()).is_ok());
+        for cut in 0..buf.len() {
+            let prefix = &buf[..cut];
+            assert!(
+                CubeStore::read_from(&mut &prefix[..]).is_err(),
+                "prefix of {cut}/{} bytes parsed successfully",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_lengths_do_not_overallocate() {
+        // A header claiming u64::MAX cells must fail at EOF, not reserve.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"ICECUBE1");
+        let w = |buf: &mut Vec<u8>, v: u64| buf.extend_from_slice(&v.to_le_bytes());
+        w(&mut buf, 1); // version
+        w(&mut buf, 3); // dims
+        w(&mut buf, 1); // minsup
+        w(&mut buf, 1); // one cuboid
+        w(&mut buf, 0b011); // mask {0,1}
+        w(&mut buf, u64::MAX); // absurd cell count
+        assert!(CubeStore::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_masks_and_orderings_are_rejected() {
+        let header = |cuboids: u64| {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(b"ICECUBE1");
+            for v in [1u64, 3, 1, cuboids] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            buf
+        };
+        let w64 = |buf: &mut Vec<u8>, v: u64| buf.extend_from_slice(&v.to_le_bytes());
+        let w32 = |buf: &mut Vec<u8>, v: u32| buf.extend_from_slice(&v.to_le_bytes());
+        let agg = |buf: &mut Vec<u8>| {
+            for v in [1u64, 0, 0, 0] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        // Mask naming dimension 3 in a 3-dimensional store.
+        let mut buf = header(1);
+        w64(&mut buf, 0b1000);
+        w64(&mut buf, 0);
+        assert!(CubeStore::read_from(&mut buf.as_slice()).is_err());
+        // The empty ("all") mask is never written by write_to.
+        let mut buf = header(1);
+        w64(&mut buf, 0);
+        w64(&mut buf, 0);
+        assert!(CubeStore::read_from(&mut buf.as_slice()).is_err());
+        // Descending keys break the binary-search invariant.
+        let mut buf = header(1);
+        w64(&mut buf, 0b001);
+        w64(&mut buf, 2);
+        w32(&mut buf, 5);
+        w32(&mut buf, 4);
+        agg(&mut buf);
+        agg(&mut buf);
+        assert!(CubeStore::read_from(&mut buf.as_slice()).is_err());
+        // Duplicate cuboid masks.
+        let mut buf = header(2);
+        for _ in 0..2 {
+            w64(&mut buf, 0b001);
+            w64(&mut buf, 1);
+            w32(&mut buf, 5);
+            agg(&mut buf);
+        }
+        assert!(CubeStore::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn cuboid_hooks_expose_sorted_cells() {
+        let s = store(1);
+        let masks = s.cuboid_masks();
+        assert_eq!(masks.len(), 7, "3 dims -> 7 non-empty cuboids at minsup 1");
+        assert!(masks.windows(2).all(|w| w[0] < w[1]));
+        let total: usize = masks.iter().map(|&m| s.cuboid_len(m)).sum();
+        assert_eq!(total, s.len());
+        for &m in &masks {
+            assert!(s.has_cuboid(m));
+            let keys: Vec<&[u32]> = s.cells_of(m).map(|(k, _)| k).collect();
+            assert_eq!(keys.len(), s.cuboid_len(m));
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "cells sorted by key");
+        }
+        assert_eq!(s.cuboid_len(CuboidMask::from_bits(0b1000_0000)), 0);
+        assert!(s
+            .cells_of(CuboidMask::from_bits(0b1000_0000))
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn split_points_partition_the_key_space() {
+        let s = store(1);
+        for &m in &s.cuboid_masks() {
+            for parts in 1..=5 {
+                let splits = s.split_points(m, parts);
+                assert!(splits.len() < parts);
+                assert!(splits.windows(2).all(|w| w[0] < w[1]));
+                // Routing every stored key through the splits loses nothing.
+                let mut per_range = vec![0usize; parts];
+                for (key, _) in s.cells_of(m) {
+                    let r = splits.partition_point(|sp| sp.as_slice() <= key);
+                    per_range[r] += 1;
+                }
+                assert_eq!(per_range.iter().sum::<usize>(), s.cuboid_len(m));
+            }
+        }
+        assert!(s
+            .split_points(CuboidMask::from_bits(0b1000_0000), 4)
+            .is_empty());
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub fn topdown_shared<S: CellSink>(
     node: &mut SimNode,
     sink: &mut S,
 ) {
-    assert_eq!(query.dims, rel.arity(), "query dims must match the relation");
+    assert_eq!(
+        query.dims,
+        rel.arity(),
+        "query dims must match the relation"
+    );
     if rel.is_empty() {
         return;
     }
@@ -136,7 +140,10 @@ fn aggregate_from_parent(
         }
     }
     node.charge_agg_updates(n);
-    Materialized { cuboid: child, cells }
+    Materialized {
+        cuboid: child,
+        cells,
+    }
 }
 
 /// Writes a materialized cuboid's qualifying cells (breadth-first: one
@@ -193,8 +200,7 @@ mod tests {
             let rel = presets::tiny(seed).generate().unwrap();
             for minsup in [1, 3] {
                 let (cells, _) = run(&rel, minsup);
-                let want =
-                    naive_iceberg_cube(&rel, &IcebergQuery::count_cube(4, minsup));
+                let want = naive_iceberg_cube(&rel, &IcebergQuery::count_cube(4, minsup));
                 assert_eq!(cells, want, "seed {seed} minsup {minsup}");
             }
         }
@@ -220,7 +226,12 @@ mod tests {
         let rel = Relation::new(icecube_data::Schema::from_cardinalities(&[2, 2]).unwrap());
         let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
         let mut sink = CellBuf::collecting();
-        topdown_shared(&rel, &IcebergQuery::count_cube(2, 1), &mut cluster.nodes[0], &mut sink);
+        topdown_shared(
+            &rel,
+            &IcebergQuery::count_cube(2, 1),
+            &mut cluster.nodes[0],
+            &mut sink,
+        );
         assert_eq!(sink.count, 0);
     }
 }

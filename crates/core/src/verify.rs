@@ -41,7 +41,11 @@ impl fmt::Display for CellDiff {
             writeln!(f, "  unexpected {} {:?}", c.cuboid, c.key)?;
         }
         for (e, a) in self.mismatched.iter().take(5) {
-            writeln!(f, "  mismatch   {} {:?}: {:?} vs {:?}", e.cuboid, e.key, e.agg, a.agg)?;
+            writeln!(
+                f,
+                "  mismatch   {} {:?}: {:?} vs {:?}",
+                e.cuboid, e.key, e.agg, a.agg
+            )?;
         }
         Ok(())
     }
@@ -96,7 +100,11 @@ mod tests {
         for _ in 0..count {
             agg.update(1);
         }
-        Cell { cuboid: CuboidMask::from_dims(dims), key: key.to_vec(), agg }
+        Cell {
+            cuboid: CuboidMask::from_dims(dims),
+            key: key.to_vec(),
+            agg,
+        }
     }
 
     #[test]

@@ -33,18 +33,24 @@ pub fn read_csv<R: Read>(
     measure_col: Option<&str>,
 ) -> Result<EncodedTable, DataError> {
     let mut lines = BufReader::new(input).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| DataError::Csv { line: 1, message: "missing header".into() })??;
+    let header = lines.next().ok_or_else(|| DataError::Csv {
+        line: 1,
+        message: "missing header".into(),
+    })??;
     let names: Vec<&str> = header.split(',').map(str::trim).collect();
     let col_of = |name: &str, line: usize| -> Result<usize, DataError> {
-        names.iter().position(|&n| n == name).ok_or_else(|| DataError::Csv {
-            line,
-            message: format!("column {name:?} not in header"),
-        })
+        names
+            .iter()
+            .position(|&n| n == name)
+            .ok_or_else(|| DataError::Csv {
+                line,
+                message: format!("column {name:?} not in header"),
+            })
     };
-    let dim_idx: Vec<usize> =
-        dim_cols.iter().map(|c| col_of(c, 1)).collect::<Result<_, _>>()?;
+    let dim_idx: Vec<usize> = dim_cols
+        .iter()
+        .map(|c| col_of(c, 1))
+        .collect::<Result<_, _>>()?;
     let measure_idx = measure_col.map(|c| col_of(c, 1)).transpose()?;
 
     let mut dictionaries: Vec<Dictionary> = dim_cols.iter().map(|_| Dictionary::new()).collect();
@@ -88,7 +94,10 @@ pub fn read_csv<R: Read>(
     for (encoded, measure) in rows {
         relation.push_row_unchecked(&encoded, measure);
     }
-    Ok(EncodedTable { relation, dictionaries })
+    Ok(EncodedTable {
+        relation,
+        dictionaries,
+    })
 }
 
 /// Writes a relation as CSV, decoding values through the dictionaries when
@@ -98,15 +107,22 @@ pub fn write_csv<W: Write>(
     table: &Relation,
     dictionaries: Option<&[Dictionary]>,
 ) -> Result<(), DataError> {
-    let names: Vec<String> =
-        table.schema().dims().iter().map(|d| d.name.clone()).collect();
+    let names: Vec<String> = table
+        .schema()
+        .dims()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
     writeln!(out, "{},{}", names.join(","), table.schema().measure_name())?;
     for (row, m) in table.rows() {
         for (d, &v) in row.iter().enumerate() {
             if d > 0 {
                 write!(out, ",")?;
             }
-            match dictionaries.and_then(|ds| ds.get(d)).and_then(|dict| dict.decode(v)) {
+            match dictionaries
+                .and_then(|ds| ds.get(d))
+                .and_then(|dict| dict.decode(v))
+            {
                 Some(s) => write!(out, "{s}")?,
                 None => write!(out, "{v}")?,
             }
@@ -173,8 +189,7 @@ Panasonic VCR,Vancouver,tom,250
         let t = read_csv(SAMPLE.as_bytes(), &["item", "location"], Some("sales")).unwrap();
         let mut buf = Vec::new();
         write_csv(&mut buf, &t.relation, Some(&t.dictionaries)).unwrap();
-        let again =
-            read_csv(buf.as_slice(), &["item", "location"], Some("sales")).unwrap();
+        let again = read_csv(buf.as_slice(), &["item", "location"], Some("sales")).unwrap();
         assert_eq!(again.relation, t.relation);
     }
 

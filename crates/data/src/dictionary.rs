@@ -51,7 +51,10 @@ impl Dictionary {
 
     /// Iterates `(id, value)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str()))
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.as_str()))
     }
 }
 

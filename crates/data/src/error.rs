@@ -45,7 +45,11 @@ impl fmt::Display for DataError {
             DataError::ArityMismatch { expected, got } => {
                 write!(f, "row arity {got} does not match schema arity {expected}")
             }
-            DataError::ValueOutOfRange { dim, value, cardinality } => write!(
+            DataError::ValueOutOfRange {
+                dim,
+                value,
+                cardinality,
+            } => write!(
                 f,
                 "value {value} out of range for dimension {dim} (cardinality {cardinality})"
             ),
@@ -53,7 +57,9 @@ impl fmt::Display for DataError {
             DataError::ZeroCardinality { dim } => {
                 write!(f, "dimension {dim} declared with cardinality zero")
             }
-            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             DataError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -80,11 +86,21 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DataError::ArityMismatch { expected: 3, got: 2 };
+        let e = DataError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("arity 2"));
-        let e = DataError::ValueOutOfRange { dim: 1, value: 9, cardinality: 4 };
+        let e = DataError::ValueOutOfRange {
+            dim: 1,
+            value: 9,
+            cardinality: 4,
+        };
         assert!(e.to_string().contains("dimension 1"));
-        let e = DataError::Csv { line: 7, message: "bad int".into() };
+        let e = DataError::Csv {
+            line: 7,
+            message: "bad int".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

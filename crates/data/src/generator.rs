@@ -30,7 +30,10 @@ impl Zipf {
     /// Panics if `n == 0` or `theta` is negative/non-finite.
     pub fn new(n: u32, theta: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and non-negative");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0f64;
         for k in 0..n {
@@ -101,12 +104,22 @@ impl SyntheticSpec {
     /// A uniform (skew-free) spec.
     pub fn uniform(tuples: usize, cardinalities: Vec<u32>, seed: u64) -> Self {
         let skews = vec![0.0; cardinalities.len()];
-        SyntheticSpec { tuples, cardinalities, skews, measure_range: (1, 1000), seed }
+        SyntheticSpec {
+            tuples,
+            cardinalities,
+            skews,
+            measure_range: (1, 1000),
+            seed,
+        }
     }
 
     /// Overrides the skew vector.
     pub fn with_skews(mut self, skews: Vec<f64>) -> Self {
-        assert_eq!(skews.len(), self.cardinalities.len(), "one skew per dimension");
+        assert_eq!(
+            skews.len(),
+            self.cardinalities.len(),
+            "one skew per dimension"
+        );
         self.skews = skews;
         self
     }
@@ -232,8 +245,7 @@ mod tests {
 
     #[test]
     fn generator_respects_cardinalities() {
-        let spec =
-            SyntheticSpec::uniform(2000, vec![3, 7], 5).with_skews(vec![1.5, 0.0]);
+        let spec = SyntheticSpec::uniform(2000, vec![3, 7], 5).with_skews(vec![1.5, 0.0]);
         let r = spec.generate().unwrap();
         for (row, _) in r.rows() {
             assert!(row[0] < 3);
@@ -243,8 +255,7 @@ mod tests {
 
     #[test]
     fn skewed_dimension_produces_partition_imbalance() {
-        let spec = SyntheticSpec::uniform(50_000, vec![64, 64], 11)
-            .with_skews(vec![1.4, 0.0]);
+        let spec = SyntheticSpec::uniform(50_000, vec![64, 64], 11).with_skews(vec![1.4, 0.0]);
         let r = spec.generate().unwrap();
         // The skewed dimension should partition far less evenly than the
         // uniform one.

@@ -47,8 +47,8 @@ pub const WEATHER_CARDS: [u32; 20] = [
 /// Zipf exponents paired with [`WEATHER_CARDS`]. Mostly mild skew with a few
 /// hot dimensions; dimension 10 is the pathological one.
 pub const WEATHER_SKEWS: [f64; 20] = [
-    0.6, 0.9, 0.4, 0.3, 0.8, 0.2, 0.5, 0.3, 0.1, 0.7, 1.6, 0.4, 0.5, 0.2, 0.3, 0.2, 0.1, 0.6,
-    0.4, 0.2,
+    0.6, 0.9, 0.4, 0.3, 0.8, 0.2, 0.5, 0.3, 0.1, 0.7, 1.6, 0.4, 0.5, 0.2, 0.3, 0.2, 0.1, 0.6, 0.4,
+    0.2,
 ];
 
 fn weather_spec(dims: &[usize], tuples: usize, seed: u64) -> SyntheticSpec {
@@ -91,8 +91,10 @@ pub fn with_dims(d: usize) -> SyntheticSpec {
 /// weather-like while total sparseness varies.
 pub fn with_sparseness(exponent: f64) -> SyntheticSpec {
     assert!(exponent > 0.0, "exponent must be positive");
-    let base: Vec<f64> =
-        WEATHER_CARDS[..9].iter().map(|&c| (c as f64).log10()).collect();
+    let base: Vec<f64> = WEATHER_CARDS[..9]
+        .iter()
+        .map(|&c| (c as f64).log10())
+        .collect();
     let total: f64 = base.iter().sum();
     let cards: Vec<u32> = base
         .iter()
@@ -131,8 +133,7 @@ pub fn pol_query_dims() -> Vec<usize> {
 /// A small configuration for unit/integration tests: fast to compute yet
 /// non-trivial (skew, repeated values, prunable cells).
 pub fn tiny(seed: u64) -> SyntheticSpec {
-    SyntheticSpec::uniform(300, vec![6, 4, 5, 3], seed)
-        .with_skews(vec![0.8, 0.0, 1.2, 0.3])
+    SyntheticSpec::uniform(300, vec![6, 4, 5, 3], seed).with_skews(vec![0.8, 0.0, 1.2, 0.3])
 }
 
 #[cfg(test)]
@@ -144,8 +145,7 @@ mod tests {
         let spec = baseline();
         assert_eq!(spec.tuples, 176_631);
         assert_eq!(spec.cardinalities.len(), 9);
-        let product: f64 =
-            spec.cardinalities.iter().map(|&c| (c as f64).log10()).sum();
+        let product: f64 = spec.cardinalities.iter().map(|&c| (c as f64).log10()).sum();
         // "roughly equal to 10^13"
         assert!((12.5..14.0).contains(&product), "exponent {product}");
     }
@@ -163,8 +163,7 @@ mod tests {
     fn sparseness_hits_requested_exponent() {
         for target in [6.0, 10.0, 14.0, 18.0, 22.0] {
             let spec = with_sparseness(target);
-            let got: f64 =
-                spec.cardinalities.iter().map(|&c| (c as f64).log10()).sum();
+            let got: f64 = spec.cardinalities.iter().map(|&c| (c as f64).log10()).sum();
             // Rounding and the >=2 clamp allow some slack at the low end.
             assert!(
                 (got - target).abs() < 1.6,

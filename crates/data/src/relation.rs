@@ -21,7 +21,11 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, dims: Vec::new(), measures: Vec::new() }
+        Relation {
+            schema,
+            dims: Vec::new(),
+            measures: Vec::new(),
+        }
     }
 
     /// Creates an empty relation pre-sized for `rows` rows.
@@ -57,12 +61,19 @@ impl Relation {
     /// Appends a row, validating arity and value ranges.
     pub fn push_row(&mut self, values: &[u32], measure: i64) -> Result<(), DataError> {
         if values.len() != self.arity() {
-            return Err(DataError::ArityMismatch { expected: self.arity(), got: values.len() });
+            return Err(DataError::ArityMismatch {
+                expected: self.arity(),
+                got: values.len(),
+            });
         }
         for (dim, &v) in values.iter().enumerate() {
             let card = self.schema.cardinality(dim);
             if v >= card {
-                return Err(DataError::ValueOutOfRange { dim, value: v, cardinality: card });
+                return Err(DataError::ValueOutOfRange {
+                    dim,
+                    value: v,
+                    cardinality: card,
+                });
             }
         }
         self.dims.extend_from_slice(values);
@@ -163,8 +174,9 @@ impl Relation {
     pub fn range_partition(&self, dim: usize, parts: usize) -> Vec<Relation> {
         assert!(parts > 0, "parts must be positive");
         let card = self.schema.cardinality(dim) as u64;
-        let mut out: Vec<Relation> =
-            (0..parts).map(|_| Relation::new(self.schema.clone())).collect();
+        let mut out: Vec<Relation> = (0..parts)
+            .map(|_| Relation::new(self.schema.clone()))
+            .collect();
         for (row, m) in self.rows() {
             let v = row[dim] as u64;
             // Even split of the domain [0, card) into `parts` ranges.
@@ -255,7 +267,10 @@ impl Relation {
     /// Appends all rows of `other` (schemas must match).
     pub fn extend_from(&mut self, other: &Relation) -> Result<(), DataError> {
         if other.arity() != self.arity() {
-            return Err(DataError::ArityMismatch { expected: self.arity(), got: other.arity() });
+            return Err(DataError::ArityMismatch {
+                expected: self.arity(),
+                got: other.arity(),
+            });
         }
         self.dims.extend_from_slice(&other.dims);
         self.measures.extend_from_slice(&other.measures);
@@ -329,10 +344,17 @@ mod tests {
     fn push_validates() {
         let schema = Schema::from_cardinalities(&[2, 2]).unwrap();
         let mut r = Relation::new(schema);
-        assert!(matches!(r.push_row(&[0], 1), Err(DataError::ArityMismatch { .. })));
+        assert!(matches!(
+            r.push_row(&[0], 1),
+            Err(DataError::ArityMismatch { .. })
+        ));
         assert!(matches!(
             r.push_row(&[0, 5], 1),
-            Err(DataError::ValueOutOfRange { dim: 1, value: 5, .. })
+            Err(DataError::ValueOutOfRange {
+                dim: 1,
+                value: 5,
+                ..
+            })
         ));
         r.push_row(&[1, 1], 1).unwrap();
         assert_eq!(r.len(), 1);
@@ -342,7 +364,9 @@ mod tests {
     fn sort_by_dims_is_lexicographic_on_selected_dims() {
         let mut r = rel3();
         r.sort_by_dims(&[0, 1]);
-        let keys: Vec<(u32, u32)> = (0..r.len()).map(|i| (r.value(i, 0), r.value(i, 1))).collect();
+        let keys: Vec<(u32, u32)> = (0..r.len())
+            .map(|i| (r.value(i, 0), r.value(i, 1)))
+            .collect();
         assert_eq!(keys, vec![(0, 2), (1, 1), (1, 2), (3, 0)]);
         // Measures travel with their rows.
         assert_eq!(r.measure(0), 40);

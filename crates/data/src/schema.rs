@@ -18,7 +18,10 @@ pub struct Dimension {
 impl Dimension {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, cardinality: u32) -> Self {
-        Dimension { name: name.into(), cardinality }
+        Dimension {
+            name: name.into(),
+            cardinality,
+        }
     }
 }
 
@@ -42,7 +45,10 @@ impl Schema {
                 return Err(DataError::ZeroCardinality { dim: i });
             }
         }
-        Ok(Schema { dims, measure_name: measure_name.into() })
+        Ok(Schema {
+            dims,
+            measure_name: measure_name.into(),
+        })
     }
 
     /// Builds a schema from bare cardinalities, naming dimensions `d0..dN`.
@@ -92,7 +98,10 @@ impl Schema {
 
     /// Base-10 exponent of the cardinality product (the x-axis of Fig 4.6).
     pub fn cardinality_exponent(&self) -> f64 {
-        self.dims.iter().map(|d| (d.cardinality as f64).log10()).sum()
+        self.dims
+            .iter()
+            .map(|d| (d.cardinality as f64).log10())
+            .sum()
     }
 
     /// Returns a schema restricted to the given dimensions (in the given
@@ -109,9 +118,15 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_zero_cardinality() {
-        assert!(matches!(Schema::new(vec![], "m"), Err(DataError::EmptySchema)));
+        assert!(matches!(
+            Schema::new(vec![], "m"),
+            Err(DataError::EmptySchema)
+        ));
         let dims = vec![Dimension::new("a", 3), Dimension::new("b", 0)];
-        assert!(matches!(Schema::new(dims, "m"), Err(DataError::ZeroCardinality { dim: 1 })));
+        assert!(matches!(
+            Schema::new(dims, "m"),
+            Err(DataError::ZeroCardinality { dim: 1 })
+        ));
     }
 
     #[test]

@@ -141,7 +141,11 @@ impl CuboidMask {
             None => true,
             Some(m) => {
                 // Every dimension of `other` at or below m must be in self.
-                let below = if m == 31 { u32::MAX } else { (1u32 << (m + 1)) - 1 };
+                let below = if m == 31 {
+                    u32::MAX
+                } else {
+                    (1u32 << (m + 1)) - 1
+                };
                 other.0 & below == self.0
             }
         }

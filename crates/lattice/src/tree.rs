@@ -33,14 +33,22 @@ impl TreeTask {
     /// (every group-by except the special "all" node).
     pub fn whole_lattice(d: usize) -> Self {
         assert!((1..=26).contains(&d), "supported dimensionality is 1..=26");
-        TreeTask { root: CuboidMask::ALL, from_dim: 0, d }
+        TreeTask {
+            root: CuboidMask::ALL,
+            from_dim: 0,
+            d,
+        }
     }
 
     /// A full subtree rooted at `g` (all extensions by dimensions greater
     /// than `g`'s largest) — RP's task granule.
     pub fn full_subtree(g: CuboidMask, d: usize) -> Self {
         let from = g.max_dim().map_or(0, |m| m + 1);
-        TreeTask { root: g, from_dim: from, d }
+        TreeTask {
+            root: g,
+            from_dim: from,
+            d,
+        }
     }
 
     /// Number of group-bys the task covers (the "all" node never counts).
@@ -70,7 +78,11 @@ impl TreeTask {
             from_dim: self.from_dim + 1,
             d: self.d,
         };
-        let rest = TreeTask { root: self.root, from_dim: self.from_dim + 1, d: self.d };
+        let rest = TreeTask {
+            root: self.root,
+            from_dim: self.from_dim + 1,
+            d: self.d,
+        };
         Some((child, rest))
     }
 
@@ -147,7 +159,12 @@ pub fn divide_tasks(d: usize, target_tasks: usize) -> Vec<TreeTask> {
     done.extend(heap.into_iter().map(|(_, t)| t));
     // Deterministic order: larger tasks first, ties by root mask — the
     // scheduler hands out big tasks early, a classic LPT heuristic.
-    done.sort_by(|a, b| b.size().cmp(&a.size()).then(a.root.cmp(&b.root)).then(a.from_dim.cmp(&b.from_dim)));
+    done.sort_by(|a, b| {
+        b.size()
+            .cmp(&a.size())
+            .then(a.root.cmp(&b.root))
+            .then(a.from_dim.cmp(&b.from_dim))
+    });
     done
 }
 
@@ -184,9 +201,8 @@ mod tests {
 
         // The thesis' four tasks: {AB-subtree}, {A, AC, ACD, AD},
         // {B-subtree}, {C, CD, D}.
-        let names = |t: &TreeTask| -> Vec<String> {
-            t.members().iter().map(|m| m.to_string()).collect()
-        };
+        let names =
+            |t: &TreeTask| -> Vec<String> { t.members().iter().map(|m| m.to_string()).collect() };
         assert_eq!(names(&tab), vec!["AB", "ABC", "ABCD", "ABD"]);
         assert_eq!(names(&ta_rest), vec!["A", "AC", "ACD", "AD"]);
         assert_eq!(names(&tb), vec!["B", "BC", "BCD", "BD"]);
@@ -203,7 +219,11 @@ mod tests {
 
     #[test]
     fn contains_matches_members() {
-        let t = TreeTask { root: CuboidMask::from_dims(&[0]), from_dim: 2, d: 4 };
+        let t = TreeTask {
+            root: CuboidMask::from_dims(&[0]),
+            from_dim: 2,
+            d: 4,
+        };
         let members: std::collections::HashSet<_> = t.members().into_iter().collect();
         let l = crate::Lattice::new(4);
         for g in l.cuboids() {
@@ -253,7 +273,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let t = TreeTask { root: CuboidMask::from_dims(&[0]), from_dim: 2, d: 4 };
+        let t = TreeTask {
+            root: CuboidMask::from_dims(&[0]),
+            from_dim: 2,
+            d: 4,
+        };
         assert_eq!(t.to_string(), "T(A +2..4)");
     }
 

@@ -68,7 +68,9 @@ impl Boundaries {
     pub fn owner(&self, key: &[u32]) -> usize {
         // partition_point gives the count of splits <= key; keys equal to a
         // split belong to the right-hand range.
-        self.splits.partition_point(|s| s.as_slice() <= key).min(self.parts - 1)
+        self.splits
+            .partition_point(|s| s.as_slice() <= key)
+            .min(self.parts - 1)
     }
 }
 
@@ -92,8 +94,7 @@ mod tests {
 
     #[test]
     fn owner_is_monotone_in_key() {
-        let sample: Vec<Vec<u32>> =
-            (0..200u32).map(|k| vec![k % 17, k % 5]).collect();
+        let sample: Vec<Vec<u32>> = (0..200u32).map(|k| vec![k % 17, k % 5]).collect();
         let b = Boundaries::from_sample(sample, 5);
         let mut prev = 0usize;
         for a in 0..17u32 {

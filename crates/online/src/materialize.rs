@@ -179,11 +179,19 @@ mod tests {
     #[test]
     fn any_group_by_any_threshold_matches_naive() {
         let (rel, m, mut cluster) = setup();
-        for dims in [&[0usize][..], &[0, 1], &[1, 3], &[2], &[0, 1, 2, 3], &[1, 2, 3]] {
+        for dims in [
+            &[0usize][..],
+            &[0, 1],
+            &[1, 3],
+            &[2],
+            &[0, 1, 2, 3],
+            &[1, 2, 3],
+        ] {
             for minsup in [1u64, 2, 5] {
                 let g = CuboidMask::from_dims(dims);
                 let mut sink = CellBuf::collecting();
-                m.query(g, minsup, &mut cluster.nodes[0], &mut sink).unwrap();
+                m.query(g, minsup, &mut cluster.nodes[0], &mut sink)
+                    .unwrap();
                 let mut got = sink.into_cells();
                 let mut want = Vec::new();
                 naive_cuboid(&rel, g, minsup, &mut want);
@@ -199,14 +207,27 @@ mod tests {
         let (_, m, mut cluster) = setup();
         let mut sink = CellBuf::counting();
         let before = cluster.nodes[0].stats.cpu_ns;
-        m.query(CuboidMask::from_dims(&[0, 1]), 1, &mut cluster.nodes[0], &mut sink)
-            .unwrap();
+        m.query(
+            CuboidMask::from_dims(&[0, 1]),
+            1,
+            &mut cluster.nodes[0],
+            &mut sink,
+        )
+        .unwrap();
         let prefix_cost = cluster.nodes[0].stats.cpu_ns - before;
         let before = cluster.nodes[0].stats.cpu_ns;
-        m.query(CuboidMask::from_dims(&[1, 2]), 1, &mut cluster.nodes[0], &mut sink)
-            .unwrap();
+        m.query(
+            CuboidMask::from_dims(&[1, 2]),
+            1,
+            &mut cluster.nodes[0],
+            &mut sink,
+        )
+        .unwrap();
         let subset_cost = cluster.nodes[0].stats.cpu_ns - before;
-        assert!(prefix_cost < subset_cost, "prefix {prefix_cost} vs subset {subset_cost}");
+        assert!(
+            prefix_cost < subset_cost,
+            "prefix {prefix_cost} vs subset {subset_cost}"
+        );
     }
 
     #[test]
@@ -247,7 +268,12 @@ mod tests {
         let (_, m, mut cluster) = setup();
         let mut sink = CellBuf::counting();
         let err = m
-            .query(CuboidMask::from_dims(&[7]), 1, &mut cluster.nodes[0], &mut sink)
+            .query(
+                CuboidMask::from_dims(&[7]),
+                1,
+                &mut cluster.nodes[0],
+                &mut sink,
+            )
             .unwrap_err();
         assert!(matches!(err, AlgoError::DimensionMismatch { .. }));
     }
@@ -256,8 +282,9 @@ mod tests {
     fn all_group_by_is_out_of_scope() {
         let (_, m, mut cluster) = setup();
         let mut sink = CellBuf::counting();
-        let emitted =
-            m.query(CuboidMask::ALL, 1, &mut cluster.nodes[0], &mut sink).unwrap();
+        let emitted = m
+            .query(CuboidMask::ALL, 1, &mut cluster.nodes[0], &mut sink)
+            .unwrap();
         assert_eq!(emitted, 0);
     }
 }

@@ -149,7 +149,11 @@ struct Chunk {
 
 impl Chunk {
     fn new(arity: usize) -> Self {
-        Chunk { keys: Vec::new(), measures: Vec::new(), arity }
+        Chunk {
+            keys: Vec::new(),
+            measures: Vec::new(),
+            arity,
+        }
     }
 
     fn len(&self) -> usize {
@@ -231,8 +235,9 @@ pub fn run_pol(
         }
 
         // (b) Schedule the n×n tasks: owners in wrap order, idlers steal.
-        let mut pending: Vec<VecDeque<usize>> =
-            (0..n).map(|j| tasks.order_for(j).into_iter().collect()).collect();
+        let mut pending: Vec<VecDeque<usize>> = (0..n)
+            .map(|j| tasks.order_for(j).into_iter().collect())
+            .collect();
         let mut active = vec![true; n];
         while active.iter().any(|&a| a) {
             let node_id = (0..n)
@@ -291,7 +296,14 @@ pub fn run_pol(
         }
     }
     if snapshots.last().map(|s| s.step) != Some(step) {
-        snapshots.push(snapshot(&mut cluster, &lists, query, step, processed, rel.len()));
+        snapshots.push(snapshot(
+            &mut cluster,
+            &lists,
+            query,
+            step,
+            processed,
+            rel.len(),
+        ));
     }
 
     // Final exact answer: each node writes its sorted range.
@@ -301,7 +313,11 @@ pub fn run_pol(
         let mut qualifying = 0u64;
         for (key, agg) in list.iter() {
             if agg.meets(query.minsup) {
-                cells.push(Cell { cuboid: query.dims, key: key.to_vec(), agg: *agg });
+                cells.push(Cell {
+                    cuboid: query.dims,
+                    key: key.to_vec(),
+                    agg: *agg,
+                });
                 qualifying += 1;
             }
         }
@@ -372,8 +388,10 @@ fn snapshot(
     let estimated_threshold = ((query.minsup as f64 * fraction).round() as u64).max(1);
     let mut qualifying = 0u64;
     for (j, list) in lists.iter().enumerate() {
-        qualifying +=
-            list.iter().filter(|(_, agg)| agg.count >= estimated_threshold).count() as u64;
+        qualifying += list
+            .iter()
+            .filter(|(_, agg)| agg.count >= estimated_threshold)
+            .count() as u64;
         let node = &mut cluster.nodes[j];
         node.charge_scan(list.len() as u64);
         node.charge_rpc();

@@ -1,0 +1,37 @@
+//! `icecube-serve`: sharded, concurrent serving of precomputed iceberg
+//! cubes.
+//!
+//! The computation crates build an iceberg cube once; this crate answers
+//! analyst navigation against it at high request rates:
+//!
+//! - [`ShardedCube`] range-partitions every cuboid of a
+//!   [`CubeStore`](icecube_core::CubeStore) across N shards by key.
+//!   Routing is deterministic: point lookups touch exactly one shard,
+//!   slices/drill-downs/cuboid scans fan out and concatenate in shard
+//!   order — bit-for-bit the unsharded answer.
+//! - [`CubeServer`] runs a fixed worker pool over a shared request queue;
+//!   clients submit typed [`Request`]s through cloneable
+//!   [`ClientHandle`]s and get typed [`Response`]s, never panics.
+//! - [`planner::roll_up`] answers "GROUP BY on fewer attributes" from the
+//!   stored coarser cuboid when materialized, aggregating the finer one
+//!   on the fly otherwise (flagging inexactness over pruned cubes).
+//! - [`Metrics`]/[`ServerStats`] expose lock-free counters and
+//!   fixed-bucket latency histograms (p50/p95/p99).
+//! - [`NavigationWorkload`]/[`run_closed_loop`] generate seeded,
+//!   reproducible request streams and measure closed-loop throughput —
+//!   the engine behind `experiments serve`.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod planner;
+pub mod request;
+pub mod server;
+pub mod shard;
+pub mod workload;
+
+pub use metrics::{LatencyHistogram, Metrics, ServerStats};
+pub use request::{Request, RequestError, Response, RollUpPlan};
+pub use server::{ClientHandle, CubeServer};
+pub use shard::ShardedCube;
+pub use workload::{run_closed_loop, LoadReport, NavigationWorkload};

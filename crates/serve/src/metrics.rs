@@ -1,0 +1,254 @@
+//! Serving observability: lock-free counters and fixed-bucket latency
+//! histograms, snapshotted into [`ServerStats`].
+//!
+//! Workers record into shared [`Metrics`] with relaxed atomics only — no
+//! lock sits on the request path. Latency uses a fixed array of
+//! power-of-two nanosecond buckets (bucket `i` holds samples in
+//! `[2^i, 2^(i+1))` ns), so a histogram is 48 `AtomicU64`s covering
+//! 1 ns to ~4.7 minutes and quantiles are a single array walk. The
+//! reported p50/p95/p99 are bucket upper bounds — at most 2x the true
+//! value, which is plenty for the serving experiments' scaling curves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets (covers up to `2^48` ns).
+pub const BUCKETS: usize = 48;
+
+/// A fixed-bucket latency histogram with relaxed-atomic recording.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, ns: u64) {
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// The upper bound of the bucket containing quantile `q` in `[0, 1]`,
+    /// in nanoseconds (0 when empty).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the sample answering quantile q, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// Per-shard request counters.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Requests routed to exactly this shard (point lookups, stored
+    /// roll-ups).
+    pub routed: AtomicU64,
+    /// Fan-out visits (slices, drill-downs, cuboid scans touch every
+    /// shard once each).
+    pub scanned: AtomicU64,
+}
+
+/// Shared, lock-free serving metrics. One instance per [`CubeServer`],
+/// cloned into every worker via `Arc`.
+///
+/// [`CubeServer`]: crate::server::CubeServer
+#[derive(Debug)]
+pub struct Metrics {
+    /// End-to-end request latency (enqueue to reply), leaf requests only.
+    pub latency: LatencyHistogram,
+    /// Leaf requests completed (batch members count individually).
+    pub requests: AtomicU64,
+    /// Requests answered with a typed error.
+    pub errors: AtomicU64,
+    /// Cells returned across all multi-cell answers.
+    pub cells_returned: AtomicU64,
+    /// Roll-ups answered from a stored coarser cuboid.
+    pub rollup_stored: AtomicU64,
+    /// Roll-ups answered by aggregating the finer cuboid.
+    pub rollup_aggregated: AtomicU64,
+    /// Per-shard routing counters, indexed by shard.
+    pub shards: Vec<ShardCounters>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for a cube with `shard_count` shards.
+    pub fn new(shard_count: usize) -> Self {
+        Metrics {
+            latency: LatencyHistogram::new(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cells_returned: AtomicU64::new(0),
+            rollup_stored: AtomicU64::new(0),
+            rollup_aggregated: AtomicU64::new(0),
+            shards: (0..shard_count).map(|_| ShardCounters::default()).collect(),
+        }
+    }
+
+    /// Bumps a counter by one (relaxed).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter (relaxed).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter and quantile into a plain struct.
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cells_returned: self.cells_returned.load(Ordering::Relaxed),
+            rollup_stored: self.rollup_stored.load(Ordering::Relaxed),
+            rollup_aggregated: self.rollup_aggregated.load(Ordering::Relaxed),
+            mean_ns: self.latency.mean_ns(),
+            p50_ns: self.latency.quantile_ns(0.50),
+            p95_ns: self.latency.quantile_ns(0.95),
+            p99_ns: self.latency.quantile_ns(0.99),
+            shard_routed: self
+                .shards
+                .iter()
+                .map(|s| s.routed.load(Ordering::Relaxed))
+                .collect(),
+            shard_scanned: self
+                .shards
+                .iter()
+                .map(|s| s.scanned.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a server's counters and latency quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Leaf requests completed.
+    pub requests: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+    /// Cells returned across all multi-cell answers.
+    pub cells_returned: u64,
+    /// Roll-ups answered from a stored coarser cuboid.
+    pub rollup_stored: u64,
+    /// Roll-ups answered by aggregating the finer cuboid.
+    pub rollup_aggregated: u64,
+    /// Mean end-to-end latency, nanoseconds.
+    pub mean_ns: u64,
+    /// Median end-to-end latency (bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile latency (bucket upper bound), nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency (bucket upper bound), nanoseconds.
+    pub p99_ns: u64,
+    /// Per-shard single-shard-routed request counts.
+    pub shard_routed: Vec<u64>,
+    /// Per-shard fan-out visit counts.
+    pub shard_scanned: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = LatencyHistogram::new();
+        for ns in [1, 2, 3, 1000, 1_000_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean_ns(), (1 + 2 + 3 + 1000 + 1_000_000) / 5);
+        // p50 of {1,2,3,1000,1_000_000} is 3 → bucket [2,4) → bound 4.
+        assert_eq!(h.quantile_ns(0.50), 4);
+        // p99 lands on the slowest sample's bucket [2^19, 2^20).
+        assert_eq!(h.quantile_ns(0.99), 1 << 20);
+        assert_eq!(h.quantile_ns(0.0), 2);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = LatencyHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 1_000_000 + 1);
+        }
+        let (p50, p95, p99) = (
+            h.quantile_ns(0.50),
+            h.quantile_ns(0.95),
+            h.quantile_ns(0.99),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new(2);
+        Metrics::bump(&m.requests);
+        Metrics::add(&m.cells_returned, 7);
+        Metrics::bump(&m.shards[1].routed);
+        m.latency.record(100);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.cells_returned, 7);
+        assert_eq!(s.shard_routed, vec![0, 1]);
+        assert_eq!(s.errors, 0);
+        assert!(s.p50_ns >= 100);
+    }
+}

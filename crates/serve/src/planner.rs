@@ -1,0 +1,173 @@
+//! The roll-up planner: answer "GROUP BY on fewer attributes" from the
+//! cheapest materialized cuboid.
+//!
+//! Rolling `(g, key)` up by removing `dim` targets the coarser cuboid
+//! `g \ {dim}`. When the store materialized that cuboid, one routed point
+//! lookup answers the request ([`RollUpPlan::Stored`]) — this is HaCube's
+//! "reuse what the cube already holds" discipline applied to serving.
+//! When it did not (selective materialization, Section 5.1, keeps only a
+//! subset of the lattice), the planner falls back to aggregating the finer
+//! cuboid's matching cells on the fly ([`RollUpPlan::Aggregated`]) — a
+//! fan-out drill-down from the coarser key re-aggregated into one cell.
+//! The fallback is exact only when the store kept every cell
+//! (`minsup == 1`); over a pruned iceberg cube it can undercount, which
+//! the response reports via its `exact` flag rather than hiding.
+
+use crate::request::{RequestError, RollUpPlan};
+use crate::shard::ShardedCube;
+use icecube_core::Aggregate;
+use icecube_lattice::CuboidMask;
+
+/// A planned roll-up answer: the coarser cell (if it exists), the plan
+/// that produced it, and whether the answer is exact.
+pub type RollUpAnswer = (Option<(Vec<u32>, Aggregate)>, RollUpPlan, bool);
+
+/// Rolls `(g, key)` up by removing `dim`, choosing between the stored
+/// coarser cuboid and on-the-fly aggregation of the finer one.
+pub fn roll_up(
+    cube: &ShardedCube,
+    g: CuboidMask,
+    key: &[u32],
+    dim: usize,
+) -> Result<RollUpAnswer, RequestError> {
+    if dim >= cube.dims() {
+        return Err(RequestError::UnknownDimension {
+            dim,
+            dims: cube.dims(),
+        });
+    }
+    if g.max_dim().is_some_and(|m| m >= cube.dims()) {
+        return Err(RequestError::UnknownDimension {
+            dim: g.max_dim().unwrap_or(0),
+            dims: cube.dims(),
+        });
+    }
+    if !g.contains(dim) {
+        return Err(RequestError::DimensionNotInCuboid { dim });
+    }
+    if key.len() != g.dim_count() {
+        return Err(RequestError::KeyArityMismatch {
+            expected: g.dim_count(),
+            got: key.len(),
+        });
+    }
+    let parent = g.without_dim(dim);
+    if parent.is_all() {
+        // The "all" node is never stored; count-based iceberg supports only
+        // grow upward, so this is a definitional absence, not pruning.
+        return Ok((None, RollUpPlan::Stored, true));
+    }
+    let pos = g.iter_dims().position(|d| d == dim).expect("contained");
+    let mut pkey = key.to_vec();
+    pkey.remove(pos);
+    if cube.has_cuboid(parent) {
+        let cell = cube.get(parent, &pkey)?.map(|agg| (pkey, agg));
+        return Ok((cell, RollUpPlan::Stored, true));
+    }
+    // Fallback: aggregate the finer cuboid's refinements of the coarser
+    // key. `drill_down(parent, pkey, dim)` scans exactly the cells of `g`
+    // matching `pkey` on every retained dimension.
+    let fine = cube.drill_down(parent, &pkey, dim)?;
+    if fine.is_empty() {
+        return Ok((None, RollUpPlan::Aggregated, cube.minsup() == 1));
+    }
+    let mut agg = Aggregate::empty();
+    for (_, a) in &fine {
+        agg.merge(a);
+    }
+    Ok((
+        Some((pkey, agg)),
+        RollUpPlan::Aggregated,
+        cube.minsup() == 1,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icecube_cluster::ClusterConfig;
+    use icecube_core::fixtures::sales;
+    use icecube_core::{run_parallel, Algorithm, CubeStore, IcebergQuery};
+
+    fn store(minsup: u64) -> CubeStore {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, minsup);
+        let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
+        CubeStore::from_outcome(3, minsup, out)
+    }
+
+    #[test]
+    fn stored_plan_matches_cubestore_rollup() {
+        let s = store(1);
+        let cube = ShardedCube::new(&s, 3);
+        let g = CuboidMask::from_dims(&[0, 1]);
+        let (cell, plan, exact) = roll_up(&cube, g, &[0, 2], 1).unwrap();
+        assert_eq!(plan, RollUpPlan::Stored);
+        assert!(exact);
+        assert_eq!(cell, s.roll_up(g, &[0, 2], 1).unwrap());
+        assert_eq!(cell.as_ref().map(|(_, a)| a.sum), Some(508));
+    }
+
+    #[test]
+    fn rolling_up_to_all_is_none_and_exact() {
+        let cube = ShardedCube::new(&store(1), 2);
+        let (cell, plan, exact) = roll_up(&cube, CuboidMask::from_dims(&[0]), &[0], 0).unwrap();
+        assert_eq!(cell, None);
+        assert_eq!(plan, RollUpPlan::Stored);
+        assert!(exact);
+    }
+
+    #[test]
+    fn aggregated_plan_reconstructs_missing_cuboids() {
+        // Keep only the finest cuboid; roll-ups must aggregate it.
+        let s = store(1);
+        let fine_mask = CuboidMask::from_dims(&[0, 1, 2]);
+        let only: Vec<icecube_core::Cell> = s.iter().filter(|c| c.cuboid == fine_mask).collect();
+        let partial = CubeStore::from_cells(3, 1, only);
+        let cube = ShardedCube::new(&partial, 3);
+        let (cell, plan, exact) = roll_up(&cube, fine_mask, &[0, 2, 1], 2).unwrap();
+        assert_eq!(plan, RollUpPlan::Aggregated);
+        assert!(exact, "minsup 1 keeps every cell, so aggregation is exact");
+        // Must equal the cell the full store materialized for (model, year).
+        let want = s.roll_up(fine_mask, &[0, 2, 1], 2).unwrap();
+        assert_eq!(cell, want);
+    }
+
+    #[test]
+    fn aggregated_plan_over_pruned_cube_reports_inexact() {
+        let s = store(2);
+        let fine_mask = CuboidMask::from_dims(&[0, 1, 2]);
+        let only: Vec<icecube_core::Cell> = s.iter().filter(|c| c.cuboid == fine_mask).collect();
+        let partial = CubeStore::from_cells(3, 2, only);
+        let cube = ShardedCube::new(&partial, 2);
+        let g = CuboidMask::from_dims(&[0, 1]);
+        // (model=0, year=2) exists in the full store; the pruned fine
+        // cuboid kept nothing at minsup 2, so the fallback sees no cells.
+        let (cell, plan, exact) =
+            roll_up(&cube, fine_mask, &[0, 2, 1], 2).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(plan, RollUpPlan::Aggregated);
+        assert!(!exact, "aggregating a pruned cube can undercount");
+        let _ = (cell, g);
+    }
+
+    #[test]
+    fn malformed_rollups_are_typed_errors() {
+        let cube = ShardedCube::new(&store(1), 2);
+        let g = CuboidMask::from_dims(&[0, 1]);
+        assert_eq!(
+            roll_up(&cube, g, &[0, 2], 2),
+            Err(RequestError::DimensionNotInCuboid { dim: 2 })
+        );
+        assert_eq!(
+            roll_up(&cube, g, &[0], 1),
+            Err(RequestError::KeyArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            roll_up(&cube, g, &[0, 2], 17),
+            Err(RequestError::UnknownDimension { dim: 17, dims: 3 })
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The typed request/response protocol between clients and a
+//! [`CubeServer`](crate::server::CubeServer).
+//!
+//! The five navigation primitives mirror Section 2.1's analyst workflow
+//! (point lookups, slices, drill-downs, roll-ups) plus the iceberg query
+//! itself (`Cuboid`, a full group-by at a threshold) and `Batch` for
+//! pipelining. Responses carry typed errors instead of panics: a malformed
+//! request must never unwind a worker thread.
+
+use icecube_core::error::AlgoError;
+use icecube_core::Aggregate;
+use icecube_lattice::CuboidMask;
+use std::fmt;
+
+/// One client request against a served cube.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// The aggregate of a single cell.
+    Point {
+        /// Group-by the cell belongs to.
+        cuboid: CuboidMask,
+        /// The cell's key (one value per cuboid dimension, ascending).
+        key: Vec<u32>,
+    },
+    /// Cells of one group-by whose value on `dim` equals `value`.
+    Slice {
+        /// Group-by to filter.
+        cuboid: CuboidMask,
+        /// Dimension to fix (must belong to `cuboid`).
+        dim: usize,
+        /// Required value on `dim`.
+        value: u32,
+    },
+    /// The refinements of one cell when adding `dim` to its group-by
+    /// ("GROUP BY on more attributes").
+    DrillDown {
+        /// Group-by of the starting cell.
+        cuboid: CuboidMask,
+        /// The starting cell's key.
+        key: Vec<u32>,
+        /// Dimension to add (must not belong to `cuboid`).
+        dim: usize,
+    },
+    /// The coarser cell obtained by removing `dim` ("GROUP BY on fewer
+    /// attributes"). The planner answers from the stored coarser cuboid
+    /// when it was materialized, aggregating the finer one otherwise.
+    RollUp {
+        /// Group-by of the starting cell.
+        cuboid: CuboidMask,
+        /// The starting cell's key.
+        key: Vec<u32>,
+        /// Dimension to remove (must belong to `cuboid`).
+        dim: usize,
+    },
+    /// All qualifying cells of one group-by at an iceberg threshold.
+    Cuboid {
+        /// Group-by to enumerate.
+        cuboid: CuboidMask,
+        /// Minimum support; must be at least the store's `minsup`.
+        minsup: u64,
+    },
+    /// Several requests answered in order by one worker.
+    Batch(Vec<Request>),
+}
+
+impl Request {
+    /// Number of leaf (non-batch) requests this request expands to.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Request::Batch(reqs) => reqs.iter().map(Request::leaf_count).sum(),
+            _ => 1,
+        }
+    }
+}
+
+/// How a roll-up was answered (the planner's decision, reported back so
+/// clients and experiments can observe reuse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollUpPlan {
+    /// The coarser cuboid was materialized; one point lookup answered it.
+    Stored,
+    /// The coarser cuboid was absent; the finer cuboid's matching cells
+    /// were aggregated on the fly.
+    Aggregated,
+}
+
+/// A server's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Point`]: the aggregate, if the cell qualified.
+    Point(Option<Aggregate>),
+    /// Answer to [`Request::Slice`], [`Request::DrillDown`] and
+    /// [`Request::Cuboid`]: qualifying cells in ascending key order —
+    /// bit-for-bit the order an unsharded [`icecube_core::CubeStore`]
+    /// returns.
+    Cells(Vec<(Vec<u32>, Aggregate)>),
+    /// Answer to [`Request::RollUp`].
+    RolledUp {
+        /// The coarser cell, when it exists (`None` when rolled up to the
+        /// unstored "all" node or the cell was pruned).
+        cell: Option<(Vec<u32>, Aggregate)>,
+        /// Which plan answered it.
+        plan: RollUpPlan,
+        /// Whether the answer is exact. An `Aggregated` plan over an
+        /// iceberg cube computed at `minsup > 1` can undercount (the finer
+        /// cuboid's sub-threshold cells were pruned), so it is only exact
+        /// when the store kept every cell.
+        exact: bool,
+    },
+    /// Answers to a [`Request::Batch`], in request order.
+    Batch(Vec<Response>),
+    /// The request was malformed or unanswerable; no worker unwound.
+    Error(RequestError),
+}
+
+/// Why a request could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// A named dimension is outside the cube's dimensionality.
+    UnknownDimension {
+        /// The offending dimension.
+        dim: usize,
+        /// The cube's dimensionality.
+        dims: usize,
+    },
+    /// Slice/roll-up named a dimension the cuboid does not contain.
+    DimensionNotInCuboid {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// Drill-down named a dimension the cuboid already contains.
+    DimensionAlreadyInCuboid {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// A key's length does not match its cuboid's arity.
+    KeyArityMismatch {
+        /// Arity the cuboid requires.
+        expected: usize,
+        /// Arity the request supplied.
+        got: usize,
+    },
+    /// An iceberg threshold below what the store was computed at.
+    ThresholdTooLow {
+        /// Minimum support the store was computed at.
+        stored: u64,
+        /// The (lower) requested threshold.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::UnknownDimension { dim, dims } => {
+                write!(f, "dimension {dim} outside the cube's {dims} dimensions")
+            }
+            RequestError::DimensionNotInCuboid { dim } => {
+                write!(f, "dimension {dim} does not belong to the cuboid")
+            }
+            RequestError::DimensionAlreadyInCuboid { dim } => {
+                write!(f, "dimension {dim} already belongs to the cuboid")
+            }
+            RequestError::KeyArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "key has {got} values but the cuboid has {expected} dimensions"
+                )
+            }
+            RequestError::ThresholdTooLow { stored, requested } => write!(
+                f,
+                "store computed at minsup {stored} cannot answer threshold {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<AlgoError> for RequestError {
+    fn from(e: AlgoError) -> Self {
+        match e {
+            AlgoError::ThresholdTooLow { stored, requested } => {
+                RequestError::ThresholdTooLow { stored, requested }
+            }
+            AlgoError::DimensionMismatch {
+                query_dims,
+                relation_dims,
+            } => RequestError::UnknownDimension {
+                dim: query_dims.saturating_sub(1),
+                dims: relation_dims,
+            },
+            // The remaining AlgoError variants concern cube *computation*
+            // and cannot come out of a CubeStore read path.
+            other => unreachable!("store queries cannot fail with {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_counts_flatten_batches() {
+        let p = Request::Point {
+            cuboid: CuboidMask::from_dims(&[0]),
+            key: vec![1],
+        };
+        assert_eq!(p.leaf_count(), 1);
+        let b = Request::Batch(vec![p.clone(), Request::Batch(vec![p.clone(), p])]);
+        assert_eq!(b.leaf_count(), 3);
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: RequestError = AlgoError::ThresholdTooLow {
+            stored: 4,
+            requested: 2,
+        }
+        .into();
+        assert_eq!(
+            e,
+            RequestError::ThresholdTooLow {
+                stored: 4,
+                requested: 2
+            }
+        );
+        assert!(e.to_string().contains("cannot answer threshold 2"));
+        let e = RequestError::KeyArityMismatch {
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("3 values"));
+    }
+}

@@ -1,0 +1,377 @@
+//! The concurrent request loop: a fixed pool of worker threads answering
+//! typed requests against a shared [`ShardedCube`].
+//!
+//! Clients hold cloneable [`ClientHandle`]s and submit [`Request`]s; each
+//! request becomes a job on an MPMC queue (an `mpsc` channel whose
+//! receiver the workers share behind a mutex — only the *dequeue* is
+//! serialized, the cube reads themselves run fully in parallel since the
+//! cube is immutable). Every worker records end-to-end latency
+//! (enqueue to answer) and routing counters into shared [`Metrics`].
+//! A malformed request is answered with [`Response::Error`], never a
+//! worker panic, so one bad client cannot take down the pool.
+
+use crate::metrics::{Metrics, ServerStats};
+use crate::planner;
+use crate::request::{Request, Response, RollUpPlan};
+use crate::shard::ShardedCube;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One queued request plus everything needed to answer and account it.
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    reply: Sender<Response>,
+}
+
+/// A pool of worker threads serving one immutable sharded cube.
+///
+/// Dropping the server (or calling [`CubeServer::shutdown`]) closes the
+/// queue and joins every worker.
+pub struct CubeServer {
+    cube: Arc<ShardedCube>,
+    metrics: Arc<Metrics>,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CubeServer {
+    /// Starts `workers` threads serving `cube`.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn start(cube: ShardedCube, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let cube = Arc::new(cube);
+        let metrics = Arc::new(Metrics::new(cube.shard_count()));
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers)
+            .map(|i| {
+                let cube = Arc::clone(&cube);
+                let metrics = Arc::clone(&metrics);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("icecube-serve-{i}"))
+                    .spawn(move || worker_loop(&cube, &metrics, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        CubeServer {
+            cube,
+            metrics,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// The served cube.
+    pub fn cube(&self) -> &ShardedCube {
+        &self.cube
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A cloneable handle clients submit requests through.
+    pub fn handle(&self) -> ClientHandle {
+        ClientHandle {
+            tx: self.tx.as_ref().expect("server running").clone(),
+        }
+    }
+
+    /// Snapshot of the server's counters and latency quantiles.
+    pub fn stats(&self) -> ServerStats {
+        self.metrics.snapshot()
+    }
+
+    /// Closes the queue and joins every worker. In-flight requests are
+    /// answered; handles created earlier keep the queue open until dropped.
+    pub fn shutdown(&mut self) {
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for CubeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A client's sending side of the server queue. Cloning is cheap; every
+/// clone holds the queue open until dropped.
+#[derive(Clone)]
+pub struct ClientHandle {
+    tx: Sender<Job>,
+}
+
+impl ClientHandle {
+    /// Enqueues a request, returning the channel its answer arrives on.
+    pub fn submit(&self, req: Request) -> Receiver<Response> {
+        let (reply, answer) = mpsc::channel();
+        let job = Job {
+            req,
+            enqueued: Instant::now(),
+            reply,
+        };
+        self.tx.send(job).expect("server accepting requests");
+        answer
+    }
+
+    /// Enqueues a request and blocks for its answer.
+    pub fn call(&self, req: Request) -> Response {
+        self.submit(req).recv().expect("server answers every job")
+    }
+}
+
+fn worker_loop(cube: &ShardedCube, metrics: &Metrics, rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the lock only for the dequeue, never while answering.
+        let job = match rx.lock().expect("queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // every sender dropped: shutdown
+        };
+        let leaves = job.req.leaf_count() as u64;
+        let resp = execute(cube, metrics, &job.req);
+        let ns = job.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        for _ in 0..leaves.max(1) {
+            metrics.latency.record(ns);
+        }
+        // The client may have given up waiting; that is not a server error.
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Answers one request, recording counters. Batches recurse.
+fn execute(cube: &ShardedCube, metrics: &Metrics, req: &Request) -> Response {
+    if let Request::Batch(reqs) = req {
+        return Response::Batch(reqs.iter().map(|r| execute(cube, metrics, r)).collect());
+    }
+    metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let resp = match req {
+        Request::Point { cuboid, key } => match cube.get(*cuboid, key) {
+            Ok(agg) => {
+                let shard = cube.shard_of(*cuboid, key);
+                metrics.shards[shard].routed.fetch_add(1, Ordering::Relaxed);
+                Response::Point(agg)
+            }
+            Err(e) => Response::Error(e),
+        },
+        Request::Slice { cuboid, dim, value } => {
+            fan_out(metrics, cube.slice(*cuboid, *dim, *value))
+        }
+        Request::DrillDown { cuboid, key, dim } => {
+            fan_out(metrics, cube.drill_down(*cuboid, key, *dim))
+        }
+        Request::Cuboid { cuboid, minsup } => fan_out(metrics, cube.query(*cuboid, *minsup)),
+        Request::RollUp { cuboid, key, dim } => {
+            match planner::roll_up(cube, *cuboid, key, *dim) {
+                Ok((cell, plan, exact)) => {
+                    match plan {
+                        RollUpPlan::Stored => {
+                            metrics.rollup_stored.fetch_add(1, Ordering::Relaxed);
+                            // Inputs validated by the planner, so the
+                            // parent key is re-derivable for routing.
+                            let parent = cuboid.without_dim(*dim);
+                            if !parent.is_all() {
+                                let pos = cuboid
+                                    .iter_dims()
+                                    .position(|d| d == *dim)
+                                    .expect("validated");
+                                let mut pkey = key.clone();
+                                pkey.remove(pos);
+                                let shard = cube.shard_of(parent, &pkey);
+                                metrics.shards[shard].routed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        RollUpPlan::Aggregated => {
+                            metrics.rollup_aggregated.fetch_add(1, Ordering::Relaxed);
+                            for s in &metrics.shards {
+                                s.scanned.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Response::RolledUp { cell, plan, exact }
+                }
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Batch(_) => unreachable!("handled above"),
+    };
+    if matches!(resp, Response::Error(_)) {
+        metrics.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    resp
+}
+
+/// Wraps a fan-out result, counting shard visits and returned cells.
+fn fan_out(
+    metrics: &Metrics,
+    result: Result<Vec<(Vec<u32>, icecube_core::Aggregate)>, crate::request::RequestError>,
+) -> Response {
+    match result {
+        Ok(cells) => {
+            for s in &metrics.shards {
+                s.scanned.fetch_add(1, Ordering::Relaxed);
+            }
+            metrics
+                .cells_returned
+                .fetch_add(cells.len() as u64, Ordering::Relaxed);
+            Response::Cells(cells)
+        }
+        Err(e) => Response::Error(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestError;
+    use icecube_cluster::ClusterConfig;
+    use icecube_core::fixtures::sales;
+    use icecube_core::{run_parallel, Algorithm, CubeStore, IcebergQuery};
+    use icecube_lattice::CuboidMask;
+
+    fn server(shards: usize, workers: usize) -> CubeServer {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 1);
+        let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
+        let store = CubeStore::from_outcome(3, 1, out);
+        CubeServer::start(ShardedCube::new(&store, shards), workers)
+    }
+
+    #[test]
+    fn serves_every_request_kind() {
+        let srv = server(3, 4);
+        let h = srv.handle();
+        let g01 = CuboidMask::from_dims(&[0, 1]);
+        let g0 = CuboidMask::from_dims(&[0]);
+
+        match h.call(Request::Point {
+            cuboid: g0,
+            key: vec![0],
+        }) {
+            Response::Point(Some(agg)) => assert!(agg.count > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::Cuboid {
+            cuboid: g01,
+            minsup: 1,
+        }) {
+            Response::Cells(cells) => assert!(!cells.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::RollUp {
+            cuboid: g01,
+            key: vec![0, 2],
+            dim: 1,
+        }) {
+            Response::RolledUp { cell, plan, exact } => {
+                assert!(cell.is_some());
+                assert_eq!(plan, RollUpPlan::Stored);
+                assert!(exact);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.call(Request::Batch(vec![
+            Request::Slice {
+                cuboid: g01,
+                dim: 1,
+                value: 2,
+            },
+            Request::DrillDown {
+                cuboid: g0,
+                key: vec![0],
+                dim: 1,
+            },
+        ])) {
+            Response::Batch(answers) => {
+                assert_eq!(answers.len(), 2);
+                assert!(matches!(answers[0], Response::Cells(_)));
+                assert!(matches!(answers[1], Response::Cells(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let stats = srv.stats();
+        assert_eq!(stats.requests, 5, "batch members count individually");
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.rollup_stored, 1);
+        assert!(stats.p50_ns > 0);
+        assert_eq!(stats.shard_routed.len(), 3);
+    }
+
+    #[test]
+    fn malformed_requests_answer_errors_without_killing_workers() {
+        let srv = server(2, 2);
+        let h = srv.handle();
+        let bad = Request::Point {
+            cuboid: CuboidMask::from_dims(&[30]),
+            key: vec![0],
+        };
+        match h.call(bad) {
+            Response::Error(RequestError::UnknownDimension { dim: 30, dims: 3 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // The pool still answers after the error.
+        match h.call(Request::Point {
+            cuboid: CuboidMask::from_dims(&[0]),
+            key: vec![0],
+        }) {
+            Response::Point(Some(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = srv.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn concurrent_clients_get_consistent_answers() {
+        let srv = server(4, 4);
+        let g = CuboidMask::from_dims(&[0, 1, 2]);
+        let want = srv.cube().query(g, 1).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let h = srv.handle();
+                let want = &want;
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        match h.call(Request::Cuboid {
+                            cuboid: g,
+                            minsup: 1,
+                        }) {
+                            Response::Cells(cells) => assert_eq!(&cells, want),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(srv.stats().requests, 80);
+    }
+
+    #[test]
+    fn shutdown_joins_workers_and_drops_cleanly() {
+        let mut srv = server(1, 3);
+        let h = srv.handle();
+        match h.call(Request::Point {
+            cuboid: CuboidMask::from_dims(&[0]),
+            key: vec![0],
+        }) {
+            Response::Point(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(h); // handles must drop before shutdown can observe closure
+        srv.shutdown();
+        assert_eq!(srv.worker_count(), 0);
+    }
+}

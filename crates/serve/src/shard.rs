@@ -1,0 +1,319 @@
+//! Range-sharding a [`CubeStore`] across N shards by key.
+//!
+//! Every cuboid of the source store is split independently at even key
+//! quantiles (via [`CubeStore::split_points`], the same convention
+//! `icecube-core::partition` and POL's `Boundaries` use: range `j` owns
+//! keys `k` with `splits[j-1] <= k < splits[j]`). Routing is therefore
+//! deterministic and shared by writer and reader: a point lookup computes
+//! its shard from the routing table and touches exactly one shard, while
+//! slices, drill-downs and full-cuboid queries fan out to every shard and
+//! concatenate — shard ranges are contiguous and each shard keeps its
+//! cells key-sorted, so the merged answer is bit-for-bit the order an
+//! unsharded [`CubeStore`] produces.
+
+use crate::request::RequestError;
+use icecube_core::{Aggregate, CubeStore};
+use icecube_lattice::CuboidMask;
+use std::collections::HashMap;
+
+/// A cube range-partitioned into independently queryable shards.
+#[derive(Debug, Clone)]
+pub struct ShardedCube {
+    dims: usize,
+    minsup: u64,
+    shards: Vec<CubeStore>,
+    /// Per-cuboid split keys (at most `shards.len() - 1` each, ascending).
+    routes: HashMap<CuboidMask, Vec<Vec<u32>>>,
+    /// Cuboids the source store materialized, ascending.
+    materialized: Vec<CuboidMask>,
+}
+
+impl ShardedCube {
+    /// Range-partitions `store` into `shard_count` shards.
+    ///
+    /// # Panics
+    /// Panics if `shard_count` is zero.
+    pub fn new(store: &CubeStore, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        let dims = store.dims();
+        let minsup = store.minsup();
+        let materialized = store.cuboid_masks();
+        let mut routes = HashMap::with_capacity(materialized.len());
+        let mut per_shard: Vec<Vec<icecube_core::Cell>> = vec![Vec::new(); shard_count];
+        for &mask in &materialized {
+            let splits = store.split_points(mask, shard_count);
+            for (key, agg) in store.cells_of(mask) {
+                let r = splits.partition_point(|sp| sp.as_slice() <= key);
+                per_shard[r].push(icecube_core::Cell {
+                    cuboid: mask,
+                    key: key.to_vec(),
+                    agg,
+                });
+            }
+            routes.insert(mask, splits);
+        }
+        let shards = per_shard
+            .into_iter()
+            .map(|cells| CubeStore::from_cells(dims, minsup, cells))
+            .collect();
+        ShardedCube {
+            dims,
+            minsup,
+            shards,
+            routes,
+            materialized,
+        }
+    }
+
+    /// Number of cube dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The minimum support the source cube was computed at.
+    pub fn minsup(&self) -> u64 {
+        self.minsup
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total cells across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(CubeStore::len).sum()
+    }
+
+    /// True when the cube held no qualifying cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cells stored per shard (the sharding balance experiments plot this).
+    pub fn shard_cell_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(CubeStore::len).collect()
+    }
+
+    /// Cuboids the source store materialized, ascending.
+    pub fn materialized_cuboids(&self) -> &[CuboidMask] {
+        &self.materialized
+    }
+
+    /// Whether the source store materialized cuboid `g`.
+    pub fn has_cuboid(&self, g: CuboidMask) -> bool {
+        self.materialized.binary_search(&g).is_ok()
+    }
+
+    /// The shard owning `key` within cuboid `g` — the deterministic routing
+    /// step point lookups take.
+    pub fn shard_of(&self, g: CuboidMask, key: &[u32]) -> usize {
+        match self.routes.get(&g) {
+            Some(splits) => splits.partition_point(|sp| sp.as_slice() <= key),
+            // Unmaterialized cuboids have no cells anywhere; route to 0 so
+            // lookups still resolve (to "absent") without a special case.
+            None => 0,
+        }
+    }
+
+    fn check_dim(&self, dim: usize) -> Result<(), RequestError> {
+        if dim >= self.dims {
+            return Err(RequestError::UnknownDimension {
+                dim,
+                dims: self.dims,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_cuboid(&self, g: CuboidMask) -> Result<(), RequestError> {
+        if let Some(max) = g.max_dim() {
+            self.check_dim(max)?;
+        }
+        Ok(())
+    }
+
+    fn check_key(&self, g: CuboidMask, key: &[u32]) -> Result<(), RequestError> {
+        if key.len() != g.dim_count() {
+            return Err(RequestError::KeyArityMismatch {
+                expected: g.dim_count(),
+                got: key.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Point lookup: routed to exactly one shard.
+    pub fn get(&self, g: CuboidMask, key: &[u32]) -> Result<Option<Aggregate>, RequestError> {
+        self.check_cuboid(g)?;
+        self.check_key(g, key)?;
+        let shard = self.shard_of(g, key);
+        Ok(self.shards[shard].get(g, key).copied())
+    }
+
+    /// All qualifying cells of one group-by at threshold `minsup`: fans out
+    /// to every shard and concatenates in shard order (ascending keys).
+    pub fn query(
+        &self,
+        g: CuboidMask,
+        minsup: u64,
+    ) -> Result<Vec<(Vec<u32>, Aggregate)>, RequestError> {
+        self.check_cuboid(g)?;
+        if minsup < self.minsup {
+            return Err(RequestError::ThresholdTooLow {
+                stored: self.minsup,
+                requested: minsup,
+            });
+        }
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.query(g, minsup)?);
+        }
+        Ok(out)
+    }
+
+    /// Slice: fans out to every shard and concatenates in shard order.
+    pub fn slice(
+        &self,
+        g: CuboidMask,
+        dim: usize,
+        value: u32,
+    ) -> Result<Vec<(Vec<u32>, Aggregate)>, RequestError> {
+        self.check_cuboid(g)?;
+        self.check_dim(dim)?;
+        if !g.contains(dim) {
+            return Err(RequestError::DimensionNotInCuboid { dim });
+        }
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.slice(g, dim, value)?);
+        }
+        Ok(out)
+    }
+
+    /// Drill-down: fans out over the shards of the finer cuboid and
+    /// concatenates in shard order.
+    pub fn drill_down(
+        &self,
+        g: CuboidMask,
+        key: &[u32],
+        dim: usize,
+    ) -> Result<Vec<(Vec<u32>, Aggregate)>, RequestError> {
+        self.check_cuboid(g)?;
+        self.check_dim(dim)?;
+        if g.contains(dim) {
+            return Err(RequestError::DimensionAlreadyInCuboid { dim });
+        }
+        self.check_key(g, key)?;
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.drill_down(g, key, dim)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icecube_cluster::ClusterConfig;
+    use icecube_core::fixtures::sales;
+    use icecube_core::{run_parallel, Algorithm, IcebergQuery};
+
+    fn store(minsup: u64) -> CubeStore {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, minsup);
+        let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
+        CubeStore::from_outcome(3, minsup, out)
+    }
+
+    #[test]
+    fn sharding_preserves_every_cell() {
+        let s = store(1);
+        for n in [1, 2, 3, 8] {
+            let sharded = ShardedCube::new(&s, n);
+            assert_eq!(sharded.shard_count(), n);
+            assert_eq!(sharded.len(), s.len(), "{n} shards");
+            assert_eq!(sharded.shard_cell_counts().iter().sum::<usize>(), s.len());
+        }
+    }
+
+    #[test]
+    fn point_lookups_route_to_one_shard_and_agree() {
+        let s = store(1);
+        let sharded = ShardedCube::new(&s, 3);
+        for cell in s.iter() {
+            let shard = sharded.shard_of(cell.cuboid, &cell.key);
+            assert!(shard < 3);
+            // The owning shard has the cell; every other shard does not.
+            assert_eq!(sharded.get(cell.cuboid, &cell.key).unwrap(), Some(cell.agg));
+        }
+    }
+
+    #[test]
+    fn fanout_order_matches_unsharded() {
+        let s = store(1);
+        let g = CuboidMask::from_dims(&[0, 1]);
+        for n in [1, 2, 3, 8] {
+            let sharded = ShardedCube::new(&s, n);
+            assert_eq!(sharded.query(g, 1).unwrap(), s.query(g, 1).unwrap());
+            assert_eq!(sharded.slice(g, 1, 2).unwrap(), s.slice(g, 1, 2).unwrap());
+            assert_eq!(
+                sharded
+                    .drill_down(CuboidMask::from_dims(&[0]), &[0], 1)
+                    .unwrap(),
+                s.drill_down(CuboidMask::from_dims(&[0]), &[0], 1).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        let sharded = ShardedCube::new(&store(2), 2);
+        let g = CuboidMask::from_dims(&[0, 1]);
+        assert_eq!(
+            sharded.get(CuboidMask::from_dims(&[9]), &[0]),
+            Err(RequestError::UnknownDimension { dim: 9, dims: 3 })
+        );
+        assert_eq!(
+            sharded.get(g, &[0]),
+            Err(RequestError::KeyArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            sharded.query(g, 1),
+            Err(RequestError::ThresholdTooLow {
+                stored: 2,
+                requested: 1
+            })
+        );
+        assert_eq!(
+            sharded.slice(g, 2, 0),
+            Err(RequestError::DimensionNotInCuboid { dim: 2 })
+        );
+        assert_eq!(
+            sharded.drill_down(g, &[0, 2], 1),
+            Err(RequestError::DimensionAlreadyInCuboid { dim: 1 })
+        );
+    }
+
+    #[test]
+    fn absent_cuboids_answer_empty_not_error() {
+        // A store materializing only one cuboid still answers queries
+        // against the others (empty / None), which the roll-up planner's
+        // fallback path relies on.
+        let s = store(1);
+        let only: Vec<icecube_core::Cell> = s
+            .iter()
+            .filter(|c| c.cuboid == CuboidMask::from_dims(&[0, 1]))
+            .collect();
+        let partial = CubeStore::from_cells(3, 1, only);
+        let sharded = ShardedCube::new(&partial, 4);
+        let absent = CuboidMask::from_dims(&[0]);
+        assert!(!sharded.has_cuboid(absent));
+        assert_eq!(sharded.get(absent, &[0]).unwrap(), None);
+        assert!(sharded.query(absent, 1).unwrap().is_empty());
+    }
+}

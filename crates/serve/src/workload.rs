@@ -1,0 +1,239 @@
+//! Deterministic load generation: a seeded analyst "navigation walk" over
+//! a real cube, and a closed-loop driver measuring served throughput.
+//!
+//! The walk mirrors Section 2.1's workflow — mostly point lookups with
+//! interleaved slices, roll-ups, drill-downs, full-cuboid scans and small
+//! pipelined batches — but every choice comes from a seeded PRNG over the
+//! cube's *actual* cells, so the same `(store, count, seed)` always yields
+//! the same request stream. That determinism is what lets the `serve`
+//! experiment rerun identical workloads while sweeping shard and worker
+//! counts.
+
+use crate::metrics::ServerStats;
+use crate::request::{Request, Response};
+use crate::server::CubeServer;
+use icecube_core::CubeStore;
+use icecube_lattice::CuboidMask;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// A pre-generated, deterministic stream of navigation requests.
+#[derive(Debug, Clone)]
+pub struct NavigationWorkload {
+    /// The request stream, in submission order.
+    pub requests: Vec<Request>,
+}
+
+impl NavigationWorkload {
+    /// Generates `count` requests over the cells `store` actually holds.
+    /// Same `(store, count, seed)` → same stream.
+    /// # Panics
+    /// Panics if `store` holds no cells (there is nothing to navigate).
+    pub fn generate(store: &CubeStore, count: usize, seed: u64) -> Self {
+        assert!(!store.is_empty(), "cannot navigate an empty cube");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let masks = store.cuboid_masks();
+        let keys: Vec<Vec<Vec<u32>>> = masks
+            .iter()
+            .map(|&g| store.cells_of(g).map(|(k, _)| k.to_vec()).collect())
+            .collect();
+        let mut gen = Generator {
+            store,
+            masks,
+            keys,
+            rng: &mut rng,
+        };
+        let requests = (0..count).map(|_| gen.step(true)).collect();
+        NavigationWorkload { requests }
+    }
+
+    /// Total leaf requests in the stream (batch members count).
+    pub fn leaf_count(&self) -> usize {
+        self.requests.iter().map(Request::leaf_count).sum()
+    }
+}
+
+struct Generator<'a> {
+    store: &'a CubeStore,
+    masks: Vec<CuboidMask>,
+    keys: Vec<Vec<Vec<u32>>>,
+    rng: &'a mut SmallRng,
+}
+
+impl Generator<'_> {
+    /// Picks a random materialized cell: (cuboid, key).
+    fn cell(&mut self) -> (CuboidMask, Vec<u32>) {
+        loop {
+            let m = self.rng.gen_range(0..self.masks.len());
+            if let Some(key) = pick(self.rng, &self.keys[m]) {
+                return (self.masks[m], key.clone());
+            }
+        }
+    }
+
+    fn step(&mut self, allow_batch: bool) -> Request {
+        let (cuboid, key) = self.cell();
+        match self.rng.gen_range(0..100u32) {
+            // Point lookups dominate an analyst session.
+            0..=34 => Request::Point { cuboid, key },
+            35..=54 => {
+                let dims: Vec<usize> = cuboid.iter_dims().collect();
+                let dim = *pick(self.rng, &dims).expect("cuboids are non-empty");
+                let pos = dims.iter().position(|&d| d == dim).expect("picked");
+                Request::Slice {
+                    cuboid,
+                    dim,
+                    value: key[pos],
+                }
+            }
+            55..=69 => {
+                let dims: Vec<usize> = cuboid.iter_dims().collect();
+                let dim = *pick(self.rng, &dims).expect("cuboids are non-empty");
+                Request::RollUp { cuboid, key, dim }
+            }
+            70..=79 => {
+                let absent: Vec<usize> = (0..self.store.dims())
+                    .filter(|&d| !cuboid.contains(d))
+                    .collect();
+                match pick(self.rng, &absent) {
+                    Some(&dim) => Request::DrillDown { cuboid, key, dim },
+                    // Finest cuboid: nothing to drill into, look up instead.
+                    None => Request::Point { cuboid, key },
+                }
+            }
+            80..=89 => Request::Cuboid {
+                cuboid,
+                minsup: self.store.minsup(),
+            },
+            _ if allow_batch => {
+                let n = self.rng.gen_range(2..5usize);
+                Request::Batch((0..n).map(|_| self.step(false)).collect())
+            }
+            _ => Request::Point { cuboid, key },
+        }
+    }
+}
+
+fn pick<'s, T>(rng: &mut SmallRng, items: &'s [T]) -> Option<&'s T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.gen_range(0..items.len())])
+    }
+}
+
+/// What one closed-loop run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Wall-clock time from first submission to last answer.
+    pub elapsed: Duration,
+    /// Leaf requests answered.
+    pub requests: u64,
+    /// Leaf requests answered per second.
+    pub throughput: f64,
+    /// The server's counters and latency quantiles after the run.
+    pub stats: ServerStats,
+}
+
+/// Drives `workload` through `server` with `clients` closed-loop client
+/// threads (each submits its next request only after the previous answer
+/// arrives). Requests are dealt round-robin, so the per-client streams —
+/// and the aggregate mix — are deterministic for a given client count.
+///
+/// # Panics
+/// Panics if `clients` is zero.
+pub fn run_closed_loop(
+    server: &CubeServer,
+    workload: &NavigationWorkload,
+    clients: usize,
+) -> LoadReport {
+    assert!(clients > 0, "need at least one client");
+    let before = server.stats().requests;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let handle = server.handle();
+            let requests = &workload.requests;
+            scope.spawn(move || {
+                for req in requests.iter().skip(c).step_by(clients) {
+                    let resp = handle.call(req.clone());
+                    debug_assert!(
+                        !matches!(resp, Response::Error(_)),
+                        "workloads over real cells never err: {resp:?}"
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let stats = server.stats();
+    let requests = stats.requests - before;
+    LoadReport {
+        elapsed,
+        requests,
+        throughput: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardedCube;
+    use icecube_cluster::ClusterConfig;
+    use icecube_core::fixtures::sales;
+    use icecube_core::{run_parallel, Algorithm, IcebergQuery};
+
+    fn store() -> CubeStore {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 1);
+        let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
+        CubeStore::from_outcome(3, 1, out)
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let s = store();
+        let a = NavigationWorkload::generate(&s, 64, 7);
+        let b = NavigationWorkload::generate(&s, 64, 7);
+        assert_eq!(a.requests, b.requests);
+        let c = NavigationWorkload::generate(&s, 64, 8);
+        assert_ne!(a.requests, c.requests, "different seeds diverge");
+        assert!(a.leaf_count() >= 64);
+    }
+
+    #[test]
+    fn walk_mixes_request_kinds() {
+        let s = store();
+        let w = NavigationWorkload::generate(&s, 256, 42);
+        let mut kinds = [0usize; 6];
+        fn tally(req: &Request, kinds: &mut [usize; 6]) {
+            match req {
+                Request::Point { .. } => kinds[0] += 1,
+                Request::Slice { .. } => kinds[1] += 1,
+                Request::RollUp { .. } => kinds[2] += 1,
+                Request::DrillDown { .. } => kinds[3] += 1,
+                Request::Cuboid { .. } => kinds[4] += 1,
+                Request::Batch(rs) => {
+                    kinds[5] += 1;
+                    rs.iter().for_each(|r| tally(r, kinds));
+                }
+            }
+        }
+        w.requests.iter().for_each(|r| tally(r, &mut kinds));
+        assert!(kinds.iter().all(|&k| k > 0), "all kinds present: {kinds:?}");
+    }
+
+    #[test]
+    fn closed_loop_answers_everything() {
+        let s = store();
+        let w = NavigationWorkload::generate(&s, 40, 3);
+        let server = CubeServer::start(ShardedCube::new(&s, 2), 2);
+        let report = run_closed_loop(&server, &w, 3);
+        assert_eq!(report.requests, w.leaf_count() as u64);
+        assert_eq!(report.stats.errors, 0);
+        assert!(report.throughput > 0.0);
+        assert!(report.stats.p99_ns >= report.stats.p50_ns);
+    }
+}

@@ -175,7 +175,11 @@ impl<V> SkipList<V> {
         let mut x = NIL; // NIL as "head"
         for lvl in (0..self.level).rev() {
             loop {
-                let next = if x == NIL { self.head[lvl] } else { self.link(x, lvl) };
+                let next = if x == NIL {
+                    self.head[lvl]
+                } else {
+                    self.link(x, lvl)
+                };
                 if next == NIL || self.cmp_key(next, key) != Ordering::Less {
                     break;
                 }
@@ -235,7 +239,11 @@ impl<V> SkipList<V> {
         self.node_level.push(lvl as u8);
         self.link_start.push(self.links.len() as u32);
         for (l, &prev) in path.iter().enumerate().take(lvl) {
-            let next = if prev == NIL { self.head[l] } else { self.link(prev, l) };
+            let next = if prev == NIL {
+                self.head[l]
+            } else {
+                self.link(prev, l)
+            };
             self.links.push(next);
             if prev == NIL {
                 self.head[l] = node;
@@ -248,7 +256,10 @@ impl<V> SkipList<V> {
 
     /// Iterates entries in ascending key order.
     pub fn iter(&self) -> Iter<'_, V> {
-        Iter { list: self, node: self.head[0] }
+        Iter {
+            list: self,
+            node: self.head[0],
+        }
     }
 
     /// The smallest key, if any.
@@ -297,7 +308,10 @@ impl<V> SkipList<V> {
             node = self.link(node, 0);
         }
         if seen != self.len() {
-            return Err(format!("level-0 chain has {seen} nodes, expected {}", self.len()));
+            return Err(format!(
+                "level-0 chain has {seen} nodes, expected {}",
+                self.len()
+            ));
         }
         Ok(())
     }

@@ -47,7 +47,11 @@ fn main() {
                     out.stats.imbalance(),
                 );
             }
-            Err(AlgoError::MemoryExhausted { node, required_bytes, available_bytes }) => {
+            Err(AlgoError::MemoryExhausted {
+                node,
+                required_bytes,
+                available_bytes,
+            }) => {
                 // The hash-tree algorithm fails exactly as the paper
                 // reports once candidates outgrow memory.
                 println!(

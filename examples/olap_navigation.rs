@@ -16,8 +16,13 @@ fn main() {
     let relation = sales();
     let minsup = 2;
     let query = IcebergQuery::count_cube(relation.arity(), minsup);
-    let outcome = run_parallel(Algorithm::Pt, &relation, &query, &ClusterConfig::fast_ethernet(4))
-        .expect("valid query");
+    let outcome = run_parallel(
+        Algorithm::Pt,
+        &relation,
+        &query,
+        &ClusterConfig::fast_ethernet(4),
+    )
+    .expect("valid query");
     let store = CubeStore::from_outcome(relation.arity(), minsup, outcome);
     println!(
         "precomputed cube: {} cells at minimum support {} (can answer thresholds >= {})",
@@ -34,7 +39,10 @@ fn main() {
     let by_model = CuboidMask::from_dims(&[0]);
     println!("\nGROUP BY model:");
     for (key, agg) in store.query(by_model, minsup).expect("in range") {
-        println!("  {:6} sum={} count={}", models[key[0] as usize], agg.sum, agg.count);
+        println!(
+            "  {:6} sum={} count={}",
+            models[key[0] as usize], agg.sum, agg.count
+        );
     }
 
     // Too coarse → drill down Chevy by year ("GROUP BY on more attributes").
@@ -77,7 +85,10 @@ fn main() {
     let white = store.slice(mc, 2, 1).expect("in range");
     println!("\nslice color=white over (model, color):");
     for (key, agg) in white {
-        println!("  {:6} white  sum={} count={}", models[key[0] as usize], agg.sum, agg.count);
+        println!(
+            "  {:6} white  sum={} count={}",
+            models[key[0] as usize], agg.sum, agg.count
+        );
     }
 
     // A query below the precomputed threshold must go back to the engines

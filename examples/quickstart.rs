@@ -60,5 +60,8 @@ fn main() {
     for (i, load) in outcome.stats.loads_ns().iter().enumerate() {
         println!("  node {i}: {:.4}", *load as f64 / 1e9);
     }
-    println!("load imbalance: {:.2} (1.0 = perfect)", outcome.stats.imbalance());
+    println!(
+        "load imbalance: {:.2} (1.0 = perfect)",
+        outcome.stats.imbalance()
+    );
 }

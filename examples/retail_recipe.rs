@@ -66,8 +66,13 @@ fn main() {
 
     // 3. Run the iceberg cube: combinations bought at least 3 times.
     let query = IcebergQuery::count_cube(relation.arity(), 3);
-    let outcome = run_parallel(algorithm, relation, &query, &ClusterConfig::fast_ethernet(4))
-        .expect("valid query");
+    let outcome = run_parallel(
+        algorithm,
+        relation,
+        &query,
+        &ClusterConfig::fast_ethernet(4),
+    )
+    .expect("valid query");
     println!(
         "\n{} ran in {:.4} virtual seconds; {} frequent combinations:\n",
         algorithm,

@@ -1,0 +1,101 @@
+//! A tour of `icecube-serve`: shard a precomputed iceberg cube, start a
+//! worker pool, navigate it through typed requests from several client
+//! threads, and read the latency histogram back.
+//!
+//! ```text
+//! cargo run --example serve_tour
+//! ```
+
+use icecube::cluster::ClusterConfig;
+use icecube::core::{run_parallel, Algorithm, CubeStore, IcebergQuery};
+use icecube::data::SyntheticSpec;
+use icecube::lattice::CuboidMask;
+use icecube::serve::{
+    run_closed_loop, CubeServer, NavigationWorkload, Request, Response, ShardedCube,
+};
+
+fn main() {
+    // Precompute an iceberg cube once (PT over 4 simulated nodes)…
+    let rel = SyntheticSpec::uniform(20_000, vec![10, 8, 6, 4], 7)
+        .generate()
+        .expect("valid spec");
+    let query = IcebergQuery::count_cube(rel.arity(), 1);
+    let outcome = run_parallel(
+        Algorithm::Pt,
+        &rel,
+        &query,
+        &ClusterConfig::fast_ethernet(4),
+    )
+    .expect("valid query");
+    let store = CubeStore::from_outcome(rel.arity(), 1, outcome);
+
+    // …then range-partition it into 4 shards and start 4 workers over it.
+    let sharded = ShardedCube::new(&store, 4);
+    println!(
+        "sharded cube: {} cells over {} cuboids, per shard {:?}",
+        sharded.len(),
+        sharded.materialized_cuboids().len(),
+        sharded.shard_cell_counts()
+    );
+    let server = CubeServer::start(sharded, 4);
+    let handle = server.handle();
+
+    // A point lookup routes to exactly one shard.
+    let g = CuboidMask::from_dims(&[0, 1]);
+    if let Response::Point(agg) = handle.call(Request::Point {
+        cuboid: g,
+        key: vec![0, 0],
+    }) {
+        println!("point (0,0) over {g}: {agg:?}");
+    }
+
+    // A slice fans out to every shard and merges in key order.
+    if let Response::Cells(cells) = handle.call(Request::Slice {
+        cuboid: g,
+        dim: 1,
+        value: 3,
+    }) {
+        println!("slice dim1=3 over {g}: {} cells", cells.len());
+    }
+
+    // Roll-ups report which plan answered them.
+    if let Response::RolledUp { cell, plan, exact } = handle.call(Request::RollUp {
+        cuboid: g,
+        key: vec![0, 3],
+        dim: 1,
+    }) {
+        println!("roll-up (0,3) minus dim1: {cell:?} via {plan:?} (exact: {exact})");
+    }
+
+    // Malformed requests come back as typed errors, not panics.
+    if let Response::Error(e) = handle.call(Request::Point {
+        cuboid: g,
+        key: vec![0],
+    }) {
+        println!("malformed request answered with: {e}");
+    }
+    drop(handle);
+
+    // Replay a deterministic navigation workload from 8 closed-loop clients.
+    let workload = NavigationWorkload::generate(&store, 2_000, 42);
+    let report = run_closed_loop(&server, &workload, 8);
+    let s = &report.stats;
+    println!(
+        "\nworkload: {} leaf requests in {:.1} ms → {:.0} req/s",
+        report.requests,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.throughput
+    );
+    println!(
+        "latency: mean {:.1} us, p50 {:.1} us, p95 {:.1} us, p99 {:.1} us",
+        s.mean_ns as f64 / 1e3,
+        s.p50_ns as f64 / 1e3,
+        s.p95_ns as f64 / 1e3,
+        s.p99_ns as f64 / 1e3
+    );
+    println!(
+        "plans: {} roll-ups from stored cuboids, {} aggregated on the fly; errors: {}",
+        s.rollup_stored, s.rollup_aggregated, s.errors
+    );
+    println!("per-shard routed lookups: {:?}", s.shard_routed);
+}

@@ -34,7 +34,10 @@ fn main() {
     let outcome = run_pol(&relation, &query, &cluster).expect("valid query");
 
     println!("\nprogressive refinement (8 nodes, Myrinet):");
-    println!("{:>6} {:>9} {:>10} {:>12} {:>16}", "step", "data %", "time (s)", "est. minsup", "cells qualifying");
+    println!(
+        "{:>6} {:>9} {:>10} {:>12} {:>16}",
+        "step", "data %", "time (s)", "est. minsup", "cells qualifying"
+    );
     for s in &outcome.snapshots {
         println!(
             "{:>6} {:>8.1}% {:>10.3} {:>12} {:>16}",
@@ -55,8 +58,13 @@ fn main() {
     println!(
         "wall clock {:.3} virtual seconds; communication was {:.1}% of busy time",
         outcome.stats.makespan_secs(),
-        100.0
-            * outcome.stats.nodes().iter().map(|s| s.net_ns).sum::<u64>() as f64
-            / outcome.stats.nodes().iter().map(|s| s.busy_ns()).sum::<u64>().max(1) as f64
+        100.0 * outcome.stats.nodes().iter().map(|s| s.net_ns).sum::<u64>() as f64
+            / outcome
+                .stats
+                .nodes()
+                .iter()
+                .map(|s| s.busy_ns())
+                .sum::<u64>()
+                .max(1) as f64
     );
 }

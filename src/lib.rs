@@ -20,7 +20,9 @@
 //!   cost models, demand scheduling),
 //! * [`core`] — sequential BUC plus the five parallel cube algorithms and
 //!   the algorithm-selection recipe,
-//! * [`online`] — POL online aggregation and selective materialization.
+//! * [`online`] — POL online aggregation and selective materialization,
+//! * [`serve`] — sharded, concurrent serving of a precomputed cube: a
+//!   worker-pool request loop, roll-up planning, and latency metrics.
 //!
 //! ## Quickstart
 //!
@@ -45,4 +47,5 @@ pub use icecube_core as core;
 pub use icecube_data as data;
 pub use icecube_lattice as lattice;
 pub use icecube_online as online;
+pub use icecube_serve as serve;
 pub use icecube_skiplist as skiplist;

@@ -15,7 +15,10 @@ use icecube::online::{run_pol, PolQuery, SelectiveMaterialization};
 fn workloads() -> Vec<(&'static str, icecube::data::Relation)> {
     vec![
         ("sales", icecube::core::fixtures::sales()),
-        ("iceberg-example", icecube::core::fixtures::iceberg_example()),
+        (
+            "iceberg-example",
+            icecube::core::fixtures::iceberg_example(),
+        ),
         ("tiny-skewed", presets::tiny(77).generate().unwrap()),
         (
             "wide-sparse",
@@ -26,7 +29,9 @@ fn workloads() -> Vec<(&'static str, icecube::data::Relation)> {
         ),
         (
             "dense-binary",
-            SyntheticSpec::uniform(600, vec![2, 2, 2, 2, 2, 2], 4).generate().unwrap(),
+            SyntheticSpec::uniform(600, vec![2, 2, 2, 2, 2, 2], 4)
+                .generate()
+                .unwrap(),
         ),
     ]
 }
@@ -61,7 +66,11 @@ fn heterogeneous_cluster_changes_nothing_but_time() {
     let want = naive_iceberg_cube(&rel, &q);
     for alg in Algorithm::evaluated() {
         let het = run_parallel(alg, &rel, &q, &ClusterConfig::heterogeneous_16()).unwrap();
-        assert_same_cells(want.clone(), het.cells, &format!("{alg} on heterogeneous_16"));
+        assert_same_cells(
+            want.clone(),
+            het.cells,
+            &format!("{alg} on heterogeneous_16"),
+        );
     }
 }
 
@@ -94,8 +103,12 @@ fn pol_matches_the_cube_slice() {
         let mut query = PolQuery::new(mask, 2);
         query.buffer_tuples = 37; // force multiple steps
         let pol = run_pol(&rel, &query, &ClusterConfig::fast_ethernet(4)).unwrap();
-        let slice: Vec<Cell> =
-            cube.cells.iter().filter(|c| c.cuboid == mask).cloned().collect();
+        let slice: Vec<Cell> = cube
+            .cells
+            .iter()
+            .filter(|c| c.cuboid == mask)
+            .cloned()
+            .collect();
         assert_eq!(pol.cells, slice, "POL vs cube slice for {mask}");
     }
 }
@@ -113,8 +126,12 @@ fn materialization_answers_match_the_cube() {
         m.query(mask, 3, &mut cluster.nodes[0], &mut sink).unwrap();
         let mut got = sink.into_cells();
         sort_cells(&mut got);
-        let slice: Vec<Cell> =
-            cube.cells.iter().filter(|c| c.cuboid == mask).cloned().collect();
+        let slice: Vec<Cell> = cube
+            .cells
+            .iter()
+            .filter(|c| c.cuboid == mask)
+            .cloned()
+            .collect();
         assert_eq!(got, slice, "materialized roll-up vs cube slice for {mask}");
     }
 }

@@ -20,17 +20,29 @@ Panasonic Hi-Fi VCR,Vancouver,tom,250
 fn the_papers_iceberg_query_end_to_end() {
     // SELECT item, location, SUM(sales) FROM R
     // GROUP BY item, location HAVING COUNT(*) >= 2
-    let table = read_csv(TABLE_2_1.as_bytes(), &["item", "location", "customer"], Some("sales"))
-        .expect("well-formed CSV");
+    let table = read_csv(
+        TABLE_2_1.as_bytes(),
+        &["item", "location", "customer"],
+        Some("sales"),
+    )
+    .expect("well-formed CSV");
     let q = IcebergQuery::count_cube(3, 2);
-    let out = run_parallel(Algorithm::Pt, &table.relation, &q, &ClusterConfig::fast_ethernet(2))
-        .expect("valid query");
+    let out = run_parallel(
+        Algorithm::Pt,
+        &table.relation,
+        &q,
+        &ClusterConfig::fast_ethernet(2),
+    )
+    .expect("valid query");
     let il = CuboidMask::from_dims(&[0, 1]);
     let answers: Vec<_> = out.cells.iter().filter(|c| c.cuboid == il).collect();
     // "the result would be the tuple <Sony 25\" TV, Seattle, 2100>"
     assert_eq!(answers.len(), 1);
     let cell = answers[0];
-    assert_eq!(table.dictionaries[0].decode(cell.key[0]), Some("Sony 25in TV"));
+    assert_eq!(
+        table.dictionaries[0].decode(cell.key[0]),
+        Some("Sony 25in TV")
+    );
     assert_eq!(table.dictionaries[1].decode(cell.key[1]), Some("Seattle"));
     assert_eq!(cell.agg.sum, 2100);
     assert_eq!(cell.agg.count, 3);
@@ -42,24 +54,31 @@ fn csv_roundtrip_preserves_the_relation() {
         .expect("well-formed CSV");
     let mut buf = Vec::new();
     write_csv(&mut buf, &table.relation, Some(&table.dictionaries)).expect("writable");
-    let again = read_csv(buf.as_slice(), &["item", "location"], Some("sales"))
-        .expect("roundtrip parses");
+    let again =
+        read_csv(buf.as_slice(), &["item", "location"], Some("sales")).expect("roundtrip parses");
     assert_eq!(again.relation, table.relation);
 }
 
 #[test]
 fn every_algorithm_answers_the_example_identically() {
-    let table = read_csv(TABLE_2_1.as_bytes(), &["item", "location", "customer"], Some("sales"))
-        .expect("well-formed CSV");
+    let table = read_csv(
+        TABLE_2_1.as_bytes(),
+        &["item", "location", "customer"],
+        Some("sales"),
+    )
+    .expect("well-formed CSV");
     let q = IcebergQuery::count_cube(3, 2);
-    let reference =
-        run_parallel(Algorithm::Rp, &table.relation, &q, &ClusterConfig::fast_ethernet(2))
-            .expect("valid")
-            .cells;
+    let reference = run_parallel(
+        Algorithm::Rp,
+        &table.relation,
+        &q,
+        &ClusterConfig::fast_ethernet(2),
+    )
+    .expect("valid")
+    .cells;
     for alg in Algorithm::all() {
-        let out =
-            run_parallel(alg, &table.relation, &q, &ClusterConfig::fast_ethernet(2))
-                .expect("valid");
+        let out = run_parallel(alg, &table.relation, &q, &ClusterConfig::fast_ethernet(2))
+            .expect("valid");
         assert_eq!(out.cells, reference, "{alg}");
     }
 }

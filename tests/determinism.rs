@@ -26,7 +26,10 @@ fn parallel_runs_are_bitwise_reproducible() {
         let a = run_parallel(alg, &rel, &q, &cfg).unwrap();
         let b = run_parallel(alg, &rel, &q, &cfg).unwrap();
         assert_eq!(a.cells, b.cells, "{alg} cells");
-        assert_eq!(a.stats, b.stats, "{alg} stats (schedules must be deterministic)");
+        assert_eq!(
+            a.stats, b.stats,
+            "{alg} stats (schedules must be deterministic)"
+        );
         assert_eq!(a.stats.makespan_ns(), b.stats.makespan_ns());
     }
 }

@@ -20,8 +20,7 @@ fn sequential_and_parallel_agree() {
             assert_eq!(out.cells, reference.cells, "{seq} at minsup {minsup}");
         }
         for par in Algorithm::evaluated() {
-            let out =
-                run_parallel(par, &rel, &q, &ClusterConfig::fast_ethernet(4)).unwrap();
+            let out = run_parallel(par, &rel, &q, &ClusterConfig::fast_ethernet(4)).unwrap();
             assert_eq!(out.cells, reference.cells, "{par} at minsup {minsup}");
         }
     }
@@ -61,8 +60,10 @@ fn drill_down_and_roll_up_are_inverse_navigations() {
         let child_sum: u64 = children.iter().map(|(_, a)| a.count).sum();
         assert_eq!(child_sum, agg.count, "drill-down partitions the cell");
         for (ckey, _) in &children {
-            let (rkey, ragg) =
-                store.roll_up(a.with_dim(2), ckey, 2).unwrap().expect("parent exists");
+            let (rkey, ragg) = store
+                .roll_up(a.with_dim(2), ckey, 2)
+                .unwrap()
+                .expect("parent exists");
             assert_eq!(rkey, key);
             assert_eq!(ragg, agg);
         }
@@ -81,5 +82,8 @@ fn pipesort_pipelines_cover_every_cuboid_once() {
         assert!(plan.order_of(g).is_some(), "cuboid {g} missing from plan");
     }
     assert!(plan.pipeline_count() < 15);
-    assert!(plan.pipeline_count() >= 6, "at least C(4,2) pipelines needed");
+    assert!(
+        plan.pipeline_count() >= 6,
+        "at least C(4,2) pipelines needed"
+    );
 }
