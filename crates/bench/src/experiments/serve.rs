@@ -50,8 +50,9 @@ pub fn serve(ctx: &Ctx) -> Report {
     ]);
     let us = |ns: u64| f2(ns as f64 / 1e3);
     let sweep = |shards: usize, workers: usize, clients: usize, t: &mut Table| -> f64 {
-        let server = CubeServer::start(ShardedCube::new(&store, shards), workers);
-        let report = run_closed_loop(&server, &workload, clients);
+        let server = CubeServer::start(ShardedCube::new(&store, shards), workers)
+            .expect("worker pool starts");
+        let report = run_closed_loop(&server, &workload, clients).expect("server stays up");
         let s = &report.stats;
         t.row([
             shards.to_string(),

@@ -1,0 +1,201 @@
+//! The concurrency model checker: exhaustive bounded exploration of the
+//! serving engine's worker-pool interleavings.
+//!
+//! `icecube-serve` is compiled into this binary with its `icecube_loom`
+//! feature, so every mutex, channel, spawn and join inside
+//! [`CubeServer`] goes through the schedule-controlled shims in
+//! `shims/loom`. Each scenario below runs the real server — real
+//! worker threads, real queue, real response channels — under
+//! [`loom::explore`], which replays it once per distinct interleaving
+//! and fails on deadlock, lost wake-up, or a panic (the scenarios
+//! assert no double-completion and bit-for-bit agreement with a
+//! sequential oracle).
+
+use icecube_cluster::ClusterConfig;
+use icecube_core::fixtures::sales;
+use icecube_core::{run_parallel, Algorithm, CubeStore, IcebergQuery};
+use icecube_lattice::CuboidMask;
+use icecube_serve::request::{Request, Response};
+use icecube_serve::{CubeServer, ShardedCube};
+use loom::Budget;
+
+/// Outcome of one scenario's exploration.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Scenario name, for reporting.
+    pub name: &'static str,
+    /// Distinct interleavings executed.
+    pub schedules: usize,
+    /// Whether the schedule space was exhausted within budget.
+    pub exhausted: bool,
+    /// First failing interleaving, if any.
+    pub failure: Option<String>,
+}
+
+/// Outcome of the whole concurrency pass.
+#[derive(Debug)]
+pub struct ConcurrencyReport {
+    /// Per-scenario results, in execution order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl ConcurrencyReport {
+    /// Total interleavings executed across scenarios.
+    pub fn total_schedules(&self) -> usize {
+        self.scenarios.iter().map(|s| s.schedules).sum()
+    }
+
+    /// Whether every scenario completed without a failing interleaving.
+    pub fn passed(&self) -> bool {
+        self.scenarios.iter().all(|s| s.failure.is_none())
+    }
+}
+
+/// The tiny cube every scenario serves: the 3-dimensional sales fixture
+/// computed once, outside the model.
+fn tiny_store() -> CubeStore {
+    let rel = sales();
+    let q = IcebergQuery::count_cube(3, 1);
+    let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2))
+        .expect("fixture cube computes");
+    CubeStore::from_outcome(3, 1, out)
+}
+
+/// Answers `req` on a one-worker server outside the model: the
+/// sequential oracle every explored interleaving must reproduce.
+fn oracle(cube: &ShardedCube, req: &Request) -> Response {
+    let server = CubeServer::start(cube.clone(), 1).expect("one worker starts");
+    let handle = server.handle().expect("server is running");
+    handle.call(req.clone()).expect("oracle request is served")
+}
+
+/// Runs every scenario, giving each `budget` schedules.
+pub fn run(budget: usize) -> ConcurrencyReport {
+    let store = tiny_store();
+    let cube = ShardedCube::new(&store, 2);
+    let point = Request::Point {
+        cuboid: CuboidMask::from_dims(&[0, 1]),
+        key: vec![0, 0],
+    };
+    let cuboid = Request::Cuboid {
+        cuboid: CuboidMask::from_dims(&[0]),
+        minsup: 1,
+    };
+    let point_want = oracle(&cube, &point);
+    let cuboid_want = oracle(&cube, &cuboid);
+
+    let scenarios: Vec<ScenarioResult> = vec![
+        {
+            // One client, two workers: submit, await, then verify the
+            // response channel carries exactly one completion.
+            let report = loom::explore(
+                Budget {
+                    max_schedules: budget,
+                },
+                || {
+                    let server =
+                        CubeServer::start(cube.clone(), 2).expect("workers start in the model");
+                    let handle = server.handle().expect("server is running");
+                    let rx = handle.submit(point.clone()).expect("queue accepts work");
+                    let got = rx.recv().expect("a worker completes the request");
+                    assert_eq!(got, point_want, "oracle divergence on point request");
+                    assert!(
+                        rx.try_recv().is_err(),
+                        "double completion: two responses for one request"
+                    );
+                    drop(handle);
+                    drop(server); // joins both workers through the shutdown path
+                },
+            );
+            ScenarioResult {
+                name: "submit-await-shutdown",
+                schedules: report.schedules,
+                exhausted: report.exhausted,
+                failure: report.failure,
+            }
+        },
+        {
+            // Two client threads race distinct requests into a shared
+            // two-worker pool; each must get its own oracle answer.
+            let report = loom::explore(
+                Budget {
+                    max_schedules: budget,
+                },
+                || {
+                    let server =
+                        CubeServer::start(cube.clone(), 2).expect("workers start in the model");
+                    let clients: Vec<_> = [(&point, &point_want), (&cuboid, &cuboid_want)]
+                        .into_iter()
+                        .map(|(req, want)| {
+                            let handle = server.handle().expect("server is running");
+                            let req = req.clone();
+                            let want = want.clone();
+                            loom::thread::spawn(move || {
+                                let got = handle.call(req).expect("request is served");
+                                assert_eq!(got, want, "oracle divergence under racing clients");
+                            })
+                        })
+                        .collect();
+                    for c in clients {
+                        c.join().expect("client thread completes");
+                    }
+                    drop(server);
+                },
+            );
+            ScenarioResult {
+                name: "racing-clients",
+                schedules: report.schedules,
+                exhausted: report.exhausted,
+                failure: report.failure,
+            }
+        },
+        {
+            // Immediate shutdown: workers may still be parked on the
+            // empty queue when the sender closes; none may hang.
+            let report = loom::explore(
+                Budget {
+                    max_schedules: budget,
+                },
+                || {
+                    let server =
+                        CubeServer::start(cube.clone(), 2).expect("workers start in the model");
+                    drop(server);
+                },
+            );
+            ScenarioResult {
+                name: "idle-shutdown",
+                schedules: report.schedules,
+                exhausted: report.exhausted,
+                failure: report.failure,
+            }
+        },
+    ];
+
+    ConcurrencyReport { scenarios }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_shutdown_is_clean_and_small() {
+        let store = tiny_store();
+        let cube = ShardedCube::new(&store, 2);
+        let report = loom::explore(Budget { max_schedules: 400 }, || {
+            let server = CubeServer::start(cube.clone(), 2).expect("workers start");
+            drop(server);
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.schedules >= 2, "expected >1 interleaving");
+    }
+
+    #[test]
+    fn full_pass_finds_no_failures() {
+        // A reduced budget keeps the test fast; `icecube-check
+        // concurrency` runs the full exploration.
+        let report = run(120);
+        assert!(report.passed(), "{:?}", report.scenarios);
+        assert!(report.total_schedules() >= 100, "{report:?}");
+    }
+}

@@ -1,0 +1,362 @@
+//! A hand-rolled, token-level Rust lexer: just enough fidelity for
+//! invariant linting without a syntax tree.
+//!
+//! The lexer understands the things that make naive `grep`-style linting
+//! lie: line and (nested) block comments, doc comments, string/raw
+//! string/byte-string/char literals, and the `'a` lifetime vs `'a'`
+//! char-literal ambiguity. Everything else is emitted as identifier,
+//! single-character punctuation, or literal tokens tagged with their
+//! 1-based source line, so lint rules can match token *sequences*
+//! (`Ordering :: Relaxed`, `. unwrap (`) instead of substrings.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`:`, `.`, `(`, `#`, `!`, …).
+    Punct(char),
+    /// Any literal (string, raw string, char, number), contents dropped.
+    Literal,
+    /// A doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    DocComment,
+    /// A regular line comment's text (after `//`), kept for suppression
+    /// and justification matching.
+    LineComment(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs consume to
+/// end of input rather than erroring: the linter must never panic on the
+/// code it audits.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.string();
+                    self.push(Tok::Literal, line);
+                }
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.quote(line),
+                _ if c.is_alphabetic() || c == '_' => self.ident(line),
+                _ if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(Tok::Literal, line);
+                }
+                _ => {
+                    self.bump();
+                    if !c.is_whitespace() {
+                        self.push(Tok::Punct(c), line);
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // the two slashes
+                     // `///` (but not `////`) and `//!` are doc comments.
+        let doc = match self.peek(0) {
+            Some('/') => self.peek(1) != Some('/'),
+            Some('!') => true,
+            _ => false,
+        };
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if doc {
+            self.push(Tok::DocComment, line);
+        } else {
+            self.push(Tok::LineComment(text), line);
+        }
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // `/*`
+                     // `/**` (but not `/***` or the empty `/**/`) and `/*!` are docs.
+        let doc = match self.peek(0) {
+            Some('*') => self.peek(1) != Some('*') && self.peek(1) != Some('/'),
+            Some('!') => true,
+            _ => false,
+        };
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        if doc {
+            self.push(Tok::DocComment, line);
+        } else {
+            self.push(Tok::LineComment(text), line);
+        }
+    }
+
+    /// Consumes a `"`-delimited string (escape-aware), cursor on the `"`.
+    fn string(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns false
+    /// when the `r`/`b` is just the start of an identifier.
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        let mut ahead = 1usize;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            // Byte char literal: `b'x'` or `b'\n'`.
+            self.bump(); // b
+            self.bump(); // '
+            if self.peek(0) == Some('\\') {
+                self.bump();
+            }
+            self.bump(); // the byte
+            self.bump(); // closing '
+            self.push(Tok::Literal, line);
+            return true;
+        }
+        let raw = self.peek(0) != Some('b') || ahead == 2;
+        let mut hashes = 0usize;
+        while raw && self.peek(ahead) == Some('#') {
+            hashes += 1;
+            ahead += 1;
+        }
+        if self.peek(ahead) != Some('"') {
+            return false; // an identifier starting with r/b
+        }
+        if !raw && hashes == 0 && ahead == 1 {
+            // b"…": plain byte string, escape rules like a normal string.
+            self.bump(); // b
+            self.string();
+            self.push(Tok::Literal, line);
+            return true;
+        }
+        for _ in 0..=ahead {
+            self.bump(); // prefix, hashes and opening quote
+        }
+        // Raw string: ends at `"` followed by `hashes` hashes, no escapes.
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(h) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Tok::Literal, line);
+        true
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal),
+    /// cursor on the `'`.
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let lifetime =
+            matches!(next, Some(c) if c.is_alphabetic() || c == '_') && self.peek(2) != Some('\'');
+        if lifetime {
+            self.bump(); // '
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            // Lifetimes carry no lint signal; drop them.
+            return;
+        }
+        self.bump(); // opening '
+        if self.peek(0) == Some('\\') {
+            self.bump();
+            self.bump(); // escape payload ('\n', '\'', '\\', '\x..' start)
+            while self.peek(0) != Some('\'') && self.peek(0).is_some() {
+                self.bump(); // rest of '\x7f' / '\u{..}' style escapes
+            }
+        } else {
+            self.bump(); // the char
+        }
+        self.bump(); // closing '
+        self.push(Tok::Literal, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut name = String::new();
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            name.push(self.peek(0).unwrap_or('_'));
+            self.bump();
+        }
+        self.push(Tok::Ident(name), line);
+    }
+
+    /// Numbers: digits plus alphanumeric suffixes (`0x1f`, `1_000u64`,
+    /// `1e9`). Dots are NOT consumed, so `0..n` lexes as `0 . . n`.
+    fn number(&mut self) {
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn code_inside_strings_and_comments_is_not_tokenized() {
+        let src = r#"
+            let a = "x.unwrap()"; // calls .unwrap() later
+            /* panic!("no") */
+            let b = r#double#;
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"panic".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque() {
+        let src = r##"let s = r#"contains "quotes" and unwrap()"#; after()"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"after".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; g()";
+        let ids = idents(src);
+        assert!(ids.contains(&"g".to_string()), "{ids:?}");
+        // The char literal did not swallow `; g()`.
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.tok == Tok::Literal));
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished_from_line_comments() {
+        let src = "/// doc\n//! inner doc\n// plain relaxed: reason\nfn f() {}";
+        let toks = lex(src);
+        let docs = toks.iter().filter(|t| t.tok == Tok::DocComment).count();
+        assert_eq!(docs, 2);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::LineComment(s) if s.contains("relaxed: reason"))));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_constructs() {
+        let src = "let a = \"multi\nline\";\nfn f() {}\n/* c\nc */\nfn g() {}";
+        let toks = lex(src);
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.tok == Tok::Ident(name.to_string()))
+                .map(|t| t.line)
+        };
+        assert_eq!(line_of("f"), Some(3));
+        assert_eq!(line_of("g"), Some(6));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still comment */ fn real() {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn".to_string(), "real".to_string()]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("0..n");
+        let dots = toks.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! `icecube-check`: workspace invariant lints plus a deterministic
+//! concurrency model checker for the serving engine.
+//!
+//! Two engines share this binary:
+//!
+//! - **Lints** ([`lints`], [`workspace`]): a token-level pass over every
+//!   crate's sources — comment- and string-aware via the hand-rolled
+//!   [`lexer`] — enforcing the per-crate policies in [`policy`]
+//!   (panic-freedom, determinism, thread discipline, memory-ordering
+//!   justifications, public docs).
+//! - **Concurrency** ([`concurrency`]): the serving engine compiled
+//!   against the schedule-controlled shims in `shims/loom`, explored
+//!   across bounded interleavings of submit/steal/shutdown and checked
+//!   against a sequential oracle.
+//!
+//! The `icecube-check` binary (see `main.rs`) wires both into CI:
+//! `cargo run -p icecube-check` exits non-zero on any finding.
+
+pub mod concurrency;
+pub mod lexer;
+pub mod lints;
+pub mod policy;
+pub mod report;
+pub mod workspace;

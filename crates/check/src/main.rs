@@ -1,0 +1,176 @@
+//! The `icecube-check` command-line entry point.
+//!
+//! ```text
+//! icecube-check [lint|concurrency|all] [--json] [--budget N] [--root DIR]
+//! ```
+//!
+//! Exit status: `0` when clean, `1` on findings or failing
+//! interleavings, `2` on usage or I/O errors.
+
+use icecube_check::report::{json_str, to_json};
+use icecube_check::{concurrency, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Interleaving budget per concurrency scenario; three scenarios at
+/// this budget comfortably clear the 1000-distinct-schedules floor the
+/// checker promises.
+const DEFAULT_BUDGET: usize = 1200;
+
+struct Options {
+    lint: bool,
+    concurrency: bool,
+    json: bool,
+    budget: usize,
+    root: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: icecube-check [lint|concurrency|all] [--json] [--budget N] [--root DIR]\n\
+     \n\
+     modes:\n\
+     \x20 lint          run the workspace invariant lints\n\
+     \x20 concurrency   explore serving-engine interleavings under the model\n\
+     \x20 all           both (default)\n\
+     \n\
+     options:\n\
+     \x20 --json        machine-readable output\n\
+     \x20 --budget N    interleavings per concurrency scenario (default 1200)\n\
+     \x20 --root DIR    repository root (default: the workspace this binary was built in)"
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    // The binary lives at <root>/crates/check, so the workspace root is
+    // two levels up from its manifest.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut opts = Options {
+        lint: true,
+        concurrency: true,
+        json: false,
+        budget: DEFAULT_BUDGET,
+        root: default_root,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "lint" => {
+                opts.concurrency = false;
+            }
+            "concurrency" => {
+                opts.lint = false;
+            }
+            "all" => {}
+            "--json" => opts.json = true,
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a number")?;
+                opts.budget = v
+                    .parse()
+                    .map_err(|_| format!("--budget: `{v}` is not a number"))?;
+                if opts.budget == 0 {
+                    return Err("--budget must be at least 1".to_string());
+                }
+            }
+            "--root" => {
+                opts.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !opts.lint && !opts.concurrency {
+        return Err("`lint` and `concurrency` are mutually exclusive; use `all`".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("icecube-check: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+
+    if opts.lint {
+        let findings = match workspace::lint_workspace(&opts.root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!(
+                    "icecube-check: cannot walk {root}: {e}",
+                    root = opts.root.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        if opts.json {
+            println!("{}", to_json(&findings));
+        } else if findings.is_empty() {
+            println!("lint: ok (0 findings)");
+        } else {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("lint: {} finding(s)", findings.len());
+        }
+        failed |= !findings.is_empty();
+    }
+
+    if opts.concurrency {
+        let report = concurrency::run(opts.budget);
+        if opts.json {
+            let scenarios: Vec<String> = report
+                .scenarios
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"name\":{},\"schedules\":{},\"exhausted\":{},\"failure\":{}}}",
+                        json_str(s.name),
+                        s.schedules,
+                        s.exhausted,
+                        s.failure
+                            .as_deref()
+                            .map_or_else(|| "null".to_string(), json_str),
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"scenarios\":[{}],\"total_schedules\":{},\"passed\":{}}}",
+                scenarios.join(","),
+                report.total_schedules(),
+                report.passed(),
+            );
+        } else {
+            for s in &report.scenarios {
+                let state = match &s.failure {
+                    Some(f) => format!("FAILED: {f}"),
+                    None if s.exhausted => "ok (state space exhausted)".to_string(),
+                    None => "ok (budget reached)".to_string(),
+                };
+                println!(
+                    "concurrency: {name}: {state} [{n} interleavings]",
+                    name = s.name,
+                    n = s.schedules
+                );
+            }
+            println!(
+                "concurrency: {} interleavings across {} scenarios",
+                report.total_schedules(),
+                report.scenarios.len()
+            );
+        }
+        failed |= !report.passed();
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,91 @@
+//! The per-crate invariant policy table: which lints bind where.
+//!
+//! The workspace separates *deterministic simulation* crates (the
+//! cluster model and cube algorithms, which must replay bit-for-bit),
+//! *serving* crates (which must never unwind a worker on bad input),
+//! and harness crates (bench, the checker itself) where panicking on a
+//! broken precondition is the right call. One table encodes that split
+//! so the lint pass and the humans reading findings agree on the rules.
+
+/// What one crate is held to.
+#[derive(Debug, Clone, Copy)]
+pub struct CratePolicy {
+    /// Directory name under `crates/`.
+    pub name: &'static str,
+    /// Library code must not contain panic-family calls
+    /// (`unwrap`/`expect`/`panic!`/`assert!`/`unreachable!`/…): errors
+    /// must be typed. Test code is exempt.
+    pub no_panic: bool,
+    /// Deterministic-simulation crate: no wall-clock reads
+    /// (`Instant::now`, `SystemTime`) and no unordered collections
+    /// (`HashMap`/`HashSet`) whose iteration order could leak into
+    /// results.
+    pub deterministic: bool,
+    /// Whether the crate may spawn OS threads directly.
+    pub may_spawn: bool,
+}
+
+/// The workspace policy table. Every crate under `crates/` must appear;
+/// the lint pass reports a finding for unlisted crates so new crates
+/// pick a policy deliberately.
+pub const POLICIES: &[CratePolicy] = &[
+    CratePolicy {
+        name: "data",
+        no_panic: false,
+        deterministic: false,
+        may_spawn: false,
+    },
+    CratePolicy {
+        name: "skiplist",
+        no_panic: false,
+        deterministic: false,
+        may_spawn: false,
+    },
+    CratePolicy {
+        name: "lattice",
+        no_panic: false,
+        deterministic: true,
+        may_spawn: false,
+    },
+    CratePolicy {
+        name: "cluster",
+        no_panic: false,
+        deterministic: true,
+        may_spawn: false,
+    },
+    CratePolicy {
+        name: "core",
+        no_panic: true,
+        deterministic: true,
+        may_spawn: false,
+    },
+    CratePolicy {
+        name: "online",
+        no_panic: true,
+        deterministic: false,
+        may_spawn: false,
+    },
+    CratePolicy {
+        name: "serve",
+        no_panic: true,
+        deterministic: false,
+        may_spawn: true,
+    },
+    CratePolicy {
+        name: "bench",
+        no_panic: false,
+        deterministic: false,
+        may_spawn: true,
+    },
+    CratePolicy {
+        name: "check",
+        no_panic: false,
+        deterministic: false,
+        may_spawn: true,
+    },
+];
+
+/// Looks up the policy for a crate directory name.
+pub fn policy_for(name: &str) -> Option<CratePolicy> {
+    POLICIES.iter().find(|p| p.name == name).copied()
+}

@@ -1,0 +1,98 @@
+//! Finding representation and rendering (human text and JSON).
+
+use std::fmt;
+
+/// One lint finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name (the thing `// check:allow(<lint>)` names).
+    pub lint: &'static str,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} (suppress with `// check:allow({}): <why>`)",
+            self.file, self.line, self.lint, self.message, self.lint
+        )
+    }
+}
+
+/// Renders findings as a JSON document (hand-rolled; the workspace
+/// vendors no serde).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"lint\":{},\"message\":{}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.lint),
+            json_str(&f.message),
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out
+}
+
+/// Escapes a string for embedding in JSON.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_file_line_lint_and_suppression() {
+        let f = Finding {
+            file: "crates/core/src/store.rs".into(),
+            line: 42,
+            lint: "panic-in-lib",
+            message: "`.unwrap()` in library code".into(),
+        };
+        let s = f.to_string();
+        assert!(s.starts_with("crates/core/src/store.rs:42: [panic-in-lib]"));
+        assert!(s.contains("check:allow(panic-in-lib)"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let fs = vec![Finding {
+            file: "a\"b.rs".into(),
+            line: 1,
+            lint: "wall-clock",
+            message: "tab\there".into(),
+        }];
+        let j = to_json(&fs);
+        assert!(j.contains("\"count\":1"));
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("tab\\there"));
+        assert_eq!(to_json(&[]), "{\"findings\":[],\"count\":0}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Golden-file tests for the lint pass, plus end-to-end runs of the
+//! `icecube-check` binary against a synthetic workspace.
+
+use icecube_check::lints::lint_file;
+use icecube_check::policy::CratePolicy;
+use std::process::Command;
+
+const STRICT: CratePolicy = CratePolicy {
+    name: "fixture",
+    no_panic: true,
+    deterministic: true,
+    may_spawn: false,
+};
+
+/// Parses `//~ <lint>` markers into the expected `(line, lint)` set.
+fn expected_findings(src: &str) -> Vec<(u32, String)> {
+    let mut out: Vec<(u32, String)> = src
+        .lines()
+        .enumerate()
+        .flat_map(|(i, l)| {
+            l.split("//~")
+                .skip(1)
+                .map(move |m| (i as u32 + 1, m.trim().to_string()))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn violations_fixture_matches_golden_file_lines() {
+    let src = include_str!("fixtures/violations.rs");
+    let findings = lint_file("fixtures/violations.rs", src, &STRICT);
+    let mut got: Vec<(u32, String)> = findings
+        .iter()
+        .map(|f| (f.line, f.lint.to_string()))
+        .collect();
+    got.sort();
+    assert_eq!(got, expected_findings(src), "full findings: {findings:#?}");
+    for f in &findings {
+        assert_eq!(f.file, "fixtures/violations.rs");
+        assert!(
+            f.to_string()
+                .starts_with(&format!("fixtures/violations.rs:{}:", f.line)),
+            "rendering must lead with file:line, got {f}"
+        );
+    }
+}
+
+#[test]
+fn suppressed_fixture_is_clean() {
+    let src = include_str!("fixtures/suppressed.rs");
+    let findings = lint_file("fixtures/suppressed.rs", src, &STRICT);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+/// Builds a throwaway workspace with one violating crate and runs the
+/// real binary against it.
+fn run_on_synthetic_tree(tag: &str, args: &[&str]) -> (std::process::Output, std::path::PathBuf) {
+    // Tag keeps concurrently-running tests in separate trees.
+    let root = std::env::temp_dir().join(format!("icecube-check-e2e-{}-{tag}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("temp tree");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "//! Broken on purpose.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .expect("fixture write");
+    let out = Command::new(env!("CARGO_BIN_EXE_icecube-check"))
+        .arg("lint")
+        .args(args)
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    (out, root)
+}
+
+#[test]
+fn binary_exits_nonzero_with_file_line_findings() {
+    let (out, root) = run_on_synthetic_tree("text", &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:3: [panic-in-lib]"),
+        "stdout: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn binary_emits_json_when_asked() {
+    let (out, root) = run_on_synthetic_tree("json", &["--json"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("\"lint\":\"panic-in-lib\""), "{stdout}");
+    assert!(stdout.contains("\"line\":3"), "{stdout}");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn binary_is_clean_on_this_repository() {
+    // The tree this binary was built from must lint clean — the same
+    // gate CI runs.
+    let out = Command::new(env!("CARGO_BIN_EXE_icecube-check"))
+        .arg("lint")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+}

@@ -1,0 +1,31 @@
+//! The same violations as `violations.rs`, each carrying a justified
+//! suppression (or the dedicated `// relaxed:` justification): the lint
+//! pass must report nothing. This file is never compiled.
+
+// check:allow-file(unordered-collections): exercises the file-scoped
+// form; order never escapes this fixture.
+
+use std::collections::HashMap;
+
+/// Unwraps behind a documented invariant.
+pub fn fine(x: Option<u32>) -> u32 {
+    // check:allow(panic-in-lib): fixture — the invariant is documented
+    // right here.
+    x.unwrap()
+}
+
+/// Same-line suppression form.
+pub fn also_fine(x: Option<u32>) -> u32 {
+    x.unwrap() // check:allow(panic-in-lib): fixture — same-line form.
+}
+
+/// Relaxed with the dedicated justification comment.
+pub fn counted(c: &AtomicU64) {
+    // relaxed: independent tally; no ordering required.
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Covered by the file-scoped allow at the top.
+pub fn table() -> HashMap<u32, u32> {
+    HashMap::new()
+}

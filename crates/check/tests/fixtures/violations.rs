@@ -1,0 +1,57 @@
+//! A deliberately broken module. Every marker comment (slash-slash
+//! tilde) names the finding the lint pass must report at exactly that
+//! line under the
+//! strictest policy (no-panic + deterministic + no spawning). The
+//! golden-file test in `tests/fixtures.rs` parses these markers; this
+//! file is never compiled.
+
+use std::collections::HashMap; //~ unordered-collections
+
+pub fn undocumented() {} //~ missing-docs
+
+/// Documented, but panics.
+pub fn panicky(x: Option<u32>) -> u32 {
+    x.unwrap() //~ panic-in-lib
+}
+
+/// Asserts in library code.
+pub fn checked(v: &[u32]) {
+    assert!(!v.is_empty()); //~ panic-in-lib
+}
+
+/// Reads the wall clock.
+pub fn timing() -> u128 {
+    Instant::now().elapsed().as_nanos() //~ wall-clock
+}
+
+/// Uses an unordered set.
+pub fn dedup(v: Vec<u32>) -> HashSet<u32> { //~ unordered-collections
+    v.into_iter().collect()
+}
+
+/// Spawns a thread in a crate that may not.
+pub fn spawner() {
+    std::thread::spawn(|| {}); //~ thread-spawn
+}
+
+/// Relaxed ordering without the justification comment.
+pub fn tally(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); //~ relaxed-ordering
+}
+
+// check:allow(panic-in-lib) //~ suppression
+fn bare_suppression_above() {}
+
+// check:allow(made-up-lint): justified but unknown. //~ suppression
+fn unknown_lint_above() {}
+
+/// Inside `#[cfg(test)]`, everything below is exempt.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn anything_goes() {
+        Some(1).unwrap();
+        let _ = std::collections::HashMap::<u32, u32>::new();
+        std::thread::spawn(|| {});
+    }
+}

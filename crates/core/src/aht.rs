@@ -15,6 +15,11 @@
 //! behaviour Figures 4.4 and 4.6 show. The chains are real here, so the
 //! degradation emerges rather than being modelled.
 
+// check:allow-file(panic-in-lib): asserts and expects in this module
+// guard internal algorithm invariants; a violation is a bug in the
+// cubing algorithm itself, never caller input, and must abort the run
+// loudly rather than launder a wrong cube into a typed error.
+
 use crate::agg::Aggregate;
 use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
 use crate::cell::{Cell, CellBuf, CellSink};

@@ -26,6 +26,11 @@
 //! minimum support filters only the *output* (the paper's Figure 4.5
 //! observation that ASL gains from higher support only through less I/O).
 
+// check:allow-file(panic-in-lib): asserts and expects in this module
+// guard internal algorithm invariants; a violation is a bug in the
+// cubing algorithm itself, never caller input, and must abort the run
+// loudly rather than launder a wrong cube into a typed error.
+
 use crate::agg::Aggregate;
 use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
 use crate::cell::{Cell, CellBuf, CellSink};

@@ -37,6 +37,18 @@ pub enum AlgoError {
         /// The (lower) threshold the query asked for.
         requested: u64,
     },
+    /// A navigation named a dimension its group-by does not contain
+    /// (slice and roll-up operate on present dimensions).
+    DimensionNotInGroupBy {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// A navigation named a dimension its group-by already contains
+    /// (drill-down adds a new dimension).
+    DimensionAlreadyInGroupBy {
+        /// The offending dimension.
+        dim: usize,
+    },
     /// Underlying data error.
     Data(icecube_data::DataError),
 }
@@ -65,6 +77,12 @@ impl fmt::Display for AlgoError {
                 "store computed at minsup {stored} cannot answer threshold {requested}; \
                  recompute or aggregate online"
             ),
+            AlgoError::DimensionNotInGroupBy { dim } => {
+                write!(f, "dimension {dim} does not belong to the group-by")
+            }
+            AlgoError::DimensionAlreadyInGroupBy { dim } => {
+                write!(f, "dimension {dim} already belongs to the group-by")
+            }
             AlgoError::Data(e) => write!(f, "data error: {e}"),
         }
     }
@@ -109,5 +127,9 @@ mod tests {
         };
         assert!(e.to_string().contains("cannot answer threshold 2"));
         assert!(e.to_string().contains("minsup 5"));
+        let e = AlgoError::DimensionNotInGroupBy { dim: 6 };
+        assert!(e.to_string().contains("dimension 6 does not belong"));
+        let e = AlgoError::DimensionAlreadyInGroupBy { dim: 2 };
+        assert!(e.to_string().contains("dimension 2 already belongs"));
     }
 }

@@ -1,5 +1,9 @@
 //! Shared example relations used by tests, examples and documentation.
 
+// check:allow-file(panic-in-lib): fixture construction is infallible
+// by construction; a malformed fixture must abort tests loudly, not
+// thread a Result through every test.
+
 use icecube_data::{Relation, Schema};
 
 /// The paper's running example (Figure 2.2): relation SALES(Model, Year,

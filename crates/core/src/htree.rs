@@ -19,6 +19,11 @@
 //! exceed the node's physical memory — which it does on the paper-sized
 //! datasets.
 
+// check:allow-file(unordered-collections): hash tables here are
+// build-side internals; every cell set is canonically sorted before
+// it leaves this module, so iteration order cannot reach results
+// (the cross-algorithm equivalence tests pin this).
+
 use crate::agg::Aggregate;
 use crate::algorithms::{finish, Algorithm, RunOptions, RunOutcome};
 use crate::cell::{Cell, CellBuf, CellSink};

@@ -5,6 +5,15 @@
 //! and keeps the cells meeting the minimum support. Quadratic in spirit,
 //! linear in practice, and trivially auditable — which is the point.
 
+// check:allow-file(panic-in-lib): asserts and expects in this module
+// guard internal algorithm invariants; a violation is a bug in the
+// cubing algorithm itself, never caller input, and must abort the run
+// loudly rather than launder a wrong cube into a typed error.
+// check:allow-file(unordered-collections): hash tables here are
+// build-side internals; every cell set is canonically sorted before
+// it leaves this module, so iteration order cannot reach results
+// (the cross-algorithm equivalence tests pin this).
+
 use crate::agg::Aggregate;
 use crate::cell::{sort_cells, Cell};
 use crate::query::IcebergQuery;

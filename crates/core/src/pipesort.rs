@@ -20,6 +20,15 @@
 //! Like every top-down algorithm, PipeSort cannot prune on minimum
 //! support; the threshold filters output only.
 
+// check:allow-file(panic-in-lib): asserts and expects in this module
+// guard internal algorithm invariants; a violation is a bug in the
+// cubing algorithm itself, never caller input, and must abort the run
+// loudly rather than launder a wrong cube into a typed error.
+// check:allow-file(unordered-collections): hash tables here are
+// build-side internals; every cell set is canonically sorted before
+// it leaves this module, so iteration order cannot reach results
+// (the cross-algorithm equivalence tests pin this).
+
 use crate::agg::Aggregate;
 use crate::cell::{Cell, CellSink};
 use crate::query::IcebergQuery;

@@ -27,7 +27,11 @@ impl IcebergQuery {
     /// Panics when `dims` is zero or `minsup` is zero (support below one
     /// is meaningless — every present cell has count ≥ 1).
     pub fn count_cube(dims: usize, minsup: u64) -> Self {
+        // check:allow(panic-in-lib): constructor contract documented in
+        // the `# Panics` section — a zero-dimensional cube is a
+        // programming error, not runtime input.
         assert!(dims > 0, "a cube needs at least one dimension");
+        // check:allow(panic-in-lib): same documented contract as above.
         assert!(minsup > 0, "minimum support must be at least 1");
         IcebergQuery { dims, minsup }
     }

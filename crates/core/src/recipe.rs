@@ -59,7 +59,9 @@ impl CubeProfile {
 /// needs the order of magnitude.
 pub fn estimate_total_cells(cards: &[u32], tuples: usize) -> f64 {
     let d = cards.len();
-    assert!(d >= 1, "need at least one dimension");
+    if d == 0 {
+        return 0.0; // no dimensions, no cuboids, no cells
+    }
     if d <= 20 {
         let mut total = 0f64;
         for mask in 1u32..(1u32 << d) {

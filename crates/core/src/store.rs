@@ -15,7 +15,7 @@ use crate::algorithms::RunOutcome;
 use crate::cell::Cell;
 use crate::error::AlgoError;
 use icecube_lattice::CuboidMask;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// File magic for the persisted store format.
 const MAGIC: &[u8; 8] = b"ICECUBE1";
@@ -77,7 +77,7 @@ impl StoredCuboid {
 pub struct CubeStore {
     dims: usize,
     minsup: u64,
-    cuboids: HashMap<CuboidMask, StoredCuboid>,
+    cuboids: BTreeMap<CuboidMask, StoredCuboid>,
 }
 
 impl CubeStore {
@@ -85,7 +85,7 @@ impl CubeStore {
     /// `minsup` over a `dims`-dimensional cube.
     pub fn from_cells(dims: usize, minsup: u64, mut cells: Vec<Cell>) -> Self {
         crate::cell::sort_cells(&mut cells);
-        let mut cuboids: HashMap<CuboidMask, StoredCuboid> = HashMap::new();
+        let mut cuboids: BTreeMap<CuboidMask, StoredCuboid> = BTreeMap::new();
         for cell in cells {
             let entry = cuboids.entry(cell.cuboid).or_insert_with(|| StoredCuboid {
                 arity: cell.cuboid.dim_count(),
@@ -179,19 +179,20 @@ impl CubeStore {
             .collect())
     }
 
-    /// Slice: cells of group-by `g` whose value on `dim` equals `value`
-    /// (`dim` must belong to `g`).
+    /// Slice: cells of group-by `g` whose value on `dim` equals `value`.
+    ///
+    /// Returns [`AlgoError::DimensionNotInGroupBy`] when `dim` does not
+    /// belong to `g` — a typed error rather than a panic, so a serving
+    /// worker answering a malformed request never unwinds.
     pub fn slice(
         &self,
         g: CuboidMask,
         dim: usize,
         value: u32,
     ) -> Result<Vec<(Vec<u32>, Aggregate)>, AlgoError> {
-        assert!(
-            g.contains(dim),
-            "slice dimension must belong to the group-by"
-        );
-        let pos = g.iter_dims().position(|d| d == dim).expect("contained");
+        let Some(pos) = g.iter_dims().position(|d| d == dim) else {
+            return Err(AlgoError::DimensionNotInGroupBy { dim });
+        };
         let Some(stored) = self.cuboid_or_err(g)? else {
             return Ok(Vec::new());
         };
@@ -204,24 +205,32 @@ impl CubeStore {
     /// Drill-down from one cell: the finer cells obtained by adding
     /// dimension `dim` to the group-by ("GROUP BY on more attributes").
     ///
-    /// Returns the qualifying refinements of `(g, key)` in `g ∪ {dim}`.
+    /// Returns the qualifying refinements of `(g, key)` in `g ∪ {dim}`,
+    /// or [`AlgoError::DimensionAlreadyInGroupBy`] when `dim` already
+    /// belongs to `g`.
     pub fn drill_down(
         &self,
         g: CuboidMask,
         key: &[u32],
         dim: usize,
     ) -> Result<Vec<(Vec<u32>, Aggregate)>, AlgoError> {
-        assert!(!g.contains(dim), "drill-down adds a new dimension");
+        if g.contains(dim) {
+            return Err(AlgoError::DimensionAlreadyInGroupBy { dim });
+        }
         let child = g.with_dim(dim);
         let Some(stored) = self.cuboid_or_err(child)? else {
             return Ok(Vec::new());
         };
-        // Position of every original dimension inside the child's key.
+        // Position of every original dimension inside the child's key:
+        // `g ⊂ child` by construction, and both dimension lists ascend,
+        // so filtering the child's dimensions down to `g`'s keeps them
+        // aligned with `key`'s order.
         let child_dims = child.dims();
-        let positions: Vec<usize> = g
-            .dims()
+        let positions: Vec<usize> = child_dims
             .iter()
-            .map(|d| child_dims.iter().position(|c| c == d).expect("subset"))
+            .enumerate()
+            .filter(|&(_, d)| g.contains(*d))
+            .map(|(p, _)| p)
             .collect();
         Ok((0..stored.len())
             .filter(|&i| {
@@ -236,19 +245,22 @@ impl CubeStore {
     /// dimension `dim` ("GROUP BY on fewer attributes"). `None` when the
     /// coarser cell was itself pruned — impossible for count-based iceberg
     /// cubes, where support only grows upward, unless the roll-up target is
-    /// the "all" node (not stored).
+    /// the "all" node (not stored). Returns
+    /// [`AlgoError::DimensionNotInGroupBy`] when `dim` does not belong
+    /// to `g`.
     pub fn roll_up(
         &self,
         g: CuboidMask,
         key: &[u32],
         dim: usize,
     ) -> Result<Option<(Vec<u32>, Aggregate)>, AlgoError> {
-        assert!(g.contains(dim), "roll-up removes a present dimension");
+        let Some(pos) = g.iter_dims().position(|d| d == dim) else {
+            return Err(AlgoError::DimensionNotInGroupBy { dim });
+        };
         let parent = g.without_dim(dim);
         if parent.is_all() {
             return Ok(None);
         }
-        let pos = g.iter_dims().position(|d| d == dim).expect("contained");
         let mut pkey = key.to_vec();
         pkey.remove(pos);
         let Some(stored) = self.cuboid_or_err(parent)? else {
@@ -269,11 +281,9 @@ impl CubeStore {
         w64(out, self.dims as u64)?;
         w64(out, self.minsup)?;
         w64(out, self.cuboids.len() as u64)?;
-        // Deterministic order for reproducible files.
-        let mut masks: Vec<&CuboidMask> = self.cuboids.keys().collect();
-        masks.sort_unstable();
-        for mask in masks {
-            let stored = &self.cuboids[mask];
+        // BTreeMap iteration is ascending by mask: files come out
+        // byte-for-byte reproducible with no extra sort.
+        for (mask, stored) in &self.cuboids {
             w64(out, mask.bits() as u64)?;
             w64(out, stored.len() as u64)?;
             for &k in &stored.keys {
@@ -333,7 +343,7 @@ impl CubeStore {
             return Err(bad("corrupt cuboid count"));
         }
         let cuboid_count = cuboid_count64 as usize;
-        let mut cuboids = HashMap::with_capacity(cuboid_count.min(RESERVE_CAP));
+        let mut cuboids = BTreeMap::new();
         for _ in 0..cuboid_count {
             let bits = r64(input)?;
             if bits == 0 || bits >= 1 << dims {
@@ -386,7 +396,8 @@ impl CubeStore {
         })
     }
 
-    /// Iterates all stored cells (unordered across cuboids).
+    /// Iterates all stored cells, ascending by cuboid mask and then by
+    /// key within each cuboid — a fully deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
         self.cuboids.iter().flat_map(|(&cuboid, stored)| {
             (0..stored.len()).map(move |i| Cell {
@@ -400,9 +411,7 @@ impl CubeStore {
     /// Masks of every stored cuboid, ascending — the deterministic
     /// iteration order sharding and serialization rely on.
     pub fn cuboid_masks(&self) -> Vec<CuboidMask> {
-        let mut masks: Vec<CuboidMask> = self.cuboids.keys().copied().collect();
-        masks.sort_unstable();
-        masks
+        self.cuboids.keys().copied().collect()
     }
 
     /// Number of cells stored for one cuboid (0 when absent).
@@ -418,20 +427,20 @@ impl CubeStore {
     /// Iterates one cuboid's cells in ascending key order (empty iterator
     /// when the cuboid is absent).
     pub fn cells_of(&self, g: CuboidMask) -> impl Iterator<Item = (&[u32], Aggregate)> + '_ {
-        let stored = self.cuboids.get(&g);
-        (0..stored.map_or(0, |s| s.len())).map(move |i| {
-            let s = stored.expect("nonzero length implies presence");
-            (s.key(i), s.aggs[i])
-        })
+        self.cuboids
+            .get(&g)
+            .into_iter()
+            .flat_map(|s| (0..s.len()).map(move |i| (s.key(i), s.aggs[i])))
     }
 
     /// Even-quantile split keys dividing cuboid `g`'s cells into `parts`
     /// contiguous key ranges, for range sharding: returns at most
     /// `parts - 1` ascending keys; range `j` owns keys `k` with
     /// `splits[j-1] <= k < splits[j]`. Duplicate split keys collapse, so
-    /// fewer than `parts - 1` keys can come back for tiny cuboids.
+    /// fewer than `parts - 1` keys can come back for tiny cuboids. Zero
+    /// parts is treated as one (no split keys either way).
     pub fn split_points(&self, g: CuboidMask, parts: usize) -> Vec<Vec<u32>> {
-        assert!(parts > 0, "need at least one part");
+        let parts = parts.max(1);
         let Some(stored) = self.cuboids.get(&g) else {
             return Vec::new();
         };
@@ -546,6 +555,24 @@ mod tests {
     fn out_of_range_dimension_is_an_error() {
         let s = store(1);
         assert!(s.query(CuboidMask::from_dims(&[9]), 1).is_err());
+    }
+
+    #[test]
+    fn navigation_on_wrong_dimensions_is_a_typed_error() {
+        let s = store(1);
+        let my = CuboidMask::from_dims(&[0, 1]);
+        match s.slice(my, 2, 0) {
+            Err(AlgoError::DimensionNotInGroupBy { dim: 2 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.roll_up(my, &[0, 2], 2) {
+            Err(AlgoError::DimensionNotInGroupBy { dim: 2 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.drill_down(my, &[0, 2], 1) {
+            Err(AlgoError::DimensionAlreadyInGroupBy { dim: 1 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! wins on iceberg queries — this baseline exists to exhibit that contrast
 //! and to serve ASL's precomputation mode.
 
+// check:allow-file(panic-in-lib): asserts and expects in this module
+// guard internal algorithm invariants; a violation is a bug in the
+// cubing algorithm itself, never caller input, and must abort the run
+// loudly rather than launder a wrong cube into a typed error.
+
 use crate::agg::Aggregate;
 use crate::cell::{Cell, CellSink};
 use crate::query::IcebergQuery;

@@ -86,6 +86,9 @@ pub fn diff_cells(expected: &mut [Cell], actual: &mut [Cell]) -> CellDiff {
 /// Asserts two cell sets are equal, with a readable diff on failure.
 pub fn assert_same_cells(mut expected: Vec<Cell>, mut actual: Vec<Cell>, context: &str) {
     let diff = diff_cells(&mut expected, &mut actual);
+    // check:allow(panic-in-lib): this function IS the assertion — it
+    // exists so tests and the verification harness can abort with a
+    // readable cell diff.
     assert!(diff.is_empty(), "{context}: {diff}");
 }
 

@@ -26,6 +26,8 @@ impl Boundaries {
     /// split keys collapse (skew can leave some ranges empty, which is the
     /// load-imbalance risk the paper notes for POL).
     pub fn from_sample(mut sample: Vec<Vec<u32>>, parts: usize) -> Self {
+        // check:allow(panic-in-lib): constructor contract — zero
+        // partitions is a configuration bug, not runtime input.
         assert!(parts > 0, "need at least one partition");
         sample.sort_unstable();
         let mut splits = Vec::with_capacity(parts.saturating_sub(1));

@@ -120,7 +120,12 @@ impl SelectiveMaterialization {
                 group_by
                     .dims()
                     .iter()
-                    .map(|d| hdims.iter().position(|h| h == d).expect("subset"))
+                    .map(|d| {
+                        // check:allow(panic-in-lib): callers only
+                        // materialize subset group-bys; a miss here is a
+                        // bug in the roll-up planner, not user input.
+                        hdims.iter().position(|h| h == d).expect("subset")
+                    })
                     .collect()
             };
             let mut rolled: SkipList<Aggregate> = SkipList::new(k, 0x5e1ec7);

@@ -61,7 +61,10 @@ impl PolQuery {
     /// A query with the paper's defaults: 8000-tuple buffers, 1024-tuple
     /// boundary sample, snapshot every step.
     pub fn new(dims: CuboidMask, minsup: u64) -> Self {
+        // check:allow(panic-in-lib): constructor contract — a zero
+        // support threshold is a programming error, not runtime input.
         assert!(minsup > 0, "minimum support must be at least 1");
+        // check:allow(panic-in-lib): same constructor contract as above.
         assert!(!dims.is_all(), "POL aggregates a non-empty group-by");
         PolQuery {
             dims,
@@ -86,6 +89,8 @@ pub struct TaskArray {
 impl TaskArray {
     /// Builds the array for an `n`-node cluster.
     pub fn new(n: usize) -> Self {
+        // check:allow(panic-in-lib): constructor contract — a zero-node
+        // cluster is a configuration bug, not runtime input.
         assert!(n > 0, "need at least one node");
         TaskArray { n }
     }
@@ -240,10 +245,12 @@ pub fn run_pol(
             .collect();
         let mut active = vec![true; n];
         while active.iter().any(|&a| a) {
-            let node_id = (0..n)
+            let Some(node_id) = (0..n)
                 .filter(|&i| active[i])
                 .min_by_key(|&i| (cluster.nodes[i].clock_ns(), i))
-                .expect("some node active");
+            else {
+                break; // unreachable: the loop condition saw an active node
+            };
             if let Some(src) = pending[node_id].pop_front() {
                 // Own task: fetch the chunk if remote, fold it in.
                 let chunk = &chunks[src][node_id];

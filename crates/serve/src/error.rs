@@ -1,0 +1,62 @@
+//! The server lifecycle error type: what [`CubeServer`] operations
+//! return instead of panicking.
+//!
+//! Request-shaped problems (bad dimension, wrong arity, …) stay
+//! [`RequestError`](crate::request::RequestError)s carried inside
+//! [`Response::Error`](crate::request::Response::Error); `ServeError`
+//! covers the *transport*: a pool that could not start, or a queue that
+//! is no longer open because the server shut down.
+//!
+//! [`CubeServer`]: crate::server::CubeServer
+
+use std::fmt;
+
+/// Why a server operation could not be carried out.
+#[derive(Debug)]
+pub enum ServeError {
+    /// [`CubeServer::start`](crate::server::CubeServer::start) was asked
+    /// for a pool of zero workers.
+    NoWorkers,
+    /// The OS refused to spawn a worker thread; any workers already
+    /// started were joined before this was returned.
+    Spawn(std::io::Error),
+    /// The request queue is closed: the server has shut down (or its
+    /// workers are gone), so no answer will ever arrive.
+    ShutDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::NoWorkers => write!(f, "a server needs at least one worker"),
+            ServeError::Spawn(e) => write!(f, "could not spawn a worker thread: {e}"),
+            ServeError::ShutDown => write!(f, "the server has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Spawn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_every_variant() {
+        assert!(ServeError::NoWorkers.to_string().contains("one worker"));
+        assert!(ServeError::ShutDown.to_string().contains("shut down"));
+        let e = ServeError::Spawn(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            "rlimit",
+        ));
+        assert!(e.to_string().contains("rlimit"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

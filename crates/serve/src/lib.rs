@@ -23,13 +23,16 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod metrics;
 pub mod planner;
 pub mod request;
 pub mod server;
 pub mod shard;
+pub mod sync;
 pub mod workload;
 
+pub use error::ServeError;
 pub use metrics::{LatencyHistogram, Metrics, ServerStats};
 pub use request::{Request, RequestError, Response, RollUpPlan};
 pub use server::{ClientHandle, CubeServer};

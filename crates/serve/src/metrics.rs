@@ -1,8 +1,12 @@
 //! Serving observability: lock-free counters and fixed-bucket latency
 //! histograms, snapshotted into [`ServerStats`].
 //!
-//! Workers record into shared [`Metrics`] with relaxed atomics only — no
-//! lock sits on the request path. Latency uses a fixed array of
+//! Workers record into shared [`Metrics`] with lock-free atomics — no
+//! lock sits on the request path. Independent event counters use
+//! `Relaxed` (each justified at its use site); the histogram's
+//! `total_ns`/`count` pair uses Release/Acquire so a snapshot never
+//! counts a sample whose nanoseconds it cannot see. Latency uses a
+//! fixed array of
 //! power-of-two nanosecond buckets (bucket `i` holds samples in
 //! `[2^i, 2^(i+1))` ns), so a histogram is 48 `AtomicU64`s covering
 //! 1 ns to ~4.7 minutes and quantiles are a single array walk. The
@@ -41,22 +45,35 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&self, ns: u64) {
         let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        // relaxed: each bucket is an independent tally; quantiles are
+        // approximate by design and never pair a bucket with other state.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(ns, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        // Publish the sample's nanoseconds *before* the sample becomes
+        // countable: `mean_ns` reads `count` with Acquire, so every
+        // sample it counts has its total already visible and the mean's
+        // numerator can never miss a counted sample's contribution.
+        self.total_ns.fetch_add(ns, Ordering::Release);
+        self.count.fetch_add(1, Ordering::Release);
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        // Acquire pairs with the Release in `record`: a sample visible
+        // here has its `total_ns` contribution visible too.
+        self.count.load(Ordering::Acquire)
     }
 
     /// Mean latency in nanoseconds (0 when empty).
+    ///
+    /// Reads `count` before `total_ns` (both Acquire, paired with the
+    /// Release writes in [`LatencyHistogram::record`] which go in the
+    /// opposite order), so a concurrent recorder can only make the
+    /// numerator *larger* than the denominator accounts for — the mean
+    /// may transiently overestimate but never drops a counted sample.
     pub fn mean_ns(&self) -> u64 {
-        self.total_ns
-            .load(Ordering::Relaxed)
-            .checked_div(self.count())
-            .unwrap_or(0)
+        let count = self.count.load(Ordering::Acquire);
+        let total = self.total_ns.load(Ordering::Acquire);
+        total.checked_div(count).unwrap_or(0)
     }
 
     /// The upper bound of the bucket containing quantile `q` in `[0, 1]`,
@@ -65,6 +82,9 @@ impl LatencyHistogram {
         let counts: Vec<u64> = self
             .buckets
             .iter()
+            // relaxed: buckets are independent tallies and the quantile
+            // is a bucket upper bound anyway — a sample racing this walk
+            // moves the answer by at most one in-flight request.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let total: u64 = counts.iter().sum();
@@ -133,22 +153,32 @@ impl Metrics {
 
     /// Bumps a counter by one (relaxed).
     pub fn bump(counter: &AtomicU64) {
+        // relaxed: event counters are independent — nothing is published
+        // under them and no reader infers cross-counter ordering.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n` to a counter (relaxed).
     pub fn add(counter: &AtomicU64, n: u64) {
+        // relaxed: same contract as `bump` — an independent tally.
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads a counter (relaxed).
+    pub fn read(counter: &AtomicU64) -> u64 {
+        // relaxed: snapshots are advisory; each counter is internally
+        // consistent and no pair of counters promises atomicity.
+        counter.load(Ordering::Relaxed)
     }
 
     /// Snapshots every counter and quantile into a plain struct.
     pub fn snapshot(&self) -> ServerStats {
         ServerStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            cells_returned: self.cells_returned.load(Ordering::Relaxed),
-            rollup_stored: self.rollup_stored.load(Ordering::Relaxed),
-            rollup_aggregated: self.rollup_aggregated.load(Ordering::Relaxed),
+            requests: Metrics::read(&self.requests),
+            errors: Metrics::read(&self.errors),
+            cells_returned: Metrics::read(&self.cells_returned),
+            rollup_stored: Metrics::read(&self.rollup_stored),
+            rollup_aggregated: Metrics::read(&self.rollup_aggregated),
             mean_ns: self.latency.mean_ns(),
             p50_ns: self.latency.quantile_ns(0.50),
             p95_ns: self.latency.quantile_ns(0.95),
@@ -156,12 +186,12 @@ impl Metrics {
             shard_routed: self
                 .shards
                 .iter()
-                .map(|s| s.routed.load(Ordering::Relaxed))
+                .map(|s| Metrics::read(&s.routed))
                 .collect(),
             shard_scanned: self
                 .shards
                 .iter()
-                .map(|s| s.scanned.load(Ordering::Relaxed))
+                .map(|s| Metrics::read(&s.scanned))
                 .collect(),
         }
     }

@@ -57,7 +57,9 @@ pub fn roll_up(
         // grow upward, so this is a definitional absence, not pruning.
         return Ok((None, RollUpPlan::Stored, true));
     }
-    let pos = g.iter_dims().position(|d| d == dim).expect("contained");
+    let Some(pos) = g.iter_dims().position(|d| d == dim) else {
+        return Err(RequestError::DimensionNotInCuboid { dim });
+    };
     let mut pkey = key.to_vec();
     pkey.remove(pos);
     if cube.has_cuboid(parent) {

@@ -147,6 +147,14 @@ pub enum RequestError {
         /// The (lower) requested threshold.
         requested: u64,
     },
+    /// The store reported an error the serving layer has no specific
+    /// mapping for. Reaching this indicates a bug in request validation
+    /// (the shard router should have rejected the request first), but it
+    /// is answered, not panicked over.
+    Internal {
+        /// The underlying error, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RequestError {
@@ -171,6 +179,9 @@ impl fmt::Display for RequestError {
                 f,
                 "store computed at minsup {stored} cannot answer threshold {requested}"
             ),
+            RequestError::Internal { detail } => {
+                write!(f, "internal serving error: {detail}")
+            }
         }
     }
 }
@@ -190,9 +201,16 @@ impl From<AlgoError> for RequestError {
                 dim: query_dims.saturating_sub(1),
                 dims: relation_dims,
             },
+            AlgoError::DimensionNotInGroupBy { dim } => RequestError::DimensionNotInCuboid { dim },
+            AlgoError::DimensionAlreadyInGroupBy { dim } => {
+                RequestError::DimensionAlreadyInCuboid { dim }
+            }
             // The remaining AlgoError variants concern cube *computation*
-            // and cannot come out of a CubeStore read path.
-            other => unreachable!("store queries cannot fail with {other:?}"),
+            // and should not come out of a CubeStore read path; if one
+            // ever does, answer with it rather than unwinding a worker.
+            other => RequestError::Internal {
+                detail: other.to_string(),
+            },
         }
     }
 }
@@ -232,5 +250,16 @@ mod tests {
             got: 3,
         };
         assert!(e.to_string().contains("3 values"));
+        let e: RequestError = AlgoError::DimensionNotInGroupBy { dim: 4 }.into();
+        assert_eq!(e, RequestError::DimensionNotInCuboid { dim: 4 });
+        let e: RequestError = AlgoError::DimensionAlreadyInGroupBy { dim: 4 }.into();
+        assert_eq!(e, RequestError::DimensionAlreadyInCuboid { dim: 4 });
+        // Computation-side errors map to Internal instead of unwinding.
+        let e: RequestError = AlgoError::EmptyInput.into();
+        match e {
+            RequestError::Internal { ref detail } => assert!(detail.contains("empty")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(e.to_string().contains("internal serving error"));
     }
 }

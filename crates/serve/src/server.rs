@@ -8,17 +8,21 @@
 //! cube is immutable). Every worker records end-to-end latency
 //! (enqueue to answer) and routing counters into shared [`Metrics`].
 //! A malformed request is answered with [`Response::Error`], never a
-//! worker panic, so one bad client cannot take down the pool.
+//! worker panic, so one bad client cannot take down the pool; lifecycle
+//! problems (zero workers, a closed queue) come back as typed
+//! [`ServeError`]s rather than panics.
+//!
+//! All blocking primitives come from [`crate::sync`], so building with
+//! the `icecube_loom` feature puts the whole submit/steal/shutdown
+//! protocol under the deterministic model checker's scheduler.
 
+use crate::error::ServeError;
 use crate::metrics::{Metrics, ServerStats};
 use crate::planner;
 use crate::request::{Request, Response, RollUpPlan};
 use crate::shard::ShardedCube;
-use std::sync::atomic::Ordering;
-use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::Instant;
+use crate::sync::mpsc::{self, Receiver, Sender};
+use crate::sync::{thread, Arc, Instant, Mutex};
 
 /// One queued request plus everything needed to answer and account it.
 struct Job {
@@ -35,37 +39,51 @@ pub struct CubeServer {
     cube: Arc<ShardedCube>,
     metrics: Arc<Metrics>,
     tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
 }
 
 impl CubeServer {
     /// Starts `workers` threads serving `cube`.
     ///
-    /// # Panics
-    /// Panics if `workers` is zero.
-    pub fn start(cube: ShardedCube, workers: usize) -> Self {
-        assert!(workers > 0, "need at least one worker");
+    /// # Errors
+    /// [`ServeError::NoWorkers`] when `workers` is zero;
+    /// [`ServeError::Spawn`] when the OS refuses a worker thread (any
+    /// workers already started are joined first).
+    pub fn start(cube: ShardedCube, workers: usize) -> Result<Self, ServeError> {
+        if workers == 0 {
+            return Err(ServeError::NoWorkers);
+        }
         let cube = Arc::new(cube);
         let metrics = Arc::new(Metrics::new(cube.shard_count()));
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..workers)
-            .map(|i| {
-                let cube = Arc::clone(&cube);
-                let metrics = Arc::clone(&metrics);
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("icecube-serve-{i}"))
-                    .spawn(move || worker_loop(&cube, &metrics, &rx))
-                    .expect("spawn worker")
-            })
-            .collect();
-        CubeServer {
+        let mut pool = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let cube = Arc::clone(&cube);
+            let metrics = Arc::clone(&metrics);
+            let rx = Arc::clone(&rx);
+            let spawned = thread::Builder::new()
+                .name(format!("icecube-serve-{i}"))
+                .spawn(move || worker_loop(&cube, &metrics, &rx));
+            match spawned {
+                Ok(handle) => pool.push(handle),
+                Err(e) => {
+                    // Close the queue so the workers that did start see
+                    // disconnection and exit before we report failure.
+                    drop(tx);
+                    for w in pool {
+                        let _ = w.join();
+                    }
+                    return Err(ServeError::Spawn(e));
+                }
+            }
+        }
+        Ok(CubeServer {
             cube,
             metrics,
             tx: Some(tx),
-            workers,
-        }
+            workers: pool,
+        })
     }
 
     /// The served cube.
@@ -79,9 +97,14 @@ impl CubeServer {
     }
 
     /// A cloneable handle clients submit requests through.
-    pub fn handle(&self) -> ClientHandle {
-        ClientHandle {
-            tx: self.tx.as_ref().expect("server running").clone(),
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] once [`CubeServer::shutdown`] has closed
+    /// the queue.
+    pub fn handle(&self) -> Result<ClientHandle, ServeError> {
+        match &self.tx {
+            Some(tx) => Ok(ClientHandle { tx: tx.clone() }),
+            None => Err(ServeError::ShutDown),
         }
     }
 
@@ -115,27 +138,43 @@ pub struct ClientHandle {
 
 impl ClientHandle {
     /// Enqueues a request, returning the channel its answer arrives on.
-    pub fn submit(&self, req: Request) -> Receiver<Response> {
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] when every worker is gone (the queue's
+    /// receiving side disconnected), so the job can never be answered.
+    pub fn submit(&self, req: Request) -> Result<Receiver<Response>, ServeError> {
         let (reply, answer) = mpsc::channel();
         let job = Job {
             req,
             enqueued: Instant::now(),
             reply,
         };
-        self.tx.send(job).expect("server accepting requests");
-        answer
+        match self.tx.send(job) {
+            Ok(()) => Ok(answer),
+            Err(_) => Err(ServeError::ShutDown),
+        }
     }
 
     /// Enqueues a request and blocks for its answer.
-    pub fn call(&self, req: Request) -> Response {
-        self.submit(req).recv().expect("server answers every job")
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] when the server shut down before the
+    /// answer arrived.
+    pub fn call(&self, req: Request) -> Result<Response, ServeError> {
+        self.submit(req)?.recv().map_err(|_| ServeError::ShutDown)
     }
 }
 
 fn worker_loop(cube: &ShardedCube, metrics: &Metrics, rx: &Arc<Mutex<Receiver<Job>>>) {
     loop {
-        // Hold the lock only for the dequeue, never while answering.
-        let job = match rx.lock().expect("queue lock").recv() {
+        // Hold the lock only for the dequeue, never while answering. A
+        // poisoned lock means a sibling worker panicked mid-dequeue; the
+        // receiver it guards is still sound, so keep serving.
+        let job = match rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .recv()
+        {
             Ok(job) => job,
             Err(_) => return, // every sender dropped: shutdown
         };
@@ -155,12 +194,23 @@ fn execute(cube: &ShardedCube, metrics: &Metrics, req: &Request) -> Response {
     if let Request::Batch(reqs) = req {
         return Response::Batch(reqs.iter().map(|r| execute(cube, metrics, r)).collect());
     }
-    metrics.requests.fetch_add(1, Ordering::Relaxed);
-    let resp = match req {
+    Metrics::bump(&metrics.requests);
+    let resp = execute_leaf(cube, metrics, req);
+    if matches!(resp, Response::Error(_)) {
+        Metrics::bump(&metrics.errors);
+    }
+    resp
+}
+
+/// Answers one non-batch request. (The batch arm recurses through
+/// [`execute`] for exhaustiveness, but `execute` intercepts batches
+/// before calling here.)
+fn execute_leaf(cube: &ShardedCube, metrics: &Metrics, req: &Request) -> Response {
+    match req {
         Request::Point { cuboid, key } => match cube.get(*cuboid, key) {
             Ok(agg) => {
                 let shard = cube.shard_of(*cuboid, key);
-                metrics.shards[shard].routed.fetch_add(1, Ordering::Relaxed);
+                Metrics::bump(&metrics.shards[shard].routed);
                 Response::Point(agg)
             }
             Err(e) => Response::Error(e),
@@ -172,44 +222,38 @@ fn execute(cube: &ShardedCube, metrics: &Metrics, req: &Request) -> Response {
             fan_out(metrics, cube.drill_down(*cuboid, key, *dim))
         }
         Request::Cuboid { cuboid, minsup } => fan_out(metrics, cube.query(*cuboid, *minsup)),
-        Request::RollUp { cuboid, key, dim } => {
-            match planner::roll_up(cube, *cuboid, key, *dim) {
-                Ok((cell, plan, exact)) => {
-                    match plan {
-                        RollUpPlan::Stored => {
-                            metrics.rollup_stored.fetch_add(1, Ordering::Relaxed);
-                            // Inputs validated by the planner, so the
-                            // parent key is re-derivable for routing.
-                            let parent = cuboid.without_dim(*dim);
-                            if !parent.is_all() {
-                                let pos = cuboid
-                                    .iter_dims()
-                                    .position(|d| d == *dim)
-                                    .expect("validated");
+        Request::RollUp { cuboid, key, dim } => match planner::roll_up(cube, *cuboid, key, *dim) {
+            Ok((cell, plan, exact)) => {
+                match plan {
+                    RollUpPlan::Stored => {
+                        Metrics::bump(&metrics.rollup_stored);
+                        // The planner validated `dim ∈ cuboid`, so the
+                        // parent key is re-derivable for routing; if the
+                        // position were somehow absent we'd only skip the
+                        // routing counter, never the answer.
+                        let parent = cuboid.without_dim(*dim);
+                        if !parent.is_all() {
+                            if let Some(pos) = cuboid.iter_dims().position(|d| d == *dim) {
                                 let mut pkey = key.clone();
                                 pkey.remove(pos);
                                 let shard = cube.shard_of(parent, &pkey);
-                                metrics.shards[shard].routed.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        RollUpPlan::Aggregated => {
-                            metrics.rollup_aggregated.fetch_add(1, Ordering::Relaxed);
-                            for s in &metrics.shards {
-                                s.scanned.fetch_add(1, Ordering::Relaxed);
+                                Metrics::bump(&metrics.shards[shard].routed);
                             }
                         }
                     }
-                    Response::RolledUp { cell, plan, exact }
+                    RollUpPlan::Aggregated => {
+                        Metrics::bump(&metrics.rollup_aggregated);
+                        for s in &metrics.shards {
+                            Metrics::bump(&s.scanned);
+                        }
+                    }
                 }
-                Err(e) => Response::Error(e),
+                Response::RolledUp { cell, plan, exact }
             }
-        }
-        Request::Batch(_) => unreachable!("handled above"),
-    };
-    if matches!(resp, Response::Error(_)) {
-        metrics.errors.fetch_add(1, Ordering::Relaxed);
+            Err(e) => Response::Error(e),
+        },
+        Request::Batch(_) => execute(cube, metrics, req),
     }
-    resp
 }
 
 /// Wraps a fan-out result, counting shard visits and returned cells.
@@ -220,11 +264,9 @@ fn fan_out(
     match result {
         Ok(cells) => {
             for s in &metrics.shards {
-                s.scanned.fetch_add(1, Ordering::Relaxed);
+                Metrics::bump(&s.scanned);
             }
-            metrics
-                .cells_returned
-                .fetch_add(cells.len() as u64, Ordering::Relaxed);
+            Metrics::add(&metrics.cells_returned, cells.len() as u64);
             Response::Cells(cells)
         }
         Err(e) => Response::Error(e),
@@ -245,35 +287,56 @@ mod tests {
         let q = IcebergQuery::count_cube(3, 1);
         let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
         let store = CubeStore::from_outcome(3, 1, out);
-        CubeServer::start(ShardedCube::new(&store, shards), workers)
+        CubeServer::start(ShardedCube::new(&store, shards), workers).expect("workers > 0")
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 1);
+        let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
+        let store = CubeStore::from_outcome(3, 1, out);
+        match CubeServer::start(ShardedCube::new(&store, 2), 0) {
+            Err(ServeError::NoWorkers) => {}
+            other => panic!("unexpected {other:?}", other = other.map(|_| ())),
+        }
     }
 
     #[test]
     fn serves_every_request_kind() {
         let srv = server(3, 4);
-        let h = srv.handle();
+        let h = srv.handle().expect("running");
         let g01 = CuboidMask::from_dims(&[0, 1]);
         let g0 = CuboidMask::from_dims(&[0]);
 
-        match h.call(Request::Point {
-            cuboid: g0,
-            key: vec![0],
-        }) {
+        match h
+            .call(Request::Point {
+                cuboid: g0,
+                key: vec![0],
+            })
+            .expect("running")
+        {
             Response::Point(Some(agg)) => assert!(agg.count > 0),
             other => panic!("unexpected {other:?}"),
         }
-        match h.call(Request::Cuboid {
-            cuboid: g01,
-            minsup: 1,
-        }) {
+        match h
+            .call(Request::Cuboid {
+                cuboid: g01,
+                minsup: 1,
+            })
+            .expect("running")
+        {
             Response::Cells(cells) => assert!(!cells.is_empty()),
             other => panic!("unexpected {other:?}"),
         }
-        match h.call(Request::RollUp {
-            cuboid: g01,
-            key: vec![0, 2],
-            dim: 1,
-        }) {
+        match h
+            .call(Request::RollUp {
+                cuboid: g01,
+                key: vec![0, 2],
+                dim: 1,
+            })
+            .expect("running")
+        {
             Response::RolledUp { cell, plan, exact } => {
                 assert!(cell.is_some());
                 assert_eq!(plan, RollUpPlan::Stored);
@@ -281,18 +344,21 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        match h.call(Request::Batch(vec![
-            Request::Slice {
-                cuboid: g01,
-                dim: 1,
-                value: 2,
-            },
-            Request::DrillDown {
-                cuboid: g0,
-                key: vec![0],
-                dim: 1,
-            },
-        ])) {
+        match h
+            .call(Request::Batch(vec![
+                Request::Slice {
+                    cuboid: g01,
+                    dim: 1,
+                    value: 2,
+                },
+                Request::DrillDown {
+                    cuboid: g0,
+                    key: vec![0],
+                    dim: 1,
+                },
+            ]))
+            .expect("running")
+        {
             Response::Batch(answers) => {
                 assert_eq!(answers.len(), 2);
                 assert!(matches!(answers[0], Response::Cells(_)));
@@ -312,20 +378,23 @@ mod tests {
     #[test]
     fn malformed_requests_answer_errors_without_killing_workers() {
         let srv = server(2, 2);
-        let h = srv.handle();
+        let h = srv.handle().expect("running");
         let bad = Request::Point {
             cuboid: CuboidMask::from_dims(&[30]),
             key: vec![0],
         };
-        match h.call(bad) {
+        match h.call(bad).expect("running") {
             Response::Error(RequestError::UnknownDimension { dim: 30, dims: 3 }) => {}
             other => panic!("unexpected {other:?}"),
         }
         // The pool still answers after the error.
-        match h.call(Request::Point {
-            cuboid: CuboidMask::from_dims(&[0]),
-            key: vec![0],
-        }) {
+        match h
+            .call(Request::Point {
+                cuboid: CuboidMask::from_dims(&[0]),
+                key: vec![0],
+            })
+            .expect("running")
+        {
             Response::Point(Some(_)) => {}
             other => panic!("unexpected {other:?}"),
         }
@@ -341,14 +410,17 @@ mod tests {
         let want = srv.cube().query(g, 1).unwrap();
         std::thread::scope(|scope| {
             for _ in 0..8 {
-                let h = srv.handle();
+                let h = srv.handle().expect("running");
                 let want = &want;
                 scope.spawn(move || {
                     for _ in 0..10 {
-                        match h.call(Request::Cuboid {
-                            cuboid: g,
-                            minsup: 1,
-                        }) {
+                        match h
+                            .call(Request::Cuboid {
+                                cuboid: g,
+                                minsup: 1,
+                            })
+                            .expect("running")
+                        {
                             Response::Cells(cells) => assert_eq!(&cells, want),
                             other => panic!("unexpected {other:?}"),
                         }
@@ -360,18 +432,42 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_joins_workers_and_drops_cleanly() {
+    fn shutdown_joins_workers_and_surfaces_typed_errors_after() {
         let mut srv = server(1, 3);
-        let h = srv.handle();
-        match h.call(Request::Point {
-            cuboid: CuboidMask::from_dims(&[0]),
-            key: vec![0],
-        }) {
+        let h = srv.handle().expect("running");
+        match h
+            .call(Request::Point {
+                cuboid: CuboidMask::from_dims(&[0]),
+                key: vec![0],
+            })
+            .expect("running")
+        {
             Response::Point(_) => {}
             other => panic!("unexpected {other:?}"),
         }
         drop(h); // handles must drop before shutdown can observe closure
         srv.shutdown();
         assert_eq!(srv.worker_count(), 0);
+        assert!(matches!(srv.handle(), Err(ServeError::ShutDown)));
+    }
+
+    #[test]
+    fn submitting_into_a_dead_queue_is_a_typed_error() {
+        // When every worker is gone the queue's receiving side is
+        // dropped and a surviving client handle must get a typed error,
+        // never a panic. The receiver cannot disconnect while any sender
+        // lives, so the dead pool is modelled directly by dropping the
+        // receiving side of a fresh queue.
+        let (tx, rx) = mpsc::channel::<Job>();
+        drop(rx);
+        let h = ClientHandle { tx };
+        let probe = Request::Point {
+            cuboid: CuboidMask::from_dims(&[0]),
+            key: vec![0],
+        };
+        match h.call(probe) {
+            Err(ServeError::ShutDown) => {}
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

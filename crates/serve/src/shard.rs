@@ -34,6 +34,10 @@ impl ShardedCube {
     /// # Panics
     /// Panics if `shard_count` is zero.
     pub fn new(store: &CubeStore, shard_count: usize) -> Self {
+        // check:allow(panic-in-lib): construction-time contract spelled
+        // out in the `# Panics` section above — a zero-shard cube is a
+        // programming error at deployment, not request-time input, and
+        // no worker thread ever runs this path.
         assert!(shard_count > 0, "need at least one shard");
         let dims = store.dims();
         let minsup = store.minsup();

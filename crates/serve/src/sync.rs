@@ -1,0 +1,30 @@
+//! Synchronization facade for the server's blocking protocol.
+//!
+//! Every primitive the worker pool blocks on — the job queue's mutex and
+//! channels, worker threads, the latency clock — is imported from here
+//! rather than from `std` directly. Normally these re-exports *are* the
+//! `std` types. Built with the `icecube_loom` feature they become the
+//! vendored `loom` shims instead, which behave identically outside a
+//! model run (pass-through) but, inside `loom::explore`, yield to a
+//! deterministic scheduler at every operation so `icecube-check
+//! concurrency` can enumerate interleavings of submit/steal/shutdown.
+//!
+//! The [`Metrics`](crate::metrics::Metrics) atomics are deliberately
+//! *not* routed through this facade: the counters are independent and
+//! never participate in the blocking protocol, and instrumenting them
+//! would blow up the model's schedule space without testing anything
+//! the `relaxed-ordering` lint does not already cover.
+
+#[cfg(feature = "icecube_loom")]
+pub use loom::sync::{mpsc, Arc, Mutex};
+#[cfg(feature = "icecube_loom")]
+pub use loom::thread;
+#[cfg(feature = "icecube_loom")]
+pub use loom::time::Instant;
+
+#[cfg(not(feature = "icecube_loom"))]
+pub use std::sync::{mpsc, Arc, Mutex};
+#[cfg(not(feature = "icecube_loom"))]
+pub use std::thread;
+#[cfg(not(feature = "icecube_loom"))]
+pub use std::time::Instant;

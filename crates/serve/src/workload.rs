@@ -9,6 +9,7 @@
 //! experiment rerun identical workloads while sweeping shard and worker
 //! counts.
 
+use crate::error::ServeError;
 use crate::metrics::ServerStats;
 use crate::request::{Request, Response};
 use crate::server::CubeServer;
@@ -31,6 +32,10 @@ impl NavigationWorkload {
     /// # Panics
     /// Panics if `store` holds no cells (there is nothing to navigate).
     pub fn generate(store: &CubeStore, count: usize, seed: u64) -> Self {
+        // check:allow(panic-in-lib): documented precondition of a
+        // test/bench harness entry point — an empty cube has no cells to
+        // walk, and returning an empty stream would silently void every
+        // experiment that asked for `count` requests.
         assert!(!store.is_empty(), "cannot navigate an empty cube");
         let mut rng = SmallRng::seed_from_u64(seed);
         let masks = store.cuboid_masks();
@@ -79,18 +84,26 @@ impl Generator<'_> {
             0..=34 => Request::Point { cuboid, key },
             35..=54 => {
                 let dims: Vec<usize> = cuboid.iter_dims().collect();
-                let dim = *pick(self.rng, &dims).expect("cuboids are non-empty");
-                let pos = dims.iter().position(|&d| d == dim).expect("picked");
-                Request::Slice {
-                    cuboid,
-                    dim,
-                    value: key[pos],
+                // Stored cuboids always have at least one dimension; fall
+                // back to a point lookup rather than panicking if not.
+                match pick(self.rng, &dims).copied() {
+                    Some(dim) => match dims.iter().position(|&d| d == dim) {
+                        Some(pos) => Request::Slice {
+                            cuboid,
+                            dim,
+                            value: key[pos],
+                        },
+                        None => Request::Point { cuboid, key },
+                    },
+                    None => Request::Point { cuboid, key },
                 }
             }
             55..=69 => {
                 let dims: Vec<usize> = cuboid.iter_dims().collect();
-                let dim = *pick(self.rng, &dims).expect("cuboids are non-empty");
-                Request::RollUp { cuboid, key, dim }
+                match pick(self.rng, &dims).copied() {
+                    Some(dim) => Request::RollUp { cuboid, key, dim },
+                    None => Request::Point { cuboid, key },
+                }
             }
             70..=79 => {
                 let absent: Vec<usize> = (0..self.store.dims())
@@ -140,41 +153,54 @@ pub struct LoadReport {
 /// threads (each submits its next request only after the previous answer
 /// arrives). Requests are dealt round-robin, so the per-client streams —
 /// and the aggregate mix — are deterministic for a given client count.
+/// Zero clients is treated as one.
 ///
-/// # Panics
-/// Panics if `clients` is zero.
+/// # Errors
+/// [`ServeError::ShutDown`] when the server shuts down mid-run (no
+/// client gets an answer for an accepted job).
 pub fn run_closed_loop(
     server: &CubeServer,
     workload: &NavigationWorkload,
     clients: usize,
-) -> LoadReport {
-    assert!(clients > 0, "need at least one client");
+) -> Result<LoadReport, ServeError> {
+    let clients = clients.max(1);
     let before = server.stats().requests;
     let start = Instant::now();
-    std::thread::scope(|scope| {
+    std::thread::scope(|scope| -> Result<(), ServeError> {
+        let mut joins = Vec::with_capacity(clients);
         for c in 0..clients {
-            let handle = server.handle();
+            let handle = server.handle()?;
             let requests = &workload.requests;
-            scope.spawn(move || {
+            joins.push(scope.spawn(move || -> Result<(), ServeError> {
                 for req in requests.iter().skip(c).step_by(clients) {
-                    let resp = handle.call(req.clone());
+                    let resp = handle.call(req.clone())?;
                     debug_assert!(
                         !matches!(resp, Response::Error(_)),
                         "workloads over real cells never err: {resp:?}"
                     );
                 }
-            });
+                Ok(())
+            }));
         }
-    });
+        for j in joins {
+            match j.join() {
+                Ok(client_result) => client_result?,
+                // A client thread can only unwind via its debug_assert;
+                // surface that verbatim instead of masking it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        Ok(())
+    })?;
     let elapsed = start.elapsed();
     let stats = server.stats();
     let requests = stats.requests - before;
-    LoadReport {
+    Ok(LoadReport {
         elapsed,
         requests,
         throughput: requests as f64 / elapsed.as_secs_f64().max(1e-9),
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -229,8 +255,8 @@ mod tests {
     fn closed_loop_answers_everything() {
         let s = store();
         let w = NavigationWorkload::generate(&s, 40, 3);
-        let server = CubeServer::start(ShardedCube::new(&s, 2), 2);
-        let report = run_closed_loop(&server, &w, 3);
+        let server = CubeServer::start(ShardedCube::new(&s, 2), 2).expect("workers > 0");
+        let report = run_closed_loop(&server, &w, 3).expect("server stays up");
         assert_eq!(report.requests, w.leaf_count() as u64);
         assert_eq!(report.stats.errors, 0);
         assert!(report.throughput > 0.0);

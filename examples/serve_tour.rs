@@ -37,12 +37,13 @@ fn main() {
         sharded.materialized_cuboids().len(),
         sharded.shard_cell_counts()
     );
-    let server = CubeServer::start(sharded, 4);
-    let handle = server.handle();
+    let server = CubeServer::start(sharded, 4).expect("worker pool starts");
+    let handle = server.handle().expect("server is running");
+    let ask = |req| handle.call(req).expect("server is running");
 
     // A point lookup routes to exactly one shard.
     let g = CuboidMask::from_dims(&[0, 1]);
-    if let Response::Point(agg) = handle.call(Request::Point {
+    if let Response::Point(agg) = ask(Request::Point {
         cuboid: g,
         key: vec![0, 0],
     }) {
@@ -50,7 +51,7 @@ fn main() {
     }
 
     // A slice fans out to every shard and merges in key order.
-    if let Response::Cells(cells) = handle.call(Request::Slice {
+    if let Response::Cells(cells) = ask(Request::Slice {
         cuboid: g,
         dim: 1,
         value: 3,
@@ -59,7 +60,7 @@ fn main() {
     }
 
     // Roll-ups report which plan answered them.
-    if let Response::RolledUp { cell, plan, exact } = handle.call(Request::RollUp {
+    if let Response::RolledUp { cell, plan, exact } = ask(Request::RollUp {
         cuboid: g,
         key: vec![0, 3],
         dim: 1,
@@ -68,7 +69,7 @@ fn main() {
     }
 
     // Malformed requests come back as typed errors, not panics.
-    if let Response::Error(e) = handle.call(Request::Point {
+    if let Response::Error(e) = ask(Request::Point {
         cuboid: g,
         key: vec![0],
     }) {
@@ -78,7 +79,7 @@ fn main() {
 
     // Replay a deterministic navigation workload from 8 closed-loop clients.
     let workload = NavigationWorkload::generate(&store, 2_000, 42);
-    let report = run_closed_loop(&server, &workload, 8);
+    let report = run_closed_loop(&server, &workload, 8).expect("server stays up");
     let s = &report.stats;
     println!(
         "\nworkload: {} leaf requests in {:.1} ms → {:.0} req/s",

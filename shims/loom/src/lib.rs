@@ -1,0 +1,70 @@
+//! A vendored miniature of the `loom` model checker.
+//!
+//! The real `loom` crate is unavailable (this environment has no
+//! crates.io access), so this shim reimplements the part the workspace
+//! needs: *schedule-controlled* versions of the sync primitives
+//! `icecube-serve` builds on — [`sync::Mutex`], [`sync::Condvar`],
+//! [`sync::mpsc`] channels, [`sync::atomic`] integers, [`thread`]
+//! spawning/joining and a virtual [`time::Instant`] — plus an explorer
+//! ([`model::explore`]) that runs a closed test body repeatedly,
+//! enumerating distinct thread interleavings depth-first until the
+//! bounded schedule space is exhausted or a budget is reached.
+//!
+//! # How scheduling works
+//!
+//! Inside [`model::explore`] every model thread is a real OS thread, but
+//! a cooperative scheduler lets exactly one run at a time. Each sync
+//! operation is a *yield point*: the running thread re-enters the
+//! scheduler, which picks who runs next. When more than one thread is
+//! runnable the pick is a recorded *choice point*; the explorer replays
+//! the recorded prefix and advances the last choice like a depth-first
+//! search, so every completed execution is a distinct interleaving.
+//! Blocking operations (locking a held mutex, `recv` on an empty
+//! channel, `Condvar::wait`, joining a live thread) park the thread in
+//! the scheduler until the unblocking event. If no thread is runnable
+//! while some are still parked, the execution is reported as a
+//! **deadlock** (this is also how a lost wake-up surfaces: the waiter
+//! parks forever). A panic on any model thread — e.g. a violated oracle
+//! assertion — fails the execution with that panic's message.
+//!
+//! # Fidelity limits (vs. real loom)
+//!
+//! - Interleavings are *sequentially consistent*: atomics ignore their
+//!   `Ordering` argument, so weak-memory reorderings are not explored.
+//!   The workspace's own `relaxed-ordering` lint (see `icecube-check`)
+//!   is the compensating control for that gap.
+//! - Threads interleave only at sync operations; plain data races on
+//!   unsynchronized memory are out of scope (rustc's `Send`/`Sync`
+//!   checking covers those).
+//! - `Condvar::notify_one` wakes the longest-waiting thread rather than
+//!   branching over every waiter.
+//!
+//! # Pass-through mode
+//!
+//! Outside [`model::explore`] every primitive delegates to its `std`
+//! twin, so a crate compiled against these types (the `icecube_loom`
+//! feature of `icecube-serve`) behaves identically in production code
+//! paths and ordinary tests.
+
+pub mod model;
+mod sched;
+pub mod sync;
+pub mod thread;
+pub mod time;
+
+pub use model::{explore, Budget, Report};
+
+/// Runs `f` under the model explorer with default budget, panicking on
+/// the first failing interleaving — the `loom::model` entry point shape.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync,
+{
+    let report = model::explore(Budget::default(), f);
+    if let Some(failure) = report.failure {
+        panic!(
+            "model check failed after {} schedules: {failure}",
+            report.schedules
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! The interleaving explorer: runs a test body repeatedly, replaying the
+//! recorded schedule prefix and branching depth-first at the last choice
+//! point, until the space is exhausted or a budget is hit.
+
+use crate::sched::{self, ModelAbort, Path, Sched};
+use std::sync::Arc;
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Maximum number of distinct schedules (complete executions) to
+    /// explore before stopping.
+    pub max_schedules: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_schedules: 1000,
+        }
+    }
+}
+
+/// What one exploration found.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Distinct interleavings completely executed.
+    pub schedules: usize,
+    /// The first failing schedule's diagnosis (deadlock, lost wake-up
+    /// surfacing as deadlock, a panicked thread, nondeterminism), if any.
+    pub failure: Option<String>,
+    /// Whether the whole bounded schedule space was explored (`false`
+    /// when the budget stopped exploration early or a failure did).
+    pub exhausted: bool,
+}
+
+/// Explores interleavings of `f` depth-first. `f` runs once per
+/// schedule as model thread 0; threads it spawns through
+/// [`crate::thread`] join the controlled schedule. Stops at the first
+/// failing schedule.
+///
+/// # Panics
+/// Panics when called from inside a model run (nesting is unsupported).
+pub fn explore<F>(budget: Budget, f: F) -> Report
+where
+    F: Fn() + Sync,
+{
+    assert!(
+        sched::current().is_none(),
+        "nested model exploration is not supported"
+    );
+    let mut path = Path::default();
+    let mut schedules = 0usize;
+    loop {
+        let sched = Arc::new(Sched::new(path));
+        let body = &f;
+        std::thread::scope(|scope| {
+            let root_sched = Arc::clone(&sched);
+            scope.spawn(move || {
+                sched::bind(Arc::clone(&root_sched), 0);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+                if let Err(payload) = result {
+                    if !payload.is::<ModelAbort>() {
+                        root_sched.fail(format!(
+                            "model thread 0 panicked: {}",
+                            panic_message(payload.as_ref())
+                        ));
+                    }
+                }
+                root_sched.thread_finished(0);
+                sched::unbind();
+            });
+            sched.wait_done();
+        });
+        schedules += 1;
+        let (explored_path, failure, _ops) = sched.into_results();
+        if failure.is_some() {
+            return Report {
+                schedules,
+                failure,
+                exhausted: false,
+            };
+        }
+        path = explored_path;
+        if !path.advance() {
+            return Report {
+                schedules,
+                failure: None,
+                exhausted: true,
+            };
+        }
+        if schedules >= budget.max_schedules {
+            return Report {
+                schedules,
+                failure: None,
+                exhausted: false,
+            };
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,511 @@
+//! The cooperative scheduler behind [`crate::model::explore`].
+//!
+//! One `Sched` exists per execution. Model threads are real OS threads
+//! gated on a single condvar: exactly one thread is `current` at a time,
+//! everyone else waits. Every sync primitive calls back into the
+//! scheduler at its yield points; picks between multiple runnable
+//! threads are recorded into a [`Path`] so the explorer can replay a
+//! prefix and branch depth-first.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a parked thread cannot run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Waiting to acquire model mutex `id`.
+    Mutex(usize),
+    /// Waiting on model condvar `id`.
+    Condvar(usize),
+    /// Waiting for a message (or sender disconnect) on model channel `id`.
+    Recv(usize),
+    /// Waiting for thread `tid` to finish.
+    Join(usize),
+}
+
+impl Block {
+    fn describe(self) -> String {
+        match self {
+            Block::Mutex(id) => format!("locking mutex #{id}"),
+            Block::Condvar(id) => format!("waiting on condvar #{id}"),
+            Block::Recv(id) => format!("receiving on channel #{id}"),
+            Block::Join(tid) => format!("joining thread {tid}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadInfo {
+    name: String,
+    state: Run,
+}
+
+/// One decision between several runnable threads, with DFS bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct Choice {
+    options: Vec<usize>,
+    index: usize,
+}
+
+/// The recorded schedule of one execution: the sequence of choices made
+/// wherever more than one thread was runnable.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Path {
+    choices: Vec<Choice>,
+}
+
+impl Path {
+    /// Advances to the depth-first next schedule. Returns `false` when
+    /// the whole bounded space has been explored.
+    pub(crate) fn advance(&mut self) -> bool {
+        while let Some(last) = self.choices.last_mut() {
+            if last.index + 1 < last.options.len() {
+                last.index += 1;
+                return true;
+            }
+            self.choices.pop();
+        }
+        false
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    threads: Vec<ThreadInfo>,
+    current: usize,
+    /// Next index into `path.choices` during replay/extension.
+    step: usize,
+    path: Path,
+    /// Total yield points taken, as a runaway-schedule guard.
+    ops: usize,
+    failure: Option<String>,
+    completed: bool,
+    /// Owner of each registered model mutex.
+    mutex_owner: Vec<Option<usize>>,
+    /// FIFO wait queues of each registered model condvar.
+    cv_waiters: Vec<Vec<usize>>,
+    /// Virtual clock, ticked by `time::Instant::now`.
+    clock: u64,
+    next_channel: usize,
+}
+
+/// Hard cap on yield points in a single execution; hitting it means the
+/// test body itself loops unboundedly and exploring it is meaningless.
+const MAX_OPS: usize = 1_000_000;
+
+/// The per-execution scheduler. Public within the crate; user code never
+/// sees it.
+#[derive(Debug)]
+pub(crate) struct Sched {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// Panic payload used to unwind model threads when an execution is torn
+/// down after a failure. The thread wrapper in [`crate::thread`] and the
+/// explorer recognize it and do not treat it as a user panic.
+pub(crate) struct ModelAbort;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler and model-thread id bound to this OS thread, if any.
+pub(crate) fn current() -> Option<(Arc<Sched>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Binds this OS thread to a scheduler as model thread `tid`.
+pub(crate) fn bind(sched: Arc<Sched>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+/// Unbinds this OS thread from its scheduler.
+pub(crate) fn unbind() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+impl Sched {
+    /// A fresh execution replaying (then extending) `path`.
+    pub(crate) fn new(path: Path) -> Self {
+        Sched {
+            state: Mutex::new(State {
+                threads: vec![ThreadInfo {
+                    name: "main".to_string(),
+                    state: Run::Runnable,
+                }],
+                current: 0,
+                step: 0,
+                path,
+                ops: 0,
+                failure: None,
+                completed: false,
+                mutex_owner: Vec::new(),
+                cv_waiters: Vec::new(),
+                clock: 0,
+                next_channel: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // The scheduler's own mutex cannot be poisoned meaningfully: any
+        // panic on a model thread is routed through `fail`, and the state
+        // stays structurally valid.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Records a failure, wakes every parked thread so the execution can
+    /// tear down, and marks the run complete for the explorer.
+    pub(crate) fn fail(&self, msg: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    fn fail_locked(st: &mut State, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+    }
+
+    /// Picks the next thread to run. Must be called with the state lock
+    /// held, after the caller has updated its own `Run` state.
+    fn pick_next(&self, st: &mut State) {
+        if st.failure.is_some() {
+            // Tearing down: wake everyone so they can abort; once every
+            // thread has finished, `thread_finished` flips `completed`.
+            self.cv.notify_all();
+            return;
+        }
+        st.ops += 1;
+        if st.ops > MAX_OPS {
+            Self::fail_locked(st, format!("schedule exceeded {MAX_OPS} yield points"));
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.state == Run::Finished) {
+                st.completed = true;
+            } else {
+                let parked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .filter_map(|t| match t.state {
+                        Run::Blocked(b) => Some(format!("'{}' {}", t.name, b.describe())),
+                        _ => None,
+                    })
+                    .collect();
+                Self::fail_locked(
+                    st,
+                    format!(
+                        "deadlock: no runnable thread; parked: {}",
+                        parked.join(", ")
+                    ),
+                );
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let next = if runnable.len() == 1 {
+            runnable[0]
+        } else {
+            let step = st.step;
+            st.step += 1;
+            if step < st.path.choices.len() {
+                let choice = &st.path.choices[step];
+                if choice.options != runnable {
+                    // Replay divergence means the test body itself is
+                    // nondeterministic (wall clock, ambient randomness, …)
+                    // and exploration results would be meaningless.
+                    let (expected, got) = (choice.options.clone(), runnable.clone());
+                    Self::fail_locked(
+                        st,
+                        format!(
+                            "nondeterministic test body: replay step {step} saw runnable \
+                             {got:?}, recorded {expected:?}"
+                        ),
+                    );
+                    self.cv.notify_all();
+                    return;
+                }
+                choice.options[choice.index]
+            } else {
+                st.path.choices.push(Choice {
+                    options: runnable.clone(),
+                    index: 0,
+                });
+                runnable[0]
+            }
+        };
+        st.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling model thread until it is scheduled again, then
+    /// returns. Aborts (unwinds) the thread if the execution failed.
+    fn wait_for_turn(&self, mut st: std::sync::MutexGuard<'_, State>, me: usize) {
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.current == me && st.threads[me].state == Run::Runnable {
+                return;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// A plain yield point: give the scheduler a chance to switch.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.failure.is_some() {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        self.pick_next(&mut st);
+        self.wait_for_turn(st, me);
+    }
+
+    /// Parks the calling thread as `block` until another thread unblocks
+    /// it (and the scheduler picks it).
+    pub(crate) fn block(&self, me: usize, block: Block) {
+        let mut st = self.lock();
+        if st.failure.is_some() {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.threads[me].state = Run::Blocked(block);
+        self.pick_next(&mut st);
+        self.wait_for_turn(st, me);
+    }
+
+    /// Marks every thread parked as `block` runnable again.
+    fn unblock_matching(st: &mut State, block: Block) {
+        for t in &mut st.threads {
+            if t.state == Run::Blocked(block) {
+                t.state = Run::Runnable;
+            }
+        }
+    }
+
+    // ---- threads ------------------------------------------------------
+
+    /// Registers a new runnable model thread, returning its id. The
+    /// spawning thread keeps running; the child first runs when picked.
+    pub(crate) fn register_thread(&self, name: String) -> usize {
+        let mut st = self.lock();
+        st.threads.push(ThreadInfo {
+            name,
+            state: Run::Runnable,
+        });
+        st.threads.len() - 1
+    }
+
+    /// First entry of a freshly spawned model thread: park until picked.
+    pub(crate) fn first_turn(&self, me: usize) {
+        let st = self.lock();
+        self.wait_for_turn(st, me);
+    }
+
+    /// Marks `me` finished, wakes joiners, and hands off the CPU. Never
+    /// unwinds — it runs on the way out of the thread wrapper.
+    pub(crate) fn thread_finished(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].state = Run::Finished;
+        Self::unblock_matching(&mut st, Block::Join(me));
+        if st.failure.is_some() {
+            if st.threads.iter().all(|t| t.state == Run::Finished) {
+                st.completed = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st);
+    }
+
+    /// Parks until thread `tid` finishes.
+    pub(crate) fn join(&self, me: usize, tid: usize) {
+        loop {
+            {
+                let st = self.lock();
+                if st.threads[tid].state == Run::Finished {
+                    break;
+                }
+            }
+            self.block(me, Block::Join(tid));
+        }
+        self.yield_point(me);
+    }
+
+    /// True once every model thread has finished (failure teardown
+    /// included). The explorer polls this through `wait_done`.
+    pub(crate) fn wait_done(&self) {
+        let mut st = self.lock();
+        loop {
+            let all_finished = st.threads.iter().all(|t| t.state == Run::Finished);
+            if st.completed || all_finished {
+                st.completed = true;
+                return;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Consumes the run's results: (path, failure, yield-point count).
+    pub(crate) fn into_results(self: Arc<Self>) -> (Path, Option<String>, usize) {
+        let mut st = self.lock();
+        (std::mem::take(&mut st.path), st.failure.take(), st.ops)
+    }
+
+    // ---- mutexes ------------------------------------------------------
+
+    /// Registers a model mutex, returning its id.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutex_owner.push(None);
+        st.mutex_owner.len() - 1
+    }
+
+    /// Acquires model mutex `id` for `me`, parking while it is held.
+    pub(crate) fn mutex_lock(&self, me: usize, id: usize) {
+        self.yield_point(me);
+        loop {
+            {
+                let mut st = self.lock();
+                if st.mutex_owner[id].is_none() {
+                    st.mutex_owner[id] = Some(me);
+                    return;
+                }
+            }
+            self.block(me, Block::Mutex(id));
+        }
+    }
+
+    /// Releases model mutex `id`, waking every thread parked on it.
+    pub(crate) fn mutex_unlock(&self, me: usize, id: usize) {
+        {
+            let mut st = self.lock();
+            debug_assert_eq!(st.mutex_owner[id], Some(me), "unlock by non-owner");
+            st.mutex_owner[id] = None;
+            Self::unblock_matching(&mut st, Block::Mutex(id));
+        }
+        self.yield_point(me);
+    }
+
+    /// Releases `id` without yielding — used during panic teardown where
+    /// re-entering the scheduler could double-panic.
+    pub(crate) fn mutex_unlock_quiet(&self, id: usize) {
+        let mut st = self.lock();
+        st.mutex_owner[id] = None;
+        Self::unblock_matching(&mut st, Block::Mutex(id));
+        self.cv.notify_all();
+    }
+
+    // ---- condvars -----------------------------------------------------
+
+    /// Registers a model condvar, returning its id.
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.lock();
+        st.cv_waiters.push(Vec::new());
+        st.cv_waiters.len() - 1
+    }
+
+    /// Atomically releases mutex `mutex_id` and parks on condvar `cv_id`.
+    /// The caller re-acquires the mutex (via its sync-layer `lock`) after
+    /// this returns. Faithful to real condvars: a notification sent while
+    /// nobody waits is lost.
+    pub(crate) fn condvar_wait(&self, me: usize, cv_id: usize, mutex_id: usize) {
+        let mut st = self.lock();
+        st.cv_waiters[cv_id].push(me);
+        st.mutex_owner[mutex_id] = None;
+        Self::unblock_matching(&mut st, Block::Mutex(mutex_id));
+        st.threads[me].state = Run::Blocked(Block::Condvar(cv_id));
+        self.pick_next(&mut st);
+        self.wait_for_turn(st, me);
+    }
+
+    /// Wakes the longest-waiting thread on condvar `cv_id`, if any.
+    pub(crate) fn condvar_notify(&self, me: usize, cv_id: usize, all: bool) {
+        {
+            let mut st = self.lock();
+            let woken: Vec<usize> = if all {
+                std::mem::take(&mut st.cv_waiters[cv_id])
+            } else if st.cv_waiters[cv_id].is_empty() {
+                Vec::new()
+            } else {
+                vec![st.cv_waiters[cv_id].remove(0)]
+            };
+            for tid in woken {
+                if st.threads[tid].state == Run::Blocked(Block::Condvar(cv_id)) {
+                    st.threads[tid].state = Run::Runnable;
+                }
+            }
+        }
+        self.yield_point(me);
+    }
+
+    // ---- channels -----------------------------------------------------
+
+    /// Registers a model channel, returning its id. Message storage lives
+    /// in the channel object; the scheduler only tracks parked receivers.
+    pub(crate) fn register_channel(&self) -> usize {
+        let mut st = self.lock();
+        st.next_channel += 1;
+        st.next_channel - 1
+    }
+
+    /// Wakes threads parked on channel `id` (message arrived or all
+    /// senders disconnected).
+    pub(crate) fn channel_event(&self, me: usize, id: usize) {
+        {
+            let mut st = self.lock();
+            Self::unblock_matching(&mut st, Block::Recv(id));
+        }
+        self.yield_point(me);
+    }
+
+    /// As [`Sched::channel_event`] but without yielding, for drop paths
+    /// running during panic unwind.
+    pub(crate) fn channel_event_quiet(&self, id: usize) {
+        let mut st = self.lock();
+        Self::unblock_matching(&mut st, Block::Recv(id));
+        self.cv.notify_all();
+    }
+
+    // ---- virtual time -------------------------------------------------
+
+    /// Ticks and returns the virtual clock (nanoseconds).
+    pub(crate) fn tick(&self) -> u64 {
+        let mut st = self.lock();
+        st.clock += 1;
+        st.clock
+    }
+}

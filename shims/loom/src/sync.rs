@@ -1,0 +1,502 @@
+//! Schedule-controlled sync primitives: `Mutex`, `Condvar`, `mpsc`
+//! channels and atomics with the `std::sync` API surface.
+//!
+//! Objects constructed on a model thread register with that run's
+//! scheduler and park/wake through it; objects constructed outside a
+//! model delegate to `std` (pass-through mode). Atomics decide per
+//! operation instead, so even pre-built shared state interleaves
+//! correctly once a model run touches it.
+
+use crate::sched::{self, Block, Sched};
+use std::collections::VecDeque;
+use std::sync::Arc as StdArc;
+use std::sync::{LockResult, PoisonError};
+
+pub use std::sync::Arc;
+
+/// Yields the scheduler if the calling thread is a model thread.
+fn op_hook() {
+    if let Some((sched, me)) = sched::current() {
+        sched.yield_point(me);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// Mirror of [`std::sync::Mutex`]; a model-scheduler blocking point
+/// inside a model run.
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    model: Option<(StdArc<Sched>, usize)>,
+    data: std::sync::Mutex<T>,
+}
+
+/// Mirror of [`std::sync::MutexGuard`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex; registers with the active model run, if any.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            model: sched::current().map(|(s, _)| {
+                let id = s.register_mutex();
+                (s, id)
+            }),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, parking in the model scheduler (or `std`)
+    /// while it is held elsewhere.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let (Some((sched, id)), Some((_, me))) = (&self.model, sched::current()) {
+            // The model grant guarantees exclusivity; the inner std lock
+            // is then uncontended (its owner released it before the
+            // grant) and is held only to produce a real guard.
+            sched.mutex_lock(me, *id);
+        }
+        match self.data.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+            }),
+            Err(poison) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(poison.into_inner()),
+            })),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live until drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live until drop")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock first so that whichever thread the model
+        // grant picks next finds it free.
+        drop(self.inner.take());
+        if let Some((sched, id)) = &self.lock.model {
+            match sched::current() {
+                Some((_, me)) if !std::thread::panicking() => sched.mutex_unlock(me, *id),
+                // Unwinding (model teardown) or foreign thread: release
+                // without re-entering the scheduler.
+                _ => sched.mutex_unlock_quiet(*id),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// Mirror of [`std::sync::Condvar`]. Faithful to real condvars: a
+/// notification with no waiter parked is lost — the ingredient of the
+/// lost-wake-up bugs the model exists to catch.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    model: Option<(StdArc<Sched>, usize)>,
+    std: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condvar; registers with the active model run, if any.
+    pub fn new() -> Self {
+        Condvar {
+            model: sched::current().map(|(s, _)| {
+                let id = s.register_condvar();
+                (s, id)
+            }),
+            std: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard`'s mutex and parks until notified;
+    /// re-acquires the mutex before returning. (No spurious wake-ups in
+    /// model mode; absence only removes schedules, never hides a bug.)
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match (&self.model, sched::current()) {
+            (Some((sched, cv_id)), Some((_, me))) => {
+                let mutex = guard.lock;
+                let Some((_, mutex_id)) = &mutex.model else {
+                    panic!("model Condvar paired with a non-model Mutex");
+                };
+                // Drop the std guard without running the model unlock in
+                // MutexGuard::drop — condvar_wait moves the model-level
+                // ownership itself, atomically with parking.
+                drop(guard.inner.take());
+                std::mem::forget(guard);
+                sched.condvar_wait(me, *cv_id, *mutex_id);
+                mutex.lock()
+            }
+            _ => {
+                let inner = guard.inner.take().expect("guard live until drop");
+                let lock = guard.lock;
+                std::mem::forget(guard);
+                match self.std.wait(inner) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                    }),
+                    Err(poison) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(poison.into_inner()),
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Wakes one parked waiter (the longest-waiting, in model mode).
+    pub fn notify_one(&self) {
+        match (&self.model, sched::current()) {
+            (Some((sched, cv_id)), Some((_, me))) => sched.condvar_notify(me, *cv_id, false),
+            _ => self.std.notify_one(),
+        }
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        match (&self.model, sched::current()) {
+            (Some((sched, cv_id)), Some((_, me))) => sched.condvar_notify(me, *cv_id, true),
+            _ => self.std.notify_all(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// mpsc channels
+// ---------------------------------------------------------------------
+
+/// Mirror of [`std::sync::mpsc`] (the unbounded-channel subset the
+/// workspace uses), with model-scheduled blocking.
+pub mod mpsc {
+    use super::{sched, Block, Sched, StdArc, VecDeque};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    /// Shared state of one channel. Message storage is plain data behind
+    /// a std mutex; *blocking* goes through the model scheduler (model
+    /// mode) or the std condvar (pass-through mode).
+    #[derive(Debug)]
+    struct Chan<T> {
+        model: Option<(StdArc<Sched>, usize)>,
+        queue: std::sync::Mutex<VecDeque<T>>,
+        available: std::sync::Condvar,
+        senders: AtomicUsize,
+        rx_alive: AtomicBool,
+    }
+
+    impl<T> Chan<T> {
+        // The channel's own queue mutex is uncontended-by-construction in
+        // model mode and held only for O(1) operations in pass-through
+        // mode, so poisoning can only follow a panic mid-push, which std
+        // VecDeque cannot produce; recovering the guard is safe.
+        fn queue(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    /// Sending half; cloneable like [`std::sync::mpsc::Sender`].
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        chan: StdArc<Chan<T>>,
+    }
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        chan: StdArc<Chan<T>>,
+    }
+
+    /// Mirror of [`std::sync::mpsc::SendError`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Mirror of [`std::sync::mpsc::RecvError`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Mirror of [`std::sync::mpsc::TryRecvError`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message queued right now, but senders remain connected.
+        Empty,
+        /// No message queued and every sender has disconnected.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a channel with no receiver")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates an unbounded channel; registers with the active model
+    /// run, if any.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = StdArc::new(Chan {
+            model: sched::current().map(|(s, _)| {
+                let id = s.register_channel();
+                (s, id)
+            }),
+            queue: std::sync::Mutex::new(VecDeque::new()),
+            available: std::sync::Condvar::new(),
+            senders: AtomicUsize::new(1),
+            rx_alive: AtomicBool::new(true),
+        });
+        (
+            Sender {
+                chan: StdArc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                chan: StdArc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake receivers so they observe
+                // disconnection — a schedule-relevant event (this is the
+                // edge `CubeServer::shutdown` relies on).
+                self.chan.available.notify_all();
+                if let Some((sched, id)) = &self.chan.model {
+                    match sched::current() {
+                        Some((_, me)) if !std::thread::panicking() => {
+                            sched.channel_event(me, *id);
+                        }
+                        _ => sched.channel_event_quiet(*id),
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queues `value`, failing if the receiver is gone. Never blocks
+        /// (the channel is unbounded) but is a model yield point.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if !self.chan.rx_alive.load(Ordering::SeqCst) {
+                return Err(SendError(value));
+            }
+            self.chan.queue().push_back(value);
+            self.chan.available.notify_one();
+            if let Some((sched, id)) = &self.chan.model {
+                if let Some((_, me)) = sched::current() {
+                    sched.channel_event(me, *id);
+                } else {
+                    sched.channel_event_quiet(*id);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.rx_alive.store(false, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match (&self.chan.model, sched::current()) {
+                (Some((sched, id)), Some((_, me))) => loop {
+                    sched.yield_point(me);
+                    {
+                        let mut q = self.chan.queue();
+                        if let Some(v) = q.pop_front() {
+                            return Ok(v);
+                        }
+                    }
+                    if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                        return Err(RecvError);
+                    }
+                    // Park until a send or a final sender-drop. The
+                    // check-then-park pair is atomic at the model level:
+                    // no other model thread runs in between.
+                    sched.block(me, Block::Recv(*id));
+                },
+                _ => {
+                    let mut q = self.chan.queue();
+                    loop {
+                        if let Some(v) = q.pop_front() {
+                            return Ok(v);
+                        }
+                        if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                            return Err(RecvError);
+                        }
+                        q = match self.chan.available.wait(q) {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                    }
+                }
+            }
+        }
+
+        /// Non-blocking receive (a model yield point).
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            if self.chan.model.is_some() {
+                super::op_hook();
+            }
+            if let Some(v) = self.chan.queue().pop_front() {
+                return Ok(v);
+            }
+            if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+/// Atomics whose every operation is a model yield point.
+///
+/// The model explores *sequentially consistent* interleavings only: the
+/// `Ordering` argument is accepted for API compatibility but does not
+/// add weak-memory behaviors (see the crate docs for why that gap is
+/// acceptable here).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates the atomic with an initial value.
+                pub const fn new(v: $ty) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$std::new(v),
+                    }
+                }
+
+                /// Loads the value (model yield point).
+                pub fn load(&self, order: Ordering) -> $ty {
+                    super::op_hook();
+                    self.inner.load(order)
+                }
+
+                /// Stores a value (model yield point).
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    super::op_hook();
+                    self.inner.store(v, order);
+                }
+
+                /// Swaps the value (model yield point).
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    super::op_hook();
+                    self.inner.swap(v, order)
+                }
+
+                /// Compare-exchange (model yield point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    super::op_hook();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_arith {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Adds, returning the previous value (model yield point).
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    super::op_hook();
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Subtracts, returning the previous value (model yield
+                /// point).
+                pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                    super::op_hook();
+                    self.inner.fetch_sub(v, order)
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// Model-scheduled mirror of [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    model_atomic!(
+        /// Model-scheduled mirror of [`std::sync::atomic::AtomicU32`].
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    model_atomic!(
+        /// Model-scheduled mirror of [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    model_atomic!(
+        /// Model-scheduled mirror of [`std::sync::atomic::AtomicBool`].
+        AtomicBool,
+        AtomicBool,
+        bool
+    );
+    model_atomic_arith!(AtomicU64, u64);
+    model_atomic_arith!(AtomicU32, u32);
+    model_atomic_arith!(AtomicUsize, usize);
+}

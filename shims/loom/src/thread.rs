@@ -1,0 +1,142 @@
+//! Model-aware thread spawning: `std::thread`'s `spawn`/`Builder`/
+//! `JoinHandle` shapes, scheduled cooperatively inside a model run and
+//! delegating to `std` outside one.
+
+use crate::sched::{self, ModelAbort, Sched};
+use std::sync::Arc;
+
+/// Mirror of [`std::thread::Builder`] (the subset the workspace uses).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// A builder with no name set.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Names the thread (shown in model deadlock reports).
+    #[must_use]
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread. Inside a model run the child becomes a model
+    /// thread and first runs when the scheduler picks it.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let name = self.name.unwrap_or_else(|| "<unnamed>".to_string());
+        match sched::current() {
+            None => {
+                let inner = std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || Some(f()))?;
+                Ok(JoinHandle { inner, model: None })
+            }
+            Some((sched, _me)) => {
+                let tid = sched.register_thread(name.clone());
+                let child_sched = Arc::clone(&sched);
+                let inner = std::thread::Builder::new().name(name).spawn(move || {
+                    sched::bind(Arc::clone(&child_sched), tid);
+                    child_sched.first_turn(tid);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    let out = match result {
+                        Ok(v) => Some(v),
+                        Err(payload) => {
+                            if !payload.is::<ModelAbort>() {
+                                child_sched.fail(format!(
+                                    "model thread {tid} panicked: {}",
+                                    panic_message(payload.as_ref())
+                                ));
+                            }
+                            None
+                        }
+                    };
+                    child_sched.thread_finished(tid);
+                    sched::unbind();
+                    out
+                })?;
+                Ok(JoinHandle {
+                    inner,
+                    model: Some((sched, tid)),
+                })
+            }
+        }
+    }
+}
+
+/// Handle to a spawned thread, mirroring [`std::thread::JoinHandle`].
+///
+/// Both modes store the OS handle as `JoinHandle<Option<T>>`: the model
+/// wrapper catches panics itself and yields `None`, which `join` maps
+/// back to the `Err` a std join would have produced.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    model: Option<(Arc<Sched>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish — a scheduler-visible blocking
+    /// point inside a model run — and returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((sched, target)) = &self.model {
+            // Wait at the model level first so the scheduler can explore
+            // join orderings; the OS-level join below then returns
+            // promptly. During panic unwind (model teardown) the target
+            // is being woken by the failure broadcast, so skip the model
+            // wait rather than re-entering the scheduler.
+            if let Some((_, me)) = sched::current() {
+                if !std::thread::panicking() {
+                    sched.join(me, *target);
+                }
+            }
+        }
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(
+                Box::new("model thread panicked or was torn down".to_string())
+                    as Box<dyn std::any::Any + Send>,
+            ),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Spawns an unnamed thread (std-compatible free function).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match Builder::new().spawn(f) {
+        Ok(h) => h,
+        Err(e) => panic!("failed to spawn thread: {e}"),
+    }
+}
+
+/// A plain model yield point: lets the scheduler switch threads. No-op
+/// beyond `std::thread::yield_now` outside a model run.
+pub fn yield_now() {
+    if let Some((sched, me)) = sched::current() {
+        sched.yield_point(me);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

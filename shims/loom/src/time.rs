@@ -1,0 +1,47 @@
+//! Virtual time for model runs: `Instant::now` inside a model ticks a
+//! deterministic per-run counter instead of reading the wall clock, so
+//! explored schedules stay replayable. Outside a model it is the real
+//! [`std::time::Instant`].
+
+pub use std::time::Duration;
+
+/// Mirror of [`std::time::Instant`] (the `now`/`elapsed` subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instant {
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Real(std::time::Instant),
+    /// Virtual nanoseconds on the owning model run's clock.
+    Virtual(u64),
+}
+
+impl Instant {
+    /// The current instant: one virtual tick inside a model run, the
+    /// wall clock outside.
+    pub fn now() -> Instant {
+        match crate::sched::current() {
+            Some((sched, _)) => Instant {
+                kind: Kind::Virtual(sched.tick()),
+            },
+            None => Instant {
+                kind: Kind::Real(std::time::Instant::now()),
+            },
+        }
+    }
+
+    /// Time elapsed since this instant was taken.
+    pub fn elapsed(&self) -> Duration {
+        match self.kind {
+            Kind::Real(at) => at.elapsed(),
+            Kind::Virtual(at) => match crate::sched::current() {
+                Some((sched, _)) => Duration::from_nanos(sched.tick().saturating_sub(at)),
+                // A virtual instant read outside its model run has no
+                // meaningful reference clock; report zero.
+                None => Duration::ZERO,
+            },
+        }
+    }
+}

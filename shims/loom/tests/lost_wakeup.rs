@@ -1,0 +1,79 @@
+//! The lost-wake-up regression the concurrency checker exists to catch:
+//! a toy worker pool with a deliberately racy wait is flagged by the
+//! model, and the corrected version passes the same exploration.
+
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::{explore, Budget};
+use std::collections::VecDeque;
+
+struct ToyPool {
+    queue: Mutex<VecDeque<u32>>,
+    ready: Condvar,
+}
+
+/// The bug: the worker checks the queue, *releases the lock*, and only
+/// then waits. A submit landing in that window notifies nobody — the
+/// notification is lost and the worker parks forever.
+fn buggy_worker(pool: &ToyPool) -> Option<u32> {
+    {
+        let mut q = pool.queue.lock().expect("model mutex");
+        if let Some(job) = q.pop_front() {
+            return Some(job);
+        }
+    } // <-- lock released: submit + notify can land right here
+    let q = pool.queue.lock().expect("model mutex");
+    let mut q = pool.ready.wait(q).expect("model condvar");
+    q.pop_front()
+}
+
+/// The fix: re-check the predicate under the same guard the wait
+/// atomically releases, in a loop.
+fn correct_worker(pool: &ToyPool) -> Option<u32> {
+    let mut q = pool.queue.lock().expect("model mutex");
+    loop {
+        if let Some(job) = q.pop_front() {
+            return Some(job);
+        }
+        q = pool.ready.wait(q).expect("model condvar");
+    }
+}
+
+fn run_pool(worker: fn(&ToyPool) -> Option<u32>) -> loom::Report {
+    explore(Budget { max_schedules: 500 }, move || {
+        let pool = Arc::new(ToyPool {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        let consumer = {
+            let pool = Arc::clone(&pool);
+            loom::thread::spawn(move || worker(&pool))
+        };
+        {
+            let mut q = pool.queue.lock().expect("model mutex");
+            q.push_back(7);
+        }
+        pool.ready.notify_one();
+        let got = consumer.join().expect("worker must terminate");
+        assert_eq!(got, Some(7), "the submitted job must be served");
+    })
+}
+
+#[test]
+fn injected_lost_wakeup_is_caught() {
+    let report = run_pool(buggy_worker);
+    let failure = report
+        .failure
+        .expect("some schedule must lose the wake-up and deadlock");
+    assert!(
+        failure.contains("deadlock") && failure.contains("condvar"),
+        "diagnosis shows the parked waiter: {failure}"
+    );
+}
+
+#[test]
+fn corrected_pool_survives_the_same_exploration() {
+    let report = run_pool(correct_worker);
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.exhausted, "small space fully explored");
+    assert!(report.schedules >= 3, "got {}", report.schedules);
+}

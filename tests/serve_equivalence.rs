@@ -120,10 +120,11 @@ proptest! {
             // proves all six kinds appear in streams this long).
             let workload = NavigationWorkload::generate(&store, 48, seed);
             for n in SHARD_COUNTS {
-                let server = CubeServer::start(ShardedCube::new(&store, n), 3);
-                let handle = server.handle();
+                let server =
+                    CubeServer::start(ShardedCube::new(&store, n), 3).expect("workers > 0");
+                let handle = server.handle().expect("running");
                 for req in &workload.requests {
-                    let got = handle.call(req.clone());
+                    let got = handle.call(req.clone()).expect("running");
                     let want = oracle(&store, req);
                     prop_assert_eq!(&got, &want, "{:?} at {} shards", req, n);
                 }
