@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod chapter3;
 pub mod chapter4;
 pub mod chapter5;
+pub mod fault;
 pub mod serve;
 
 use crate::report::Report;
@@ -30,6 +31,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "fig5_3",
         "fig5_4",
         "serve",
+        "fault",
         "ablation_granularity",
         "ablation_affinity",
         "ablation_writing",
@@ -56,6 +58,7 @@ pub fn run_by_id(id: &str, ctx: &Ctx) -> Option<Report> {
         "fig5_3" => chapter5::fig5_3(ctx),
         "fig5_4" => chapter5::fig5_4(ctx),
         "serve" => serve::serve(ctx),
+        "fault" => fault::fault(ctx),
         "ablation_granularity" => ablations::granularity(ctx),
         "ablation_affinity" => ablations::affinity(ctx),
         "ablation_writing" => ablations::writing(ctx),

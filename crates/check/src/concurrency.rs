@@ -150,6 +150,63 @@ pub fn run(budget: usize) -> ConcurrencyReport {
             }
         },
         {
+            // Worker death mid-stream: a worker is killed while the pool
+            // serves; the survivor must still answer the oracle's value,
+            // and the dead worker's reply channel must error rather than
+            // deadlock a waiting client.
+            let report = loom::explore(
+                Budget {
+                    max_schedules: budget,
+                },
+                || {
+                    let server =
+                        CubeServer::start(cube.clone(), 2).expect("workers start in the model");
+                    let handle = server.handle().expect("server is running");
+                    let observer = handle.kill_worker().expect("queue accepts the kill");
+                    let got = handle.call(point.clone()).expect("the survivor serves");
+                    assert_eq!(got, point_want, "oracle divergence after a worker death");
+                    assert!(observer.recv().is_err(), "a dead worker must never answer");
+                    drop(handle);
+                    drop(server); // joins the dead worker and the survivor
+                },
+            );
+            ScenarioResult {
+                name: "worker-death",
+                schedules: report.schedules,
+                exhausted: report.exhausted,
+                failure: report.failure,
+            }
+        },
+        {
+            // Total worker loss: once the last worker dies the queue must
+            // disconnect, turning later calls into typed `ShutDown` errors
+            // — never a hang on a queue nobody will ever drain.
+            let report = loom::explore(
+                Budget {
+                    max_schedules: budget,
+                },
+                || {
+                    let server =
+                        CubeServer::start(cube.clone(), 1).expect("worker starts in the model");
+                    let handle = server.handle().expect("server is running");
+                    let observer = handle.kill_worker().expect("queue accepts the kill");
+                    assert!(observer.recv().is_err(), "the sole worker exited");
+                    match handle.call(point.clone()) {
+                        Err(icecube_serve::ServeError::ShutDown) => {}
+                        other => panic!("expected ShutDown after losing every worker: {other:?}"),
+                    }
+                    drop(handle);
+                    drop(server);
+                },
+            );
+            ScenarioResult {
+                name: "total-worker-loss",
+                schedules: report.schedules,
+                exhausted: report.exhausted,
+                failure: report.failure,
+            }
+        },
+        {
             // Immediate shutdown: workers may still be parked on the
             // empty queue when the sender closes; none may hang.
             let report = loom::explore(

@@ -12,7 +12,7 @@ use icecube_check::{concurrency, workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Interleaving budget per concurrency scenario; three scenarios at
+/// Interleaving budget per concurrency scenario; five scenarios at
 /// this budget comfortably clear the 1000-distinct-schedules floor the
 /// checker promises.
 const DEFAULT_BUDGET: usize = 1200;

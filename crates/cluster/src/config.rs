@@ -156,6 +156,9 @@ pub struct ClusterConfig {
     /// Seed for any randomized structure the algorithms build (skip-list
     /// levels, sampling); combined with node ids for per-node streams.
     pub seed: u64,
+    /// Fault schedule for the run; [`FaultPlan::none`] (the default from
+    /// every preset) reproduces fault-free behaviour bit for bit.
+    pub faults: crate::fault::FaultPlan,
 }
 
 impl ClusterConfig {
@@ -167,7 +170,15 @@ impl ClusterConfig {
             net,
             cpu: CpuCosts::PIII_500,
             seed: 0x1ceb_c0de,
+            faults: crate::fault::FaultPlan::none(),
         }
+    }
+
+    /// Attaches a fault schedule (builder style).
+    #[must_use]
+    pub fn with_faults(mut self, faults: crate::fault::FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// `n` fast nodes on Ethernet — the paper's *Cluster1* and the

@@ -27,13 +27,15 @@
 //! paper's figures regenerate identically on every run.
 
 pub mod config;
+pub mod fault;
 pub mod node;
 pub mod schedule;
 pub mod stats;
 
 pub use config::{ClusterConfig, CpuCosts, DiskModel, NetModel, NodeSpec};
+pub use fault::{Crash, FaultPlan, NetFate, NetFaults, RecoveryPolicy, Slowdown};
 pub use node::SimNode;
-pub use schedule::{run_demand, run_demand_steps, TaskSource};
+pub use schedule::{run_demand, run_demand_steps, run_demand_steps_healing, StepEvent, TaskSource};
 pub use stats::{NodeStats, RunStats};
 
 /// A simulated cluster: node states plus the shared cost model.
@@ -46,13 +48,18 @@ pub struct SimCluster {
 }
 
 impl SimCluster {
-    /// Builds the cluster described by `config`.
+    /// Builds the cluster described by `config`, arming any fault plan it
+    /// carries.
     pub fn new(config: ClusterConfig) -> Self {
         let nodes = config
             .nodes
             .iter()
             .enumerate()
-            .map(|(id, spec)| SimNode::new(id, *spec, config.disk, config.net, config.cpu))
+            .map(|(id, spec)| {
+                let mut n = SimNode::new(id, *spec, config.disk, config.net, config.cpu);
+                n.set_faults(&config.faults);
+                n
+            })
             .collect();
         SimCluster { nodes, config }
     }
@@ -67,6 +74,21 @@ impl SimCluster {
         self.nodes.is_empty()
     }
 
+    /// Number of nodes that have not crashed.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_dead()).count()
+    }
+
+    /// The surviving node with the smallest `(clock, id)` — the one a
+    /// demand manager would hand work to next. `None` if all are dead.
+    pub fn min_clock_live(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_dead())
+            .min_by_key(|n| (n.clock_ns(), n.id()))
+            .map(|n| n.id())
+    }
+
     /// Ships `bytes` from node `from` to node `to`: the sender is busy for
     /// the transfer, the receiver cannot proceed before the data arrives.
     ///
@@ -74,23 +96,74 @@ impl SimCluster {
     /// Panics if `from == to` — local data needs no transfer and callers
     /// are expected to branch on that (the cost asymmetry is the point of
     /// POL's wrap-around task order).
+    /// Message faults (if the fault plan injects any) apply *per transfer
+    /// attempt*: a dropped attempt costs the sender the transfer plus an
+    /// ack-timeout backoff and is retried, and the attempt after the last
+    /// allowed retry always delivers — so drops perturb timing, never
+    /// data. A sender that dies mid-send loses the message (the receiver
+    /// is not advanced); a dead sender is a no-op.
     pub fn send(&mut self, from: usize, to: usize, bytes: u64) {
         assert_ne!(from, to, "no self-sends; local access is free");
+        if self.nodes[from].is_dead() {
+            return;
+        }
+        let plan = self.config.faults.clone();
         let cost = self.config.net.transfer_ns(bytes);
-        let sender = &mut self.nodes[from];
-        sender.stats.net_ns += cost;
-        sender.stats.bytes_sent += bytes;
-        sender.stats.messages += 1;
-        sender.advance(cost);
-        let arrival = self.nodes[from].clock_ns();
-        self.nodes[to].wait_until(arrival);
+        let mut attempt: u32 = 0;
+        loop {
+            // The sender's running message count is the attempt's identity:
+            // the fate of attempt k of this message is a pure hash of it.
+            let fate = if attempt >= plan.policy.max_retries {
+                fault::NetFate::Deliver
+            } else {
+                plan.net_fate(from, to, self.nodes[from].stats.messages)
+            };
+            let sender = &mut self.nodes[from];
+            let actual = sender.advance(cost);
+            sender.stats.net_ns += actual;
+            if sender.is_dead() {
+                return;
+            }
+            sender.stats.messages += 1;
+            match fate {
+                fault::NetFate::Drop => {
+                    sender.stats.retransmits += 1;
+                    let waited = sender.advance(plan.policy.retry_backoff_ns);
+                    sender.stats.net_ns += waited;
+                    if sender.is_dead() {
+                        return;
+                    }
+                    attempt += 1;
+                }
+                fault::NetFate::Delay(extra) => {
+                    sender.stats.bytes_sent += bytes;
+                    let arrival = self.nodes[from].clock_ns() + extra;
+                    self.nodes[to].wait_until(arrival);
+                    return;
+                }
+                fault::NetFate::Deliver => {
+                    sender.stats.bytes_sent += bytes;
+                    let arrival = self.nodes[from].clock_ns();
+                    self.nodes[to].wait_until(arrival);
+                    return;
+                }
+            }
+        }
     }
 
     /// Synchronizes all nodes (an MPI-style barrier): every clock advances
     /// to the cluster maximum plus a latency term logarithmic in the node
     /// count; the gap each node waited is accounted as idle time.
+    /// Dead nodes neither hold the barrier back nor participate; a node
+    /// whose crash instant lies inside the wait dies at the barrier.
     pub fn barrier(&mut self) {
-        let max = self.nodes.iter().map(|n| n.clock_ns()).max().unwrap_or(0);
+        let max = self
+            .nodes
+            .iter()
+            .filter(|n| !n.is_dead())
+            .map(|n| n.clock_ns())
+            .max()
+            .unwrap_or(0);
         // A tree barrier costs ~ceil(log2 n) latency rounds.
         let rounds = if self.len() <= 1 {
             0
@@ -99,8 +172,13 @@ impl SimCluster {
         };
         let target = max + self.config.net.latency_ns * rounds;
         for n in &mut self.nodes {
+            if n.is_dead() {
+                continue;
+            }
             n.wait_until(target);
-            n.stats.barriers += 1;
+            if !n.is_dead() {
+                n.stats.barriers += 1;
+            }
         }
     }
 
@@ -166,6 +244,66 @@ mod tests {
         let mut c = SimCluster::new(ClusterConfig::fast_ethernet(3));
         c.nodes[1].charge_cpu(42);
         assert_eq!(c.makespan_ns(), c.nodes[1].clock_ns());
+    }
+
+    #[test]
+    fn dropped_messages_are_retransmitted_and_still_arrive() {
+        let faulty =
+            ClusterConfig::fast_ethernet(2).with_faults(FaultPlan::none().net(NetFaults {
+                drop_per_mille: 1000, // every attempt short of the cap drops
+                delay_per_mille: 0,
+                delay_ns: 0,
+            }));
+        let mut c = SimCluster::new(faulty);
+        c.send(0, 1, 10_000);
+        let retries = c.config.faults.policy.max_retries as u64;
+        assert_eq!(c.nodes[0].stats.retransmits, retries);
+        assert_eq!(c.nodes[0].stats.messages, retries + 1);
+        assert_eq!(c.nodes[0].stats.bytes_sent, 10_000, "final attempt lands");
+        assert_eq!(c.nodes[1].clock_ns(), c.nodes[0].clock_ns());
+
+        let mut quiet = SimCluster::new(ClusterConfig::fast_ethernet(2));
+        quiet.send(0, 1, 10_000);
+        assert!(
+            c.makespan_ns() > quiet.makespan_ns(),
+            "drops cost time, never data"
+        );
+    }
+
+    #[test]
+    fn faulty_sends_are_reproducible() {
+        let config =
+            ClusterConfig::fast_ethernet(2).with_faults(FaultPlan::seeded(11, 2, 1_000_000_000));
+        let run = |config: &ClusterConfig| {
+            let mut c = SimCluster::new(config.clone());
+            for _ in 0..50 {
+                c.send(0, 1, 5_000);
+            }
+            c.run_stats()
+        };
+        assert_eq!(run(&config), run(&config));
+    }
+
+    #[test]
+    fn dead_senders_and_barrier_skips() {
+        let config = ClusterConfig::fast_ethernet(3).with_faults(FaultPlan::none().crash(1, 1_000));
+        let mut c = SimCluster::new(config);
+        c.nodes[1].charge_cpu(10_000); // dies at 1 µs
+        assert!(c.nodes[1].is_dead());
+        assert_eq!(c.live_count(), 2);
+
+        let receiver_before = c.nodes[2].clock_ns();
+        c.send(1, 2, 1_000_000); // dead sender: message never leaves
+        assert_eq!(c.nodes[2].clock_ns(), receiver_before);
+
+        c.nodes[0].charge_cpu(5_000_000);
+        c.barrier();
+        assert_eq!(c.nodes[1].clock_ns(), 1_000, "dead clock stays frozen");
+        assert_eq!(c.nodes[1].stats.barriers, 0);
+        assert_eq!(c.nodes[0].stats.barriers, 1);
+        assert_eq!(c.nodes[2].clock_ns(), c.nodes[0].clock_ns());
+        // The two survivors are aligned after the barrier; ties break by id.
+        assert_eq!(c.min_clock_live(), Some(0));
     }
 
     #[test]

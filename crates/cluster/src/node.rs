@@ -1,11 +1,18 @@
 //! Per-node simulation state: virtual clock, disk head, counters.
 
 use crate::config::{CpuCosts, DiskModel, NetModel, NodeSpec};
+use crate::fault::{FaultPlan, Slowdown};
 use crate::stats::NodeStats;
 
 /// One simulated machine: a virtual clock plus the local disk state and
 /// accounting counters. All costs are charged explicitly by the algorithms
 /// through the methods here, from deterministic operation counts.
+///
+/// A node may carry injected faults (see [`crate::fault::FaultPlan`]):
+/// a crash freezes its clock at the scheduled instant and turns every
+/// later charge into a no-op, and slowdown windows inflate work started
+/// inside them. With no faults attached, every method behaves exactly as
+/// it did before fault injection existed.
 #[derive(Debug, Clone)]
 pub struct SimNode {
     id: usize,
@@ -19,6 +26,12 @@ pub struct SimNode {
     last_file: Option<u64>,
     /// Running estimate of live memory on this node.
     mem_used: u64,
+    /// Scheduled crash instant: the clock can never pass this.
+    crash_at: Option<u64>,
+    /// Injected slowdown windows affecting this node.
+    slowdowns: Vec<Slowdown>,
+    /// Set once the crash fires; dead nodes ignore all charges.
+    dead: bool,
     /// Per-node statistics.
     pub stats: NodeStats,
 }
@@ -35,8 +48,77 @@ impl SimNode {
             clock_ns: 0,
             last_file: None,
             mem_used: 0,
+            crash_at: None,
+            slowdowns: Vec::new(),
+            dead: false,
             stats: NodeStats::default(),
         }
+    }
+
+    /// Attaches this node's slice of a fault plan. A crash scheduled at
+    /// or before the current clock fires immediately.
+    pub fn set_faults(&mut self, plan: &FaultPlan) {
+        self.crash_at = plan.crash_time(self.id);
+        self.slowdowns = plan.slowdowns_for(self.id);
+        if let Some(at) = self.crash_at {
+            if at <= self.clock_ns {
+                self.die();
+            }
+        }
+    }
+
+    /// True once the node's scheduled crash has fired.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// The crash instant this node is doomed to, if any.
+    pub fn crash_at(&self) -> Option<u64> {
+        self.crash_at
+    }
+
+    fn die(&mut self) {
+        self.dead = true;
+        self.stats.crashed = 1;
+    }
+
+    /// Moves the clock forward by up to `t`, stopping (and dying) at the
+    /// scheduled crash instant. Returns the time that actually elapsed.
+    fn clamp_elapse(&mut self, t: u64) -> u64 {
+        if self.dead {
+            return 0;
+        }
+        let actual = match self.crash_at {
+            Some(at) if self.clock_ns + t > at => {
+                let a = at.saturating_sub(self.clock_ns);
+                self.die();
+                a
+            }
+            _ => t,
+        };
+        self.clock_ns += actual;
+        actual
+    }
+
+    /// Performs `nominal` ns of busy work: inflated by any slowdown
+    /// window covering its start instant, cut short by a crash. Returns
+    /// the time actually spent; the node completed the work iff it is
+    /// still alive afterwards.
+    fn elapse_busy(&mut self, nominal: u64) -> u64 {
+        if self.dead || nominal == 0 {
+            return 0;
+        }
+        let factor = self
+            .slowdowns
+            .iter()
+            .filter(|s| s.from_ns <= self.clock_ns && self.clock_ns < s.until_ns)
+            .map(|s| s.factor_pct.max(100))
+            .max()
+            .unwrap_or(100) as u64;
+        let inflated = nominal * factor / 100;
+        let actual = self.clamp_elapse(inflated);
+        self.stats.slowdown_ns += (inflated - nominal).min(actual);
+        actual
     }
 
     /// Node identifier (its rank in the cluster).
@@ -65,17 +147,29 @@ impl SimNode {
         self.clock_ns
     }
 
-    /// Advances the clock unconditionally (used by [`crate::SimCluster`]).
-    pub(crate) fn advance(&mut self, ns: u64) {
-        self.clock_ns += ns;
+    /// Advances the clock (used by [`crate::SimCluster`]), stopping at a
+    /// scheduled crash. Returns the time that actually elapsed.
+    pub(crate) fn advance(&mut self, ns: u64) -> u64 {
+        self.clamp_elapse(ns)
     }
 
     /// Blocks until `t`: if the clock is behind, the gap counts as idle
-    /// time (waiting on a message, a barrier, or the manager).
+    /// time (waiting on a message, a barrier, or the manager). A node can
+    /// die waiting — the crash fires if the target lies past it.
     pub fn wait_until(&mut self, t: u64) {
-        if t > self.clock_ns {
-            self.stats.idle_ns += t - self.clock_ns;
-            self.clock_ns = t;
+        if self.dead {
+            return;
+        }
+        let target = match self.crash_at {
+            Some(at) => t.min(at),
+            None => t,
+        };
+        if target > self.clock_ns {
+            self.stats.idle_ns += target - self.clock_ns;
+            self.clock_ns = target;
+        }
+        if self.crash_at.is_some_and(|at| t > at) {
+            self.die();
         }
     }
 
@@ -83,8 +177,8 @@ impl SimNode {
     /// take proportionally longer.
     pub fn charge_cpu(&mut self, reference_ns: u64) {
         let t = (reference_ns as f64 * self.spec.cpu_scale()).round() as u64;
-        self.clock_ns += t;
-        self.stats.cpu_ns += t;
+        let actual = self.elapse_busy(t);
+        self.stats.cpu_ns += actual;
     }
 
     /// Charges the scan of `tuples` rows from memory.
@@ -112,10 +206,13 @@ impl SimNode {
         self.charge_cpu(n * self.cpu.hash_probe_ns);
     }
 
-    /// Charges fixed per-task setup overhead.
+    /// Charges fixed per-task setup overhead. A node that dies during
+    /// setup never counts the task as started.
     pub fn charge_task_overhead(&mut self) {
         self.charge_cpu(self.cpu.task_overhead_ns);
-        self.stats.tasks += 1;
+        if !self.dead {
+            self.stats.tasks += 1;
+        }
     }
 
     /// Writes `bytes` of cells to the output file identified by `file`
@@ -123,14 +220,25 @@ impl SimNode {
     /// to a different file than the previous one pays the switch penalty —
     /// this single rule reproduces the depth- vs breadth-first writing gap.
     pub fn write_cells(&mut self, file: u64, bytes: u64, cells: u64) {
+        if self.dead {
+            return;
+        }
         let mut t = bytes * self.disk.write_byte_ns;
-        if self.last_file != Some(file) {
+        let switched = self.last_file != Some(file);
+        if switched {
             t += self.disk.switch_ns;
+        }
+        let actual = self.elapse_busy(t);
+        self.stats.disk_write_ns += actual;
+        if self.dead {
+            // Died mid-write: the incomplete output never counts (the
+            // self-healing scheduler rolls the whole task back anyway).
+            return;
+        }
+        if switched {
             self.stats.file_switches += 1;
             self.last_file = Some(file);
         }
-        self.clock_ns += t;
-        self.stats.disk_write_ns += t;
         self.stats.bytes_written += bytes;
         self.stats.cells_written += cells;
         self.charge_cpu(cells * self.cpu.cell_emit_ns);
@@ -138,25 +246,35 @@ impl SimNode {
 
     /// Reads `bytes` sequentially from local disk.
     pub fn read_bytes(&mut self, bytes: u64) {
+        if self.dead {
+            return;
+        }
         let t = bytes * self.disk.read_byte_ns;
-        self.clock_ns += t;
-        self.stats.disk_read_ns += t;
-        self.stats.bytes_read += bytes;
+        let actual = self.elapse_busy(t);
+        self.stats.disk_read_ns += actual;
+        if !self.dead {
+            self.stats.bytes_read += bytes;
+        }
     }
 
     /// Charges time spent waiting on / driving a network transfer this
     /// node requested (the requester side of a chunk fetch).
     pub fn charge_net(&mut self, ns: u64) {
-        self.clock_ns += ns;
-        self.stats.net_ns += ns;
+        let actual = self.elapse_busy(ns);
+        self.stats.net_ns += actual;
     }
 
     /// Charges one manager/worker RPC round trip (request + reply).
     pub fn charge_rpc(&mut self) {
+        if self.dead {
+            return;
+        }
         let t = 2 * self.net.rpc_ns();
-        self.clock_ns += t;
-        self.stats.net_ns += t;
-        self.stats.messages += 2;
+        let actual = self.elapse_busy(t);
+        self.stats.net_ns += actual;
+        if !self.dead {
+            self.stats.messages += 2;
+        }
     }
 
     /// Notes an allocation of `bytes`, tracking the peak for the memory
@@ -251,6 +369,78 @@ mod tests {
         assert_eq!(n.stats.peak_mem_bytes, 3000);
         assert!(!n.would_exceed_memory(1024));
         assert!(n.would_exceed_memory(u64::MAX / 2));
+    }
+
+    #[test]
+    fn a_crash_freezes_the_clock_mid_charge() {
+        let mut n = node();
+        n.set_faults(&FaultPlan::none().crash(0, 1_000));
+        n.charge_cpu(600);
+        assert!(!n.is_dead());
+        n.charge_cpu(600); // would end at 1200; dies at 1000
+        assert!(n.is_dead());
+        assert_eq!(n.clock_ns(), 1_000);
+        assert_eq!(n.stats.crashed, 1);
+        let frozen = n.stats.clone();
+        n.charge_cpu(10_000);
+        n.write_cells(3, 100, 5);
+        n.read_bytes(100);
+        n.charge_rpc();
+        n.charge_task_overhead();
+        n.wait_until(1_000_000);
+        assert_eq!(n.clock_ns(), 1_000, "dead clocks never move");
+        assert_eq!(n.stats, frozen, "dead nodes stop accounting");
+    }
+
+    #[test]
+    fn a_crash_can_fire_while_waiting() {
+        let mut n = node();
+        n.set_faults(&FaultPlan::none().crash(0, 500));
+        n.wait_until(2_000);
+        assert!(n.is_dead());
+        assert_eq!(n.clock_ns(), 500);
+        assert_eq!(n.stats.idle_ns, 500);
+    }
+
+    #[test]
+    fn dying_mid_write_discards_the_incomplete_output() {
+        let mut n = node();
+        n.set_faults(&FaultPlan::none().crash(0, 10));
+        n.write_cells(1, 1_000_000, 100);
+        assert!(n.is_dead());
+        assert_eq!(n.stats.cells_written, 0);
+        assert_eq!(n.stats.bytes_written, 0);
+        assert_eq!(n.stats.file_switches, 0);
+        assert_eq!(n.stats.disk_write_ns, 10, "partial time still passed");
+    }
+
+    #[test]
+    fn slowdown_windows_inflate_work_started_inside_them() {
+        let mut n = node();
+        n.set_faults(&FaultPlan::none().slow(0, 0, 1_000, 300));
+        n.charge_cpu(100); // starts at 0, inside the window: 3×
+        assert_eq!(n.clock_ns(), 300);
+        assert_eq!(n.stats.slowdown_ns, 200);
+        n.wait_until(1_000);
+        n.charge_cpu(100); // starts at window end: nominal
+        assert_eq!(n.clock_ns(), 1_100);
+        assert_eq!(n.stats.slowdown_ns, 200);
+    }
+
+    #[test]
+    fn quiet_plan_changes_nothing() {
+        let mut plain = node();
+        let mut quiet = node();
+        quiet.set_faults(&FaultPlan::none());
+        for n in [&mut plain, &mut quiet] {
+            n.charge_cpu(123);
+            n.write_cells(7, 360, 10);
+            n.read_bytes(99);
+            n.charge_rpc();
+            n.wait_until(1_000_000);
+        }
+        assert_eq!(plain.stats, quiet.stats);
+        assert_eq!(plain.clock_ns(), quiet.clock_ns());
     }
 
     #[test]

@@ -12,8 +12,69 @@
 //!
 //! As in the paper, the manager overlaps a worker on node 0, so no node is
 //! reserved; the RPC round trip per task is charged to the worker.
+//!
+//! # Self-healing
+//!
+//! When the cluster carries a [`crate::fault::FaultPlan`], the manager
+//! loops here become fault-tolerant (and stay bit-for-bit deterministic):
+//!
+//! * worker→manager RPCs that hit an injected drop time out and are
+//!   retried with backoff, bounded by the plan's
+//!   [`crate::fault::RecoveryPolicy`] (counted in `rpc_retries`);
+//! * a worker that crashes mid-task loses it; the manager notices after
+//!   `detect_timeout_ns` of missed heartbeats and reassigns the task to
+//!   a surviving worker (counted in `tasks_lost` on the victim and
+//!   `tasks_recovered` on the survivor);
+//! * dead workers leave the candidate set, so scheduling continues on
+//!   the survivors alone. The manager itself (overlapped on a worker but
+//!   logically replicated) is assumed to survive.
+//!
+//! With a quiet plan every loop reduces exactly to its pre-fault
+//! behaviour — same assignments, same clocks, same counters.
 
 use crate::SimCluster;
+
+/// Charges one manager/worker RPC round trip, with injected drops causing
+/// timed-out retries under the cluster's fault plan. The manager is
+/// addressed as pseudo-node `cluster.len()` in the fate hash so RPC fates
+/// never collide with data-message fates.
+fn charge_rpc_with_faults(cluster: &mut SimCluster, node: usize) {
+    let plan = &cluster.config.faults;
+    if !plan.has_net_faults() {
+        cluster.nodes[node].charge_rpc();
+        return;
+    }
+    let plan = plan.clone();
+    let manager = cluster.len();
+    let mut attempt: u32 = 0;
+    loop {
+        let fate = if attempt >= plan.policy.max_retries {
+            crate::fault::NetFate::Deliver
+        } else {
+            plan.net_fate(node, manager, cluster.nodes[node].stats.messages)
+        };
+        let worker = &mut cluster.nodes[node];
+        worker.charge_rpc();
+        if worker.is_dead() {
+            return;
+        }
+        match fate {
+            crate::fault::NetFate::Drop => {
+                worker.stats.rpc_retries += 1;
+                worker.wait_until(worker.clock_ns() + plan.policy.retry_backoff_ns);
+                if worker.is_dead() {
+                    return;
+                }
+                attempt += 1;
+            }
+            crate::fault::NetFate::Delay(extra) => {
+                worker.wait_until(worker.clock_ns() + extra);
+                return;
+            }
+            crate::fault::NetFate::Deliver => return,
+        }
+    }
+}
 
 /// Supplies tasks to the demand scheduler.
 ///
@@ -35,11 +96,15 @@ where
     }
 }
 
-/// Runs demand scheduling to completion.
+/// Runs demand scheduling to completion, reassigning tasks lost to
+/// crashed workers.
 ///
 /// `exec` performs the task on the given node, charging whatever virtual
 /// time it costs; it receives the node's previous task for affinity reuse.
-/// Returns the per-node task histories.
+/// Returns the per-node task histories: a task appears in exactly one
+/// *surviving* node's history even if a crashed worker attempted it first.
+/// (If every node dies — possible only with a hand-built plan, never a
+/// seeded one — unfinished tasks are abandoned.)
 pub fn run_demand<T, S, F>(cluster: &mut SimCluster, source: &mut S, mut exec: F) -> Vec<Vec<T>>
 where
     T: Clone,
@@ -47,33 +112,69 @@ where
     F: FnMut(&mut SimCluster, usize, &T, Option<&T>),
 {
     let n = cluster.len();
+    let detect = cluster.config.faults.policy.detect_timeout_ns;
     let mut prev: Vec<Option<T>> = vec![None; n];
     let mut history: Vec<Vec<T>> = vec![Vec::new(); n];
-    let mut retired = vec![false; n];
-    let mut live = n;
-    while live > 0 {
-        // The next node to request work is the one with the smallest clock.
-        let node = (0..n)
-            .filter(|&i| !retired[i])
-            .min_by_key(|&i| (cluster.nodes[i].clock_ns(), i))
-            .expect("live > 0 guarantees a candidate");
+    // Source exhaustion is per node (the manager stops polling the source
+    // for it); lost tasks can still revive such a node.
+    let mut src_done = vec![false; n];
+    // Tasks reclaimed from crashed workers, with the virtual time at
+    // which the manager has detected the death and may reassign them.
+    let mut lost: Vec<(T, u64)> = Vec::new();
+    // The next node to request work is the live one with the smallest
+    // clock (ties by id) that could still receive an assignment.
+    while let Some(node) = (0..n)
+        .filter(|&i| !cluster.nodes[i].is_dead() && (!src_done[i] || !lost.is_empty()))
+        .min_by_key(|&i| (cluster.nodes[i].clock_ns(), i))
+    {
         // Worker → manager RPC round trip to obtain the assignment.
-        cluster.nodes[node].charge_rpc();
-        match source.next_task(node, prev[node].as_ref()) {
-            Some(task) => {
-                cluster.nodes[node].charge_task_overhead();
-                exec(cluster, node, &task, prev[node].as_ref());
+        charge_rpc_with_faults(cluster, node);
+        if cluster.nodes[node].is_dead() {
+            continue; // died asking for work; nothing was in flight
+        }
+        let mut task: Option<T> = None;
+        let mut recovered = false;
+        if !src_done[node] {
+            match source.next_task(node, prev[node].as_ref()) {
+                Some(t) => task = Some(t),
+                None => src_done[node] = true,
+            }
+        }
+        if task.is_none() && !lost.is_empty() {
+            // Reassign the earliest-detectable lost task; the worker may
+            // have to sit out the manager's detection timeout first.
+            let pos = (0..lost.len()).min_by_key(|&i| lost[i].1).unwrap();
+            let available_at = lost[pos].1;
+            cluster.nodes[node].wait_until(available_at);
+            if cluster.nodes[node].is_dead() {
+                continue; // died waiting; the task stays in the pool
+            }
+            task = Some(lost.remove(pos).0);
+            recovered = true;
+        }
+        // With no task (source done, no lost work) the node drops out of
+        // the candidate set until a loss revives it.
+        if let Some(task) = task {
+            cluster.nodes[node].charge_task_overhead();
+            exec(cluster, node, &task, prev[node].as_ref());
+            if cluster.nodes[node].is_dead() {
+                // Crashed mid-task: roll it back into the pool, to be
+                // reassigned once the death is detected.
+                let death = cluster.nodes[node].clock_ns();
+                cluster.nodes[node].stats.tasks_lost += 1;
+                lost.push((task, death + detect));
+            } else {
+                if recovered {
+                    cluster.nodes[node].stats.tasks_recovered += 1;
+                }
                 history[node].push(task.clone());
                 prev[node] = Some(task);
-            }
-            None => {
-                retired[node] = true;
-                live -= 1;
             }
         }
     }
     // Workers that finish early idle until the last one completes — the
-    // paper's wall clock is the max over processors.
+    // paper's wall clock is the max over processors. (Dead nodes ignore
+    // this; their clocks stay frozen at the crash.)
     let end = cluster.makespan_ns();
     for node in &mut cluster.nodes {
         node.wait_until(end);
@@ -94,16 +195,99 @@ where
 {
     let n = cluster.len();
     let mut retired = vec![false; n];
-    let mut live = n;
-    while live > 0 {
-        let node = (0..n)
-            .filter(|&i| !retired[i])
-            .min_by_key(|&i| (cluster.nodes[i].clock_ns(), i))
-            .expect("live > 0 guarantees a candidate");
+    while let Some(node) = (0..n)
+        .filter(|&i| !retired[i] && !cluster.nodes[i].is_dead())
+        .min_by_key(|&i| (cluster.nodes[i].clock_ns(), i))
+    {
         cluster.nodes[node].charge_rpc();
-        if !step(cluster, node) {
+        if cluster.nodes[node].is_dead() || !step(cluster, node) {
             retired[node] = true;
-            live -= 1;
+        }
+    }
+    let end = cluster.makespan_ns();
+    for node in &mut cluster.nodes {
+        node.wait_until(end);
+    }
+}
+
+/// What the manager is telling the algorithm about `node` in a
+/// [`run_demand_steps_healing`] callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// `node` (live, smallest clock) requests work: select and execute a
+    /// task on it, returning `false` to retire it — exactly the contract
+    /// of the [`run_demand_steps`] callback.
+    Assign,
+    /// `node` has crashed: reclaim whatever task it was running back into
+    /// the pending pool (rolling back its partial output), returning
+    /// `true` iff a task was actually in flight. The manager delays
+    /// reassignments by its detection timeout from the moment of death.
+    Lost,
+}
+
+/// Demand scheduling with caller-managed task state *and* self-healing.
+///
+/// Like [`run_demand_steps`], but the single callback receives a
+/// [`StepEvent`] so the algorithm can both execute work (`Assign`) and
+/// reclaim a crashed worker's in-flight task (`Lost`) from one closure
+/// (selection state and output sinks live in the same captures).
+///
+/// Recovery timing: after a death with a task in flight, every subsequent
+/// assignment waits for the manager's detection timeout to pass — a
+/// reclaimed task cannot restart before the manager could have noticed
+/// the crash. Under a quiet plan the loop is bit-identical to
+/// [`run_demand_steps`].
+pub fn run_demand_steps_healing<F>(cluster: &mut SimCluster, mut step: F)
+where
+    F: FnMut(&mut SimCluster, usize, StepEvent) -> bool,
+{
+    let n = cluster.len();
+    let detect = cluster.config.faults.policy.detect_timeout_ns;
+    let mut retired = vec![false; n];
+    let mut notified = vec![false; n];
+    // No assignment may happen before this instant: raised to
+    // death + detection timeout whenever an in-flight task is lost.
+    let mut floor: u64 = 0;
+    loop {
+        // Surface any new deaths to the algorithm before assigning.
+        let mut reclaimed = false;
+        for i in 0..n {
+            if cluster.nodes[i].is_dead() && !notified[i] {
+                notified[i] = true;
+                retired[i] = true;
+                let had_task = step(cluster, i, StepEvent::Lost);
+                if had_task {
+                    cluster.nodes[i].stats.tasks_lost += 1;
+                    floor = floor.max(cluster.nodes[i].clock_ns() + detect);
+                    reclaimed = true;
+                }
+            }
+        }
+        if reclaimed {
+            // Survivors that had retired must be re-polled: there is new
+            // work in the pool again.
+            for (r, node) in retired.iter_mut().zip(&cluster.nodes) {
+                if !node.is_dead() {
+                    *r = false;
+                }
+            }
+        }
+        let Some(node) = (0..n)
+            .filter(|&i| !retired[i] && !cluster.nodes[i].is_dead())
+            .min_by_key(|&i| (cluster.nodes[i].clock_ns(), i))
+        else {
+            break;
+        };
+        cluster.nodes[node].wait_until(floor);
+        if cluster.nodes[node].is_dead() {
+            continue;
+        }
+        charge_rpc_with_faults(cluster, node);
+        if cluster.nodes[node].is_dead() {
+            continue;
+        }
+        if !step(cluster, node, StepEvent::Assign) {
+            retired[node] = true;
         }
     }
     let end = cluster.makespan_ns();
@@ -227,5 +411,144 @@ mod tests {
             (hist, cluster.makespan_ns())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn a_lost_task_is_rerun_on_a_survivor() {
+        use crate::fault::FaultPlan;
+        // Node 1 dies early, mid-task; every task must still complete on
+        // a surviving node, exactly once.
+        let config =
+            ClusterConfig::fast_ethernet(4).with_faults(FaultPlan::none().crash(1, 2_000_000));
+        let mut cluster = SimCluster::new(config);
+        let mut src = Counter { next: 0, total: 16 };
+        let hist = run_demand(&mut cluster, &mut src, |c, node, _t, _p| {
+            c.nodes[node].charge_cpu(1_000_000);
+        });
+        let mut done: Vec<usize> = hist.iter().flatten().copied().collect();
+        done.sort_unstable();
+        assert_eq!(done, (0..16).collect::<Vec<_>>(), "{hist:?}");
+        assert!(hist[1].is_empty() || cluster.nodes[1].is_dead());
+        let stats = cluster.run_stats();
+        assert_eq!(stats.total_crashes(), 1);
+        assert_eq!(stats.total_tasks_lost(), stats.total_tasks_recovered());
+    }
+
+    #[test]
+    fn recovery_respects_the_detection_timeout() {
+        use crate::fault::FaultPlan;
+        // A 2-node cluster where node 1 dies mid-way through its only
+        // task: node 0 must not restart it before death + detection.
+        let config =
+            ClusterConfig::fast_ethernet(2).with_faults(FaultPlan::none().crash(1, 1_500_000));
+        let detect = config.faults.policy.detect_timeout_ns;
+        let mut cluster = SimCluster::new(config);
+        let mut handed = 0usize;
+        let mut src = move |_node: usize, _prev: Option<&usize>| {
+            if handed < 2 {
+                handed += 1;
+                Some(handed - 1)
+            } else {
+                None
+            }
+        };
+        let mut recovered_start = None;
+        let hist = run_demand(&mut cluster, &mut src, |c, node, t, _p| {
+            if node == 0 && *t == 1 {
+                recovered_start = Some(c.nodes[0].clock_ns());
+            }
+            c.nodes[node].charge_cpu(10_000_000);
+        });
+        assert!(hist[0].contains(&1), "survivor re-ran the lost task");
+        let death = cluster.nodes[1].clock_ns();
+        assert!(
+            recovered_start.expect("task 1 re-ran") >= death + detect,
+            "restarted before the manager could have detected the crash"
+        );
+    }
+
+    #[test]
+    fn faulty_schedules_are_deterministic() {
+        use crate::fault::FaultPlan;
+        let run = || {
+            let config = ClusterConfig::heterogeneous_16().with_faults(FaultPlan::seeded(
+                5,
+                16,
+                100_000_000,
+            ));
+            let mut cluster = SimCluster::new(config);
+            let mut src = Counter { next: 0, total: 64 };
+            let hist = run_demand(&mut cluster, &mut src, |c, node, t, _p| {
+                c.nodes[node].charge_cpu((*t as u64 % 5 + 1) * 1_000_000);
+            });
+            (hist, cluster.makespan_ns(), cluster.run_stats())
+        };
+        let (h1, m1, s1) = run();
+        let (h2, m2, s2) = run();
+        assert_eq!(h1, h2);
+        assert_eq!(m1, m2);
+        assert_eq!(s1, s2);
+        let mut done: Vec<usize> = h1.iter().flatten().copied().collect();
+        done.sort_unstable();
+        assert_eq!(done, (0..64).collect::<Vec<_>>(), "no task lost for good");
+    }
+
+    #[test]
+    fn healing_steps_reassign_inflight_tasks() {
+        use crate::fault::FaultPlan;
+        use std::rc::Rc;
+        // A hand-rolled step algorithm with explicit in-flight tracking,
+        // shaped like the ASL/PT/AHT adapters.
+        let config =
+            ClusterConfig::fast_ethernet(3).with_faults(FaultPlan::none().crash(2, 3_000_000));
+        let mut cluster = SimCluster::new(config.clone());
+        let mut remaining: Vec<usize> = (0..9).collect();
+        let mut inflight: Vec<Option<usize>> = vec![None; 3];
+        let done = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let done2 = Rc::clone(&done);
+        run_demand_steps_healing(&mut cluster, move |c, node, event| match event {
+            StepEvent::Lost => {
+                if let Some(t) = inflight[node].take() {
+                    remaining.push(t);
+                    true
+                } else {
+                    false
+                }
+            }
+            StepEvent::Assign => {
+                let Some(t) = remaining.pop() else {
+                    return false;
+                };
+                inflight[node] = Some(t);
+                c.nodes[node].charge_cpu(2_000_000);
+                if !c.nodes[node].is_dead() {
+                    inflight[node] = None;
+                    done2.borrow_mut().push(t);
+                }
+                true
+            }
+        });
+        let mut finished = done.borrow().clone();
+        finished.sort_unstable();
+        assert_eq!(finished, (0..9).collect::<Vec<_>>());
+        assert!(cluster.nodes[2].is_dead());
+        assert_eq!(cluster.run_stats().total_tasks_lost(), 1);
+    }
+
+    #[test]
+    fn legacy_steps_skip_dead_nodes_without_hanging() {
+        use crate::fault::FaultPlan;
+        let config = ClusterConfig::fast_ethernet(2).with_faults(FaultPlan::none().crash(1, 1_000));
+        let mut cluster = SimCluster::new(config);
+        let mut left = 5;
+        run_demand_steps(&mut cluster, |c, node| {
+            if left == 0 {
+                return false;
+            }
+            left -= 1;
+            c.nodes[node].charge_cpu(1_000_000);
+            true
+        });
+        assert_eq!(left, 0, "the survivor absorbed all steps");
     }
 }

@@ -31,6 +31,18 @@ pub struct NodeStats {
     pub barriers: u64,
     /// Peak of the node's tracked memory.
     pub peak_mem_bytes: u64,
+    /// 1 when the node crashed during the run (its clock froze there).
+    pub crashed: u64,
+    /// Extra virtual time lost to injected slowdown windows.
+    pub slowdown_ns: u64,
+    /// Tasks this node was running (or assigned) when it died.
+    pub tasks_lost: u64,
+    /// Lost tasks this node re-ran on behalf of a dead peer.
+    pub tasks_recovered: u64,
+    /// Manager RPCs to this node that timed out and were retried.
+    pub rpc_retries: u64,
+    /// Data-message transfer attempts that were dropped and resent.
+    pub retransmits: u64,
 }
 
 impl NodeStats {
@@ -61,6 +73,12 @@ impl NodeStats {
         self.tasks += other.tasks;
         self.barriers += other.barriers;
         self.peak_mem_bytes = self.peak_mem_bytes.max(other.peak_mem_bytes);
+        self.crashed = self.crashed.max(other.crashed);
+        self.slowdown_ns += other.slowdown_ns;
+        self.tasks_lost += other.tasks_lost;
+        self.tasks_recovered += other.tasks_recovered;
+        self.rpc_retries += other.rpc_retries;
+        self.retransmits += other.retransmits;
     }
 }
 
@@ -131,6 +149,31 @@ impl RunStats {
     /// Total cells emitted across the cluster.
     pub fn total_cells(&self) -> u64 {
         self.nodes.iter().map(|n| n.cells_written).sum()
+    }
+
+    /// Nodes that crashed during the run.
+    pub fn total_crashes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.crashed).sum()
+    }
+
+    /// Tasks lost to crashes, cluster-wide.
+    pub fn total_tasks_lost(&self) -> u64 {
+        self.nodes.iter().map(|n| n.tasks_lost).sum()
+    }
+
+    /// Lost tasks successfully re-run on survivors, cluster-wide.
+    pub fn total_tasks_recovered(&self) -> u64 {
+        self.nodes.iter().map(|n| n.tasks_recovered).sum()
+    }
+
+    /// Manager RPC retries, cluster-wide.
+    pub fn total_rpc_retries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.rpc_retries).sum()
+    }
+
+    /// Dropped-and-resent data messages, cluster-wide.
+    pub fn total_retransmits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.retransmits).sum()
     }
 
     /// Largest peak memory across nodes.

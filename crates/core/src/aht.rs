@@ -22,10 +22,12 @@
 
 use crate::agg::Aggregate;
 use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
+use crate::asl::reinsert_sorted;
 use crate::cell::{Cell, CellBuf, CellSink};
 use crate::error::AlgoError;
 use crate::query::IcebergQuery;
-use icecube_cluster::{run_demand_steps, ClusterConfig, SimCluster};
+use crate::recover::TaskGuard;
+use icecube_cluster::{run_demand_steps_healing, ClusterConfig, SimCluster, StepEvent};
 use icecube_data::Relation;
 use icecube_lattice::{CuboidMask, Lattice};
 use std::rc::Rc;
@@ -327,7 +329,30 @@ pub fn run_aht(
     let affinity = opts.affinity;
     let target_buckets = rel.len();
 
-    run_demand_steps(&mut cluster, |cluster, node_id| {
+    // Self-healing bookkeeping (same scheme as ASL): the cuboid each node
+    // is building or collapsing, its pre-task checkpoint, and the cuboids
+    // reclaimed from crashed workers (to credit the eventual survivor).
+    let mut inflight: Vec<Option<CuboidMask>> = vec![None; n];
+    let mut guards: Vec<Option<TaskGuard>> = vec![None; n];
+    let mut requeued: Vec<CuboidMask> = Vec::new();
+
+    run_demand_steps_healing(&mut cluster, |cluster, node_id, event| {
+        if event == StepEvent::Lost {
+            // The dead worker's hash tables are unreachable; the cuboid
+            // goes back into the sorted pool and a survivor rebuilds it
+            // (re-establishing affinity from scratch if need be).
+            let Some(task) = inflight[node_id].take() else {
+                return false;
+            };
+            if let Some(guard) = guards[node_id].take() {
+                guard.rollback(&mut cluster.nodes[node_id], &mut sinks[node_id]);
+            }
+            reinsert_sorted(&mut remaining, task);
+            if !requeued.contains(&task) {
+                requeued.push(task);
+            }
+            return true;
+        }
         if remaining.is_empty() {
             return false;
         }
@@ -346,11 +371,19 @@ pub fn run_aht(
                 }
             }
         }
+        let (task, affine) = match choice {
+            Some((pos, from_prev)) => (remaining.remove(pos), Some(from_prev)),
+            None => (remaining.remove(0), None),
+        };
+        inflight[node_id] = Some(task);
+        guards[node_id] = Some(TaskGuard::checkpoint(
+            &cluster.nodes[node_id],
+            &sinks[node_id],
+        ));
         let node = &mut cluster.nodes[node_id];
         node.charge_task_overhead();
-        let built = match choice {
-            Some((pos, from_prev)) => {
-                let task = remaining.remove(pos);
+        let built = match affine {
+            Some(from_prev) => {
                 let held = if from_prev {
                     w.prev.as_ref()
                 } else {
@@ -366,7 +399,6 @@ pub fn run_aht(
                 table
             }
             None => {
-                let task = remaining.remove(0);
                 let cards: Vec<u32> = task
                     .dims()
                     .iter()
@@ -416,8 +448,19 @@ pub fn run_aht(
             w.first = Some(Rc::clone(&rc));
         }
         w.prev = Some(rc);
+        if !cluster.nodes[node_id].is_dead() {
+            inflight[node_id] = None;
+            guards[node_id] = None;
+            if let Some(pos) = requeued.iter().position(|&t| t == task) {
+                requeued.remove(pos);
+                cluster.nodes[node_id].stats.tasks_recovered += 1;
+            }
+        }
         true
     });
+    if !remaining.is_empty() || inflight.iter().any(Option::is_some) {
+        return Err(AlgoError::ClusterExhausted { nodes: n });
+    }
     Ok(finish(Algorithm::Aht, &cluster, sinks))
 }
 
@@ -532,6 +575,33 @@ mod tests {
             out.cells,
             "AHT without affinity",
         );
+    }
+
+    #[test]
+    fn a_crash_requeues_cuboids_and_the_cube_stays_exact() {
+        use icecube_cluster::FaultPlan;
+        let rel = presets::tiny(8).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let quiet = run_aht(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(3),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        // Kill a worker mid-run: its hash tables (and any in-flight
+        // cuboid) are lost; survivors rebuild and finish the lattice.
+        let cfg = ClusterConfig::fast_ethernet(3)
+            .with_faults(FaultPlan::none().crash(0, quiet.stats.makespan_ns() / 4));
+        let out = run_aht(&rel, &q, &cfg, &RunOptions::default()).unwrap();
+        assert_same_cells(
+            naive_iceberg_cube(&rel, &q),
+            out.cells,
+            "AHT with a mid-run crash",
+        );
+        assert_eq!(out.stats.total_crashes(), 1);
+        assert!(out.stats.total_tasks_lost() >= 1, "{:?}", out.stats);
+        assert!(out.stats.total_tasks_recovered() >= 1, "{:?}", out.stats);
     }
 
     #[test]

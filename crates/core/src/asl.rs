@@ -36,11 +36,22 @@ use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutco
 use crate::cell::{Cell, CellBuf, CellSink};
 use crate::error::AlgoError;
 use crate::query::IcebergQuery;
-use icecube_cluster::{run_demand_steps, ClusterConfig, SimCluster, SimNode};
+use crate::recover::TaskGuard;
+use icecube_cluster::{run_demand_steps_healing, ClusterConfig, SimCluster, SimNode, StepEvent};
 use icecube_data::Relation;
 use icecube_lattice::{CuboidMask, Lattice};
 use icecube_skiplist::SkipList;
 use std::rc::Rc;
+
+/// Reinserts a reclaimed cuboid into `remaining`, preserving the
+/// descending-dimension-count (then ascending-mask) order the affinity
+/// passes rely on.
+pub(crate) fn reinsert_sorted(remaining: &mut Vec<CuboidMask>, task: CuboidMask) {
+    let pos = remaining.partition_point(|c| {
+        c.dim_count() > task.dim_count() || (c.dim_count() == task.dim_count() && *c < task)
+    });
+    remaining.insert(pos, task);
+}
 
 /// A materialized cuboid: its identity plus the skip list of *all* its
 /// cells (unfiltered — sub-threshold cells feed later tasks).
@@ -169,7 +180,31 @@ pub fn run_asl(
     let affinity = opts.affinity;
     let longest_prefix = opts.asl_longest_prefix;
 
-    run_demand_steps(&mut cluster, |cluster, node_id| {
+    // Self-healing bookkeeping: which cuboid each node is computing (set
+    // for the duration of one Assign step), its pre-task checkpoint, and
+    // the cuboids reclaimed from crashed workers (to credit the survivor
+    // that eventually completes them).
+    let mut inflight: Vec<Option<CuboidMask>> = vec![None; n];
+    let mut guards: Vec<Option<TaskGuard>> = vec![None; n];
+    let mut requeued: Vec<CuboidMask> = Vec::new();
+
+    run_demand_steps_healing(&mut cluster, |cluster, node_id, event| {
+        if event == StepEvent::Lost {
+            // The node died mid-task: discard its partial output and put
+            // the cuboid back for the survivors. Its skip lists died with
+            // it, so an eventual re-run rebuilds affinity from scratch.
+            let Some(task) = inflight[node_id].take() else {
+                return false;
+            };
+            if let Some(guard) = guards[node_id].take() {
+                guard.rollback(&mut cluster.nodes[node_id], &mut sinks[node_id]);
+            }
+            reinsert_sorted(&mut remaining, task);
+            if !requeued.contains(&task) {
+                requeued.push(task);
+            }
+            return true;
+        }
         let w = &mut workers[node_id];
         let prev_c = w.prev.as_ref().map(|l| l.cuboid);
         let first_c = w.first.as_ref().map(|l| l.cuboid);
@@ -178,6 +213,11 @@ pub fn run_asl(
         else {
             return false;
         };
+        inflight[node_id] = Some(task);
+        guards[node_id] = Some(TaskGuard::checkpoint(
+            &cluster.nodes[node_id],
+            &sinks[node_id],
+        ));
         let node = &mut cluster.nodes[node_id];
         node.charge_task_overhead();
         let list_seed = seed ^ ((node_id as u64) << 32) ^ task.bits() as u64;
@@ -207,8 +247,19 @@ pub fn run_asl(
                 w.install(node, built);
             }
         }
+        if !cluster.nodes[node_id].is_dead() {
+            inflight[node_id] = None;
+            guards[node_id] = None;
+            if let Some(pos) = requeued.iter().position(|&t| t == task) {
+                requeued.remove(pos);
+                cluster.nodes[node_id].stats.tasks_recovered += 1;
+            }
+        }
         true
     });
+    if !remaining.is_empty() || inflight.iter().any(Option::is_some) {
+        return Err(AlgoError::ClusterExhausted { nodes: n });
+    }
     Ok(finish(Algorithm::Asl, &cluster, sinks))
 }
 
@@ -459,6 +510,33 @@ mod tests {
             out.cells,
             "ASL with longest-prefix scheduling",
         );
+    }
+
+    #[test]
+    fn a_crash_requeues_cuboids_and_the_cube_stays_exact() {
+        use icecube_cluster::FaultPlan;
+        let rel = presets::tiny(9).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let quiet = run_asl(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(3),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        // Kill a worker mid-run: its skip lists (and any in-flight cuboid)
+        // are lost; survivors rebuild affinity and finish the lattice.
+        let cfg = ClusterConfig::fast_ethernet(3)
+            .with_faults(FaultPlan::none().crash(1, quiet.stats.makespan_ns() / 4));
+        let out = run_asl(&rel, &q, &cfg, &RunOptions::default()).unwrap();
+        assert_same_cells(
+            naive_iceberg_cube(&rel, &q),
+            out.cells,
+            "ASL with a mid-run crash",
+        );
+        assert_eq!(out.stats.total_crashes(), 1);
+        assert!(out.stats.total_tasks_lost() >= 1, "{:?}", out.stats);
+        assert!(out.stats.total_tasks_recovered() >= 1, "{:?}", out.stats);
     }
 
     #[test]

@@ -49,6 +49,14 @@ pub enum AlgoError {
         /// The offending dimension.
         dim: usize,
     },
+    /// Every node crashed before the cube finished. The self-healing
+    /// scheduler reassigns lost tasks as long as one worker survives;
+    /// seeded fault plans guarantee a survivor, so this surfaces only
+    /// under hand-built total-loss plans.
+    ClusterExhausted {
+        /// Nodes the run started with.
+        nodes: usize,
+    },
     /// Underlying data error.
     Data(icecube_data::DataError),
 }
@@ -82,6 +90,9 @@ impl fmt::Display for AlgoError {
             }
             AlgoError::DimensionAlreadyInGroupBy { dim } => {
                 write!(f, "dimension {dim} already belongs to the group-by")
+            }
+            AlgoError::ClusterExhausted { nodes } => {
+                write!(f, "all {nodes} nodes crashed before the cube completed")
             }
             AlgoError::Data(e) => write!(f, "data error: {e}"),
         }

@@ -42,6 +42,7 @@ pub mod pipesort;
 pub mod pt;
 pub mod query;
 pub mod recipe;
+pub mod recover;
 pub mod rp;
 pub mod sequential;
 pub mod store;
@@ -52,9 +53,10 @@ pub use agg::{AggClass, Aggregate};
 pub use algorithms::{
     run_parallel, run_parallel_with, AlgoFeatures, Algorithm, RunOptions, RunOutcome,
 };
-pub use cell::{Cell, CellBuf, CellSink};
+pub use cell::{Cell, CellBuf, CellMark, CellSink};
 pub use error::AlgoError;
 pub use query::IcebergQuery;
 pub use recipe::{recommend, Choice, CubeProfile};
+pub use recover::TaskGuard;
 pub use sequential::{run_sequential, SeqAlgorithm, SeqOutcome};
 pub use store::CubeStore;

@@ -21,7 +21,8 @@ use crate::cell::CellBuf;
 use crate::error::AlgoError;
 use crate::partition::{full_index, Group, Partitioner};
 use crate::query::IcebergQuery;
-use icecube_cluster::{run_demand_steps, ClusterConfig, SimCluster, SimNode};
+use crate::recover::TaskGuard;
+use icecube_cluster::{run_demand_steps_healing, ClusterConfig, SimCluster, SimNode, StepEvent};
 use icecube_data::Relation;
 use icecube_lattice::{divide_tasks, TreeTask};
 
@@ -145,10 +146,39 @@ pub fn run_pt(
     let minsup = query.minsup;
     let affinity = opts.affinity;
 
-    run_demand_steps(&mut cluster, |cluster, node_id| {
+    // Self-healing bookkeeping (see `crate::recover`): in-flight task and
+    // pre-task checkpoint per node, plus the reclaimed tasks whose
+    // eventual completion counts as a recovery.
+    let mut inflight: Vec<Option<TreeTask>> = vec![None; n];
+    let mut guards: Vec<Option<TaskGuard>> = vec![None; n];
+    let mut requeued: Vec<TreeTask> = Vec::new();
+
+    run_demand_steps_healing(&mut cluster, |cluster, node_id, event| {
+        if event == StepEvent::Lost {
+            // Reclaim the dead worker's subtree, keeping `remaining`
+            // sorted largest-first as divide_tasks produced it. Its sort
+            // cache died with it.
+            let Some(task) = inflight[node_id].take() else {
+                return false;
+            };
+            if let Some(guard) = guards[node_id].take() {
+                guard.rollback(&mut cluster.nodes[node_id], &mut sinks[node_id]);
+            }
+            let pos = remaining.partition_point(|t| t.size() >= task.size());
+            remaining.insert(pos, task);
+            if !requeued.contains(&task) {
+                requeued.push(task);
+            }
+            return true;
+        }
         let Some(task) = pick_task(&mut remaining, prev_roots[node_id].as_deref(), affinity) else {
             return false;
         };
+        inflight[node_id] = Some(task);
+        guards[node_id] = Some(TaskGuard::checkpoint(
+            &cluster.nodes[node_id],
+            &sinks[node_id],
+        ));
         let node = &mut cluster.nodes[node_id];
         node.charge_task_overhead();
         let root_dims = task.root.dims();
@@ -165,8 +195,19 @@ pub fn run_pt(
             &mut sinks[node_id],
         );
         prev_roots[node_id] = Some(root_dims);
+        if !cluster.nodes[node_id].is_dead() {
+            inflight[node_id] = None;
+            guards[node_id] = None;
+            if let Some(pos) = requeued.iter().position(|t| *t == task) {
+                requeued.remove(pos);
+                cluster.nodes[node_id].stats.tasks_recovered += 1;
+            }
+        }
         true
     });
+    if !remaining.is_empty() || inflight.iter().any(Option::is_some) {
+        return Err(AlgoError::ClusterExhausted { nodes: n });
+    }
     Ok(finish(Algorithm::Pt, &cluster, sinks))
 }
 
@@ -297,6 +338,33 @@ mod tests {
         .unwrap();
         assert!(fine.stats.imbalance() <= coarse.stats.imbalance() + 0.25);
         assert_same_cells(coarse.cells, fine.cells, "ratio must not change output");
+    }
+
+    #[test]
+    fn a_crash_requeues_subtrees_and_the_cube_stays_exact() {
+        use icecube_cluster::FaultPlan;
+        let rel = presets::tiny(6).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let quiet = run_pt(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(3),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        // Kill a worker mid-run: its sort cache and in-flight subtree are
+        // lost; survivors re-sort and finish the division exactly.
+        let cfg = ClusterConfig::fast_ethernet(3)
+            .with_faults(FaultPlan::none().crash(2, quiet.stats.makespan_ns() / 3));
+        let out = run_pt(&rel, &q, &cfg, &RunOptions::default()).unwrap();
+        assert_same_cells(
+            naive_iceberg_cube(&rel, &q),
+            out.cells,
+            "PT with a mid-run crash",
+        );
+        assert_eq!(out.stats.total_crashes(), 1);
+        assert!(out.stats.total_tasks_lost() >= 1, "{:?}", out.stats);
+        assert!(out.stats.total_tasks_recovered() >= 1, "{:?}", out.stats);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Task-level crash recovery: checkpoint and rollback.
+//!
+//! The self-healing scheduler re-runs a lost task on a surviving node.
+//! For the final cube to be *bit-identical* to a fault-free run, the
+//! victim's partial output must vanish first — both the cells it pushed
+//! into its sink and the matching `cells_written` / `bytes_written`
+//! counters (the invariant `sum(sink.count) == stats.total_cells()` must
+//! survive every crash). A [`TaskGuard`] captures both before a task
+//! starts and restores them if the node dies mid-task.
+//!
+//! Time is deliberately *not* rolled back: the virtual nanoseconds the
+//! doomed attempt burned really passed — that cost is exactly what the
+//! fault experiments measure.
+
+use crate::cell::{CellBuf, CellMark};
+use icecube_cluster::SimNode;
+
+/// A pre-task checkpoint of one node's output state.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskGuard {
+    mark: CellMark,
+    cells_written: u64,
+    bytes_written: u64,
+}
+
+impl TaskGuard {
+    /// Captures the node's output position before a task starts.
+    pub fn checkpoint(node: &SimNode, sink: &CellBuf) -> Self {
+        TaskGuard {
+            mark: sink.mark(),
+            cells_written: node.stats.cells_written,
+            bytes_written: node.stats.bytes_written,
+        }
+    }
+
+    /// Discards everything the task emitted since the checkpoint: the
+    /// sink's cells and the node's output counters, keeping them in
+    /// lockstep. Call when the node died mid-task, before the task is
+    /// reassigned.
+    pub fn rollback(&self, node: &mut SimNode, sink: &mut CellBuf) {
+        sink.truncate(&self.mark);
+        node.stats.cells_written = self.cells_written;
+        node.stats.bytes_written = self.bytes_written;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellSink;
+    use icecube_cluster::{ClusterConfig, FaultPlan, SimCluster};
+    use icecube_lattice::CuboidMask;
+
+    #[test]
+    fn rollback_erases_a_partial_task() {
+        let mut c = SimCluster::new(ClusterConfig::fast_ethernet(1));
+        let mut sink = CellBuf::collecting();
+        let node = &mut c.nodes[0];
+        let agg = crate::agg::Aggregate::of(1);
+        sink.emit(CuboidMask::from_dims(&[0]), &[1], &agg);
+        node.write_cells(1, 20, 1);
+        let durable_cells = node.stats.cells_written;
+
+        let guard = TaskGuard::checkpoint(node, &sink);
+        sink.emit(CuboidMask::from_dims(&[1]), &[2], &agg);
+        sink.emit(CuboidMask::from_dims(&[1]), &[3], &agg);
+        node.write_cells(2, 40, 2);
+        guard.rollback(node, &mut sink);
+
+        assert_eq!(sink.count, 1);
+        assert_eq!(sink.cells.len(), 1);
+        assert_eq!(node.stats.cells_written, durable_cells);
+        assert_eq!(sink.count, node.stats.cells_written);
+    }
+
+    #[test]
+    fn rollback_matches_what_a_crashed_write_recorded() {
+        // A node that dies mid-task: write_cells stops counting at the
+        // crash, and rollback clears whatever was counted before it.
+        let config =
+            ClusterConfig::fast_ethernet(1).with_faults(FaultPlan::none().crash(0, 2_000_000));
+        let mut c = SimCluster::new(config);
+        let mut sink = CellBuf::counting();
+        let agg = crate::agg::Aggregate::of(1);
+        let guard = TaskGuard::checkpoint(&c.nodes[0], &sink);
+        for i in 0..100 {
+            sink.emit(CuboidMask::from_dims(&[0]), &[i], &agg);
+            c.nodes[0].write_cells(1, 20_000, 1);
+            if c.nodes[0].is_dead() {
+                guard.rollback(&mut c.nodes[0], &mut sink);
+                break;
+            }
+        }
+        assert!(c.nodes[0].is_dead());
+        assert_eq!(sink.count, c.nodes[0].stats.cells_written);
+        assert_eq!(sink.count, 0);
+    }
+}

@@ -16,11 +16,18 @@ use crate::buc::buc_depth_first;
 use crate::cell::CellBuf;
 use crate::error::AlgoError;
 use crate::query::IcebergQuery;
+use crate::recover::TaskGuard;
 use icecube_cluster::{ClusterConfig, SimCluster};
 use icecube_data::Relation;
 use icecube_lattice::{CuboidMask, TreeTask};
 
 /// Runs RP over a simulated cluster.
+///
+/// RP's assignment is static, so self-healing is a sweep afterwards: any
+/// subtree whose processor crashed (before or during the work, partial
+/// output rolled back) is re-run on the least-loaded survivor once the
+/// manager's detection timeout has passed. The data is replicated, so
+/// survivors can always re-read it locally.
 pub fn run_rp(
     rel: &Relation,
     query: &IcebergQuery,
@@ -29,6 +36,7 @@ pub fn run_rp(
 ) -> Result<RunOutcome, AlgoError> {
     let mut cluster = SimCluster::new(config.clone());
     let n = cluster.len();
+    let detect = cluster.config.faults.policy.detect_timeout_ns;
     load_replicated(&mut cluster, rel);
     let d = query.dims;
     let mut sinks: Vec<CellBuf> = (0..n)
@@ -40,14 +48,54 @@ pub fn run_rp(
             }
         })
         .collect();
+    // Tasks lost to crashes, with the time the manager detects each loss.
+    let mut recovery: Vec<(TreeTask, u64)> = Vec::new();
     // Static round-robin assignment: subtree rooted at dimension i goes to
     // processor i mod n. With more processors than dimensions, some idle.
     for i in 0..d {
         let node_id = i % n;
         let task = TreeTask::full_subtree(CuboidMask::from_dims(&[i]), d);
+        if cluster.nodes[node_id].is_dead() {
+            cluster.nodes[node_id].stats.tasks_lost += 1;
+            recovery.push((task, cluster.nodes[node_id].clock_ns() + detect));
+            continue;
+        }
+        let guard = TaskGuard::checkpoint(&cluster.nodes[node_id], &sinks[node_id]);
         let node = &mut cluster.nodes[node_id];
         node.charge_task_overhead();
         buc_depth_first(rel, query.minsup, task, node, &mut sinks[node_id]);
+        if cluster.nodes[node_id].is_dead() {
+            guard.rollback(&mut cluster.nodes[node_id], &mut sinks[node_id]);
+            cluster.nodes[node_id].stats.tasks_lost += 1;
+            recovery.push((task, cluster.nodes[node_id].clock_ns() + detect));
+        }
+    }
+    // Recovery sweep: FIFO over lost subtrees, each to the survivor with
+    // the smallest clock (the one a demand manager would pick).
+    let mut next = 0;
+    while next < recovery.len() {
+        let (task, available_at) = recovery[next];
+        next += 1;
+        let Some(survivor) = cluster.min_clock_live() else {
+            return Err(AlgoError::ClusterExhausted { nodes: n });
+        };
+        cluster.nodes[survivor].wait_until(available_at);
+        if cluster.nodes[survivor].is_dead() {
+            // Died waiting for the handoff; nothing started, try again.
+            recovery.push((task, available_at));
+            continue;
+        }
+        let guard = TaskGuard::checkpoint(&cluster.nodes[survivor], &sinks[survivor]);
+        let node = &mut cluster.nodes[survivor];
+        node.charge_task_overhead();
+        buc_depth_first(rel, query.minsup, task, node, &mut sinks[survivor]);
+        if cluster.nodes[survivor].is_dead() {
+            guard.rollback(&mut cluster.nodes[survivor], &mut sinks[survivor]);
+            cluster.nodes[survivor].stats.tasks_lost += 1;
+            recovery.push((task, cluster.nodes[survivor].clock_ns() + detect));
+        } else {
+            cluster.nodes[survivor].stats.tasks_recovered += 1;
+        }
     }
     // The run ends when the slowest processor finishes.
     let end = cluster.makespan_ns();
@@ -129,6 +177,49 @@ mod tests {
         assert_eq!(idle_nodes, 5);
         let want = naive_iceberg_cube(&rel, &q);
         assert_same_cells(want, out.cells, "RP with idle processors");
+    }
+
+    #[test]
+    fn a_crash_is_healed_and_the_cube_stays_exact() {
+        use icecube_cluster::FaultPlan;
+        let rel = presets::tiny(11).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let quiet = run_rp(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(3),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        // Kill node 0 (the most loaded: subtrees A and D) mid-run.
+        let cfg = ClusterConfig::fast_ethernet(3)
+            .with_faults(FaultPlan::none().crash(0, quiet.stats.makespan_ns() / 4));
+        let out = run_rp(&rel, &q, &cfg, &RunOptions::default()).unwrap();
+        assert_same_cells(
+            naive_iceberg_cube(&rel, &q),
+            out.cells,
+            "RP with a mid-run crash",
+        );
+        assert_eq!(out.stats.total_crashes(), 1);
+        assert!(out.stats.total_tasks_lost() >= 1, "{:?}", out.stats);
+        assert_eq!(
+            out.stats.total_tasks_recovered(),
+            out.stats.total_tasks_lost()
+        );
+        assert!(out.stats.makespan_ns() > quiet.stats.makespan_ns());
+    }
+
+    #[test]
+    fn losing_every_node_is_a_typed_error() {
+        use icecube_cluster::FaultPlan;
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 1);
+        let cfg = ClusterConfig::fast_ethernet(2)
+            .with_faults(FaultPlan::none().crash(0, 1_000).crash(1, 1_000));
+        match run_rp(&rel, &q, &cfg, &RunOptions::default()) {
+            Err(AlgoError::ClusterExhausted { nodes: 2 }) => {}
+            other => panic!("expected ClusterExhausted, got {other:?}"),
+        }
     }
 
     #[test]

@@ -24,9 +24,17 @@ use crate::shard::ShardedCube;
 use crate::sync::mpsc::{self, Receiver, Sender};
 use crate::sync::{thread, Arc, Instant, Mutex};
 
-/// One queued request plus everything needed to answer and account it.
+/// What a dequeued job asks of the worker: answer a request, or die.
+enum Work {
+    Serve(Request),
+    /// Injected worker death (see [`ClientHandle::kill_worker`]): the
+    /// worker that dequeues this exits cleanly without answering.
+    Crash,
+}
+
+/// One queued job plus everything needed to answer and account it.
 struct Job {
-    req: Request,
+    work: Work,
     enqueued: Instant,
     reply: Sender<Response>,
 }
@@ -64,7 +72,7 @@ impl CubeServer {
             let rx = Arc::clone(&rx);
             let spawned = thread::Builder::new()
                 .name(format!("icecube-serve-{i}"))
-                .spawn(move || worker_loop(&cube, &metrics, &rx));
+                .spawn(move || worker_loop(&cube, &metrics, rx));
             match spawned {
                 Ok(handle) => pool.push(handle),
                 Err(e) => {
@@ -145,12 +153,34 @@ impl ClientHandle {
     pub fn submit(&self, req: Request) -> Result<Receiver<Response>, ServeError> {
         let (reply, answer) = mpsc::channel();
         let job = Job {
-            req,
+            work: Work::Serve(req),
             enqueued: Instant::now(),
             reply,
         };
         match self.tx.send(job) {
             Ok(()) => Ok(answer),
+            Err(_) => Err(ServeError::ShutDown),
+        }
+    }
+
+    /// Injects a worker death: the worker that dequeues this job exits
+    /// cleanly without answering, so its reply sender drops and `recv` on
+    /// the returned channel erroring confirms the death. A chaos hook for
+    /// tests and the `icecube-check` concurrency scenarios. Surviving
+    /// workers keep serving; once every worker is gone, later submissions
+    /// fail with [`ServeError::ShutDown`] instead of hanging.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] when no worker is left to kill.
+    pub fn kill_worker(&self) -> Result<Receiver<Response>, ServeError> {
+        let (reply, observer) = mpsc::channel();
+        let job = Job {
+            work: Work::Crash,
+            enqueued: Instant::now(),
+            reply,
+        };
+        match self.tx.send(job) {
+            Ok(()) => Ok(observer),
             Err(_) => Err(ServeError::ShutDown),
         }
     }
@@ -165,7 +195,7 @@ impl ClientHandle {
     }
 }
 
-fn worker_loop(cube: &ShardedCube, metrics: &Metrics, rx: &Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(cube: &ShardedCube, metrics: &Metrics, rx: Arc<Mutex<Receiver<Job>>>) {
     loop {
         // Hold the lock only for the dequeue, never while answering. A
         // poisoned lock means a sibling worker panicked mid-dequeue; the
@@ -178,14 +208,30 @@ fn worker_loop(cube: &ShardedCube, metrics: &Metrics, rx: &Arc<Mutex<Receiver<Jo
             Ok(job) => job,
             Err(_) => return, // every sender dropped: shutdown
         };
-        let leaves = job.req.leaf_count() as u64;
-        let resp = execute(cube, metrics, &job.req);
-        let ns = job.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let Job {
+            work,
+            enqueued,
+            reply,
+        } = job;
+        let req = match work {
+            Work::Serve(req) => req,
+            Work::Crash => {
+                // Release our share of the queue *before* the reply
+                // sender drops: a client observing the last worker's
+                // death must find the queue already disconnected, never
+                // a receiver-less queue that accepts jobs forever.
+                drop(rx);
+                return;
+            }
+        };
+        let leaves = req.leaf_count() as u64;
+        let resp = execute(cube, metrics, &req);
+        let ns = enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         for _ in 0..leaves.max(1) {
             metrics.latency.record(ns);
         }
         // The client may have given up waiting; that is not a server error.
-        let _ = job.reply.send(resp);
+        let _ = reply.send(resp);
     }
 }
 
@@ -449,6 +495,47 @@ mod tests {
         srv.shutdown();
         assert_eq!(srv.worker_count(), 0);
         assert!(matches!(srv.handle(), Err(ServeError::ShutDown)));
+    }
+
+    #[test]
+    fn a_dead_worker_leaves_survivors_serving() {
+        let srv = server(2, 2);
+        let h = srv.handle().expect("running");
+        let observer = h.kill_worker().expect("running");
+        assert!(
+            observer.recv().is_err(),
+            "the killed worker must exit without answering"
+        );
+        // The survivor still answers correctly.
+        match h
+            .call(Request::Point {
+                cuboid: CuboidMask::from_dims(&[0]),
+                key: vec![0],
+            })
+            .expect("survivor serves")
+        {
+            Response::Point(Some(agg)) => assert!(agg.count > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(srv.stats().requests, 1, "deaths are not requests");
+    }
+
+    #[test]
+    fn killing_every_worker_turns_calls_into_shutdown_errors() {
+        let srv = server(1, 1);
+        let h = srv.handle().expect("running");
+        let observer = h.kill_worker().expect("running");
+        assert!(observer.recv().is_err(), "sole worker exited");
+        // The queue disconnected with the last worker: a typed error,
+        // never a hang or a panic.
+        match h.call(Request::Point {
+            cuboid: CuboidMask::from_dims(&[0]),
+            key: vec![0],
+        }) {
+            Err(ServeError::ShutDown) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(h.kill_worker(), Err(ServeError::ShutDown)));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Seeded chaos suite: fault injection must never change the cube.
+//!
+//! Every algorithm runs under a battery of seeded fault plans — crashes,
+//! transient slowdowns, dropped and delayed messages — and the surviving
+//! cube is compared bit-for-bit against the fault-free naive reference.
+//! A companion regression pins determinism: the same fault seed must
+//! reproduce the same schedule, counters and CSV bytes every time.
+
+use icecube::cluster::{ClusterConfig, FaultPlan};
+use icecube::core::naive::naive_iceberg_cube;
+use icecube::core::verify::assert_same_cells;
+use icecube::core::{run_parallel, Algorithm, IcebergQuery};
+use icecube::data::presets;
+
+const ALGS: [Algorithm; 5] = [
+    Algorithm::Rp,
+    Algorithm::Bpp,
+    Algorithm::Asl,
+    Algorithm::Pt,
+    Algorithm::Aht,
+];
+
+/// Eight chaos seeds; each yields a different pattern of crashes,
+/// slowdowns and message faults.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+const NODES: usize = 4;
+
+#[test]
+fn chaos_cubes_equal_the_fault_free_reference() {
+    let rel = presets::tiny(3).generate().unwrap();
+    let q = IcebergQuery::count_cube(rel.arity(), 2);
+    let want = naive_iceberg_cube(&rel, &q);
+    let mut crashes = 0u64;
+    let mut lost = 0u64;
+    let mut recovered = 0u64;
+    let mut net_faults = 0u64;
+    let mut slowdown_ns = 0u64;
+    for alg in ALGS {
+        let quiet = run_parallel(alg, &rel, &q, &ClusterConfig::fast_ethernet(NODES)).unwrap();
+        let horizon = quiet.stats.makespan_ns();
+        for seed in SEEDS {
+            let plan = FaultPlan::seeded_severity(seed, NODES, horizon, 200);
+            let cfg = ClusterConfig::fast_ethernet(NODES).with_faults(plan);
+            let out = run_parallel(alg, &rel, &q, &cfg)
+                .unwrap_or_else(|e| panic!("{alg} seed {seed}: {e}"));
+            assert_same_cells(
+                want.clone(),
+                out.cells,
+                &format!("{alg} under fault seed {seed}"),
+            );
+            crashes += out.stats.total_crashes();
+            lost += out.stats.total_tasks_lost();
+            recovered += out.stats.total_tasks_recovered();
+            net_faults += out.stats.total_retransmits() + out.stats.total_rpc_retries();
+            slowdown_ns += out.stats.nodes().iter().map(|s| s.slowdown_ns).sum::<u64>();
+        }
+    }
+    // Non-vacuity: the battery actually exercised every fault class.
+    assert!(crashes > 0, "no crashes fired across {} runs", 5 * 8);
+    assert!(lost > 0, "no task was ever lost mid-run");
+    assert!(recovered > 0, "no task was ever recovered");
+    assert!(net_faults > 0, "no message was ever dropped");
+    assert!(slowdown_ns > 0, "no slowdown window ever applied");
+}
+
+#[test]
+fn same_fault_seed_reproduces_the_run_exactly() {
+    let rel = presets::tiny(7).generate().unwrap();
+    let q = IcebergQuery::count_cube(rel.arity(), 2);
+    for alg in ALGS {
+        let run = || {
+            let plan = FaultPlan::seeded_severity(0xc4a05, NODES, 4_000_000, 200);
+            let cfg = ClusterConfig::fast_ethernet(NODES).with_faults(plan);
+            run_parallel(alg, &rel, &q, &cfg).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cells, b.cells, "{alg} cells");
+        assert_eq!(a.stats, b.stats, "{alg} stats and recovery counters");
+        assert_eq!(a.stats.makespan_ns(), b.stats.makespan_ns(), "{alg} time");
+        assert_eq!(
+            (
+                a.stats.total_crashes(),
+                a.stats.total_tasks_lost(),
+                a.stats.total_tasks_recovered(),
+            ),
+            (
+                b.stats.total_crashes(),
+                b.stats.total_tasks_lost(),
+                b.stats.total_tasks_recovered(),
+            ),
+            "{alg} recovery counters"
+        );
+    }
+}
+
+#[test]
+fn fault_experiment_csv_bytes_are_identical_across_runs() {
+    let ctx = |dir: &str| icecube_bench::Ctx {
+        scale: 0.01,
+        max_dims: 7,
+        out_dir: std::env::temp_dir().join(dir),
+    };
+    let save = |dir: &str| {
+        let ctx = ctx(dir);
+        let report = icecube_bench::experiments::run_by_id("fault", &ctx).expect("fault is known");
+        std::fs::create_dir_all(&ctx.out_dir).unwrap();
+        let path = report.save_csv(&ctx.out_dir).unwrap();
+        std::fs::read(path).unwrap()
+    };
+    let a = save("icecube-fault-csv-a");
+    let b = save("icecube-fault-csv-b");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "results/fault.csv must be byte-identical per seed");
+}
