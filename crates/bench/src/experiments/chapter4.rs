@@ -1,7 +1,7 @@
 //! Chapter 4: the five-algorithm evaluation (Figures 4.1–4.7).
 
 use super::measure;
-use crate::report::{f2, mb, secs, Report, Table};
+use crate::report::{f2, kb, mb, secs, Report, Table};
 use crate::Ctx;
 use icecube_core::recipe::{self, CubeProfile};
 use icecube_core::{Algorithm, RunOutcome};
@@ -166,6 +166,7 @@ pub fn fig4_4(ctx: &Ctx) -> Report {
         .collect();
     let mut headers = vec!["dims".to_string()];
     headers.extend(EVAL.iter().map(|a| format!("{a}_s")));
+    headers.extend(EVAL.iter().map(|a| format!("{a}_comm_kb")));
     let mut t = Table::new(headers);
     let top = *dims.last().expect("non-empty sweep");
     let mut at13: Vec<f64> = vec![0.0; EVAL.len()];
@@ -175,8 +176,12 @@ pub fn fig4_4(ctx: &Ctx) -> Report {
         spec.tuples = ctx.tuples(presets::BASELINE_TUPLES);
         let rel = spec.generate().expect("dims preset is valid");
         let mut row = vec![d.to_string()];
+        let mut comm = Vec::with_capacity(EVAL.len());
         for (i, &a) in EVAL.iter().enumerate() {
-            let out = measure(a, &rel, presets::BASELINE_MINSUP, 8);
+            // Traced run: the trace charges nothing, so the makespan is
+            // the untraced one, and the communication volume falls out of
+            // the recorded message events.
+            let out = super::measure_traced(a, &rel, presets::BASELINE_MINSUP, 8);
             let w = out.stats.makespan_ns() as f64 / 1e9;
             if d == top {
                 at13[i] = w;
@@ -185,7 +190,12 @@ pub fn fig4_4(ctx: &Ctx) -> Report {
                 at5[i] = w;
             }
             row.push(f2(w));
+            comm.push(kb(out
+                .trace
+                .as_ref()
+                .map_or(0, icecube_trace::TraceLog::comm_volume_bytes)));
         }
+        row.extend(comm);
         t.row(row);
     }
     let mut r = Report::new(

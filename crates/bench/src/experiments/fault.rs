@@ -60,14 +60,16 @@ pub fn fault(ctx: &Ctx) -> Report {
         let mut baseline_ns = 0u64;
         let mut baseline_cells = 0u64;
         for severity in SEVERITIES {
-            let plan = if severity == 0 {
-                FaultPlan::none()
+            let out = if severity == 0 {
+                // The shared quiet reference (also used by the chaos
+                // suite): fixes this algorithm's horizon and cell count.
+                super::fault_free_baseline(alg, &rel, &q, NODES, &RunOptions::counting())
             } else {
-                FaultPlan::seeded_severity(SEED, NODES, baseline_ns, severity)
+                let plan = FaultPlan::seeded_severity(SEED, NODES, baseline_ns, severity);
+                let cfg = ClusterConfig::fast_ethernet(NODES).with_faults(plan);
+                run_parallel_with(alg, &rel, &q, &cfg, &RunOptions::counting())
+                    .expect("seeded plans spare at least one node")
             };
-            let cfg = ClusterConfig::fast_ethernet(NODES).with_faults(plan);
-            let out = run_parallel_with(alg, &rel, &q, &cfg, &RunOptions::counting())
-                .expect("seeded plans spare at least one node");
             if severity == 0 {
                 baseline_ns = out.stats.makespan_ns();
                 baseline_cells = out.total_cells;

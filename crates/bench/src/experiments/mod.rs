@@ -7,6 +7,7 @@ pub mod chapter4;
 pub mod chapter5;
 pub mod fault;
 pub mod serve;
+pub mod trace;
 
 use crate::report::Report;
 use crate::Ctx;
@@ -32,6 +33,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "fig5_4",
         "serve",
         "fault",
+        "trace",
         "ablation_granularity",
         "ablation_affinity",
         "ablation_writing",
@@ -59,6 +61,7 @@ pub fn run_by_id(id: &str, ctx: &Ctx) -> Option<Report> {
         "fig5_4" => chapter5::fig5_4(ctx),
         "serve" => serve::serve(ctx),
         "fault" => fault::fault(ctx),
+        "trace" => trace::trace(ctx),
         "ablation_granularity" => ablations::granularity(ctx),
         "ablation_affinity" => ablations::affinity(ctx),
         "ablation_writing" => ablations::writing(ctx),
@@ -85,6 +88,38 @@ pub(crate) fn measure_opts(
     let q = IcebergQuery::count_cube(rel.arity(), minsup);
     run_parallel_with(alg, rel, &q, &ClusterConfig::fast_ethernet(nodes), opts)
         .expect("experiment configurations are valid")
+}
+
+/// Like [`measure`], but with the virtual-time trace collector attached:
+/// the returned outcome carries `trace: Some(..)` at identical virtual
+/// cost (tracing charges nothing), so timings stay comparable with the
+/// untraced experiments.
+pub(crate) fn measure_traced(
+    alg: Algorithm,
+    rel: &Relation,
+    minsup: u64,
+    nodes: usize,
+) -> RunOutcome {
+    let q = IcebergQuery::count_cube(rel.arity(), minsup);
+    let cfg = ClusterConfig::fast_ethernet(nodes).with_trace();
+    run_parallel_with(alg, rel, &q, &cfg, &RunOptions::counting())
+        .expect("experiment configurations are valid")
+}
+
+/// Runs `alg` once with **no faults** on an `n`-node fast-Ethernet
+/// cluster — the quiet reference both the `fault` experiment and the
+/// chaos regression suite measure faulted runs against: its makespan
+/// fixes the fault plan's virtual-time horizon, and its cells and counts
+/// are exactly what a healed run must reproduce.
+pub fn fault_free_baseline(
+    alg: Algorithm,
+    rel: &Relation,
+    query: &IcebergQuery,
+    nodes: usize,
+    opts: &RunOptions,
+) -> RunOutcome {
+    run_parallel_with(alg, rel, query, &ClusterConfig::fast_ethernet(nodes), opts)
+        .expect("fault-free baseline configurations are valid")
 }
 
 #[cfg(test)]

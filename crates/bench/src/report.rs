@@ -167,6 +167,12 @@ pub fn mb(bytes: u64) -> String {
     format!("{:.1}", bytes as f64 / 1e6)
 }
 
+/// Formats bytes as kilobytes with 1 decimal (control-message volumes
+/// are far below a megabyte).
+pub fn kb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1e3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

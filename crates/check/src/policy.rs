@@ -48,6 +48,12 @@ pub const POLICIES: &[CratePolicy] = &[
         may_spawn: false,
     },
     CratePolicy {
+        name: "trace",
+        no_panic: true,
+        deterministic: true,
+        may_spawn: false,
+    },
+    CratePolicy {
         name: "cluster",
         no_panic: false,
         deterministic: true,

@@ -93,6 +93,9 @@ impl NetModel {
         byte_ns: 27,
     };
 
+    /// Wire size of one control message (an RPC request or reply).
+    pub const RPC_MSG_BYTES: u64 = 64;
+
     /// Cost of moving `bytes` across the interconnect.
     pub fn transfer_ns(&self, bytes: u64) -> u64 {
         self.latency_ns + bytes * self.byte_ns
@@ -100,7 +103,7 @@ impl NetModel {
 
     /// Cost of a small control message (manager/worker RPC).
     pub fn rpc_ns(&self) -> u64 {
-        self.transfer_ns(64)
+        self.transfer_ns(Self::RPC_MSG_BYTES)
     }
 }
 
@@ -159,6 +162,12 @@ pub struct ClusterConfig {
     /// Fault schedule for the run; [`FaultPlan::none`] (the default from
     /// every preset) reproduces fault-free behaviour bit for bit.
     pub faults: crate::fault::FaultPlan,
+    /// When true, every node records a virtual-time event trace (task
+    /// spans, messages, faults, phases) into a per-node buffer, drained
+    /// via [`crate::SimCluster::take_trace`]. Tracing charges nothing and
+    /// changes no counter, so it never perturbs a run; presets default to
+    /// `false`, which skips recording entirely.
+    pub trace: bool,
 }
 
 impl ClusterConfig {
@@ -171,6 +180,7 @@ impl ClusterConfig {
             cpu: CpuCosts::PIII_500,
             seed: 0x1ceb_c0de,
             faults: crate::fault::FaultPlan::none(),
+            trace: false,
         }
     }
 
@@ -178,6 +188,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: crate::fault::FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables virtual-time event tracing (builder style).
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 

@@ -34,6 +34,7 @@ pub mod stats;
 
 pub use config::{ClusterConfig, CpuCosts, DiskModel, NetModel, NodeSpec};
 pub use fault::{Crash, FaultPlan, NetFate, NetFaults, RecoveryPolicy, Slowdown};
+pub use icecube_trace::{CostSnapshot, EventKind, TraceLog};
 pub use node::SimNode;
 pub use schedule::{run_demand, run_demand_steps, run_demand_steps_healing, StepEvent, TaskSource};
 pub use stats::{NodeStats, RunStats};
@@ -57,11 +58,46 @@ impl SimCluster {
             .enumerate()
             .map(|(id, spec)| {
                 let mut n = SimNode::new(id, *spec, config.disk, config.net, config.cpu);
+                if config.trace {
+                    // Attach before arming faults so an immediate crash
+                    // (scheduled at or before t=0) is still recorded.
+                    n.attach_trace();
+                }
                 n.set_faults(&config.faults);
                 n
             })
             .collect();
         SimCluster { nodes, config }
+    }
+
+    /// Drains every node's trace buffer into one [`TraceLog`] (index =
+    /// node id). `None` unless the config enabled tracing. Draining twice
+    /// yields an empty log the second time.
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        if !self.config.trace {
+            return None;
+        }
+        Some(TraceLog::from_buffers(
+            self.nodes
+                .iter_mut()
+                .map(SimNode::take_trace_buffer)
+                .collect(),
+        ))
+    }
+
+    /// Opens a named phase span on every node at its current clock.
+    pub fn phase_start(&mut self, name: &'static str) {
+        for n in &mut self.nodes {
+            n.phase_start(name);
+        }
+    }
+
+    /// Closes the named phase span on every node, capturing each node's
+    /// cumulative cost counters for per-phase delta reporting.
+    pub fn phase_end(&mut self, name: &'static str) {
+        for n in &mut self.nodes {
+            n.phase_end(name);
+        }
     }
 
     /// Number of nodes.
@@ -125,6 +161,9 @@ impl SimCluster {
                 return;
             }
             sender.stats.messages += 1;
+            // One send event per wire attempt: retransmits of a dropped
+            // message show up as repeated sends, which is what the wire saw.
+            sender.trace_event(icecube_trace::EventKind::MsgSend { to, bytes });
             match fate {
                 fault::NetFate::Drop => {
                     sender.stats.retransmits += 1;
@@ -139,15 +178,25 @@ impl SimCluster {
                     sender.stats.bytes_sent += bytes;
                     let arrival = self.nodes[from].clock_ns() + extra;
                     self.nodes[to].wait_until(arrival);
+                    self.record_recv(from, to, bytes);
                     return;
                 }
                 fault::NetFate::Deliver => {
                     sender.stats.bytes_sent += bytes;
                     let arrival = self.nodes[from].clock_ns();
                     self.nodes[to].wait_until(arrival);
+                    self.record_recv(from, to, bytes);
                     return;
                 }
             }
+        }
+    }
+
+    /// Stamps a receive event on a delivery's receiver — unless it died
+    /// waiting for the data, in which case nothing was received.
+    fn record_recv(&mut self, from: usize, to: usize, bytes: u64) {
+        if !self.nodes[to].is_dead() {
+            self.nodes[to].trace_event(icecube_trace::EventKind::MsgRecv { from, bytes });
         }
     }
 

@@ -3,6 +3,7 @@
 use crate::config::{CpuCosts, DiskModel, NetModel, NodeSpec};
 use crate::fault::{FaultPlan, Slowdown};
 use crate::stats::NodeStats;
+use icecube_trace::{CostSnapshot, EventKind, TraceBuffer};
 
 /// One simulated machine: a virtual clock plus the local disk state and
 /// accounting counters. All costs are charged explicitly by the algorithms
@@ -32,6 +33,9 @@ pub struct SimNode {
     slowdowns: Vec<Slowdown>,
     /// Set once the crash fires; dead nodes ignore all charges.
     dead: bool,
+    /// Virtual-time event buffer; `None` (the default) records nothing,
+    /// so untraced runs skip tracing entirely.
+    trace: Option<Box<TraceBuffer>>,
     /// Per-node statistics.
     pub stats: NodeStats,
 }
@@ -51,7 +55,56 @@ impl SimNode {
             crash_at: None,
             slowdowns: Vec::new(),
             dead: false,
+            trace: None,
             stats: NodeStats::default(),
+        }
+    }
+
+    /// Attaches an empty trace buffer; subsequent events are recorded.
+    pub(crate) fn attach_trace(&mut self) {
+        self.trace = Some(Box::default());
+    }
+
+    /// Detaches and returns the trace buffer (empty if none was attached).
+    pub(crate) fn take_trace_buffer(&mut self) -> TraceBuffer {
+        self.trace.take().map(|b| *b).unwrap_or_default()
+    }
+
+    /// Records `kind` at the node's current virtual clock. A no-op when no
+    /// trace buffer is attached — recording charges nothing and mutates no
+    /// counter, so traced and untraced runs are cost-identical.
+    #[inline]
+    pub fn trace_event(&mut self, kind: EventKind) {
+        if let Some(b) = &mut self.trace {
+            b.record(self.clock_ns, kind);
+        }
+    }
+
+    /// Opens a named phase span at the current clock.
+    pub fn phase_start(&mut self, name: &'static str) {
+        self.trace_event(EventKind::PhaseStart { name });
+    }
+
+    /// Closes the named phase span, capturing the node's cumulative cost
+    /// counters so exporters can compute per-phase deltas.
+    pub fn phase_end(&mut self, name: &'static str) {
+        let costs = self.cost_snapshot();
+        self.trace_event(EventKind::PhaseEnd { name, costs });
+    }
+
+    /// The node's cumulative cost counters as a trace snapshot.
+    pub fn cost_snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            cpu_ns: self.stats.cpu_ns,
+            disk_write_ns: self.stats.disk_write_ns,
+            disk_read_ns: self.stats.disk_read_ns,
+            net_ns: self.stats.net_ns,
+            idle_ns: self.stats.idle_ns,
+            bytes_sent: self.stats.bytes_sent,
+            bytes_read: self.stats.bytes_read,
+            messages: self.stats.messages,
+            tasks: self.stats.tasks,
+            cells_written: self.stats.cells_written,
         }
     }
 
@@ -78,8 +131,14 @@ impl SimNode {
     }
 
     fn die(&mut self) {
+        if self.dead {
+            return;
+        }
         self.dead = true;
         self.stats.crashed = 1;
+        // The clock is frozen at the crash instant, so this stamps the
+        // exact virtual time of death — and exactly once.
+        self.trace_event(EventKind::Crash);
     }
 
     /// Moves the clock forward by up to `t`, stopping (and dying) at the
@@ -215,6 +274,42 @@ impl SimNode {
         }
     }
 
+    /// Like [`SimNode::charge_task_overhead`], additionally opening a
+    /// trace span for lattice node `task`. The span is recorded iff the
+    /// task counter increments, so per-node `TaskStart` events always sum
+    /// to `stats.tasks`.
+    pub fn charge_task_overhead_for(&mut self, task: u64) {
+        self.charge_cpu(self.cpu.task_overhead_ns);
+        if !self.dead {
+            self.stats.tasks += 1;
+            self.trace_event(EventKind::TaskStart { task });
+        }
+    }
+
+    /// Notes a task lost to this node's crash: counter and trace event
+    /// move together, so `TaskLost` events always sum to
+    /// `stats.tasks_lost` (the event is stamped at the frozen crash clock).
+    pub fn note_task_lost(&mut self) {
+        self.stats.tasks_lost += 1;
+        self.trace_event(EventKind::TaskLost);
+    }
+
+    /// Notes a lost task recovered on this node (re-run or re-derived);
+    /// the pair moves together like [`SimNode::note_task_lost`].
+    pub fn note_task_recovered(&mut self) {
+        self.stats.tasks_recovered += 1;
+        self.trace_event(EventKind::TaskRecovered);
+    }
+
+    /// Closes the trace span for `task`, if this node is still alive to
+    /// have completed it (a crashed node's span stays open — the Gantt
+    /// view then shows the cut-short task running into the crash marker).
+    pub fn trace_task_end(&mut self, task: u64) {
+        if !self.dead {
+            self.trace_event(EventKind::TaskEnd { task });
+        }
+    }
+
     /// Writes `bytes` of cells to the output file identified by `file`
     /// (one file per cuboid, as the paper's implementations keep). A write
     /// to a different file than the previous one pays the switch penalty —
@@ -264,7 +359,10 @@ impl SimNode {
         self.stats.net_ns += actual;
     }
 
-    /// Charges one manager/worker RPC round trip (request + reply).
+    /// Charges one manager/worker RPC round trip (request + reply). The
+    /// trace event is recorded iff the message counter moves, so per-node
+    /// `Rpc` events always account for exactly `2 × count` of the
+    /// control messages in `stats.messages`.
     pub fn charge_rpc(&mut self) {
         if self.dead {
             return;
@@ -274,6 +372,9 @@ impl SimNode {
         self.stats.net_ns += actual;
         if !self.dead {
             self.stats.messages += 2;
+            self.trace_event(EventKind::Rpc {
+                bytes: 2 * NetModel::RPC_MSG_BYTES,
+            });
         }
     }
 

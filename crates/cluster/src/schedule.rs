@@ -161,11 +161,11 @@ where
                 // Crashed mid-task: roll it back into the pool, to be
                 // reassigned once the death is detected.
                 let death = cluster.nodes[node].clock_ns();
-                cluster.nodes[node].stats.tasks_lost += 1;
+                cluster.nodes[node].note_task_lost();
                 lost.push((task, death + detect));
             } else {
                 if recovered {
-                    cluster.nodes[node].stats.tasks_recovered += 1;
+                    cluster.nodes[node].note_task_recovered();
                 }
                 history[node].push(task.clone());
                 prev[node] = Some(task);
@@ -257,7 +257,7 @@ where
                 retired[i] = true;
                 let had_task = step(cluster, i, StepEvent::Lost);
                 if had_task {
-                    cluster.nodes[i].stats.tasks_lost += 1;
+                    cluster.nodes[i].note_task_lost();
                     floor = floor.max(cluster.nodes[i].clock_ns() + detect);
                     reclaimed = true;
                 }

@@ -1,5 +1,7 @@
 //! Run statistics: per-node accounting and cluster-level summaries.
 
+use icecube_trace::Registry;
+
 /// Counters accumulated by one node over a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NodeStats {
@@ -183,6 +185,54 @@ impl RunStats {
             .map(|n| n.peak_mem_bytes)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Pours this run's counters into a [`Registry`] under `prefix`
+    /// (conventionally `"cluster"`): cluster-level totals plus every
+    /// per-node counter as `<prefix>.node<NN>.<counter>`. Gives cluster
+    /// statistics the same snapshot/CSV surface as the serving metrics.
+    pub fn register_into(&self, prefix: &str, registry: &mut Registry) {
+        registry.set(&format!("{prefix}.makespan_ns"), self.makespan_ns());
+        registry.set(&format!("{prefix}.total_io_ns"), self.total_io_ns());
+        registry.set(
+            &format!("{prefix}.total_bytes_written"),
+            self.total_bytes_written(),
+        );
+        registry.set(&format!("{prefix}.total_cells"), self.total_cells());
+        registry.set(&format!("{prefix}.total_crashes"), self.total_crashes());
+        registry.set(
+            &format!("{prefix}.total_tasks_lost"),
+            self.total_tasks_lost(),
+        );
+        registry.set(
+            &format!("{prefix}.total_tasks_recovered"),
+            self.total_tasks_recovered(),
+        );
+        registry.set(&format!("{prefix}.peak_mem_bytes"), self.peak_mem_bytes());
+        for (i, (n, clock)) in self.nodes.iter().zip(&self.clocks_ns).enumerate() {
+            let node = format!("{prefix}.node{i:02}");
+            registry.set(&format!("{node}.clock_ns"), *clock);
+            registry.set(&format!("{node}.cpu_ns"), n.cpu_ns);
+            registry.set(&format!("{node}.disk_write_ns"), n.disk_write_ns);
+            registry.set(&format!("{node}.disk_read_ns"), n.disk_read_ns);
+            registry.set(&format!("{node}.net_ns"), n.net_ns);
+            registry.set(&format!("{node}.idle_ns"), n.idle_ns);
+            registry.set(&format!("{node}.bytes_written"), n.bytes_written);
+            registry.set(&format!("{node}.bytes_read"), n.bytes_read);
+            registry.set(&format!("{node}.bytes_sent"), n.bytes_sent);
+            registry.set(&format!("{node}.cells_written"), n.cells_written);
+            registry.set(&format!("{node}.file_switches"), n.file_switches);
+            registry.set(&format!("{node}.messages"), n.messages);
+            registry.set(&format!("{node}.tasks"), n.tasks);
+            registry.set(&format!("{node}.barriers"), n.barriers);
+            registry.set(&format!("{node}.peak_mem_bytes"), n.peak_mem_bytes);
+            registry.set(&format!("{node}.crashed"), n.crashed);
+            registry.set(&format!("{node}.slowdown_ns"), n.slowdown_ns);
+            registry.set(&format!("{node}.tasks_lost"), n.tasks_lost);
+            registry.set(&format!("{node}.tasks_recovered"), n.tasks_recovered);
+            registry.set(&format!("{node}.rpc_retries"), n.rpc_retries);
+            registry.set(&format!("{node}.retransmits"), n.retransmits);
+        }
     }
 }
 

@@ -336,6 +336,7 @@ pub fn run_aht(
     let mut guards: Vec<Option<TaskGuard>> = vec![None; n];
     let mut requeued: Vec<CuboidMask> = Vec::new();
 
+    cluster.phase_start("compute");
     run_demand_steps_healing(&mut cluster, |cluster, node_id, event| {
         if event == StepEvent::Lost {
             // The dead worker's hash tables are unreachable; the cuboid
@@ -381,7 +382,7 @@ pub fn run_aht(
             &sinks[node_id],
         ));
         let node = &mut cluster.nodes[node_id];
-        node.charge_task_overhead();
+        node.charge_task_overhead_for(task.bits() as u64);
         let built = match affine {
             Some(from_prev) => {
                 let held = if from_prev {
@@ -451,17 +452,19 @@ pub fn run_aht(
         if !cluster.nodes[node_id].is_dead() {
             inflight[node_id] = None;
             guards[node_id] = None;
+            cluster.nodes[node_id].trace_task_end(task.bits() as u64);
             if let Some(pos) = requeued.iter().position(|&t| t == task) {
                 requeued.remove(pos);
-                cluster.nodes[node_id].stats.tasks_recovered += 1;
+                cluster.nodes[node_id].note_task_recovered();
             }
         }
         true
     });
+    cluster.phase_end("compute");
     if !remaining.is_empty() || inflight.iter().any(Option::is_some) {
         return Err(AlgoError::ClusterExhausted { nodes: n });
     }
-    Ok(finish(Algorithm::Aht, &cluster, sinks))
+    Ok(finish(Algorithm::Aht, &mut cluster, sinks))
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use crate::cell::{sort_cells, Cell, CellBuf};
 use crate::error::AlgoError;
 use crate::query::IcebergQuery;
-use icecube_cluster::{ClusterConfig, RunStats, SimCluster};
+use icecube_cluster::{ClusterConfig, RunStats, SimCluster, TraceLog};
 use icecube_data::Relation;
 use std::fmt;
 
@@ -181,6 +181,10 @@ pub struct RunOutcome {
     pub total_cells: u64,
     /// Virtual-time statistics per node and cluster-wide.
     pub stats: RunStats,
+    /// The run's event trace (`Some` iff the cluster config enabled
+    /// tracing via [`ClusterConfig::with_trace`]); export it with
+    /// `icecube_trace::chrome_trace_json` / `phase_cost_csv`.
+    pub trace: Option<TraceLog>,
 }
 
 impl RunOutcome {
@@ -235,18 +239,22 @@ pub(crate) fn validate(rel: &Relation, query: &IcebergQuery) -> Result<(), AlgoE
 
 /// Charges every node for reading its replicated copy of the dataset from
 /// local disk into memory (the replicated algorithms' common prologue).
+/// Traced as the per-node `load` phase.
 pub(crate) fn load_replicated(cluster: &mut SimCluster, rel: &Relation) {
+    cluster.phase_start("load");
     for node in &mut cluster.nodes {
         node.read_bytes(rel.byte_size());
         node.charge_scan(rel.len() as u64);
         node.alloc(rel.byte_size());
     }
+    cluster.phase_end("load");
 }
 
-/// Gathers per-node sinks into a sorted outcome.
+/// Gathers per-node sinks into a sorted outcome, draining the cluster's
+/// trace (if tracing was enabled) into it.
 pub(crate) fn finish(
     algorithm: Algorithm,
-    cluster: &SimCluster,
+    cluster: &mut SimCluster,
     sinks: Vec<CellBuf>,
 ) -> RunOutcome {
     let mut cells = Vec::new();
@@ -261,6 +269,7 @@ pub(crate) fn finish(
         cells,
         total_cells: total,
         stats: cluster.run_stats(),
+        trace: cluster.take_trace(),
     }
 }
 

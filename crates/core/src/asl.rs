@@ -188,6 +188,7 @@ pub fn run_asl(
     let mut guards: Vec<Option<TaskGuard>> = vec![None; n];
     let mut requeued: Vec<CuboidMask> = Vec::new();
 
+    cluster.phase_start("compute");
     run_demand_steps_healing(&mut cluster, |cluster, node_id, event| {
         if event == StepEvent::Lost {
             // The node died mid-task: discard its partial output and put
@@ -219,7 +220,7 @@ pub fn run_asl(
             &sinks[node_id],
         ));
         let node = &mut cluster.nodes[node_id];
-        node.charge_task_overhead();
+        node.charge_task_overhead_for(task.bits() as u64);
         let list_seed = seed ^ ((node_id as u64) << 32) ^ task.bits() as u64;
         match source {
             Source::PrefixPrev | Source::PrefixFirst => {
@@ -250,17 +251,19 @@ pub fn run_asl(
         if !cluster.nodes[node_id].is_dead() {
             inflight[node_id] = None;
             guards[node_id] = None;
+            cluster.nodes[node_id].trace_task_end(task.bits() as u64);
             if let Some(pos) = requeued.iter().position(|&t| t == task) {
                 requeued.remove(pos);
-                cluster.nodes[node_id].stats.tasks_recovered += 1;
+                cluster.nodes[node_id].note_task_recovered();
             }
         }
         true
     });
+    cluster.phase_end("compute");
     if !remaining.is_empty() || inflight.iter().any(Option::is_some) {
         return Err(AlgoError::ClusterExhausted { nodes: n });
     }
-    Ok(finish(Algorithm::Asl, &cluster, sinks))
+    Ok(finish(Algorithm::Asl, &mut cluster, sinks))
 }
 
 /// Subroutine `prefix-reuse` (Figure 3.8): the held list is sorted with the

@@ -51,6 +51,9 @@ pub fn run_bpp(
     // partitions attribute i and distributes the chunks (Figure 3.3). The
     // paper treats this as a pre-processing step outside the measured run;
     // `opts.include_bpp_partitioning` charges it anyway for ablations.
+    if opts.include_bpp_partitioning {
+        cluster.phase_start("partition");
+    }
     let mut chunks: Vec<Vec<Relation>> = Vec::with_capacity(d);
     for i in 0..d {
         let parts = rel.range_partition(i, n);
@@ -69,6 +72,7 @@ pub fn run_bpp(
     }
     if opts.include_bpp_partitioning {
         cluster.barrier();
+        cluster.phase_end("partition");
     }
 
     let mut sinks: Vec<CellBuf> = (0..n)
@@ -86,6 +90,7 @@ pub fn run_bpp(
     // the time the manager detects the loss.
     let detect = cluster.config.faults.policy.detect_timeout_ns;
     let mut recovery: Vec<((usize, usize), u64)> = Vec::new();
+    cluster.phase_start("compute");
     for j in 0..n {
         if !cluster.nodes[j].is_dead() {
             let node = &mut cluster.nodes[j];
@@ -101,23 +106,27 @@ pub fn run_bpp(
                 continue;
             }
             if cluster.nodes[j].is_dead() {
-                cluster.nodes[j].stats.tasks_lost += 1;
+                cluster.nodes[j].note_task_lost();
                 recovery.push(((i, j), cluster.nodes[j].clock_ns() + detect));
                 continue;
             }
             let task = TreeTask::full_subtree(CuboidMask::from_dims(&[i]), d);
             let guard = TaskGuard::checkpoint(&cluster.nodes[j], &sinks[j]);
             let node = &mut cluster.nodes[j];
-            node.charge_task_overhead();
+            node.charge_task_overhead_for(task.root.bits() as u64);
             bpp_buc(chunk, query.minsup, task, node, &mut sinks[j]);
             if cluster.nodes[j].is_dead() {
                 guard.rollback(&mut cluster.nodes[j], &mut sinks[j]);
-                cluster.nodes[j].stats.tasks_lost += 1;
+                cluster.nodes[j].note_task_lost();
                 recovery.push(((i, j), cluster.nodes[j].clock_ns() + detect));
+            } else {
+                cluster.nodes[j].trace_task_end(task.root.bits() as u64);
             }
         }
     }
+    cluster.phase_end("compute");
     // Recovery sweep over lost (attribute, chunk) tasks.
+    cluster.phase_start("recover");
     let mut next = 0;
     while next < recovery.len() {
         let ((i, j), available_at) = recovery[next];
@@ -134,7 +143,7 @@ pub fn run_bpp(
         let task = TreeTask::full_subtree(CuboidMask::from_dims(&[i]), d);
         let guard = TaskGuard::checkpoint(&cluster.nodes[survivor], &sinks[survivor]);
         let node = &mut cluster.nodes[survivor];
-        node.charge_task_overhead();
+        node.charge_task_overhead_for(task.root.bits() as u64);
         // The dead node's disk is gone: re-derive its chunk from the
         // source relation (full scan + the chunk's worth of moves).
         node.read_bytes(rel.byte_size());
@@ -143,17 +152,23 @@ pub fn run_bpp(
         bpp_buc(chunk, query.minsup, task, node, &mut sinks[survivor]);
         if cluster.nodes[survivor].is_dead() {
             guard.rollback(&mut cluster.nodes[survivor], &mut sinks[survivor]);
-            cluster.nodes[survivor].stats.tasks_lost += 1;
+            cluster.nodes[survivor].note_task_lost();
             recovery.push(((i, j), cluster.nodes[survivor].clock_ns() + detect));
         } else {
-            cluster.nodes[survivor].stats.tasks_recovered += 1;
+            cluster.nodes[survivor].trace_task_end(task.root.bits() as u64);
+            cluster.nodes[survivor].note_task_recovered();
         }
     }
+    cluster.phase_end("recover");
     let end = cluster.makespan_ns();
     for node in &mut cluster.nodes {
         node.wait_until(end);
     }
-    Ok(finish(crate::algorithms::Algorithm::Bpp, &cluster, sinks))
+    Ok(finish(
+        crate::algorithms::Algorithm::Bpp,
+        &mut cluster,
+        sinks,
+    ))
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@
 use crate::agg::Aggregate;
 use crate::cell::{Cell, CellSink};
 use crate::partition::{full_index, Group, Partitioner};
-use icecube_cluster::SimNode;
+use icecube_cluster::{EventKind, SimNode};
 use icecube_data::Relation;
 use icecube_lattice::{CuboidMask, TreeTask};
 
@@ -195,6 +195,9 @@ impl<'a, S: CellSink> Engine<'a, S> {
     /// The BUC recursion: extend `mask` by each dimension `k ≥ from`,
     /// writing each qualifying cell then refining it depth-first.
     fn df(&mut self, idx: &mut [u32], mask: CuboidMask, from: usize) {
+        self.node.trace_event(EventKind::Depth {
+            depth: mask.dim_count() as u32,
+        });
         for k in from..self.d {
             let mut groups = Vec::new();
             let len = idx.len() as u32;
@@ -254,6 +257,9 @@ impl<'a, S: CellSink> Engine<'a, S> {
     /// One BPP-BUC call: refine the (already prefix-grouped) data by `k`,
     /// write the whole cuboid `mask ∪ {k}` contiguously, prune, recurse.
     fn bpp_recurse(&mut self, mut idx: Vec<u32>, groups: Vec<Group>, mask: CuboidMask, k: usize) {
+        self.node.trace_event(EventKind::Depth {
+            depth: mask.dim_count() as u32 + 1,
+        });
         let mut fine = Vec::new();
         self.part
             .refine(self.rel, &mut idx, &groups, k, self.node, &mut fine);

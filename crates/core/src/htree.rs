@@ -164,20 +164,23 @@ pub fn run_hash_tree(
     } else {
         CellBuf::counting()
     };
-    {
+    cluster.phase_start("compute");
+    let result = {
         let node = &mut cluster.nodes[0];
         node.read_bytes(rel.byte_size());
         node.charge_scan(rel.len() as u64);
         node.alloc(rel.byte_size());
-        apriori(rel, query, node, &mut sink)?;
-    }
+        apriori(rel, query, node, &mut sink)
+    };
+    cluster.phase_end("compute");
+    result?;
     let end = cluster.makespan_ns();
     for node in &mut cluster.nodes {
         node.wait_until(end);
     }
     let mut sinks: Vec<CellBuf> = (1..cluster.len()).map(|_| CellBuf::counting()).collect();
     sinks.insert(0, sink);
-    Ok(finish(Algorithm::HashTree, &cluster, sinks))
+    Ok(finish(Algorithm::HashTree, &mut cluster, sinks))
 }
 
 fn apriori<S: CellSink>(
@@ -395,6 +398,75 @@ mod tests {
             matches!(err, AlgoError::MemoryExhausted { .. }),
             "expected OOM, got {err}"
         );
+    }
+
+    #[test]
+    fn matches_naive_across_seeds_and_supports() {
+        // Wider sweep than the smoke test above: several synthetic
+        // datasets, supports from "keep everything" up past the point
+        // where whole levels die out.
+        for seed in [1, 5, 9] {
+            let rel = presets::tiny(seed).generate().unwrap();
+            for minsup in [1, 3, 8] {
+                check(&rel, minsup);
+            }
+        }
+    }
+
+    #[test]
+    fn minsup_above_relation_size_yields_empty_cube() {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, rel.len() as u64 + 1);
+        let out = run_hash_tree(
+            &rel,
+            &q,
+            &ClusterConfig::fast_ethernet(1),
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(out.cells.is_empty());
+        assert_eq!(out.total_cells, 0);
+    }
+
+    #[test]
+    fn memory_exhaustion_is_a_documented_error_not_a_panic() {
+        // The failure carries enough to diagnose it: which node, how much
+        // it needed, and how much it had — and needing more than it had.
+        let spec = icecube_data::SyntheticSpec::uniform(20_000, vec![4000, 4000, 4000, 4000], 5);
+        let rel = spec.generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 1);
+        let mut cfg = ClusterConfig::fast_ethernet(2);
+        cfg.nodes[0] = NodeSpec {
+            mhz: 500,
+            mem_mb: 8,
+        };
+        match run_hash_tree(&rel, &q, &cfg, &RunOptions::default()) {
+            Err(AlgoError::MemoryExhausted {
+                node,
+                required_bytes,
+                available_bytes,
+            }) => {
+                assert_eq!(node, 0, "only node 0 computes");
+                assert!(
+                    required_bytes > available_bytes,
+                    "required {required_bytes} must exceed available {available_bytes}"
+                );
+                assert_eq!(available_bytes, 8 * 1024 * 1024);
+            }
+            other => panic!("expected MemoryExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counting_mode_matches_collecting_totals() {
+        let rel = presets::tiny(4).generate().unwrap();
+        let q = IcebergQuery::count_cube(4, 2);
+        let cfg = ClusterConfig::fast_ethernet(2);
+        let collected = run_hash_tree(&rel, &q, &cfg, &RunOptions::default()).unwrap();
+        let counted = run_hash_tree(&rel, &q, &cfg, &RunOptions::counting()).unwrap();
+        assert!(counted.cells.is_empty());
+        assert_eq!(counted.total_cells, collected.cells.len() as u64);
+        assert_eq!(counted.stats.makespan_ns(), collected.stats.makespan_ns());
     }
 
     #[test]

@@ -153,6 +153,7 @@ pub fn run_pt(
     let mut guards: Vec<Option<TaskGuard>> = vec![None; n];
     let mut requeued: Vec<TreeTask> = Vec::new();
 
+    cluster.phase_start("compute");
     run_demand_steps_healing(&mut cluster, |cluster, node_id, event| {
         if event == StepEvent::Lost {
             // Reclaim the dead worker's subtree, keeping `remaining`
@@ -180,7 +181,7 @@ pub fn run_pt(
             &sinks[node_id],
         ));
         let node = &mut cluster.nodes[node_id];
-        node.charge_task_overhead();
+        node.charge_task_overhead_for(task.root.bits() as u64);
         let root_dims = task.root.dims();
         let cache = &mut caches[node_id];
         cache.prepare(rel, &root_dims, affinity, node);
@@ -198,17 +199,19 @@ pub fn run_pt(
         if !cluster.nodes[node_id].is_dead() {
             inflight[node_id] = None;
             guards[node_id] = None;
+            cluster.nodes[node_id].trace_task_end(task.root.bits() as u64);
             if let Some(pos) = requeued.iter().position(|t| *t == task) {
                 requeued.remove(pos);
-                cluster.nodes[node_id].stats.tasks_recovered += 1;
+                cluster.nodes[node_id].note_task_recovered();
             }
         }
         true
     });
+    cluster.phase_end("compute");
     if !remaining.is_empty() || inflight.iter().any(Option::is_some) {
         return Err(AlgoError::ClusterExhausted { nodes: n });
     }
-    Ok(finish(Algorithm::Pt, &cluster, sinks))
+    Ok(finish(Algorithm::Pt, &mut cluster, sinks))
 }
 
 #[cfg(test)]

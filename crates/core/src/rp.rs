@@ -52,26 +52,31 @@ pub fn run_rp(
     let mut recovery: Vec<(TreeTask, u64)> = Vec::new();
     // Static round-robin assignment: subtree rooted at dimension i goes to
     // processor i mod n. With more processors than dimensions, some idle.
+    cluster.phase_start("compute");
     for i in 0..d {
         let node_id = i % n;
         let task = TreeTask::full_subtree(CuboidMask::from_dims(&[i]), d);
         if cluster.nodes[node_id].is_dead() {
-            cluster.nodes[node_id].stats.tasks_lost += 1;
+            cluster.nodes[node_id].note_task_lost();
             recovery.push((task, cluster.nodes[node_id].clock_ns() + detect));
             continue;
         }
         let guard = TaskGuard::checkpoint(&cluster.nodes[node_id], &sinks[node_id]);
         let node = &mut cluster.nodes[node_id];
-        node.charge_task_overhead();
+        node.charge_task_overhead_for(task.root.bits() as u64);
         buc_depth_first(rel, query.minsup, task, node, &mut sinks[node_id]);
         if cluster.nodes[node_id].is_dead() {
             guard.rollback(&mut cluster.nodes[node_id], &mut sinks[node_id]);
-            cluster.nodes[node_id].stats.tasks_lost += 1;
+            cluster.nodes[node_id].note_task_lost();
             recovery.push((task, cluster.nodes[node_id].clock_ns() + detect));
+        } else {
+            cluster.nodes[node_id].trace_task_end(task.root.bits() as u64);
         }
     }
+    cluster.phase_end("compute");
     // Recovery sweep: FIFO over lost subtrees, each to the survivor with
     // the smallest clock (the one a demand manager would pick).
+    cluster.phase_start("recover");
     let mut next = 0;
     while next < recovery.len() {
         let (task, available_at) = recovery[next];
@@ -87,22 +92,28 @@ pub fn run_rp(
         }
         let guard = TaskGuard::checkpoint(&cluster.nodes[survivor], &sinks[survivor]);
         let node = &mut cluster.nodes[survivor];
-        node.charge_task_overhead();
+        node.charge_task_overhead_for(task.root.bits() as u64);
         buc_depth_first(rel, query.minsup, task, node, &mut sinks[survivor]);
         if cluster.nodes[survivor].is_dead() {
             guard.rollback(&mut cluster.nodes[survivor], &mut sinks[survivor]);
-            cluster.nodes[survivor].stats.tasks_lost += 1;
+            cluster.nodes[survivor].note_task_lost();
             recovery.push((task, cluster.nodes[survivor].clock_ns() + detect));
         } else {
-            cluster.nodes[survivor].stats.tasks_recovered += 1;
+            cluster.nodes[survivor].trace_task_end(task.root.bits() as u64);
+            cluster.nodes[survivor].note_task_recovered();
         }
     }
+    cluster.phase_end("recover");
     // The run ends when the slowest processor finishes.
     let end = cluster.makespan_ns();
     for node in &mut cluster.nodes {
         node.wait_until(end);
     }
-    Ok(finish(crate::algorithms::Algorithm::Rp, &cluster, sinks))
+    Ok(finish(
+        crate::algorithms::Algorithm::Rp,
+        &mut cluster,
+        sinks,
+    ))
 }
 
 #[cfg(test)]

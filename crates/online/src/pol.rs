@@ -26,7 +26,7 @@
 //!   online-aggregation framework.
 
 use crate::boundaries::Boundaries;
-use icecube_cluster::{ClusterConfig, RunStats, SimCluster};
+use icecube_cluster::{ClusterConfig, EventKind, RunStats, SimCluster};
 use icecube_core::agg::Aggregate;
 use icecube_core::cell::{Cell, CellSink};
 use icecube_core::error::AlgoError;
@@ -360,6 +360,8 @@ fn fetch(cluster: &mut SimCluster, from: usize, to: usize, bytes: u64) {
     let sender = &mut cluster.nodes[from];
     sender.stats.bytes_sent += bytes;
     sender.stats.messages += 1;
+    sender.trace_event(EventKind::MsgSend { to, bytes });
+    cluster.nodes[to].trace_event(EventKind::MsgRecv { from, bytes });
 }
 
 /// Folds a chunk into a skip list, charging the insert comparisons.
@@ -550,5 +552,66 @@ mod tests {
     #[should_panic(expected = "non-empty group-by")]
     fn pol_query_rejects_all() {
         let _ = PolQuery::new(CuboidMask::ALL, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum support must be at least 1")]
+    fn pol_query_rejects_zero_minsup() {
+        let _ = PolQuery::new(CuboidMask::from_dims(&[0]), 0);
+    }
+
+    #[test]
+    fn minsup_one_keeps_every_group() {
+        // The loosest legal threshold: every distinct key of the group-by
+        // must appear, matching the serial reference exactly.
+        let rel = presets::tiny(28).generate().unwrap();
+        let query = q(&[0, 3], 1, 30);
+        let out = check(&rel, &query, 3);
+        let distinct: std::collections::BTreeSet<Vec<u32>> = {
+            let mut key = vec![0u32; 2];
+            (0..rel.len())
+                .map(|t| {
+                    query.dims.project_row(rel.row(t), &mut key);
+                    key.clone()
+                })
+                .collect()
+        };
+        assert_eq!(out.cells.len(), distinct.len());
+    }
+
+    #[test]
+    fn minsup_above_relation_size_yields_empty_answer() {
+        // No group can gather more support than there are tuples.
+        let rel = presets::tiny(29).generate().unwrap();
+        let query = q(&[0, 1], rel.len() as u64 + 1, 40);
+        let out = check(&rel, &query, 2);
+        assert!(out.cells.is_empty());
+        assert!(exact_answer(&rel, &query).is_empty());
+        // The run still terminates with a final full-fraction snapshot.
+        let last = out.snapshots.last().unwrap();
+        assert!((last.fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minsup_exactly_relation_size_keeps_only_universal_groups() {
+        // Boundary just inside the data: a group qualifies iff every tuple
+        // falls into it, i.e. the dimension is constant over the relation.
+        let rel = presets::tiny(30).generate().unwrap();
+        let query = q(&[2], rel.len() as u64, 25);
+        let out = check(&rel, &query, 2);
+        for cell in &out.cells {
+            assert_eq!(cell.agg.count, rel.len() as u64);
+        }
+    }
+
+    #[test]
+    fn work_stealing_off_still_matches_exact() {
+        let rel = presets::tiny(31).generate().unwrap();
+        let query = PolQuery {
+            work_stealing: false,
+            ..q(&[0, 1], 2, 20)
+        };
+        let out = check(&rel, &query, 4);
+        assert_eq!(out.stolen_tasks, 0);
     }
 }

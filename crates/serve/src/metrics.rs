@@ -197,6 +197,33 @@ impl Metrics {
     }
 }
 
+impl ServerStats {
+    /// Publishes every field into a unified [`icecube_trace::Registry`]
+    /// under `prefix` (e.g. `serve.requests`, `serve.shard00.routed`), so
+    /// serving counters and cluster statistics can be exported side by
+    /// side from one snapshot.
+    pub fn register_into(&self, prefix: &str, registry: &mut icecube_trace::Registry) {
+        registry.set(&format!("{prefix}.requests"), self.requests);
+        registry.set(&format!("{prefix}.errors"), self.errors);
+        registry.set(&format!("{prefix}.cells_returned"), self.cells_returned);
+        registry.set(&format!("{prefix}.rollup_stored"), self.rollup_stored);
+        registry.set(
+            &format!("{prefix}.rollup_aggregated"),
+            self.rollup_aggregated,
+        );
+        registry.set(&format!("{prefix}.latency.mean_ns"), self.mean_ns);
+        registry.set(&format!("{prefix}.latency.p50_ns"), self.p50_ns);
+        registry.set(&format!("{prefix}.latency.p95_ns"), self.p95_ns);
+        registry.set(&format!("{prefix}.latency.p99_ns"), self.p99_ns);
+        for (i, &routed) in self.shard_routed.iter().enumerate() {
+            registry.set(&format!("{prefix}.shard{i:02}.routed"), routed);
+        }
+        for (i, &scanned) in self.shard_scanned.iter().enumerate() {
+            registry.set(&format!("{prefix}.shard{i:02}.scanned"), scanned);
+        }
+    }
+}
+
 /// A point-in-time snapshot of a server's counters and latency quantiles.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerStats {
@@ -265,6 +292,26 @@ mod tests {
             h.quantile_ns(0.99),
         );
         assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn register_into_publishes_every_counter() {
+        let m = Metrics::new(2);
+        Metrics::bump(&m.requests);
+        Metrics::add(&m.cells_returned, 7);
+        Metrics::bump(&m.shards[1].routed);
+        let mut reg = icecube_trace::Registry::new();
+        m.snapshot().register_into("serve", &mut reg);
+        assert_eq!(reg.get("serve.requests"), Some(1));
+        assert_eq!(reg.get("serve.cells_returned"), Some(7));
+        assert_eq!(reg.get("serve.shard00.routed"), Some(0));
+        assert_eq!(reg.get("serve.shard01.routed"), Some(1));
+        assert_eq!(reg.get("serve.errors"), Some(0));
+        // 9 scalar fields + 2 shards × 2 counters.
+        assert_eq!(reg.len(), 13);
+        let csv = reg.to_csv();
+        assert!(csv.starts_with("metric,value\n"));
+        assert!(csv.contains("serve.requests,1\n"));
     }
 
     #[test]

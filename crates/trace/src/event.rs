@@ -1,0 +1,210 @@
+//! Typed trace events stamped with the cluster's virtual clock, and the
+//! per-node buffer that records them.
+
+/// A snapshot of a node's cumulative cost counters, captured at phase
+/// boundaries so exporters can report per-phase deltas.
+///
+/// Fields mirror the subset of `cluster::stats::NodeStats` that the
+/// paper's evaluation decomposes runs along: the time axes (CPU, disk,
+/// network, idle) and the volume axes (bytes moved, messages, tasks,
+/// cells written).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// Cumulative CPU time charged, in virtual nanoseconds.
+    pub cpu_ns: u64,
+    /// Cumulative disk-write time, in virtual nanoseconds.
+    pub disk_write_ns: u64,
+    /// Cumulative disk-read time, in virtual nanoseconds.
+    pub disk_read_ns: u64,
+    /// Cumulative network time, in virtual nanoseconds.
+    pub net_ns: u64,
+    /// Cumulative idle (barrier/skew) time, in virtual nanoseconds.
+    pub idle_ns: u64,
+    /// Cumulative bytes sent to other nodes.
+    pub bytes_sent: u64,
+    /// Cumulative bytes read from disk.
+    pub bytes_read: u64,
+    /// Cumulative messages sent.
+    pub messages: u64,
+    /// Cumulative tasks started.
+    pub tasks: u64,
+    /// Cumulative iceberg cells written.
+    pub cells_written: u64,
+}
+
+impl CostSnapshot {
+    /// Component-wise `self − earlier`, saturating at zero so a snapshot
+    /// pair taken out of order cannot underflow.
+    pub fn delta(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            cpu_ns: self.cpu_ns.saturating_sub(earlier.cpu_ns),
+            disk_write_ns: self.disk_write_ns.saturating_sub(earlier.disk_write_ns),
+            disk_read_ns: self.disk_read_ns.saturating_sub(earlier.disk_read_ns),
+            net_ns: self.net_ns.saturating_sub(earlier.net_ns),
+            idle_ns: self.idle_ns.saturating_sub(earlier.idle_ns),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            messages: self.messages.saturating_sub(earlier.messages),
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            cells_written: self.cells_written.saturating_sub(earlier.cells_written),
+        }
+    }
+}
+
+/// What happened at one instant of a node's virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A scheduled task began on this node.
+    TaskStart {
+        /// Lattice-node identifier: the task's cuboid or subtree-root
+        /// mask bits, unique within one algorithm run.
+        task: u64,
+    },
+    /// The task completed on this node (absent if the node died mid-task).
+    TaskEnd {
+        /// The same identifier the matching [`EventKind::TaskStart`] carried.
+        task: u64,
+    },
+    /// This node sent a message (recorded once per wire attempt, so
+    /// retransmits appear as repeated sends).
+    MsgSend {
+        /// Destination node id.
+        to: usize,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// This node received a message.
+    MsgRecv {
+        /// Source node id.
+        from: usize,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// One manager/worker control round trip charged to this node
+    /// (recorded once per round trip, so RPC retries under fault
+    /// injection appear as repeated events).
+    Rpc {
+        /// Total bytes on the wire for the round trip (request + reply).
+        bytes: u64,
+    },
+    /// The fault plan killed this node (recorded at the virtual instant
+    /// of death; exactly one per crashed node).
+    Crash,
+    /// The scheduler detected that a task assigned to this node was lost
+    /// to a crash.
+    TaskLost,
+    /// A previously lost task was recovered (re-derived or re-queued).
+    TaskRecovered,
+    /// The BUC engine entered a recursion level on this node.
+    Depth {
+        /// Recursion depth (number of dimensions fixed so far).
+        depth: u32,
+    },
+    /// A named per-node phase (e.g. `load`, `partition`, `compute`,
+    /// `recover`) began.
+    PhaseStart {
+        /// Phase name; `'static` so recording never allocates for it.
+        name: &'static str,
+    },
+    /// The named phase ended; carries the node's cumulative cost counters
+    /// at that instant so exporters can compute per-phase deltas.
+    PhaseEnd {
+        /// The same name the matching [`EventKind::PhaseStart`] carried.
+        name: &'static str,
+        /// Cumulative costs at phase end.
+        costs: CostSnapshot,
+    },
+}
+
+/// One trace record: an [`EventKind`] stamped with the owning node's
+/// virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event, nanoseconds since the run started.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A per-node, single-owner event buffer.
+///
+/// Each simulated node owns its buffer exclusively, so recording is a
+/// plain `Vec::push` — lock-free by construction — and events within a
+/// node are stored in exactly the order the node's virtual clock produced
+/// them. When a node has no buffer attached, the cluster records nothing
+/// and charges nothing, so untraced runs stay byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// Appends an event stamped with virtual time `ts_ns`.
+    pub fn record(&mut self, ts_ns: u64, kind: EventKind) {
+        self.events.push(TraceEvent { ts_ns, kind });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Borrows the recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the buffer, yielding its events in record order.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_keeps_record_order() {
+        let mut b = TraceBuffer::new();
+        assert!(b.is_empty());
+        b.record(5, EventKind::Crash);
+        b.record(9, EventKind::TaskLost);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.events()[0].ts_ns, 5);
+        let ev = b.into_events();
+        assert_eq!(ev[1].kind, EventKind::TaskLost);
+    }
+
+    #[test]
+    fn snapshot_delta_is_componentwise_and_saturating() {
+        let a = CostSnapshot {
+            cpu_ns: 10,
+            bytes_sent: 100,
+            tasks: 3,
+            ..CostSnapshot::default()
+        };
+        let b = CostSnapshot {
+            cpu_ns: 25,
+            bytes_sent: 140,
+            tasks: 4,
+            ..CostSnapshot::default()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.cpu_ns, 15);
+        assert_eq!(d.bytes_sent, 40);
+        assert_eq!(d.tasks, 1);
+        // Out-of-order pairs saturate instead of wrapping.
+        assert_eq!(a.delta(&b).cpu_ns, 0);
+    }
+}

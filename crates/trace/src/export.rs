@@ -1,0 +1,217 @@
+//! Exporters: Chrome `trace_event` JSON and a per-phase/per-node cost CSV.
+//!
+//! Both exporters are pure functions of the [`TraceLog`]: no wall clock,
+//! no locale, fixed decimal widths — so two logs that compare equal render
+//! to byte-identical strings, and two same-seed runs therefore export
+//! byte-identical files.
+
+use std::fmt::Write as _;
+
+use crate::event::{CostSnapshot, EventKind};
+use crate::log::TraceLog;
+
+/// Formats virtual nanoseconds as the microsecond decimal the Chrome
+/// trace viewer expects, with exactly three fraction digits so the output
+/// is byte-stable.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Renders the log in Chrome's `trace_event` JSON format.
+///
+/// Load it at `chrome://tracing` (or Perfetto) for a per-node Gantt view
+/// of load balance: `pid` 0 is the cluster, `tid` is the node id. Task
+/// and phase spans become duration events (`B`/`E`); messages, faults and
+/// BUC depth markers become instant events with their payload in `args`.
+/// A `B` without a matching `E` marks a task cut short by a crash — the
+/// viewer renders it to the end of the track, which is exactly the right
+/// picture.
+pub fn chrome_trace_json(log: &TraceLog) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for node in 0..log.node_count() {
+        for e in log.node(node) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ts = micros(e.ts_ns);
+            let _ = match e.kind {
+                EventKind::TaskStart { task } => write!(
+                    out,
+                    "\n{{\"name\":\"task {task:#x}\",\"cat\":\"task\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":{node}}}"
+                ),
+                EventKind::TaskEnd { task } => write!(
+                    out,
+                    "\n{{\"name\":\"task {task:#x}\",\"cat\":\"task\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":{node}}}"
+                ),
+                EventKind::PhaseStart { name } => write!(
+                    out,
+                    "\n{{\"name\":\"{name}\",\"cat\":\"phase\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":{node}}}"
+                ),
+                EventKind::PhaseEnd { name, .. } => write!(
+                    out,
+                    "\n{{\"name\":\"{name}\",\"cat\":\"phase\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":{node}}}"
+                ),
+                EventKind::MsgSend { to, bytes } => write!(
+                    out,
+                    "\n{{\"name\":\"send\",\"cat\":\"net\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{node},\"args\":{{\"to\":{to},\"bytes\":{bytes}}}}}"
+                ),
+                EventKind::MsgRecv { from, bytes } => write!(
+                    out,
+                    "\n{{\"name\":\"recv\",\"cat\":\"net\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{node},\"args\":{{\"from\":{from},\"bytes\":{bytes}}}}}"
+                ),
+                EventKind::Rpc { bytes } => write!(
+                    out,
+                    "\n{{\"name\":\"rpc\",\"cat\":\"net\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{node},\"args\":{{\"bytes\":{bytes}}}}}"
+                ),
+                EventKind::Crash => write!(
+                    out,
+                    "\n{{\"name\":\"crash\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{node}}}"
+                ),
+                EventKind::TaskLost => write!(
+                    out,
+                    "\n{{\"name\":\"task lost\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{node}}}"
+                ),
+                EventKind::TaskRecovered => write!(
+                    out,
+                    "\n{{\"name\":\"task recovered\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{node}}}"
+                ),
+                EventKind::Depth { depth } => write!(
+                    out,
+                    "\n{{\"name\":\"depth\",\"cat\":\"buc\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{node},\"args\":{{\"depth\":{depth}}}}}"
+                ),
+            };
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Header row of [`phase_cost_csv`], public so consumers can locate
+/// columns without parsing.
+pub const PHASE_COST_HEADER: &str = "node,phase,span_ns,cpu_ns,disk_write_ns,disk_read_ns,net_ns,idle_ns,bytes_sent,bytes_read,messages,tasks,cells_written";
+
+/// Renders a per-phase/per-node cost table as CSV.
+///
+/// One row per completed phase per node, in node order then phase-end
+/// order. Cost columns are *deltas* against the node's previous phase
+/// end, so each row is what that phase alone cost; `bytes_sent` is the
+/// row's communication volume. `span_ns` is the phase's virtual wall
+/// span on that node (0 if the matching start marker is missing).
+pub fn phase_cost_csv(log: &TraceLog) -> String {
+    let mut out = String::from(PHASE_COST_HEADER);
+    out.push('\n');
+    for node in 0..log.node_count() {
+        let mut open: Vec<(&'static str, u64)> = Vec::new();
+        let mut prev = CostSnapshot::default();
+        for e in log.node(node) {
+            match e.kind {
+                EventKind::PhaseStart { name } => open.push((name, e.ts_ns)),
+                EventKind::PhaseEnd { name, costs } => {
+                    let start = open
+                        .iter()
+                        .rposition(|&(n, _)| n == name)
+                        .map(|i| open.remove(i).1);
+                    let span = start.map_or(0, |s| e.ts_ns.saturating_sub(s));
+                    let d = costs.delta(&prev);
+                    prev = costs;
+                    let _ = writeln!(
+                        out,
+                        "{node},{name},{span},{},{},{},{},{},{},{},{},{},{}",
+                        d.cpu_ns,
+                        d.disk_write_ns,
+                        d.disk_read_ns,
+                        d.net_ns,
+                        d.idle_ns,
+                        d.bytes_sent,
+                        d.bytes_read,
+                        d.messages,
+                        d.tasks,
+                        d.cells_written,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceBuffer;
+
+    fn tagged(cpu: u64, sent: u64) -> CostSnapshot {
+        CostSnapshot {
+            cpu_ns: cpu,
+            bytes_sent: sent,
+            ..CostSnapshot::default()
+        }
+    }
+
+    fn sample() -> TraceLog {
+        let mut a = TraceBuffer::new();
+        a.record(0, EventKind::PhaseStart { name: "load" });
+        a.record(3, EventKind::TaskStart { task: 5 });
+        a.record(4, EventKind::Depth { depth: 2 });
+        a.record(7, EventKind::TaskEnd { task: 5 });
+        a.record(
+            10,
+            EventKind::PhaseEnd {
+                name: "load",
+                costs: tagged(8, 100),
+            },
+        );
+        a.record(10, EventKind::PhaseStart { name: "compute" });
+        a.record(
+            30,
+            EventKind::PhaseEnd {
+                name: "compute",
+                costs: tagged(25, 160),
+            },
+        );
+        let mut b = TraceBuffer::new();
+        b.record(2, EventKind::MsgSend { to: 0, bytes: 64 });
+        b.record(6, EventKind::Crash);
+        TraceLog::from_buffers(vec![a, b])
+    }
+
+    #[test]
+    fn micros_formatting_is_fixed_width() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(5_000_042), "5000.042");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shape_and_deterministic() {
+        let log = sample();
+        let a = chrome_trace_json(&log);
+        let b = chrome_trace_json(&log);
+        assert_eq!(a, b, "pure function of the log");
+        assert!(a.starts_with("{\"traceEvents\":["));
+        assert!(a.trim_end().ends_with('}'));
+        assert!(a.contains("\"name\":\"task 0x5\""));
+        assert!(a.contains("\"ph\":\"B\""));
+        assert!(a.contains("\"ph\":\"E\""));
+        assert!(a.contains("\"crash\""));
+        assert!(a.contains("\"args\":{\"to\":0,\"bytes\":64}"));
+        // Braces balance — cheap well-formedness check without a parser.
+        let opens = a.matches('{').count();
+        let closes = a.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn cost_csv_reports_per_phase_deltas() {
+        let csv = phase_cost_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(PHASE_COST_HEADER));
+        // load: absolute first snapshot; compute: the delta 25-8 / 160-100.
+        assert_eq!(lines.next(), Some("0,load,10,8,0,0,0,0,100,0,0,0,0"));
+        assert_eq!(lines.next(), Some("0,compute,20,17,0,0,0,0,60,0,0,0,0"));
+        assert_eq!(lines.next(), None, "node 1 completed no phases");
+    }
+}

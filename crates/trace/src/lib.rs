@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Deterministic, virtual-time tracing for the simulated cluster.
+//!
+//! The cluster in `icecube-cluster` advances a *virtual* clock: every cost
+//! is an explicit charge, so the same seed replays the same run to the
+//! nanosecond. This crate records that run as typed, timestamped events —
+//! task spans with lattice-node ids, message sends and receives with byte
+//! counts, fault injection/detection/recovery, BUC recursion depth
+//! markers, and per-algorithm phase boundaries — and exports it in two
+//! forms:
+//!
+//! * [`chrome_trace_json`] — Chrome `trace_event` JSON, one track per
+//!   node, giving the per-node Gantt view of load balance;
+//! * [`phase_cost_csv`] — a per-phase/per-node cost table (CPU, disk,
+//!   network, idle, bytes, tasks) from which communication volume per
+//!   phase falls out directly.
+//!
+//! Because every timestamp is virtual, both exports are **bit-for-bit
+//! reproducible** across runs with the same seed; `tests/trace_determinism.rs`
+//! in the workspace root enforces this. Recording is a plain `Vec::push`
+//! into a single-owner per-node [`TraceBuffer`] — no locks, no atomics —
+//! and when no buffer is attached the cluster skips recording entirely,
+//! so untraced runs are byte-identical to runs before this crate existed.
+//!
+//! [`Registry`] complements the event layer with a flat, name-ordered
+//! metrics map that unifies `serve::metrics` histogram summaries and
+//! `cluster::stats` counters behind one snapshot/export API.
+
+pub mod event;
+pub mod export;
+pub mod log;
+pub mod registry;
+
+pub use event::{CostSnapshot, EventKind, TraceBuffer, TraceEvent};
+pub use export::{chrome_trace_json, phase_cost_csv, PHASE_COST_HEADER};
+pub use log::TraceLog;
+pub use registry::Registry;

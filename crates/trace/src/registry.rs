@@ -1,0 +1,99 @@
+//! A unified, deterministic metrics registry.
+//!
+//! `serve::metrics` keeps live atomic histograms; `cluster::stats` keeps
+//! end-of-run counters. Both sides know how to pour themselves into a
+//! [`Registry`] (see their `register_into` methods), which then offers
+//! one name-ordered snapshot/CSV surface for dashboards and tests —
+//! instead of two bespoke struct layouts.
+
+use std::collections::BTreeMap;
+
+/// A flat, name-ordered map of integer metrics.
+///
+/// Names are dotted paths by convention (`cluster.node00.cpu_ns`,
+/// `serve.latency.p99_ns`). Backed by a `BTreeMap` so iteration — and
+/// therefore every export — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    values: BTreeMap<String, u64>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Sets gauge `name` to `value`, creating it if absent.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Adds `value` to counter `name` (treated as 0 if absent).
+    pub fn add(&mut self, name: &str, value: u64) {
+        *self.values.entry(name.to_string()).or_insert(0) += value;
+    }
+
+    /// Reads metric `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// A name-sorted snapshot of every metric.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.values.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Serializes as `metric,value` CSV, rows name-sorted (byte-stable).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (k, v) in &self.values {
+            out.push_str(k);
+            out.push(',');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_get() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.set("a.gauge", 7);
+        r.add("a.counter", 3);
+        r.add("a.counter", 5);
+        assert_eq!(r.get("a.gauge"), Some(7));
+        assert_eq!(r.get("a.counter"), Some(8));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_and_csv_are_name_ordered() {
+        let mut r = Registry::new();
+        r.set("z.last", 1);
+        r.set("a.first", 2);
+        r.set("m.mid", 3);
+        let names: Vec<String> = r.snapshot().into_iter().map(|(k, _)| k).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(r.to_csv(), "metric,value\na.first,2\nm.mid,3\nz.last,1\n");
+    }
+}

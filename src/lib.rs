@@ -18,6 +18,9 @@
 //! * [`lattice`] — cuboid masks, BUC processing trees, PT's binary division,
 //! * [`cluster`] — the simulated PC cluster (virtual time, disk and network
 //!   cost models, demand scheduling),
+//! * [`trace`] — deterministic virtual-time tracing (per-node event
+//!   buffers, Chrome `trace_event` and phase-cost CSV exporters) and the
+//!   unified metrics registry,
 //! * [`core`] — sequential BUC plus the five parallel cube algorithms and
 //!   the algorithm-selection recipe,
 //! * [`online`] — POL online aggregation and selective materialization,
@@ -49,3 +52,4 @@ pub use icecube_lattice as lattice;
 pub use icecube_online as online;
 pub use icecube_serve as serve;
 pub use icecube_skiplist as skiplist;
+pub use icecube_trace as trace;

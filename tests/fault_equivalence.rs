@@ -9,8 +9,9 @@
 use icecube::cluster::{ClusterConfig, FaultPlan};
 use icecube::core::naive::naive_iceberg_cube;
 use icecube::core::verify::assert_same_cells;
-use icecube::core::{run_parallel, Algorithm, IcebergQuery};
+use icecube::core::{run_parallel, Algorithm, IcebergQuery, RunOptions};
 use icecube::data::presets;
+use icecube_bench::experiments::fault_free_baseline;
 
 const ALGS: [Algorithm; 5] = [
     Algorithm::Rp,
@@ -37,7 +38,9 @@ fn chaos_cubes_equal_the_fault_free_reference() {
     let mut net_faults = 0u64;
     let mut slowdown_ns = 0u64;
     for alg in ALGS {
-        let quiet = run_parallel(alg, &rel, &q, &ClusterConfig::fast_ethernet(NODES)).unwrap();
+        // The same quiet reference the `fault` experiment measures
+        // against (shared helper in icecube-bench).
+        let quiet = fault_free_baseline(alg, &rel, &q, NODES, &RunOptions::default());
         let horizon = quiet.stats.makespan_ns();
         for seed in SEEDS {
             let plan = FaultPlan::seeded_severity(seed, NODES, horizon, 200);
