@@ -1,0 +1,111 @@
+//! Process-wide allocation accounting for the wall-clock benchmarks.
+//!
+//! The `bench` experiment reports each kernel's peak host-memory footprint
+//! next to its median time. That requires a counting [`GlobalAlloc`]
+//! installed in the *binary* (a library cannot install one), so the
+//! `experiments` binary declares
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc;
+//! ```
+//!
+//! and this module keeps the shared counters. When the allocator is not
+//! installed (library tests, other binaries), the counters stay at zero
+//! and [`peak_bytes`] honestly reports 0 — callers print `n/a` for that.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that tracks live and peak bytes.
+///
+/// Counter updates are `Relaxed`: they are independent tallies read only
+/// between benchmark runs, never paired with other state.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System` for allocation; the counters are
+// bookkeeping on the side and never influence the returned pointers.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let size = layout.size() as u64;
+            // relaxed: independent byte tallies read between runs only.
+            let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+            // relaxed: same tally; fetch_max keeps the high-water mark.
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        // relaxed: independent byte tally read between runs only.
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            let (old, new) = (layout.size() as u64, new_size as u64);
+            if new >= old {
+                // relaxed: independent byte tallies read between runs.
+                let live = LIVE.fetch_add(new - old, Ordering::Relaxed) + (new - old);
+                // relaxed: same tally; fetch_max keeps the high-water mark.
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                // relaxed: independent byte tally read between runs.
+                LIVE.fetch_sub(old - new, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// Bytes currently allocated (0 unless [`CountingAlloc`] is installed).
+pub fn live_bytes() -> u64 {
+    // relaxed: advisory snapshot of an independent tally.
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since the last [`reset_peak`].
+pub fn peak_bytes() -> u64 {
+    // relaxed: advisory snapshot of an independent tally.
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restarts peak tracking from the current live footprint, so each
+/// benchmark's peak measures its own allocations, not its predecessors'.
+pub fn reset_peak() {
+    // relaxed: both are independent tallies; callers quiesce between
+    // benchmarks, so no cross-thread ordering is being established.
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install the allocator, so the counters
+    // only ever see what these tests feed them directly.
+    #[test]
+    fn counters_track_alloc_and_dealloc() {
+        let a = CountingAlloc;
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        reset_peak();
+        let before = live_bytes();
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        assert_eq!(live_bytes(), before + 4096);
+        assert!(peak_bytes() >= before + 4096);
+        unsafe { a.dealloc(p, layout) };
+        assert_eq!(live_bytes(), before);
+        // Peak survives the free until the next reset.
+        assert!(peak_bytes() >= before + 4096);
+        reset_peak();
+        assert_eq!(peak_bytes(), before);
+    }
+}

@@ -14,6 +14,11 @@ use icecube_bench::experiments::{all_ids, run_by_id};
 use icecube_bench::Ctx;
 use std::process::ExitCode;
 
+/// Counting allocator so the `bench` experiment can report each kernel's
+/// peak host-memory footprint (see `icecube_bench::alloc_track`).
+#[global_allocator]
+static ALLOC: icecube_bench::alloc_track::CountingAlloc = icecube_bench::alloc_track::CountingAlloc;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
@@ -49,6 +54,12 @@ fn main() -> ExitCode {
                 };
                 ctx.out_dir = v.into();
             }
+            "--smoke" => {
+                // CI's structural check: tiny datasets, one sample per
+                // wall-clock benchmark — seconds, not minutes.
+                ctx.smoke = true;
+                ctx.scale = ctx.scale.min(0.02);
+            }
             "list" => {
                 for id in all_ids() {
                     println!("{id}");
@@ -65,7 +76,9 @@ fn main() -> ExitCode {
         i += 1;
     }
     if ids.is_empty() {
-        eprintln!("usage: experiments <id>...|all|list [--scale f] [--max-dims d] [--out dir]");
+        eprintln!(
+            "usage: experiments <id>...|all|list [--scale f] [--max-dims d] [--out dir] [--smoke]"
+        );
         eprintln!("ids: {}", all_ids().join(" "));
         return ExitCode::FAILURE;
     }

@@ -1,0 +1,217 @@
+//! `bench` — the repo's wall-clock benchmark baseline.
+//!
+//! Every other experiment reports *virtual* time from the simulated
+//! cluster; this one reports real host time, so kernel-level changes
+//! (like the zero-clone arena rewrite) have a recorded before/after.
+//! It times the two sequential BUC kernels plus the five evaluated
+//! cluster algorithms on the baseline preset, and writes
+//! `BENCH_kernel.json` next to the CSVs:
+//!
+//! ```json
+//! {
+//!   "schema": "icecube-bench-kernel/v1",
+//!   "scale": 1.0,
+//!   "tuples": 176000,
+//!   "samples": 5,
+//!   "results": [
+//!     { "name": "kernel_bpp_buc", "median_ns": 994000000,
+//!       "tuples_per_sec": 177062.1, "peak_bytes": 12345678 }
+//!   ]
+//! }
+//! ```
+//!
+//! Kernels are timed into counting sinks (the same `RunOptions::counting`
+//! the virtual-time experiments use), so the numbers measure cube
+//! computation, not cell retention. `peak_bytes` is the high-water mark
+//! of the process allocator during the benchmark's samples — real only
+//! when the `experiments` binary's counting allocator is installed; other
+//! hosts (unit tests) record 0 and the table prints `n/a`.
+
+use super::measure;
+use crate::report::{Report, Table};
+use crate::{alloc_track, Ctx};
+use criterion::sample;
+use icecube_cluster::{ClusterConfig, SimCluster};
+use icecube_core::buc::{bpp_buc, buc_depth_first};
+use icecube_core::cell::CellBuf;
+use icecube_core::Algorithm;
+use icecube_data::{presets, Relation};
+use icecube_lattice::TreeTask;
+use std::time::Duration;
+
+/// A sequential BUC kernel entry point (the signature shared by
+/// `buc_depth_first` and `bpp_buc`).
+type SeqKernel = fn(&Relation, u64, TreeTask, &mut icecube_cluster::SimNode, &mut CellBuf);
+
+/// One benchmark's recorded result.
+struct BenchResult {
+    name: &'static str,
+    median: Duration,
+    tuples_per_sec: f64,
+    peak_bytes: u64,
+}
+
+fn run_bench(
+    name: &'static str,
+    tuples: usize,
+    samples: usize,
+    mut f: impl FnMut(),
+) -> BenchResult {
+    alloc_track::reset_peak();
+    let s = sample(samples, &mut f);
+    let median = s.median();
+    let secs = median.as_secs_f64();
+    BenchResult {
+        name,
+        median,
+        tuples_per_sec: if secs > 0.0 {
+            tuples as f64 / secs
+        } else {
+            0.0
+        },
+        peak_bytes: alloc_track::peak_bytes(),
+    }
+}
+
+/// The wall-clock benchmark baseline (`BENCH_kernel.json`).
+pub fn bench(ctx: &Ctx) -> Report {
+    let mut spec = presets::baseline();
+    spec.tuples = ctx.tuples(presets::BASELINE_TUPLES);
+    let rel = spec.generate().expect("baseline preset is valid");
+    let n = rel.len();
+    let minsup = presets::BASELINE_MINSUP;
+    let samples = if ctx.smoke { 1 } else { 5 };
+
+    let mut results = Vec::new();
+    let seq_kernels: [(&'static str, SeqKernel); 2] =
+        [("kernel_buc", buc_depth_first), ("kernel_bpp_buc", bpp_buc)];
+    for (name, kernel) in seq_kernels {
+        results.push(run_bench(name, n, samples, || {
+            let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+            let mut sink = CellBuf::counting();
+            kernel(
+                &rel,
+                minsup,
+                TreeTask::whole_lattice(rel.arity()),
+                &mut cluster.nodes[0],
+                &mut sink,
+            );
+            std::hint::black_box(sink.count);
+        }));
+    }
+    for alg in [
+        Algorithm::Rp,
+        Algorithm::Bpp,
+        Algorithm::Asl,
+        Algorithm::Pt,
+        Algorithm::Aht,
+    ] {
+        let name: &'static str = match alg {
+            Algorithm::Rp => "cluster_rp",
+            Algorithm::Bpp => "cluster_bpp",
+            Algorithm::Asl => "cluster_asl",
+            Algorithm::Pt => "cluster_pt",
+            Algorithm::Aht => "cluster_aht",
+            Algorithm::HashTree => unreachable!("not benchmarked"),
+        };
+        results.push(run_bench(name, n, samples, || {
+            std::hint::black_box(measure(alg, &rel, minsup, 8).total_cells);
+        }));
+    }
+
+    let mut t = Table::new(["name", "median_ms", "tuples_per_sec", "peak_mb"]);
+    for r in &results {
+        t.row([
+            r.name.to_string(),
+            format!("{:.1}", r.median.as_secs_f64() * 1e3),
+            format!("{:.0}", r.tuples_per_sec),
+            if r.peak_bytes > 0 {
+                format!("{:.1}", r.peak_bytes as f64 / 1e6)
+            } else {
+                "n/a".to_string()
+            },
+        ]);
+    }
+    let mut report = Report::new("bench", "Wall-clock kernel baseline", t);
+    report.note(format!(
+        "{n} tuples, minsup {minsup}, {samples} sample(s) per benchmark; \
+         times are host wall-clock, not virtual."
+    ));
+    if results.iter().all(|r| r.peak_bytes == 0) {
+        report.note(
+            "peak_mb is n/a: the counting allocator is only installed in \
+             the `experiments` binary."
+                .to_string(),
+        );
+    }
+
+    match write_json(ctx, &rel, samples, &results) {
+        Ok(path) => report.note(format!("json: {}", path.display())),
+        Err(e) => report.note(format!("json write failed: {e}")),
+    }
+    report
+}
+
+fn write_json(
+    ctx: &Ctx,
+    rel: &Relation,
+    samples: usize,
+    results: &[BenchResult],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"icecube-bench-kernel/v1\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", ctx.scale));
+    out.push_str(&format!("  \"tuples\": {},\n", rel.len()));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_ns\": {}, \
+             \"tuples_per_sec\": {:.1}, \"peak_bytes\": {} }}{}\n",
+            r.name,
+            r.median.as_nanos(),
+            r.tuples_per_sec,
+            r.peak_bytes,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::create_dir_all(&ctx.out_dir)?;
+    let path = ctx.out_dir.join("BENCH_kernel.json");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_writes_schema_stable_json() {
+        let ctx = Ctx {
+            out_dir: std::env::temp_dir().join("icecube-bench-json"),
+            ..Ctx::quick()
+        };
+        let r = bench(&ctx);
+        assert_eq!(r.table.len(), 7, "two kernels + five cluster algorithms");
+        let json = std::fs::read_to_string(ctx.out_dir.join("BENCH_kernel.json")).unwrap();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        for key in ["schema", "scale", "tuples", "samples", "results"] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");
+        }
+        for name in [
+            "kernel_buc",
+            "kernel_bpp_buc",
+            "cluster_rp",
+            "cluster_bpp",
+            "cluster_asl",
+            "cluster_pt",
+            "cluster_aht",
+        ] {
+            assert!(json.contains(name), "missing benchmark {name}");
+        }
+        for field in ["median_ns", "tuples_per_sec", "peak_bytes"] {
+            assert!(json.contains(field), "missing field {field}");
+        }
+    }
+}

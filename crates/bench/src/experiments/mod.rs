@@ -2,6 +2,7 @@
 //! experiment identifiers used throughout `DESIGN.md` and `EXPERIMENTS.md`.
 
 pub mod ablations;
+pub mod bench;
 pub mod chapter3;
 pub mod chapter4;
 pub mod chapter5;
@@ -40,6 +41,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ablation_pol",
         "ablation_sequential",
         "ablation_improvements",
+        "bench",
     ]
 }
 
@@ -68,6 +70,7 @@ pub fn run_by_id(id: &str, ctx: &Ctx) -> Option<Report> {
         "ablation_pol" => ablations::pol_stealing(ctx),
         "ablation_sequential" => ablations::sequential(ctx),
         "ablation_improvements" => ablations::improvements(ctx),
+        "bench" => bench::bench(ctx),
         _ => return None,
     })
 }

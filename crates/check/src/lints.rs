@@ -37,6 +37,10 @@ pub const LINTS: &[(&str, &str)] = &[
     ),
     ("missing-docs", "every pub item needs a doc comment"),
     (
+        "no-clone-hot-path",
+        "no .clone()/.to_vec()/.to_owned() in the BUC kernel hot-path files",
+    ),
+    (
         "suppression",
         "check:allow comments must name a known lint and give a justification",
     ),
@@ -45,6 +49,13 @@ pub const LINTS: &[(&str, &str)] = &[
         "every crate under crates/ must appear in the policy table",
     ),
 ];
+
+/// Files held to the zero-clone discipline of DESIGN.md §10: the arena
+/// kernel's whole point is that recursion never copies an index set, so a
+/// new `.clone()` here is a performance regression until proven otherwise
+/// (suppress with `// check:allow(no-clone-hot-path): <why>` if one is
+/// genuinely warranted).
+const HOT_PATH_FILES: &[&str] = &["crates/core/src/buc.rs", "crates/core/src/partition.rs"];
 
 const PANIC_MACROS: &[&str] = &[
     "panic",
@@ -120,8 +131,18 @@ pub fn lint_file(file: &str, src: &str, policy: &CratePolicy) -> Vec<Finding> {
         });
     };
 
+    let hot_path = HOT_PATH_FILES.iter().any(|h| file.ends_with(h));
     for i in 0..code.len() {
         let line = code[i].line;
+        if hot_path && punct(i, '.') && punct(i + 2, '(') {
+            if let Some(name @ ("clone" | "to_vec" | "to_owned")) = ident(i + 1) {
+                emit(
+                    code[i + 1].line,
+                    "no-clone-hot-path",
+                    format!("`.{name}()` in a zero-clone kernel file; recurse over arena ranges"),
+                );
+            }
+        }
         if policy.no_panic {
             if punct(i, '.') {
                 if let Some(name @ ("unwrap" | "expect")) = ident(i + 1) {
@@ -584,6 +605,32 @@ mod tests {
     fn attributes_between_doc_and_item_are_skipped() {
         let src = "/// Documented.\n#[derive(Debug)]\n#[repr(C)]\npub struct S(u32);";
         assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn clone_in_hot_path_files_is_flagged() {
+        let src = "fn f(v: &[u32]) -> Vec<u32> {\n    let a = v.to_vec();\n    a.clone()\n}";
+        let f = lint_file("crates/core/src/buc.rs", src, &strict());
+        let hits: Vec<_> = f.iter().filter(|f| f.lint == "no-clone-hot-path").collect();
+        assert_eq!(hits.len(), 2, "{f:?}");
+        assert_eq!(hits[0].line, 2);
+        // The same source is fine in a file outside the hot-path list.
+        let elsewhere = lint_file("crates/core/src/cell.rs", src, &strict());
+        assert!(
+            elsewhere.iter().all(|f| f.lint != "no-clone-hot-path"),
+            "{elsewhere:?}"
+        );
+        // Test code in a hot-path file stays exempt.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t(v: &[u32]) { let _ = v.to_vec(); }\n}";
+        let f = lint_file("crates/core/src/partition.rs", test_src, &strict());
+        assert!(f.iter().all(|f| f.lint != "no-clone-hot-path"), "{f:?}");
+    }
+
+    #[test]
+    fn hot_path_clone_is_suppressible() {
+        let src = "fn f(v: &[u32]) -> Vec<u32> {\n    // check:allow(no-clone-hot-path): one-time setup copy.\n    v.to_vec()\n}";
+        let f = lint_file("crates/core/src/buc.rs", src, &strict());
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -167,14 +167,21 @@ impl SimNode {
         if self.dead || nominal == 0 {
             return 0;
         }
-        let factor = self
-            .slowdowns
-            .iter()
-            .filter(|s| s.from_ns <= self.clock_ns && self.clock_ns < s.until_ns)
-            .map(|s| s.factor_pct.max(100))
-            .max()
-            .unwrap_or(100) as u64;
-        let inflated = nominal * factor / 100;
+        // Without slowdown windows (the fault-free common case) the factor
+        // is exactly 100 and `nominal * 100 / 100` is the identity, so the
+        // window scan and widening arithmetic can be skipped outright.
+        let inflated = if self.slowdowns.is_empty() {
+            nominal
+        } else {
+            let factor = self
+                .slowdowns
+                .iter()
+                .filter(|s| s.from_ns <= self.clock_ns && self.clock_ns < s.until_ns)
+                .map(|s| s.factor_pct.max(100))
+                .max()
+                .unwrap_or(100) as u64;
+            nominal * factor / 100
+        };
         let actual = self.clamp_elapse(inflated);
         self.stats.slowdown_ns += (inflated - nominal).min(actual);
         actual
@@ -235,7 +242,16 @@ impl SimNode {
     /// Charges CPU work quoted in reference-node nanoseconds; slower nodes
     /// take proportionally longer.
     pub fn charge_cpu(&mut self, reference_ns: u64) {
-        let t = (reference_ns as f64 * self.spec.cpu_scale()).round() as u64;
+        // A reference-speed node scales by exactly 1.0, and `f64` is exact
+        // for integers up to 2^53, so the scale-and-round trip is the
+        // identity — skip the float arithmetic on this (dominant) path.
+        let t = if self.spec.mhz == crate::config::REFERENCE_MHZ
+            && reference_ns <= (1u64 << f64::MANTISSA_DIGITS)
+        {
+            reference_ns
+        } else {
+            (reference_ns as f64 * self.spec.cpu_scale()).round() as u64
+        };
         let actual = self.elapse_busy(t);
         self.stats.cpu_ns += actual;
     }

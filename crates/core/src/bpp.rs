@@ -20,7 +20,7 @@
 //! the motivation for ASL.
 
 use crate::algorithms::{finish, RunOptions, RunOutcome};
-use crate::buc::bpp_buc;
+use crate::buc::{bpp_buc_with, BucScratch};
 use crate::cell::CellBuf;
 use crate::error::AlgoError;
 use crate::query::IcebergQuery;
@@ -90,6 +90,9 @@ pub fn run_bpp(
     // the time the manager detects the loss.
     let detect = cluster.config.faults.policy.detect_timeout_ns;
     let mut recovery: Vec<((usize, usize), u64)> = Vec::new();
+    // One arena scratch serves every (attribute, chunk) task, including
+    // the recovery sweep: host-side reuse, invisible to the cost model.
+    let mut scratch = BucScratch::new();
     cluster.phase_start("compute");
     for j in 0..n {
         if !cluster.nodes[j].is_dead() {
@@ -114,7 +117,7 @@ pub fn run_bpp(
             let guard = TaskGuard::checkpoint(&cluster.nodes[j], &sinks[j]);
             let node = &mut cluster.nodes[j];
             node.charge_task_overhead_for(task.root.bits() as u64);
-            bpp_buc(chunk, query.minsup, task, node, &mut sinks[j]);
+            bpp_buc_with(&mut scratch, chunk, query.minsup, task, node, &mut sinks[j]);
             if cluster.nodes[j].is_dead() {
                 guard.rollback(&mut cluster.nodes[j], &mut sinks[j]);
                 cluster.nodes[j].note_task_lost();
@@ -149,7 +152,14 @@ pub fn run_bpp(
         node.read_bytes(rel.byte_size());
         node.charge_scan(rel.len() as u64);
         node.charge_moves(chunk.len() as u64);
-        bpp_buc(chunk, query.minsup, task, node, &mut sinks[survivor]);
+        bpp_buc_with(
+            &mut scratch,
+            chunk,
+            query.minsup,
+            task,
+            node,
+            &mut sinks[survivor],
+        );
         if cluster.nodes[survivor].is_dead() {
             guard.rollback(&mut cluster.nodes[survivor], &mut sinks[survivor]);
             cluster.nodes[survivor].note_task_lost();

@@ -18,16 +18,80 @@
 //!
 //! On the simulated disk the two orders differ only through the per-switch
 //! penalty, which is precisely the paper's Figure 3.6 comparison.
+//!
+//! # Memory discipline (DESIGN §10)
+//!
+//! Both engines run **zero-clone**: every recursion frame works on a
+//! `(start, end)` range of one reusable `u32` index arena owned by
+//! [`BucScratch`]. The depth-first engine partitions its range in place,
+//! exactly like the original BUC; the breadth-first engine gives each child
+//! frame its copy of the parent's tuples by counting-sorting the parent
+//! range directly into the region above the arena watermark
+//! ([`Partitioner::scatter_refine`]) and compacting it in place — one move
+//! per tuple, no owned `Vec` clones anywhere on the hot path. Group vectors
+//! come from a small pool so steady-state recursion allocates nothing.
+//! The simulated cost model is unchanged: the charge sequence is
+//! call-for-call identical to the historical cloning kernel, which the
+//! `tests/kernel_equivalence.rs` suite locks down.
 
 use crate::agg::Aggregate;
 use crate::cell::{Cell, CellSink};
-use crate::partition::{full_index, Group, Partitioner};
+use crate::partition::{Group, Partitioner};
 use icecube_cluster::{EventKind, SimNode};
 use icecube_data::Relation;
 use icecube_lattice::{CuboidMask, TreeTask};
 
+/// Reusable scratch state for the BUC-family engines: the index arena the
+/// recursion ranges over, a pool of group vectors (one grabbed per frame,
+/// returned on unwind), the counting-sort partitioner, and the key buffer.
+///
+/// A scratch can be reused across tasks, relations, and engines — each
+/// entry point re-seeds the arena prefix it needs. Buffers only ever grow,
+/// so a driver that runs many tasks (RP's subtree loop, PT's demand
+/// scheduler, the recovery sweeps) touches the allocator a bounded number
+/// of times regardless of task count.
+#[derive(Debug, Default)]
+pub struct BucScratch {
+    arena: Vec<u32>,
+    pool: Vec<Vec<Group>>,
+    part: Partitioner,
+    key: Vec<u32>,
+}
+
+impl BucScratch {
+    /// Creates an empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        BucScratch::default()
+    }
+
+    /// Re-seeds `arena[..n]` with the identity index `0..n`.
+    fn seed_identity(&mut self, n: usize) {
+        self.arena.clear();
+        self.arena.extend(0..n as u32);
+    }
+
+    /// Re-seeds the arena prefix with a copy of `idx`.
+    fn seed_from(&mut self, idx: &[u32]) {
+        self.arena.clear();
+        self.arena.extend_from_slice(idx);
+    }
+}
+
 /// Computes `task`'s group-bys with the original depth-first-writing BUC.
 pub fn buc_depth_first<S: CellSink>(
+    rel: &Relation,
+    minsup: u64,
+    task: TreeTask,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    buc_depth_first_with(&mut BucScratch::new(), rel, minsup, task, node, sink);
+}
+
+/// [`buc_depth_first`] with caller-provided scratch, for drivers that run
+/// many tasks back to back (RP's subtree loop and recovery sweep).
+pub fn buc_depth_first_with<S: CellSink>(
+    scratch: &mut BucScratch,
     rel: &Relation,
     minsup: u64,
     task: TreeTask,
@@ -38,18 +102,19 @@ pub fn buc_depth_first<S: CellSink>(
         return;
     }
     debug_assert_eq!(task.d, rel.arity());
+    let n = rel.len();
+    scratch.seed_identity(n);
     let mut eng = Engine {
         rel,
         minsup,
         d: task.d,
         node,
         sink,
-        part: Partitioner::new(),
-        key: Vec::new(),
+        scratch,
+        top: n,
     };
-    let mut idx = full_index(rel);
     let rdims = task.root.dims();
-    eng.df_descend(&mut idx, &rdims, 0, task);
+    eng.df_descend((0, n as u32), &rdims, 0, task);
 }
 
 /// Computes `task`'s group-bys with BPP-BUC (breadth-first writing).
@@ -60,22 +125,37 @@ pub fn bpp_buc<S: CellSink>(
     node: &mut SimNode,
     sink: &mut S,
 ) {
+    bpp_buc_with(&mut BucScratch::new(), rel, minsup, task, node, sink);
+}
+
+/// [`bpp_buc`] with caller-provided scratch, for drivers that run many
+/// tasks back to back (BPP's chunk loop and recovery sweep).
+pub fn bpp_buc_with<S: CellSink>(
+    scratch: &mut BucScratch,
+    rel: &Relation,
+    minsup: u64,
+    task: TreeTask,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
     if rel.is_empty() {
         return;
     }
     debug_assert_eq!(task.d, rel.arity());
+    let n = rel.len();
+    scratch.seed_identity(n);
     let mut eng = Engine {
         rel,
         minsup,
         d: task.d,
         node,
         sink,
-        part: Partitioner::new(),
-        key: Vec::new(),
+        scratch,
+        top: n,
     };
-    let idx = full_index(rel);
-    let groups = vec![(0u32, rel.len() as u32)];
-    eng.bpp_from_root(idx, groups, task);
+    let mut groups = eng.grab_groups();
+    groups.push((0u32, n as u32));
+    eng.bpp_from_root(groups, task);
 }
 
 /// Computes `task`'s group-bys with BPP-BUC over an index that is already
@@ -96,62 +176,131 @@ pub fn bpp_buc_presorted<S: CellSink>(
     node: &mut SimNode,
     sink: &mut S,
 ) {
+    bpp_buc_presorted_with(
+        &mut BucScratch::new(),
+        rel,
+        minsup,
+        task,
+        idx,
+        groups,
+        node,
+        sink,
+    );
+}
+
+/// [`bpp_buc_presorted`] with caller-provided scratch (PT's demand loop).
+#[allow(clippy::too_many_arguments)]
+pub fn bpp_buc_presorted_with<S: CellSink>(
+    scratch: &mut BucScratch,
+    rel: &Relation,
+    minsup: u64,
+    task: TreeTask,
+    idx: &[u32],
+    groups: &[Group],
+    node: &mut SimNode,
+    sink: &mut S,
+) {
     if rel.is_empty() || idx.is_empty() {
         return;
     }
     debug_assert_eq!(task.d, rel.arity());
+    scratch.seed_from(idx);
     let mut eng = Engine {
         rel,
         minsup,
         d: task.d,
         node,
         sink,
-        part: Partitioner::new(),
-        key: Vec::new(),
+        scratch,
+        top: idx.len(),
     };
+    let mut root_groups = eng.grab_groups();
+    root_groups.extend_from_slice(groups);
     if task.root.is_all() {
+        // The root region [0, n) is only ever read by the children (each
+        // scatter-refines it into the region above the watermark), so one
+        // seeding serves every k — where the cloning kernel copied the
+        // whole index per child dimension.
         for k in task.from_dim..task.d {
-            eng.bpp_recurse(idx.to_vec(), groups.to_vec(), CuboidMask::ALL, k);
+            eng.bpp_recurse(&root_groups, CuboidMask::ALL, k);
         }
     } else {
-        let (pi, pg) = eng.emit_cuboid_and_prune(idx, groups, task.root);
-        if pi.is_empty() {
-            return;
-        }
-        for k in task.from_dim..task.d {
-            eng.bpp_recurse(pi.clone(), pg.clone(), task.root, k);
+        let plen = eng.emit_cuboid_and_prune(0, &mut root_groups, task.root);
+        if plen > 0 {
+            eng.top = plen as usize;
+            for k in task.from_dim..task.d {
+                eng.bpp_recurse(&root_groups, task.root, k);
+            }
         }
     }
+    eng.release_groups(root_groups);
 }
 
-/// Shared state of one engine run.
+/// Shared state of one engine run. `top` is the arena watermark: frames at
+/// the current recursion depth own `arena[..top]`; a child frame claims
+/// `[top, top + len)`, advances `top` past its compacted survivors while
+/// recursing, and restores it on unwind.
 struct Engine<'a, S: CellSink> {
     rel: &'a Relation,
     minsup: u64,
     d: usize,
     node: &'a mut SimNode,
     sink: &'a mut S,
-    part: Partitioner,
-    key: Vec<u32>,
+    scratch: &'a mut BucScratch,
+    top: usize,
 }
 
 impl<'a, S: CellSink> Engine<'a, S> {
-    /// Aggregates `idx[s..e]` and charges the per-tuple update cost.
-    fn aggregate(&mut self, idx: &[u32], s: u32, e: u32) -> Aggregate {
+    /// Grabs a cleared group vector from the pool (or allocates the pool's
+    /// first few on a cold start).
+    fn grab_groups(&mut self) -> Vec<Group> {
+        let mut g = self.scratch.pool.pop().unwrap_or_default();
+        g.clear();
+        g
+    }
+
+    /// Returns a group vector to the pool, keeping its capacity.
+    fn release_groups(&mut self, g: Vec<Group>) {
+        self.scratch.pool.push(g);
+    }
+
+    /// Grows the arena (never shrinks, never re-zeroes live data) so that
+    /// `arena[..needed]` is addressable.
+    fn ensure_arena(&mut self, needed: usize) {
+        if self.scratch.arena.len() < needed {
+            self.scratch.arena.resize(needed, 0);
+        }
+    }
+
+    /// Aggregates the arena range `[s, e)` and charges the per-tuple
+    /// update cost.
+    fn aggregate(&mut self, s: u32, e: u32) -> Aggregate {
         let mut agg = Aggregate::empty();
-        for &row in &idx[s as usize..e as usize] {
+        for &row in &self.scratch.arena[s as usize..e as usize] {
             agg.update(self.rel.measure(row as usize));
         }
         self.node.charge_agg_updates((e - s) as u64);
         agg
     }
 
-    /// Fills `self.key` with the cell key of the group starting at `row`.
+    /// Fills the key buffer with the cell key of the group starting at `row`.
     fn project_key(&mut self, mask: CuboidMask, row: u32) {
-        let rel = self.rel;
-        self.key.clear();
-        self.key.resize(mask.dim_count(), 0);
-        mask.project_row(rel.row(row as usize), &mut self.key);
+        let key = &mut self.scratch.key;
+        key.clear();
+        key.resize(mask.dim_count(), 0);
+        mask.project_row(self.rel.row(row as usize), key);
+    }
+
+    /// Counting-sorts the arena range by `dim`, appending groups to `out`.
+    fn split(&mut self, range: Group, dim: usize, out: &mut Vec<Group>) {
+        self.scratch.part.split(
+            self.rel,
+            &mut self.scratch.arena,
+            range,
+            dim,
+            self.node,
+            out,
+        );
     }
 
     // ---- depth-first (BUC / RP) -------------------------------------
@@ -160,170 +309,213 @@ impl<'a, S: CellSink> Engine<'a, S> {
     /// threshold are pruned (their cells, and all refinements, cannot
     /// qualify). Intermediate prefixes' cells belong to other tasks and
     /// are not emitted; the root cuboid's cells are.
-    fn df_descend(&mut self, idx: &mut [u32], rdims: &[usize], depth: usize, task: TreeTask) {
+    fn df_descend(&mut self, range: Group, rdims: &[usize], depth: usize, task: TreeTask) {
         if depth == rdims.len() {
             if rdims.is_empty() {
                 // Whole-lattice task: no root cell (the "all" node is
                 // special), go straight to the subtree loop.
-                self.df(idx, CuboidMask::ALL, task.from_dim);
+                self.df(range, CuboidMask::ALL, task.from_dim);
             }
             return;
         }
         let dim = rdims[depth];
-        let mut groups = Vec::new();
-        let len = idx.len() as u32;
-        self.part
-            .split(self.rel, idx, (0, len), dim, self.node, &mut groups);
+        let mut groups = self.grab_groups();
+        self.split(range, dim, &mut groups);
         let last = depth + 1 == rdims.len();
-        for (s, e) in groups {
+        for &(s, e) in &groups {
             if ((e - s) as u64) < self.minsup {
                 continue;
             }
             if last {
                 // This is a cell of the task's root cuboid: BUC writes the
                 // aggregate before recursing (Figure 2.9, line 13).
-                let agg = self.aggregate(idx, s, e);
-                self.project_key(task.root, idx[s as usize]);
+                let agg = self.aggregate(s, e);
+                let first = self.scratch.arena[s as usize];
+                self.project_key(task.root, first);
                 self.emit_one(task.root, &agg);
-                self.df(&mut idx[s as usize..e as usize], task.root, task.from_dim);
+                self.df((s, e), task.root, task.from_dim);
             } else {
-                self.df_descend(&mut idx[s as usize..e as usize], rdims, depth + 1, task);
+                self.df_descend((s, e), rdims, depth + 1, task);
             }
         }
+        self.release_groups(groups);
     }
 
     /// The BUC recursion: extend `mask` by each dimension `k ≥ from`,
-    /// writing each qualifying cell then refining it depth-first.
-    fn df(&mut self, idx: &mut [u32], mask: CuboidMask, from: usize) {
+    /// writing each qualifying cell then refining it depth-first. The
+    /// range is partitioned strictly in place, so a parent's sibling
+    /// groups are untouched by the recursion below.
+    fn df(&mut self, range: Group, mask: CuboidMask, from: usize) {
         self.node.trace_event(EventKind::Depth {
             depth: mask.dim_count() as u32,
         });
         for k in from..self.d {
-            let mut groups = Vec::new();
-            let len = idx.len() as u32;
-            self.part
-                .split(self.rel, idx, (0, len), k, self.node, &mut groups);
+            let mut groups = self.grab_groups();
+            self.split(range, k, &mut groups);
             let child = mask.with_dim(k);
-            for (s, e) in groups {
+            for &(s, e) in &groups {
                 if ((e - s) as u64) < self.minsup {
                     continue;
                 }
-                let agg = self.aggregate(idx, s, e);
-                self.project_key(child, idx[s as usize]);
+                let agg = self.aggregate(s, e);
+                let first = self.scratch.arena[s as usize];
+                self.project_key(child, first);
                 self.emit_one(child, &agg);
-                self.df(&mut idx[s as usize..e as usize], child, k + 1);
+                self.df((s, e), child, k + 1);
             }
+            self.release_groups(groups);
         }
     }
 
     /// Writes a single cell immediately (depth-first / scattered writing).
     fn emit_one(&mut self, cuboid: CuboidMask, agg: &Aggregate) {
-        self.sink.emit(cuboid, &self.key, agg);
-        self.node
-            .write_cells(cuboid.bits() as u64, Cell::disk_bytes(self.key.len()), 1);
+        self.sink.emit(cuboid, &self.scratch.key, agg);
+        self.node.write_cells(
+            cuboid.bits() as u64,
+            Cell::disk_bytes(self.scratch.key.len()),
+            1,
+        );
     }
 
     // ---- breadth-first (BPP-BUC / BPP / PT) --------------------------
 
     /// Descends to the task root (pruning, not emitting, intermediate
     /// prefixes — they belong to other tasks), emits the root cuboid, then
-    /// recurses over the allowed child dimensions.
-    fn bpp_from_root(&mut self, mut idx: Vec<u32>, mut groups: Vec<Group>, task: TreeTask) {
+    /// recurses over the allowed child dimensions. The descent refines and
+    /// compacts the arena prefix `[0, len)` in place.
+    fn bpp_from_root(&mut self, mut groups: Vec<Group>, task: TreeTask) {
         let rdims = task.root.dims();
         let mut mask = CuboidMask::ALL;
+        let mut len = self.top as u32;
         for (i, &dim) in rdims.iter().enumerate() {
-            let mut fine = Vec::new();
-            self.part
-                .refine(self.rel, &mut idx, &groups, dim, self.node, &mut fine);
-            mask = mask.with_dim(dim);
-            if i + 1 == rdims.len() {
-                let (pi, pg) = self.emit_cuboid_and_prune(&idx, &fine, mask);
-                idx = pi;
-                groups = pg;
-            } else {
-                let (pi, pg) = self.prune_only(&idx, &fine);
-                idx = pi;
-                groups = pg;
+            let mut fine = self.grab_groups();
+            {
+                let BucScratch { arena, part, .. } = &mut *self.scratch;
+                part.refine(self.rel, arena, &groups, dim, self.node, &mut fine);
             }
-            if idx.is_empty() {
+            mask = mask.with_dim(dim);
+            len = if i + 1 == rdims.len() {
+                self.emit_cuboid_and_prune(0, &mut fine, mask)
+            } else {
+                self.prune_only(&mut fine)
+            };
+            let spent = std::mem::replace(&mut groups, fine);
+            self.release_groups(spent);
+            if len == 0 {
+                self.release_groups(groups);
                 return;
             }
         }
+        self.top = len as usize;
         for k in task.from_dim..self.d {
-            self.bpp_recurse(idx.clone(), groups.clone(), mask, k);
+            self.bpp_recurse(&groups, mask, k);
         }
+        self.release_groups(groups);
     }
 
-    /// One BPP-BUC call: refine the (already prefix-grouped) data by `k`,
-    /// write the whole cuboid `mask ∪ {k}` contiguously, prune, recurse.
-    fn bpp_recurse(&mut self, mut idx: Vec<u32>, groups: Vec<Group>, mask: CuboidMask, k: usize) {
+    /// One BPP-BUC call: scatter-refine the (already prefix-grouped)
+    /// parent region by `k` into the region above the watermark, write the
+    /// whole cuboid `mask ∪ {k}` contiguously, compact the survivors in
+    /// place, recurse. The parent region is read, never written, so every
+    /// sibling dimension sees it intact — the property the cloning kernel
+    /// bought with an owned copy per child.
+    fn bpp_recurse(&mut self, groups: &[Group], mask: CuboidMask, k: usize) {
         self.node.trace_event(EventKind::Depth {
             depth: mask.dim_count() as u32 + 1,
         });
-        let mut fine = Vec::new();
-        self.part
-            .refine(self.rel, &mut idx, &groups, k, self.node, &mut fine);
+        let dst_base = self.top as u32;
+        let total: u32 = groups.iter().map(|&(s, e)| e - s).sum();
+        self.ensure_arena(self.top + total as usize);
+        let mut fine = self.grab_groups();
+        {
+            let BucScratch { arena, part, .. } = &mut *self.scratch;
+            part.scatter_refine(self.rel, arena, groups, dst_base, k, self.node, &mut fine);
+        }
         let child = mask.with_dim(k);
-        let (pruned_idx, pruned_groups) = self.emit_cuboid_and_prune(&idx, &fine, child);
-        if pruned_idx.is_empty() {
-            return;
+        let plen = self.emit_cuboid_and_prune(dst_base, &mut fine, child);
+        if plen > 0 {
+            self.top = (dst_base + plen) as usize;
+            for k2 in k + 1..self.d {
+                self.bpp_recurse(&fine, child, k2);
+            }
+            self.top = dst_base as usize;
         }
-        for k2 in k + 1..self.d {
-            self.bpp_recurse(pruned_idx.clone(), pruned_groups.clone(), child, k2);
-        }
+        self.release_groups(fine);
     }
 
     /// Emits every qualifying cell of `mask` (one contiguous write) and
-    /// returns the index compacted to qualifying tuples.
+    /// compacts the qualifying groups' tuples to the front of the region
+    /// at `base`, rewriting `groups` to the compacted layout. Returns the
+    /// compacted length.
+    ///
+    /// The compaction write cursor never passes the group being read
+    /// (groups are ascending and survivors only shrink the span), so the
+    /// in-place `copy_within` cannot clobber unread tuples.
     fn emit_cuboid_and_prune(
         &mut self,
-        idx: &[u32],
-        groups: &[Group],
+        base: u32,
+        groups: &mut Vec<Group>,
         mask: CuboidMask,
-    ) -> (Vec<u32>, Vec<Group>) {
+    ) -> u32 {
         let kd = mask.dim_count();
-        let mut new_idx = Vec::with_capacity(idx.len());
-        let mut new_groups = Vec::with_capacity(groups.len());
+        let mut w = base;
+        let mut kept = 0usize;
         let mut cells = 0u64;
-        for &(s, e) in groups {
+        for i in 0..groups.len() {
+            let (s, e) = groups[i];
             if ((e - s) as u64) < self.minsup {
                 continue;
             }
-            let agg = self.aggregate(idx, s, e);
-            self.project_key(mask, idx[s as usize]);
-            self.sink.emit(mask, &self.key, &agg);
+            let agg = self.aggregate(s, e);
+            let first = self.scratch.arena[s as usize];
+            self.project_key(mask, first);
+            self.sink.emit(mask, &self.scratch.key, &agg);
             cells += 1;
-            let ns = new_idx.len() as u32;
-            new_idx.extend_from_slice(&idx[s as usize..e as usize]);
-            new_groups.push((ns, new_idx.len() as u32));
+            let len = e - s;
+            self.scratch
+                .arena
+                .copy_within(s as usize..e as usize, w as usize);
+            groups[kept] = (w, w + len);
+            kept += 1;
+            w += len;
         }
+        groups.truncate(kept);
         if cells > 0 {
             // One contiguous write for the whole cuboid: breadth-first.
             self.node
                 .write_cells(mask.bits() as u64, cells * Cell::disk_bytes(kd), cells);
         }
-        self.node.charge_moves(new_idx.len() as u64);
-        (new_idx, new_groups)
+        self.node.charge_moves((w - base) as u64);
+        w - base
     }
 
-    /// Compacts the index to tuples in qualifying groups without emitting
-    /// (used while descending to a chopped task's root).
-    fn prune_only(&mut self, idx: &[u32], groups: &[Group]) -> (Vec<u32>, Vec<Group>) {
+    /// Compacts the arena prefix to tuples in qualifying groups without
+    /// emitting (used while descending to a chopped task's root). Returns
+    /// the compacted length; when every group qualifies this is free — no
+    /// tuple moves, no move charge, matching the cost model's treatment of
+    /// a prune that keeps everything.
+    fn prune_only(&mut self, groups: &mut Vec<Group>) -> u32 {
         if groups.iter().all(|&(s, e)| ((e - s) as u64) >= self.minsup) {
-            return (idx.to_vec(), groups.to_vec());
+            return groups.last().map_or(0, |&(_, e)| e);
         }
-        let mut new_idx = Vec::with_capacity(idx.len());
-        let mut new_groups = Vec::with_capacity(groups.len());
-        for &(s, e) in groups {
+        let mut w = 0u32;
+        let mut kept = 0usize;
+        for i in 0..groups.len() {
+            let (s, e) = groups[i];
             if ((e - s) as u64) < self.minsup {
                 continue;
             }
-            let ns = new_idx.len() as u32;
-            new_idx.extend_from_slice(&idx[s as usize..e as usize]);
-            new_groups.push((ns, new_idx.len() as u32));
+            let len = e - s;
+            self.scratch
+                .arena
+                .copy_within(s as usize..e as usize, w as usize);
+            groups[kept] = (w, w + len);
+            kept += 1;
+            w += len;
         }
-        self.node.charge_moves(new_idx.len() as u64);
-        (new_idx, new_groups)
+        groups.truncate(kept);
+        self.node.charge_moves(w as u64);
+        w
     }
 }
 

@@ -19,6 +19,11 @@ pub struct Partitioner {
     counts: Vec<u32>,
     scratch: Vec<u32>,
     touched: Vec<u32>,
+    /// Dimension values captured during the count pass, so the scatter
+    /// pass reads them sequentially instead of chasing the row-major
+    /// relation a second time (the dominant cache-miss source on wide
+    /// relations).
+    vals: Vec<u32>,
 }
 
 impl Partitioner {
@@ -52,9 +57,13 @@ impl Partitioner {
             self.counts.resize(card, 0);
         }
         self.touched.clear();
-        // Count occurrences of each value in the run.
+        self.vals.clear();
+        // Count occurrences of each value in the run, remembering each
+        // tuple's value for the scatter pass.
         for &row in &idx[start..end] {
-            let v = rel.value(row as usize, dim) as usize;
+            let v = rel.value(row as usize, dim);
+            self.vals.push(v);
+            let v = v as usize;
             if self.counts[v] == 0 {
                 self.touched.push(v as u32);
             }
@@ -72,15 +81,20 @@ impl Partitioner {
             out.push((range.0 + offset, range.0 + offset + c));
             offset += c;
         }
-        // Scatter into scratch, then copy back.
-        self.scratch.clear();
-        self.scratch.resize(len, 0);
-        for &row in &idx[start..end] {
-            let v = rel.value(row as usize, dim) as usize;
+        // Scatter into scratch, then copy back. The scratch is grown but
+        // never zeroed: the prefix sums above make `counts[v]` a bijection
+        // from run positions onto `0..len`, so the scatter writes every
+        // slot of `scratch[..len]` exactly once and stale contents from a
+        // previous (possibly longer) call can never leak through.
+        if self.scratch.len() < len {
+            self.scratch.resize(len, 0);
+        }
+        for (&row, &v) in idx[start..end].iter().zip(&self.vals) {
+            let v = v as usize;
             self.scratch[self.counts[v] as usize] = row;
             self.counts[v] += 1;
         }
-        idx[start..end].copy_from_slice(&self.scratch);
+        idx[start..end].copy_from_slice(&self.scratch[..len]);
         node.charge_moves(len as u64);
         // Reset the touched counters for the next call.
         for &v in &self.touched {
@@ -105,10 +119,85 @@ impl Partitioner {
             self.split(rel, idx, g, dim, node, out);
         }
     }
+
+    /// Like [`refine`](Self::refine), but counting-sorts each group of
+    /// `arena[..dst_base]` directly into the region starting at `dst_base`
+    /// instead of permuting in place — the zero-clone arena kernel's way of
+    /// giving a child recursion frame its own copy of the parent's tuples
+    /// with a single move per tuple (in-place refine plus a host-side
+    /// `Vec` clone used to cost three).
+    ///
+    /// Every group must lie below `dst_base`, and the destination region
+    /// must have room for the groups' total length. Refined groups are
+    /// appended to `out` packed contiguously from `dst_base`, in group
+    /// order. Charges are identical to [`refine`](Self::refine): one scan
+    /// pass plus one move per tuple of each non-empty group.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter_refine(
+        &mut self,
+        rel: &Relation,
+        arena: &mut [u32],
+        groups: &[Group],
+        dst_base: u32,
+        dim: usize,
+        node: &mut SimNode,
+        out: &mut Vec<Group>,
+    ) {
+        let (src, dst) = arena.split_at_mut(dst_base as usize);
+        let mut dpos = dst_base;
+        for &(s, e) in groups {
+            let (start, end) = (s as usize, e as usize);
+            debug_assert!(start <= end && end <= src.len());
+            let len = end - start;
+            if len == 0 {
+                continue;
+            }
+            let card = rel.schema().cardinality(dim) as usize;
+            if self.counts.len() < card {
+                self.counts.resize(card, 0);
+            }
+            self.touched.clear();
+            self.vals.clear();
+            for &row in &src[start..end] {
+                let v = rel.value(row as usize, dim);
+                self.vals.push(v);
+                let v = v as usize;
+                if self.counts[v] == 0 {
+                    self.touched.push(v as u32);
+                }
+                self.counts[v] += 1;
+            }
+            node.charge_scan(len as u64);
+            self.touched.sort_unstable();
+            let mut offset = 0u32;
+            for &v in &self.touched {
+                let c = self.counts[v as usize];
+                self.counts[v as usize] = offset;
+                out.push((dpos + offset, dpos + offset + c));
+                offset += c;
+            }
+            let slot = (dpos - dst_base) as usize;
+            let dst = &mut dst[slot..slot + len];
+            for (&row, &v) in src[start..end].iter().zip(&self.vals) {
+                let v = v as usize;
+                dst[self.counts[v] as usize] = row;
+                self.counts[v] += 1;
+            }
+            node.charge_moves(len as u64);
+            for &v in &self.touched {
+                self.counts[v as usize] = 0;
+            }
+            dpos += len as u32;
+        }
+    }
 }
 
 /// Builds the identity index array `0..n` for a relation.
+///
+/// Row indices are `u32` throughout the kernel; [`Relation`] enforces its
+/// `MAX_ROWS` cap at construction time, so the cast below cannot truncate.
 pub fn full_index(rel: &Relation) -> Vec<u32> {
+    debug_assert!(rel.len() <= icecube_data::Relation::MAX_ROWS);
     (0..rel.len() as u32).collect()
 }
 

@@ -16,7 +16,7 @@
 //! cache levels stay valid across tasks.
 
 use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
-use crate::buc::bpp_buc_presorted;
+use crate::buc::{bpp_buc_presorted_with, BucScratch};
 use crate::cell::CellBuf;
 use crate::error::AlgoError;
 use crate::partition::{full_index, Group, Partitioner};
@@ -34,6 +34,9 @@ struct SortCache {
     idx: Vec<u32>,
     levels: Vec<Vec<Group>>,
     part: Partitioner,
+    /// The single whole-index group, kept alongside so [`Self::groups`]
+    /// can hand out a borrow in the no-root case instead of allocating.
+    whole: [Group; 1],
 }
 
 impl SortCache {
@@ -58,23 +61,30 @@ impl SortCache {
             self.root_dims.truncate(shared);
             self.levels.truncate(shared);
         }
+        self.whole = [(0, self.idx.len() as u32)];
         for &dim in &root_dims[self.root_dims.len()..] {
-            let base: Vec<Group> = match self.levels.last() {
-                Some(g) => g.clone(),
-                None => vec![(0, self.idx.len() as u32)],
+            let SortCache {
+                idx,
+                levels,
+                part,
+                whole,
+                ..
+            } = self;
+            let base: &[Group] = match levels.last() {
+                Some(g) => g,
+                None => &whole[..],
             };
             let mut fine = Vec::new();
-            self.part
-                .refine(rel, &mut self.idx, &base, dim, node, &mut fine);
-            self.levels.push(fine);
+            part.refine(rel, idx, base, dim, node, &mut fine);
+            levels.push(fine);
             self.root_dims.push(dim);
         }
     }
 
-    fn groups(&self) -> Vec<Group> {
+    fn groups(&self) -> &[Group] {
         match self.levels.last() {
-            Some(g) => g.clone(),
-            None => vec![(0, self.idx.len() as u32)],
+            Some(g) => g,
+            None => &self.whole[..],
         }
     }
 }
@@ -152,6 +162,9 @@ pub fn run_pt(
     let mut inflight: Vec<Option<TreeTask>> = vec![None; n];
     let mut guards: Vec<Option<TaskGuard>> = vec![None; n];
     let mut requeued: Vec<TreeTask> = Vec::new();
+    // One arena scratch serves every task on every worker: host-side
+    // reuse, invisible to the simulated cost model.
+    let mut scratch = BucScratch::new();
 
     cluster.phase_start("compute");
     run_demand_steps_healing(&mut cluster, |cluster, node_id, event| {
@@ -185,13 +198,13 @@ pub fn run_pt(
         let root_dims = task.root.dims();
         let cache = &mut caches[node_id];
         cache.prepare(rel, &root_dims, affinity, node);
-        let groups = cache.groups();
-        bpp_buc_presorted(
+        bpp_buc_presorted_with(
+            &mut scratch,
             rel,
             minsup,
             task,
             &cache.idx,
-            &groups,
+            cache.groups(),
             node,
             &mut sinks[node_id],
         );

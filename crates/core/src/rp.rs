@@ -12,7 +12,7 @@
 //! (Figure 4.1). Both weaknesses are what BPP and PT then attack.
 
 use crate::algorithms::{finish, load_replicated, RunOptions, RunOutcome};
-use crate::buc::buc_depth_first;
+use crate::buc::{buc_depth_first_with, BucScratch};
 use crate::cell::CellBuf;
 use crate::error::AlgoError;
 use crate::query::IcebergQuery;
@@ -50,6 +50,9 @@ pub fn run_rp(
         .collect();
     // Tasks lost to crashes, with the time the manager detects each loss.
     let mut recovery: Vec<(TreeTask, u64)> = Vec::new();
+    // One arena scratch serves every subtree, including the recovery
+    // sweep: host-side reuse, invisible to the simulated cost model.
+    let mut scratch = BucScratch::new();
     // Static round-robin assignment: subtree rooted at dimension i goes to
     // processor i mod n. With more processors than dimensions, some idle.
     cluster.phase_start("compute");
@@ -64,7 +67,14 @@ pub fn run_rp(
         let guard = TaskGuard::checkpoint(&cluster.nodes[node_id], &sinks[node_id]);
         let node = &mut cluster.nodes[node_id];
         node.charge_task_overhead_for(task.root.bits() as u64);
-        buc_depth_first(rel, query.minsup, task, node, &mut sinks[node_id]);
+        buc_depth_first_with(
+            &mut scratch,
+            rel,
+            query.minsup,
+            task,
+            node,
+            &mut sinks[node_id],
+        );
         if cluster.nodes[node_id].is_dead() {
             guard.rollback(&mut cluster.nodes[node_id], &mut sinks[node_id]);
             cluster.nodes[node_id].note_task_lost();
@@ -93,7 +103,14 @@ pub fn run_rp(
         let guard = TaskGuard::checkpoint(&cluster.nodes[survivor], &sinks[survivor]);
         let node = &mut cluster.nodes[survivor];
         node.charge_task_overhead_for(task.root.bits() as u64);
-        buc_depth_first(rel, query.minsup, task, node, &mut sinks[survivor]);
+        buc_depth_first_with(
+            &mut scratch,
+            rel,
+            query.minsup,
+            task,
+            node,
+            &mut sinks[survivor],
+        );
         if cluster.nodes[survivor].is_dead() {
             guard.rollback(&mut cluster.nodes[survivor], &mut sinks[survivor]);
             cluster.nodes[survivor].note_task_lost();

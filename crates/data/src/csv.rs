@@ -90,6 +90,12 @@ pub fn read_csv<R: Read>(
         .map(|(name, dict)| Dimension::new(*name, dict.len().max(1)))
         .collect();
     let schema = Schema::new(dims, measure_col.unwrap_or("count"))?;
+    if rows.len() > Relation::MAX_ROWS {
+        return Err(DataError::TooManyRows {
+            rows: rows.len(),
+            max: Relation::MAX_ROWS,
+        });
+    }
     let mut relation = Relation::with_capacity(schema, rows.len());
     for (encoded, measure) in rows {
         relation.push_row_unchecked(&encoded, measure);

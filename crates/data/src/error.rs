@@ -21,6 +21,16 @@ pub enum DataError {
         /// Declared cardinality of that dimension.
         cardinality: u32,
     },
+    /// A relation would exceed the kernel-wide row budget. Row indices are
+    /// `u32` throughout the cube kernels; silently truncating (and thereby
+    /// aliasing) indices of an oversized relation would corrupt every
+    /// downstream partition, so construction refuses it up front.
+    TooManyRows {
+        /// The row count that was requested.
+        rows: usize,
+        /// The largest supported row count ([`crate::Relation::MAX_ROWS`]).
+        max: usize,
+    },
     /// A schema with zero dimensions was supplied.
     EmptySchema,
     /// A dimension was declared with cardinality zero.
@@ -53,6 +63,12 @@ impl fmt::Display for DataError {
                 f,
                 "value {value} out of range for dimension {dim} (cardinality {cardinality})"
             ),
+            DataError::TooManyRows { rows, max } => {
+                write!(
+                    f,
+                    "relation of {rows} rows exceeds the supported maximum of {max}"
+                )
+            }
             DataError::EmptySchema => write!(f, "schema must declare at least one dimension"),
             DataError::ZeroCardinality { dim } => {
                 write!(f, "dimension {dim} declared with cardinality zero")

@@ -132,6 +132,14 @@ impl SyntheticSpec {
             "one skew per dimension"
         );
         let schema = Schema::from_cardinalities(&self.cardinalities)?;
+        // Reject oversized requests before allocating anything: the cube
+        // kernels index rows with `u32`.
+        if self.tuples > Relation::MAX_ROWS {
+            return Err(DataError::TooManyRows {
+                rows: self.tuples,
+                max: Relation::MAX_ROWS,
+            });
+        }
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let samplers: Vec<Zipf> = self
             .cardinalities

@@ -19,6 +19,26 @@ pub struct Relation {
 }
 
 impl Relation {
+    /// The largest supported row count. The cube kernels index rows with
+    /// `u32` (half the memory traffic of `usize` on the partitioning hot
+    /// path), so a relation must never outgrow the `u32` domain — beyond
+    /// it, `rel.len() as u32` truncates and distinct rows alias the same
+    /// index. Construction paths reject oversized inputs with
+    /// [`DataError::TooManyRows`] instead.
+    pub const MAX_ROWS: usize = u32::MAX as usize;
+
+    /// Checks that a relation of `rows` rows plus `additional` more stays
+    /// within [`Self::MAX_ROWS`].
+    fn check_row_budget(rows: usize, additional: usize) -> Result<(), DataError> {
+        match rows.checked_add(additional) {
+            Some(total) if total <= Self::MAX_ROWS => Ok(()),
+            _ => Err(DataError::TooManyRows {
+                rows: rows.saturating_add(additional),
+                max: Self::MAX_ROWS,
+            }),
+        }
+    }
+
     /// Creates an empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
         Relation {
@@ -58,8 +78,9 @@ impl Relation {
         self.measures.is_empty()
     }
 
-    /// Appends a row, validating arity and value ranges.
+    /// Appends a row, validating arity, value ranges and the row budget.
     pub fn push_row(&mut self, values: &[u32], measure: i64) -> Result<(), DataError> {
+        Self::check_row_budget(self.len(), 1)?;
         if values.len() != self.arity() {
             return Err(DataError::ArityMismatch {
                 expected: self.arity(),
@@ -86,6 +107,7 @@ impl Relation {
     /// (generator, partitioning) where the source is already validated.
     pub fn push_row_unchecked(&mut self, values: &[u32], measure: i64) {
         debug_assert_eq!(values.len(), self.arity());
+        debug_assert!(self.len() < Self::MAX_ROWS, "row budget exceeded");
         self.dims.extend_from_slice(values);
         self.measures.push(measure);
     }
@@ -272,6 +294,7 @@ impl Relation {
                 got: other.arity(),
             });
         }
+        Self::check_row_budget(self.len(), other.len())?;
         self.dims.extend_from_slice(&other.dims);
         self.measures.extend_from_slice(&other.measures);
         Ok(())
@@ -465,6 +488,31 @@ mod tests {
         let it = r.rows();
         assert_eq!(it.len(), 4);
         assert_eq!(it.count(), 4);
+    }
+
+    #[test]
+    fn row_budget_is_enforced() {
+        // The guard itself, at the boundary (a 4-billion-row relation is
+        // not constructible in a test, so exercise the shared check).
+        assert!(Relation::check_row_budget(Relation::MAX_ROWS - 1, 1).is_ok());
+        assert!(matches!(
+            Relation::check_row_budget(Relation::MAX_ROWS, 1),
+            Err(DataError::TooManyRows { max, .. }) if max == Relation::MAX_ROWS
+        ));
+        // Overflow of the addition itself must also be caught.
+        assert!(matches!(
+            Relation::check_row_budget(usize::MAX, 2),
+            Err(DataError::TooManyRows { .. })
+        ));
+    }
+
+    #[test]
+    fn generator_rejects_oversized_specs_before_allocating() {
+        let spec = crate::SyntheticSpec::uniform(Relation::MAX_ROWS + 1, vec![2, 2], 0);
+        assert!(matches!(
+            spec.generate(),
+            Err(DataError::TooManyRows { max, .. }) if max == Relation::MAX_ROWS
+        ));
     }
 
     #[test]

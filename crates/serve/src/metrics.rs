@@ -76,8 +76,20 @@ impl LatencyHistogram {
         total.checked_div(count).unwrap_or(0)
     }
 
-    /// The upper bound of the bucket containing quantile `q` in `[0, 1]`,
-    /// in nanoseconds (0 when empty).
+    /// Upper bound of bucket `i` in nanoseconds: `2^(i+1)`, saturating the
+    /// shift at the top of `u64`. Both the in-loop hit and the defensive
+    /// fallthrough in [`LatencyHistogram::quantile_ns`] go through here, so
+    /// the final bucket reports one bound no matter which path returns it
+    /// (they used to disagree in spirit: the loop clamped its shift while
+    /// the fallthrough computed `1 << BUCKETS` raw, which only matched
+    /// because `BUCKETS` happens to be 48).
+    fn bucket_upper_bound(i: usize) -> u64 {
+        1u64 << (i + 1).min(63)
+    }
+
+    /// The upper bound of the bucket containing quantile `q`, in
+    /// nanoseconds (0 when empty). `q` is interpreted on `[0, 1]`;
+    /// out-of-range or NaN values clamp to the nearest valid quantile.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let counts: Vec<u64> = self
             .buckets
@@ -91,16 +103,19 @@ impl LatencyHistogram {
         if total == 0 {
             return 0;
         }
+        // Clamp explicitly rather than leaning on float-to-int cast
+        // saturation (`f64::clamp` propagates NaN, so catch that first).
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         // Rank of the sample answering quantile q, 1-based.
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, c) in counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return 1u64 << (i + 1).min(63);
+                return Self::bucket_upper_bound(i);
             }
         }
-        1u64 << BUCKETS
+        Self::bucket_upper_bound(BUCKETS - 1)
     }
 }
 
@@ -276,6 +291,39 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean_ns(), 0);
         assert_eq!(h.quantile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn min_bucket_sample_reports_its_bucket_bound() {
+        let h = LatencyHistogram::new();
+        h.record(0); // clamps to 1 ns → bucket [1, 2)
+        h.record(1);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_ns(q), 2, "q={q}");
+        }
+    }
+
+    #[test]
+    fn max_bucket_sample_agrees_with_the_fallthrough_bound() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX); // lands in the final catch-all bucket
+        let top = h.quantile_ns(1.0);
+        assert_eq!(top, 1u64 << BUCKETS);
+        // The in-loop bound for the last bucket and the defensive
+        // fallthrough must be the same number.
+        assert_eq!(top, LatencyHistogram::bucket_upper_bound(BUCKETS - 1));
+    }
+
+    #[test]
+    fn out_of_range_quantiles_clamp() {
+        let h = LatencyHistogram::new();
+        h.record(3); // bucket [2, 4)
+        h.record(1000); // bucket [512, 1024)
+        assert_eq!(h.quantile_ns(1.5), h.quantile_ns(1.0));
+        assert_eq!(h.quantile_ns(-0.5), h.quantile_ns(0.0));
+        assert_eq!(h.quantile_ns(f64::NAN), h.quantile_ns(0.0));
+        assert_eq!(h.quantile_ns(0.0), 4);
+        assert_eq!(h.quantile_ns(1.0), 1024);
     }
 
     #[test]

@@ -123,6 +123,45 @@ impl Bencher {
     }
 }
 
+/// Raw per-call durations from [`sample`], for callers that need an
+/// actual statistic (the wall-clock benchmark harness wants medians,
+/// which shrug off the occasional scheduling hiccup that skews a mean).
+#[derive(Debug, Clone)]
+pub struct Samples {
+    times: Vec<Duration>,
+}
+
+impl Samples {
+    /// The individual call durations, in measurement order.
+    pub fn times(&self) -> &[Duration] {
+        &self.times
+    }
+
+    /// The median call duration (lower middle for even counts;
+    /// `Duration::ZERO` when empty).
+    pub fn median(&self) -> Duration {
+        if self.times.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.times.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) / 2]
+    }
+}
+
+/// Times `f` individually `samples` times after one untimed warm-up call,
+/// returning every duration rather than printing an aggregate.
+pub fn sample<R>(samples: usize, mut f: impl FnMut() -> R) -> Samples {
+    black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed());
+    }
+    Samples { times }
+}
+
 fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
         samples,
@@ -164,6 +203,24 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sample_returns_one_duration_per_call() {
+        let mut calls = 0u64;
+        let s = sample(5, || calls += 1);
+        assert_eq!(calls, 6, "one warm-up plus five samples");
+        assert_eq!(s.times().len(), 5);
+        let med = s.median();
+        let mut sorted = s.times().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(med, sorted[2]);
+    }
+
+    #[test]
+    fn empty_samples_have_zero_median() {
+        let s = sample(0, || ());
+        assert_eq!(s.median(), Duration::ZERO);
+    }
 
     #[test]
     fn bencher_counts_calls() {

@@ -1,0 +1,116 @@
+//! Cross-kernel equivalence: the zero-clone arena kernel must be
+//! observationally indistinguishable from a freshly specified BUC — same
+//! cells as the brute-force reference, and bit-identical simulated cost
+//! statistics run to run. The cells check catches wrong answers; the
+//! stats check catches any drift in the charge sequence (the arena
+//! rewrite must not add, drop, merge, or reorder a single `charge_*`
+//! call, because fault injection keys off exact virtual times).
+
+use icecube::cluster::{ClusterConfig, SimCluster};
+use icecube::core::buc::{bpp_buc, bpp_buc_with, BucScratch};
+use icecube::core::cell::CellBuf;
+use icecube::core::naive::naive_iceberg_cube;
+use icecube::core::sequential::{run_sequential, SeqAlgorithm};
+use icecube::core::verify::assert_same_cells;
+use icecube::core::{run_parallel, Algorithm, IcebergQuery};
+use icecube::data::{Relation, SyntheticSpec};
+use icecube::lattice::TreeTask;
+
+const SEEDS: [u64; 8] = [3, 11, 29, 47, 101, 211, 499, 997];
+
+fn workload(seed: u64) -> Relation {
+    // Vary the shape with the seed so the sweep covers skew, width, and
+    // density rather than eight draws of one distribution.
+    let (cards, skews) = match seed % 4 {
+        0 => (vec![8u32, 6, 4], vec![0.0, 0.0, 0.0]),
+        1 => (vec![20, 10, 5, 3], vec![1.2, 0.0, 0.5, 0.0]),
+        2 => (vec![4, 4, 4, 4, 4], vec![0.0, 1.5, 0.0, 1.5, 0.0]),
+        _ => (vec![30, 2, 12], vec![0.8, 0.0, 1.0]),
+    };
+    SyntheticSpec::uniform(300, cards, seed)
+        .with_skews(skews)
+        .generate()
+        .unwrap()
+}
+
+#[test]
+fn every_algorithm_matches_naive_with_deterministic_stats() {
+    for seed in SEEDS {
+        let rel = workload(seed);
+        for minsup in [1u64, 3] {
+            let q = IcebergQuery::count_cube(rel.arity(), minsup);
+            let want = naive_iceberg_cube(&rel, &q);
+            for alg in Algorithm::all() {
+                let cfg = ClusterConfig::fast_ethernet(4);
+                let ctx = format!("{alg}, seed {seed}, minsup {minsup}");
+                let a = run_parallel(alg, &rel, &q, &cfg).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                let b = run_parallel(alg, &rel, &q, &cfg).unwrap();
+                assert_same_cells(want.clone(), a.cells.clone(), &ctx);
+                // Two identical runs must agree on every counter and every
+                // final virtual clock, bit for bit.
+                assert_eq!(a.stats, b.stats, "stats drift: {ctx}");
+                assert_eq!(a.cells, b.cells, "cell drift: {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_kernels_match_naive_with_deterministic_stats() {
+    for seed in SEEDS {
+        let rel = workload(seed);
+        let q = IcebergQuery::count_cube(rel.arity(), 2);
+        let want = naive_iceberg_cube(&rel, &q);
+        let cfg = ClusterConfig::fast_ethernet(1);
+        for alg in [SeqAlgorithm::Buc, SeqAlgorithm::BppBuc] {
+            let ctx = format!("{alg:?}, seed {seed}");
+            let a = run_sequential(alg, &rel, &q, &cfg).unwrap();
+            let b = run_sequential(alg, &rel, &q, &cfg).unwrap();
+            assert_same_cells(want.clone(), a.cells.clone(), &ctx);
+            assert_eq!(a.stats, b.stats, "stats drift: {ctx}");
+            assert_eq!(a.clock_ns, b.clock_ns, "clock drift: {ctx}");
+        }
+    }
+}
+
+#[test]
+fn scratch_reuse_is_invisible_to_cells_and_charges() {
+    // Running many kernels through one reused scratch must be
+    // indistinguishable from giving each its own fresh scratch: the arena
+    // is host-side memory, invisible to the simulated cost model.
+    let mut scratch = BucScratch::new();
+    for seed in SEEDS {
+        let rel = workload(seed);
+        let task = TreeTask::whole_lattice(rel.arity());
+
+        let mut fresh_cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+        let mut fresh_sink = CellBuf::collecting();
+        bpp_buc(&rel, 2, task, &mut fresh_cluster.nodes[0], &mut fresh_sink);
+
+        let mut reused_cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
+        let mut reused_sink = CellBuf::collecting();
+        bpp_buc_with(
+            &mut scratch,
+            &rel,
+            2,
+            task,
+            &mut reused_cluster.nodes[0],
+            &mut reused_sink,
+        );
+
+        assert_eq!(
+            fresh_sink.into_cells(),
+            reused_sink.into_cells(),
+            "seed {seed}: reused scratch changed the cells"
+        );
+        assert_eq!(
+            fresh_cluster.nodes[0].stats, reused_cluster.nodes[0].stats,
+            "seed {seed}: reused scratch changed the charges"
+        );
+        assert_eq!(
+            fresh_cluster.nodes[0].clock_ns(),
+            reused_cluster.nodes[0].clock_ns(),
+            "seed {seed}: reused scratch changed the clock"
+        );
+    }
+}
