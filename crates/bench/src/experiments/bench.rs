@@ -3,22 +3,39 @@
 //! Every other experiment reports *virtual* time from the simulated
 //! cluster; this one reports real host time, so kernel-level changes
 //! (like the zero-clone arena rewrite) have a recorded before/after.
-//! It times the two sequential BUC kernels plus the five evaluated
-//! cluster algorithms on the baseline preset, and writes
-//! `BENCH_kernel.json` next to the CSVs:
+//! It times the two sequential BUC kernels, the five evaluated cluster
+//! algorithms on the simulated backend, and the same five on the native
+//! thread-pool executor, and writes `BENCH_kernel.json` next to the
+//! CSVs:
 //!
 //! ```json
 //! {
-//!   "schema": "icecube-bench-kernel/v1",
+//!   "schema": "icecube-bench-kernel/v2",
 //!   "scale": 1.0,
 //!   "tuples": 176000,
 //!   "samples": 5,
 //!   "results": [
-//!     { "name": "kernel_bpp_buc", "median_ns": 994000000,
-//!       "tuples_per_sec": 177062.1, "peak_bytes": 12345678 }
+//!     { "name": "kernel_bpp_buc", "backend": "host", "workers": 1,
+//!       "median_ns": 994000000, "tuples_per_sec": 177062.1,
+//!       "peak_bytes": 12345678 },
+//!     { "name": "native_bpp", "backend": "native", "workers": 8,
+//!       "median_ns": 241000000, "tuples_per_sec": 730000.0,
+//!       "peak_bytes": 23456789, "speedup_vs_sim": 4.1 }
 //!   ]
 //! }
 //! ```
+//!
+//! Every row carries `backend` ("host" for the sequential kernels, "sim"
+//! or "native" for the cluster algorithms) and `workers`; native rows add
+//! `speedup_vs_sim` — the ratio of the matching simulated run's host
+//! wall-clock median to theirs — when both backends ran (`--backend
+//! both`, the default). The simulated rows pay for the cost model and
+//! single-threaded scheduling; the native rows run the identical task
+//! decomposition on real threads, so on a host with real cores to give
+//! the ratio approaches the parallelism. On a single-core host (the
+//! committed baseline's recording container) the ratio instead
+//! measures scheduler overhead under time-sharing — interpret it
+//! against the host's `nproc`, never across machines.
 //!
 //! Kernels are timed into counting sinks (the same `RunOptions::counting`
 //! the virtual-time experiments use), so the numbers measure cube
@@ -34,10 +51,15 @@ use criterion::sample;
 use icecube_cluster::{ClusterConfig, SimCluster};
 use icecube_core::buc::{bpp_buc, buc_depth_first};
 use icecube_core::cell::CellBuf;
-use icecube_core::Algorithm;
+use icecube_core::{run_parallel_exec, Algorithm, IcebergQuery, RunOptions};
 use icecube_data::{presets, Relation};
+use icecube_exec::NativeExecutor;
 use icecube_lattice::TreeTask;
 use std::time::Duration;
+
+/// Worker count for the cluster-algorithm rows, on both backends — the
+/// paper's evaluation uses an 8-node cluster.
+const BENCH_WORKERS: usize = 8;
 
 /// A sequential BUC kernel entry point (the signature shared by
 /// `buc_depth_first` and `bpp_buc`).
@@ -45,14 +67,21 @@ type SeqKernel = fn(&Relation, u64, TreeTask, &mut icecube_cluster::SimNode, &mu
 
 /// One benchmark's recorded result.
 struct BenchResult {
-    name: &'static str,
+    name: String,
+    backend: &'static str,
+    workers: usize,
     median: Duration,
     tuples_per_sec: f64,
     peak_bytes: u64,
+    /// Simulated median / native median, on native rows when the
+    /// matching sim row also ran this invocation.
+    speedup_vs_sim: Option<f64>,
 }
 
 fn run_bench(
-    name: &'static str,
+    name: String,
+    backend: &'static str,
+    workers: usize,
     tuples: usize,
     samples: usize,
     mut f: impl FnMut(),
@@ -63,6 +92,8 @@ fn run_bench(
     let secs = median.as_secs_f64();
     BenchResult {
         name,
+        backend,
+        workers,
         median,
         tuples_per_sec: if secs > 0.0 {
             tuples as f64 / secs
@@ -70,8 +101,18 @@ fn run_bench(
             0.0
         },
         peak_bytes: alloc_track::peak_bytes(),
+        speedup_vs_sim: None,
     }
 }
+
+/// The five evaluated algorithms with their row-name stems.
+const CLUSTER_ALGOS: [(Algorithm, &str); 5] = [
+    (Algorithm::Rp, "rp"),
+    (Algorithm::Bpp, "bpp"),
+    (Algorithm::Asl, "asl"),
+    (Algorithm::Pt, "pt"),
+    (Algorithm::Aht, "aht"),
+];
 
 /// The wall-clock benchmark baseline (`BENCH_kernel.json`).
 pub fn bench(ctx: &Ctx) -> Report {
@@ -86,7 +127,7 @@ pub fn bench(ctx: &Ctx) -> Report {
     let seq_kernels: [(&'static str, SeqKernel); 2] =
         [("kernel_buc", buc_depth_first), ("kernel_bpp_buc", bpp_buc)];
     for (name, kernel) in seq_kernels {
-        results.push(run_bench(name, n, samples, || {
+        results.push(run_bench(name.to_string(), "host", 1, n, samples, || {
             let mut cluster = SimCluster::new(ClusterConfig::fast_ethernet(1));
             let mut sink = CellBuf::counting();
             kernel(
@@ -99,36 +140,70 @@ pub fn bench(ctx: &Ctx) -> Report {
             std::hint::black_box(sink.count);
         }));
     }
-    for alg in [
-        Algorithm::Rp,
-        Algorithm::Bpp,
-        Algorithm::Asl,
-        Algorithm::Pt,
-        Algorithm::Aht,
-    ] {
-        let name: &'static str = match alg {
-            Algorithm::Rp => "cluster_rp",
-            Algorithm::Bpp => "cluster_bpp",
-            Algorithm::Asl => "cluster_asl",
-            Algorithm::Pt => "cluster_pt",
-            Algorithm::Aht => "cluster_aht",
-            Algorithm::HashTree => unreachable!("not benchmarked"),
-        };
-        results.push(run_bench(name, n, samples, || {
-            std::hint::black_box(measure(alg, &rel, minsup, 8).total_cells);
-        }));
+    if ctx.backend.runs_sim() {
+        for (alg, stem) in CLUSTER_ALGOS {
+            results.push(run_bench(
+                format!("cluster_{stem}"),
+                "sim",
+                BENCH_WORKERS,
+                n,
+                samples,
+                || {
+                    std::hint::black_box(measure(alg, &rel, minsup, BENCH_WORKERS).total_cells);
+                },
+            ));
+        }
+    }
+    if ctx.backend.runs_native() {
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        let opts = RunOptions::counting();
+        for (alg, stem) in CLUSTER_ALGOS {
+            let mut r = run_bench(
+                format!("native_{stem}"),
+                "native",
+                BENCH_WORKERS,
+                n,
+                samples,
+                || {
+                    let mut exec = NativeExecutor::new(BENCH_WORKERS);
+                    let out = run_parallel_exec(&mut exec, alg, &rel, &q, &opts)
+                        .expect("benchmark configurations are valid");
+                    std::hint::black_box(out.total_cells);
+                },
+            );
+            let sim_name = format!("cluster_{stem}");
+            r.speedup_vs_sim = results
+                .iter()
+                .find(|s| s.name == sim_name)
+                .map(|s| s.median.as_secs_f64() / r.median.as_secs_f64().max(1e-12));
+            results.push(r);
+        }
     }
 
-    let mut t = Table::new(["name", "median_ms", "tuples_per_sec", "peak_mb"]);
+    let mut t = Table::new([
+        "name",
+        "backend",
+        "workers",
+        "median_ms",
+        "tuples_per_sec",
+        "peak_mb",
+        "speedup_vs_sim",
+    ]);
     for r in &results {
         t.row([
-            r.name.to_string(),
+            r.name.clone(),
+            r.backend.to_string(),
+            r.workers.to_string(),
             format!("{:.1}", r.median.as_secs_f64() * 1e3),
             format!("{:.0}", r.tuples_per_sec),
             if r.peak_bytes > 0 {
                 format!("{:.1}", r.peak_bytes as f64 / 1e6)
             } else {
                 "n/a".to_string()
+            },
+            match r.speedup_vs_sim {
+                Some(s) => format!("{s:.2}x"),
+                None => "-".to_string(),
             },
         ]);
     }
@@ -159,19 +234,26 @@ fn write_json(
     results: &[BenchResult],
 ) -> std::io::Result<std::path::PathBuf> {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"icecube-bench-kernel/v1\",\n");
+    out.push_str("  \"schema\": \"icecube-bench-kernel/v2\",\n");
     out.push_str(&format!("  \"scale\": {},\n", ctx.scale));
     out.push_str(&format!("  \"tuples\": {},\n", rel.len()));
     out.push_str(&format!("  \"samples\": {samples},\n"));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let speedup = match r.speedup_vs_sim {
+            Some(s) => format!(", \"speedup_vs_sim\": {s:.2}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"median_ns\": {}, \
-             \"tuples_per_sec\": {:.1}, \"peak_bytes\": {} }}{}\n",
+            "    {{ \"name\": \"{}\", \"backend\": \"{}\", \"workers\": {}, \
+             \"median_ns\": {}, \"tuples_per_sec\": {:.1}, \"peak_bytes\": {}{} }}{}\n",
             r.name,
+            r.backend,
+            r.workers,
             r.median.as_nanos(),
             r.tuples_per_sec,
             r.peak_bytes,
+            speedup,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -185,6 +267,7 @@ fn write_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::BackendSel;
 
     #[test]
     fn bench_writes_schema_stable_json() {
@@ -193,9 +276,14 @@ mod tests {
             ..Ctx::quick()
         };
         let r = bench(&ctx);
-        assert_eq!(r.table.len(), 7, "two kernels + five cluster algorithms");
+        assert_eq!(
+            r.table.len(),
+            12,
+            "two kernels + five sim + five native rows"
+        );
         let json = std::fs::read_to_string(ctx.out_dir.join("BENCH_kernel.json")).unwrap();
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("icecube-bench-kernel/v2"));
         for key in ["schema", "scale", "tuples", "samples", "results"] {
             assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");
         }
@@ -207,11 +295,51 @@ mod tests {
             "cluster_asl",
             "cluster_pt",
             "cluster_aht",
+            "native_rp",
+            "native_bpp",
+            "native_asl",
+            "native_pt",
+            "native_aht",
         ] {
             assert!(json.contains(name), "missing benchmark {name}");
         }
-        for field in ["median_ns", "tuples_per_sec", "peak_bytes"] {
+        for field in [
+            "backend",
+            "workers",
+            "median_ns",
+            "tuples_per_sec",
+            "peak_bytes",
+            "speedup_vs_sim",
+        ] {
             assert!(json.contains(field), "missing field {field}");
         }
+        // `backend` appears on every row.
+        assert_eq!(json.matches("\"backend\"").count(), 12);
+    }
+
+    #[test]
+    fn backend_selection_restricts_rows() {
+        let ctx = Ctx {
+            out_dir: std::env::temp_dir().join("icecube-bench-json-sim"),
+            backend: BackendSel::Sim,
+            ..Ctx::quick()
+        };
+        let r = bench(&ctx);
+        assert_eq!(r.table.len(), 7, "two kernels + five sim rows");
+        let json = std::fs::read_to_string(ctx.out_dir.join("BENCH_kernel.json")).unwrap();
+        assert!(!json.contains("native_"), "sim-only run has native rows");
+        assert!(!json.contains("speedup_vs_sim"));
+
+        let ctx = Ctx {
+            out_dir: std::env::temp_dir().join("icecube-bench-json-native"),
+            backend: BackendSel::Native,
+            ..Ctx::quick()
+        };
+        let r = bench(&ctx);
+        assert_eq!(r.table.len(), 7, "two kernels + five native rows");
+        let json = std::fs::read_to_string(ctx.out_dir.join("BENCH_kernel.json")).unwrap();
+        assert!(!json.contains("cluster_"), "native-only run has sim rows");
+        // Without sim medians there is nothing to compare against.
+        assert!(!json.contains("speedup_vs_sim"));
     }
 }

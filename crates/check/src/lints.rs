@@ -55,7 +55,13 @@ pub const LINTS: &[(&str, &str)] = &[
 /// new `.clone()` here is a performance regression until proven otherwise
 /// (suppress with `// check:allow(no-clone-hot-path): <why>` if one is
 /// genuinely warranted).
-const HOT_PATH_FILES: &[&str] = &["crates/core/src/buc.rs", "crates/core/src/partition.rs"];
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/buc.rs",
+    "crates/core/src/partition.rs",
+    "crates/core/src/asl.rs",
+    "crates/core/src/aht.rs",
+    "crates/skiplist/src/lib.rs",
+];
 
 const PANIC_MACROS: &[&str] = &[
     "panic",
@@ -624,6 +630,19 @@ mod tests {
         let test_src = "#[cfg(test)]\nmod tests {\n    fn t(v: &[u32]) { let _ = v.to_vec(); }\n}";
         let f = lint_file("crates/core/src/partition.rs", test_src, &strict());
         assert!(f.iter().all(|f| f.lint != "no-clone-hot-path"), "{f:?}");
+        // The affinity kernels and the skip list joined the hot-path
+        // list when they became executor workloads (ROADMAP item 1).
+        for file in [
+            "crates/core/src/asl.rs",
+            "crates/core/src/aht.rs",
+            "crates/skiplist/src/lib.rs",
+        ] {
+            let f = lint_file(file, src, &strict());
+            assert!(
+                f.iter().any(|f| f.lint == "no-clone-hot-path"),
+                "{file}: {f:?}"
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,17 @@ pub const POLICIES: &[CratePolicy] = &[
         may_spawn: false,
     },
     CratePolicy {
+        // Execution backends: the native pool is the one sanctioned
+        // thread owner outside serving code, but spawning is confined to
+        // its module via a file-level allow, so the crate default stays
+        // strict. Not `deterministic`: the native backend reads wall
+        // clocks for trace spans by design.
+        name: "exec",
+        no_panic: true,
+        deterministic: false,
+        may_spawn: false,
+    },
+    CratePolicy {
         name: "online",
         no_panic: true,
         deterministic: false,

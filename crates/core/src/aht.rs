@@ -22,14 +22,16 @@
 
 use crate::agg::Aggregate;
 use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
-use crate::asl::reinsert_sorted;
+use crate::asl::{chained_tasks, cuboid_tasks, reinsert_sorted};
+use crate::backend::charge_replicated_load;
 use crate::cell::{Cell, CellBuf, CellSink};
 use crate::error::AlgoError;
 use crate::query::IcebergQuery;
 use crate::recover::TaskGuard;
-use icecube_cluster::{run_demand_steps_healing, ClusterConfig, SimCluster, StepEvent};
+use icecube_cluster::{run_demand_steps_healing, ClusterConfig, SimCluster, SimNode, StepEvent};
 use icecube_data::Relation;
-use icecube_lattice::{CuboidMask, Lattice};
+use icecube_exec::{TaskSpec, Workload};
+use icecube_lattice::CuboidMask;
 use std::rc::Rc;
 
 /// The bucket-index function AHT uses (Section 4.9.2 suggests replacing
@@ -299,12 +301,12 @@ pub fn run_aht(
     config: &ClusterConfig,
     opts: &RunOptions,
 ) -> Result<RunOutcome, AlgoError> {
+    // check:allow(no-clone-hot-path): one-time cluster construction at
+    // driver entry, not the per-tuple probe/collapse path.
     let mut cluster = SimCluster::new(config.clone());
     let n = cluster.len();
     load_replicated(&mut cluster, rel);
-    let lattice = Lattice::new(query.dims);
-    let mut remaining: Vec<CuboidMask> = lattice.cuboids().collect();
-    remaining.sort_unstable_by(|a, b| b.dim_count().cmp(&a.dim_count()).then(a.cmp(b)));
+    let mut remaining = cuboid_tasks(query.dims);
 
     struct Worker {
         first: Option<Rc<AffinityHashTable>>,
@@ -420,22 +422,7 @@ pub fn run_aht(
                 table
             }
         };
-        // Emit qualifying cells in bucket order (no sort: post-sorting is
-        // deferred to query time in AHT).
-        let mut cells = 0u64;
-        for (key, agg) in built.iter() {
-            if agg.meets(minsup) {
-                sinks[node_id].emit(built.cuboid(), key, agg);
-                cells += 1;
-            }
-        }
-        if cells > 0 {
-            node.write_cells(
-                built.cuboid().bits() as u64,
-                cells * Cell::disk_bytes(built.cuboid().dim_count()),
-                cells,
-            );
-        }
+        emit_table(&built, minsup, node, &mut sinks[node_id]);
         // Install as the worker's previous (and first, if none yet).
         node.alloc(built.memory_bytes());
         if let Some(old) = w.prev.take() {
@@ -465,6 +452,169 @@ pub fn run_aht(
         return Err(AlgoError::ClusterExhausted { nodes: n });
     }
     Ok(finish(Algorithm::Aht, &mut cluster, sinks))
+}
+
+/// Streams a finished table's qualifying cells in bucket order (no sort:
+/// post-sorting is deferred to query time in AHT) and charges the write.
+fn emit_table<S: CellSink>(
+    built: &AffinityHashTable,
+    minsup: u64,
+    node: &mut SimNode,
+    sink: &mut S,
+) {
+    let mut cells = 0u64;
+    for (key, agg) in built.iter() {
+        if agg.meets(minsup) {
+            sink.emit(built.cuboid(), key, agg);
+            cells += 1;
+        }
+    }
+    if cells > 0 {
+        node.write_cells(
+            built.cuboid().bits() as u64,
+            cells * Cell::disk_bytes(built.cuboid().dim_count()),
+            cells,
+        );
+    }
+}
+
+/// Per-worker affinity state for the executor path: the first and most
+/// recent tables, owned outright (the sim driver's `Rc` sharing exists
+/// for memory accounting, which the executor path does not do).
+pub(crate) struct AhtScratch {
+    first: Option<AffinityHashTable>,
+    prev: Option<AffinityHashTable>,
+}
+
+/// AHT's backend-agnostic decomposition: one task per cuboid in
+/// [`chained_tasks`] order, built by collapse when the worker holds a
+/// superset table (subset affinity only, as in Section 3.5.2) and from
+/// the raw relation otherwise. A table's final contents are the same
+/// cells either way, so outputs stay byte-identical however tasks land
+/// on workers.
+pub(crate) struct AhtWorkload<'a> {
+    rel: &'a Relation,
+    minsup: u64,
+    hash: AhtHash,
+    affinity: bool,
+    collect: bool,
+    target_buckets: usize,
+    tasks: Vec<CuboidMask>,
+}
+
+/// Builds AHT's executor plan for the given query.
+pub(crate) fn exec_workload<'a>(
+    rel: &'a Relation,
+    query: &IcebergQuery,
+    opts: &RunOptions,
+) -> (Vec<TaskSpec>, AhtWorkload<'a>) {
+    let tasks = chained_tasks(query.dims, false);
+    let specs = tasks
+        .iter()
+        .enumerate()
+        .map(|(id, cuboid)| TaskSpec {
+            id,
+            affinity: cuboid.bits() as u64,
+            weight: 1u64 << cuboid.dim_count(),
+        })
+        .collect();
+    let workload = AhtWorkload {
+        rel,
+        minsup: query.minsup,
+        hash: opts.aht_hash,
+        affinity: opts.affinity,
+        collect: opts.collect_cells,
+        target_buckets: rel.len(),
+        tasks,
+    };
+    (specs, workload)
+}
+
+impl AhtWorkload<'_> {
+    /// Builds a cuboid's table from the raw relation, charging the scan
+    /// and hashing costs — the no-affinity path and the cold-worker
+    /// seed share it.
+    fn build_from_relation(&self, task: CuboidMask, node: &mut SimNode) -> AffinityHashTable {
+        let cards: Vec<u32> = task
+            .dims()
+            .iter()
+            .map(|&d| self.rel.schema().cardinality(d))
+            .collect();
+        let mut table = AffinityHashTable::build_with_hash(
+            task,
+            self.rel,
+            self.target_buckets,
+            self.hash,
+            cards,
+        );
+        node.charge_scan(self.rel.len() as u64);
+        node.charge_agg_updates(self.rel.len() as u64);
+        let (probes, cmps) = table.take_counters();
+        node.charge_hash_probes(probes);
+        node.charge_comparisons(cmps);
+        table
+    }
+}
+
+impl Workload for AhtWorkload<'_> {
+    type Scratch = AhtScratch;
+    type Out = CellBuf;
+
+    fn scratch(&self, _worker: usize) -> AhtScratch {
+        AhtScratch {
+            first: None,
+            prev: None,
+        }
+    }
+
+    fn prologue(&self, node: &mut SimNode) {
+        charge_replicated_load(self.rel, node);
+    }
+
+    fn run(&self, spec: &TaskSpec, scratch: &mut AhtScratch, node: &mut SimNode) -> CellBuf {
+        let task = self.tasks[spec.id];
+        let mut sink = if self.collect {
+            CellBuf::collecting()
+        } else {
+            CellBuf::counting()
+        };
+        // A cold worker materializes the full-lattice table before
+        // anything else so the subset passes always have a donor (every
+        // task collapses from the lattice root at worst, never rebuilding
+        // from raw data mid-run). Contents are identical either way.
+        if self.affinity && scratch.first.is_none() && task != self.tasks[0] {
+            scratch.first = Some(self.build_from_relation(self.tasks[0], node));
+        }
+        // Subset-of-previous first, then subset-of-first, as the
+        // simulated manager does.
+        let held = if self.affinity {
+            [scratch.prev.as_ref(), scratch.first.as_ref()]
+                .into_iter()
+                .flatten()
+                .find(|t| task.is_subset_of(t.cuboid()))
+        } else {
+            None
+        };
+        let built = match held {
+            Some(held) => {
+                let mut table = held.collapse(task);
+                node.charge_scan(held.len() as u64);
+                node.charge_agg_updates(held.len() as u64);
+                let (probes, cmps) = table.take_counters();
+                node.charge_hash_probes(probes);
+                node.charge_comparisons(cmps);
+                table
+            }
+            None => self.build_from_relation(task, node),
+        };
+        emit_table(&built, self.minsup, node, &mut sink);
+        if scratch.first.is_none() {
+            scratch.first = Some(built);
+        } else {
+            scratch.prev = Some(built);
+        }
+        sink
+    }
 }
 
 #[cfg(test)]

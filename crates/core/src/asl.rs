@@ -33,15 +33,79 @@
 
 use crate::agg::Aggregate;
 use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
+use crate::backend::charge_replicated_load;
 use crate::cell::{Cell, CellBuf, CellSink};
 use crate::error::AlgoError;
 use crate::query::IcebergQuery;
 use crate::recover::TaskGuard;
 use icecube_cluster::{run_demand_steps_healing, ClusterConfig, SimCluster, SimNode, StepEvent};
 use icecube_data::Relation;
+use icecube_exec::{TaskSpec, Workload};
 use icecube_lattice::{CuboidMask, Lattice};
 use icecube_skiplist::SkipList;
 use std::rc::Rc;
+
+/// Every cuboid of the `d`-lattice, most dimensions first (ties by mask
+/// for determinism): the shared task order of ASL and AHT, used by both
+/// the simulator drivers and the executor plans.
+pub(crate) fn cuboid_tasks(d: usize) -> Vec<CuboidMask> {
+    let lattice = Lattice::new(d);
+    let mut tasks: Vec<CuboidMask> = lattice.cuboids().collect();
+    tasks.sort_unstable_by(|a, b| b.dim_count().cmp(&a.dim_count()).then(a.cmp(b)));
+    tasks
+}
+
+/// Replays the manager's affinity ladder over [`cuboid_tasks`] with a
+/// single virtual worker, returning the order in which that worker would
+/// pull tasks under demand scheduling. Executor plans use this order so
+/// that contiguous id blocks keep workers on prefix/subset chains
+/// without a demand scheduler: a static plan in [`cuboid_tasks`] order
+/// strands most tasks with no affine held list (siblings at the same
+/// dimension count are never subsets of each other), forcing raw-data
+/// rebuilds the simulated manager avoids.
+///
+/// `prefix_affinity` selects the ladder being replayed: ASL's four
+/// passes, where a prefix hit emits from the held list without
+/// installing a new one, or AHT's two subset passes, where every task
+/// installs its table.
+pub(crate) fn chained_tasks(d: usize, prefix_affinity: bool) -> Vec<CuboidMask> {
+    let mut remaining = cuboid_tasks(d);
+    let mut out = Vec::with_capacity(remaining.len());
+    let mut first: Option<CuboidMask> = None;
+    let mut prev: Option<CuboidMask> = None;
+    while !remaining.is_empty() {
+        let passes = [(prev, true), (first, true), (prev, false), (first, false)];
+        let mut choice = None;
+        for (held, is_prefix) in passes {
+            if is_prefix && !prefix_affinity {
+                continue;
+            }
+            let Some(held) = held else { continue };
+            let hit = remaining.iter().position(|t| {
+                if is_prefix {
+                    t.is_prefix_of(held)
+                } else {
+                    t.is_subset_of(held)
+                }
+            });
+            if let Some(pos) = hit {
+                choice = Some((pos, is_prefix));
+                break;
+            }
+        }
+        let (pos, was_prefix) = choice.unwrap_or((0, false));
+        let task = remaining.remove(pos);
+        if !(prefix_affinity && was_prefix) {
+            if first.is_none() {
+                first = Some(task);
+            } else {
+                prev = Some(task);
+            }
+        }
+        out.push(task);
+    }
+    out
+}
 
 /// Reinserts a reclaimed cuboid into `remaining`, preserving the
 /// descending-dimension-count (then ascending-mask) order the affinity
@@ -157,13 +221,12 @@ pub fn run_asl(
     config: &ClusterConfig,
     opts: &RunOptions,
 ) -> Result<RunOutcome, AlgoError> {
+    // check:allow(no-clone-hot-path): one-time cluster construction at
+    // driver entry, not the per-tuple insert/search path.
     let mut cluster = SimCluster::new(config.clone());
     let n = cluster.len();
     load_replicated(&mut cluster, rel);
-    let lattice = Lattice::new(query.dims);
-    // All cuboids, most dimensions first (ties by mask for determinism).
-    let mut remaining: Vec<CuboidMask> = lattice.cuboids().collect();
-    remaining.sort_unstable_by(|a, b| b.dim_count().cmp(&a.dim_count()).then(a.cmp(b)));
+    let mut remaining = cuboid_tasks(query.dims);
 
     let mut workers: Vec<Worker> = (0..n).map(|_| Worker::default()).collect();
     let mut sinks: Vec<CellBuf> = (0..n)
@@ -366,6 +429,182 @@ fn emit_list<S: CellSink>(built: &CuboidList, minsup: u64, node: &mut SimNode, s
             cells * Cell::disk_bytes(built.cuboid.dim_count()),
             cells,
         );
+    }
+}
+
+/// Per-worker affinity state for the executor path: the first and most
+/// recent lists, owned outright. The simulated driver shares lists via
+/// `Rc` purely for memory accounting; the executor path does no such
+/// accounting (and native workers live on separate threads, where `Rc`
+/// cannot go), so plain ownership with the same first/prev semantics
+/// suffices.
+pub(crate) struct AslScratch {
+    first: Option<CuboidList>,
+    prev: Option<CuboidList>,
+}
+
+impl AslScratch {
+    /// Installs a freshly built list as the worker's previous (and
+    /// first, if none yet) — the same rule as the sim driver's
+    /// `Worker::install`, minus the allocation bookkeeping.
+    fn install(&mut self, built: CuboidList) {
+        if self.first.is_none() {
+            self.first = Some(built);
+        } else {
+            self.prev = Some(built);
+        }
+    }
+}
+
+/// Which of a worker's held lists an affinity decision resolved to.
+#[derive(Clone, Copy)]
+enum Held {
+    /// The most recently installed list.
+    Prev,
+    /// The worker's first (widest) list, kept for the whole run.
+    First,
+}
+
+/// ASL's backend-agnostic decomposition: one task per cuboid in
+/// [`cuboid_tasks`] order. The simulated manager's prefix-then-subset
+/// ladder is applied per worker against its own held lists. Affinity
+/// changes only *how* a cuboid is built (reuse vs raw scan), never its
+/// cells, so outputs stay byte-identical however tasks land on workers.
+pub(crate) struct AslWorkload<'a> {
+    rel: &'a Relation,
+    minsup: u64,
+    seed: u64,
+    affinity: bool,
+    collect: bool,
+    tasks: Vec<CuboidMask>,
+}
+
+/// Builds ASL's executor plan for the given query.
+pub(crate) fn exec_workload<'a>(
+    rel: &'a Relation,
+    query: &IcebergQuery,
+    opts: &RunOptions,
+    seed: u64,
+) -> (Vec<TaskSpec>, AslWorkload<'a>) {
+    let tasks = chained_tasks(query.dims, true);
+    let specs = tasks
+        .iter()
+        .enumerate()
+        .map(|(id, cuboid)| TaskSpec {
+            id,
+            affinity: cuboid.bits() as u64,
+            weight: 1u64 << cuboid.dim_count(),
+        })
+        .collect();
+    let workload = AslWorkload {
+        rel,
+        minsup: query.minsup,
+        seed,
+        affinity: opts.affinity,
+        collect: opts.collect_cells,
+        tasks,
+    };
+    (specs, workload)
+}
+
+impl AslWorkload<'_> {
+    /// The manager's affinity ladder (prefix-of-prev, prefix-of-first,
+    /// subset-of-prev, subset-of-first) resolved against this worker's
+    /// held lists; the `bool` is true for the prefix passes.
+    fn pick(&self, scratch: &AslScratch, task: CuboidMask) -> Option<(Held, bool)> {
+        let prev = scratch.prev.as_ref().map(|l| l.cuboid);
+        let first = scratch.first.as_ref().map(|l| l.cuboid);
+        let passes = [
+            (prev, Held::Prev, true),
+            (first, Held::First, true),
+            (prev, Held::Prev, false),
+            (first, Held::First, false),
+        ];
+        for (held, which, prefix) in passes {
+            let Some(held) = held else { continue };
+            let affine = if prefix {
+                task.is_prefix_of(held)
+            } else {
+                task.is_subset_of(held)
+            };
+            if affine {
+                return Some((which, prefix));
+            }
+        }
+        None
+    }
+}
+
+impl Workload for AslWorkload<'_> {
+    type Scratch = AslScratch;
+    type Out = CellBuf;
+
+    fn scratch(&self, _worker: usize) -> AslScratch {
+        AslScratch {
+            first: None,
+            prev: None,
+        }
+    }
+
+    fn prologue(&self, node: &mut SimNode) {
+        charge_replicated_load(self.rel, node);
+    }
+
+    fn run(&self, spec: &TaskSpec, scratch: &mut AslScratch, node: &mut SimNode) -> CellBuf {
+        let task = self.tasks[spec.id];
+        let mut sink = if self.collect {
+            CellBuf::collecting()
+        } else {
+            CellBuf::counting()
+        };
+        // The seed shapes only skip-list tower heights (search cost),
+        // never contents or iteration order, so it may differ from the
+        // simulator's node-salted seeds without breaking byte identity.
+        let list_seed = self.seed ^ task.bits() as u64;
+        // A cold worker materializes the widest cuboid before anything
+        // else, so the ladder's subset passes always have a donor: every
+        // task is a subset of the full lattice root, which caps the
+        // worst case at one subset build instead of a raw-data rebuild.
+        // (A task's cells are the same bytes whichever path builds them.)
+        if self.affinity && scratch.first.is_none() && task != self.tasks[0] {
+            let full = self.tasks[0];
+            let built = scratch_create(self.rel, full, self.seed ^ full.bits() as u64, node);
+            scratch.install(built);
+        }
+        let choice = if self.affinity {
+            self.pick(scratch, task)
+        } else {
+            None
+        };
+        match choice {
+            Some((which, true)) => {
+                let held = match which {
+                    Held::Prev => scratch.prev.as_ref(),
+                    Held::First => scratch.first.as_ref(),
+                }
+                .expect("pick returned a held list");
+                prefix_reuse(held, task, self.minsup, node, &mut sink);
+                // No new list: the worker's held lists are unchanged.
+            }
+            Some((which, false)) => {
+                let built = {
+                    let held = match which {
+                        Held::Prev => scratch.prev.as_ref(),
+                        Held::First => scratch.first.as_ref(),
+                    }
+                    .expect("pick returned a held list");
+                    subset_create(held, task, list_seed, node)
+                };
+                emit_list(&built, self.minsup, node, &mut sink);
+                scratch.install(built);
+            }
+            None => {
+                let built = scratch_create(self.rel, task, list_seed, node);
+                emit_list(&built, self.minsup, node, &mut sink);
+                scratch.install(built);
+            }
+        }
+        sink
     }
 }
 

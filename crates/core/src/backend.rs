@@ -1,0 +1,203 @@
+//! Backend-agnostic execution of the cube algorithms.
+//!
+//! The simulator drivers (`run_rp`, `run_bpp`, …) schedule work onto a
+//! [`SimCluster`] themselves: virtual clocks, faults, recovery sweeps.
+//! This module routes the *same* task decompositions through the
+//! [`Executor`] abstraction instead, so a plan can run on the simulated
+//! cluster ([`icecube_exec::SimExecutor`]) or on real host threads
+//! ([`icecube_exec::NativeExecutor`]) and produce byte-identical cells.
+//!
+//! Determinism contract: every plan here is built from the query alone —
+//! never from the worker count — and executors return outputs in task-id
+//! order, so the merged cube is a pure function of `(relation, query,
+//! options)` regardless of backend, worker count, or stealing order.
+
+use crate::algorithms::{validate, Algorithm, RunOptions};
+use crate::cell::{sort_cells, Cell, CellBuf};
+use crate::error::AlgoError;
+use crate::query::IcebergQuery;
+use crate::{aht, asl, bpp, pt, rp};
+use icecube_cluster::SimNode;
+use icecube_data::Relation;
+use icecube_exec::{ExecReport, Executor, Workload};
+
+/// Fixed decomposition width for plans whose task count is tunable (BPP's
+/// partition count, PT's division target). The simulator drivers scale
+/// these with the cluster size; the executor path pins them so the task
+/// list — and therefore the output — is independent of how many workers
+/// happen to run it.
+pub const EXEC_UNITS: usize = 8;
+
+/// Skip-list seed for ASL's executor plan. Matches the simulated
+/// cluster's default RNG seed; it shapes only tower heights (search
+/// cost), never which cells a list emits.
+pub(crate) const EXEC_SEED: u64 = 0x1ceb_c0de;
+
+/// Charges a node for reading its replicated copy of the dataset from
+/// local disk into memory — the per-node body of
+/// [`load_replicated`](crate::algorithms::load_replicated), reused as the
+/// executor prologue for the replicated algorithms.
+pub(crate) fn charge_replicated_load(rel: &Relation, node: &mut SimNode) {
+    node.read_bytes(rel.byte_size());
+    node.charge_scan(rel.len() as u64);
+    node.alloc(rel.byte_size());
+}
+
+/// The result of running one algorithm through an [`Executor`].
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// All iceberg cells, sorted by (cuboid, key); empty when the run
+    /// counted without collecting.
+    pub cells: Vec<Cell>,
+    /// Total cells found (counted even when not collected).
+    pub total_cells: u64,
+    /// Backend, worker, and timing detail from the executor.
+    pub report: ExecReport,
+}
+
+/// Runs `algorithm` over `rel` on the given executor backend.
+///
+/// The task decomposition is the algorithm's own (RP's subtrees, BPP's
+/// chunk×subtree grid, ASL/AHT's affinity-ordered cuboids, PT's divided
+/// subtrees); only the scheduling differs from the `run_*` drivers.
+/// `HashTree` has no executor decomposition — it builds one shared
+/// candidate structure level by level — and returns
+/// [`AlgoError::SimulatorOnly`].
+pub fn run_parallel_exec<E: Executor>(
+    executor: &mut E,
+    algorithm: Algorithm,
+    rel: &Relation,
+    query: &IcebergQuery,
+    opts: &RunOptions,
+) -> Result<ExecOutcome, AlgoError> {
+    validate(rel, query)?;
+    match algorithm {
+        Algorithm::Rp => {
+            let (specs, workload) = rp::exec_workload(rel, query, opts);
+            collect(executor, algorithm, &specs, &workload)
+        }
+        Algorithm::Bpp => {
+            let (specs, workload) = bpp::exec_workload(rel, query, opts, EXEC_UNITS);
+            collect(executor, algorithm, &specs, &workload)
+        }
+        Algorithm::Asl => {
+            let (specs, workload) = asl::exec_workload(rel, query, opts, EXEC_SEED);
+            collect(executor, algorithm, &specs, &workload)
+        }
+        Algorithm::Pt => {
+            let (specs, workload) = pt::exec_workload(rel, query, opts, EXEC_UNITS);
+            collect(executor, algorithm, &specs, &workload)
+        }
+        Algorithm::Aht => {
+            let (specs, workload) = aht::exec_workload(rel, query, opts);
+            collect(executor, algorithm, &specs, &workload)
+        }
+        Algorithm::HashTree => Err(AlgoError::SimulatorOnly {
+            algorithm: "HashTree",
+        }),
+    }
+}
+
+/// Runs the plan and merges per-task sinks — in task-id order, the only
+/// order executors are allowed to return — into one sorted cube.
+fn collect<E: Executor, W: Workload<Out = CellBuf>>(
+    executor: &mut E,
+    algorithm: Algorithm,
+    specs: &[icecube_exec::TaskSpec],
+    workload: &W,
+) -> Result<ExecOutcome, AlgoError> {
+    let (sinks, report) = executor.run(specs, workload)?;
+    let mut cells = Vec::new();
+    let mut total = 0u64;
+    for sink in sinks {
+        total += sink.count;
+        cells.extend(sink.into_cells());
+    }
+    sort_cells(&mut cells);
+    Ok(ExecOutcome {
+        algorithm,
+        cells,
+        total_cells: total,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::sales;
+    use crate::naive::naive_iceberg_cube;
+    use crate::verify::assert_same_cells;
+    use icecube_exec::{Backend, NativeExecutor, SimExecutor};
+
+    #[test]
+    fn every_evaluated_algorithm_matches_naive_on_both_backends() {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 2);
+        let opts = RunOptions::default();
+        let want = naive_iceberg_cube(&rel, &q);
+        for algorithm in Algorithm::evaluated() {
+            let mut sim = SimExecutor::fast_ethernet(4);
+            let out = run_parallel_exec(&mut sim, algorithm, &rel, &q, &opts).unwrap();
+            assert_same_cells(want.clone(), out.cells, &format!("{algorithm} on sim"));
+            assert_eq!(out.report.backend, Backend::Sim);
+            let mut native = NativeExecutor::new(4);
+            let out = run_parallel_exec(&mut native, algorithm, &rel, &q, &opts).unwrap();
+            assert_same_cells(want.clone(), out.cells, &format!("{algorithm} on native"));
+            assert_eq!(out.report.backend, Backend::Native);
+        }
+    }
+
+    #[test]
+    fn hash_tree_is_simulator_only() {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 2);
+        let mut native = NativeExecutor::new(2);
+        match run_parallel_exec(
+            &mut native,
+            Algorithm::HashTree,
+            &rel,
+            &q,
+            &RunOptions::default(),
+        ) {
+            Err(AlgoError::SimulatorOnly { algorithm }) => assert_eq!(algorithm, "HashTree"),
+            other => panic!("expected SimulatorOnly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counting_mode_counts_without_retaining() {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 1);
+        let mut native = NativeExecutor::new(2);
+        let out = run_parallel_exec(
+            &mut native,
+            Algorithm::Rp,
+            &rel,
+            &q,
+            &RunOptions::counting(),
+        )
+        .unwrap();
+        assert!(out.cells.is_empty());
+        assert_eq!(out.total_cells, 47);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_before_spawning() {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(5, 1);
+        let mut native = NativeExecutor::new(2);
+        match run_parallel_exec(
+            &mut native,
+            Algorithm::Bpp,
+            &rel,
+            &q,
+            &RunOptions::default(),
+        ) {
+            Err(AlgoError::DimensionMismatch { .. }) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+    }
+}

@@ -25,9 +25,94 @@ use crate::cell::CellBuf;
 use crate::error::AlgoError;
 use crate::query::IcebergQuery;
 use crate::recover::TaskGuard;
-use icecube_cluster::{ClusterConfig, SimCluster};
+use icecube_cluster::{ClusterConfig, SimCluster, SimNode};
 use icecube_data::Relation;
+use icecube_exec::{TaskSpec, Workload};
 use icecube_lattice::{CuboidMask, TreeTask};
+
+/// Range-partitions the relation on every attribute: `chunks[i][j]` is
+/// attribute `i`'s `j`-th range chunk. Shared by the simulator driver
+/// (`parts` = node count) and the executor plan (`parts` fixed, so the
+/// task list is independent of worker count). Any chunk count yields the
+/// same cube: partial cuboids over disjoint ranges union exactly.
+pub(crate) fn partition_chunks(rel: &Relation, d: usize, parts: usize) -> Vec<Vec<Relation>> {
+    (0..d).map(|i| rel.range_partition(i, parts)).collect()
+}
+
+/// BPP's backend-agnostic decomposition: one task per non-empty
+/// (attribute, chunk) pair, computing the partial subtree rooted at that
+/// attribute over that chunk with breadth-first-writing BUC.
+pub(crate) struct BppWorkload {
+    chunks: Vec<Vec<Relation>>,
+    d: usize,
+    minsup: u64,
+    collect: bool,
+    /// `(attribute, chunk)` per task id.
+    tasks: Vec<(usize, usize)>,
+}
+
+/// Builds BPP's executor plan, partitioning every attribute `parts` ways.
+pub(crate) fn exec_workload(
+    rel: &Relation,
+    query: &IcebergQuery,
+    opts: &RunOptions,
+    parts: usize,
+) -> (Vec<TaskSpec>, BppWorkload) {
+    let d = query.dims;
+    let chunks = partition_chunks(rel, d, parts);
+    let mut tasks = Vec::new();
+    // Chunk-major order mirrors the simulator's node-major visit order:
+    // consecutive ids share a chunk owner, which is also the locality the
+    // native pool's contiguous-block injection preserves.
+    for j in 0..parts {
+        for (i, chunk_list) in chunks.iter().enumerate() {
+            if !chunk_list[j].is_empty() {
+                tasks.push((i, j));
+            }
+        }
+    }
+    let specs = tasks
+        .iter()
+        .enumerate()
+        .map(|(id, &(i, j))| TaskSpec {
+            id,
+            affinity: CuboidMask::from_dims(&[i]).bits() as u64,
+            weight: chunks[i][j].len() as u64,
+        })
+        .collect();
+    let workload = BppWorkload {
+        chunks,
+        d,
+        minsup: query.minsup,
+        collect: opts.collect_cells,
+        tasks,
+    };
+    (specs, workload)
+}
+
+impl Workload for BppWorkload {
+    type Scratch = BucScratch;
+    type Out = CellBuf;
+
+    fn scratch(&self, _worker: usize) -> BucScratch {
+        BucScratch::new()
+    }
+
+    fn run(&self, spec: &TaskSpec, scratch: &mut BucScratch, node: &mut SimNode) -> CellBuf {
+        let (i, j) = self.tasks[spec.id];
+        let task = TreeTask::full_subtree(CuboidMask::from_dims(&[i]), self.d);
+        let chunk = &self.chunks[i][j];
+        node.read_bytes(chunk.byte_size());
+        node.charge_scan(chunk.len() as u64);
+        let mut sink = if self.collect {
+            CellBuf::collecting()
+        } else {
+            CellBuf::counting()
+        };
+        bpp_buc_with(scratch, chunk, self.minsup, task, node, &mut sink);
+        sink
+    }
+}
 
 /// Runs BPP over a simulated cluster.
 ///
@@ -54,10 +139,9 @@ pub fn run_bpp(
     if opts.include_bpp_partitioning {
         cluster.phase_start("partition");
     }
-    let mut chunks: Vec<Vec<Relation>> = Vec::with_capacity(d);
-    for i in 0..d {
-        let parts = rel.range_partition(i, n);
-        if opts.include_bpp_partitioning {
+    let chunks = partition_chunks(rel, d, n);
+    if opts.include_bpp_partitioning {
+        for (i, parts) in chunks.iter().enumerate() {
             let owner = i % n;
             cluster.nodes[owner].read_bytes(rel.byte_size());
             cluster.nodes[owner].charge_scan(rel.len() as u64);
@@ -68,7 +152,6 @@ pub fn run_bpp(
                 }
             }
         }
-        chunks.push(parts);
     }
     if opts.include_bpp_partitioning {
         cluster.barrier();

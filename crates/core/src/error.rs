@@ -57,6 +57,15 @@ pub enum AlgoError {
         /// Nodes the run started with.
         nodes: usize,
     },
+    /// The algorithm runs only on the full-fidelity simulator and has no
+    /// backend-agnostic task decomposition (the hash-tree attempt exists
+    /// to reproduce a failure mode, not to execute natively).
+    SimulatorOnly {
+        /// Name of the algorithm that cannot run through an executor.
+        algorithm: &'static str,
+    },
+    /// An execution backend failed to complete the plan.
+    Exec(icecube_exec::ExecError),
     /// Underlying data error.
     Data(icecube_data::DataError),
 }
@@ -94,6 +103,13 @@ impl fmt::Display for AlgoError {
             AlgoError::ClusterExhausted { nodes } => {
                 write!(f, "all {nodes} nodes crashed before the cube completed")
             }
+            AlgoError::SimulatorOnly { algorithm } => {
+                write!(
+                    f,
+                    "{algorithm} has no executor decomposition; run it on the simulator"
+                )
+            }
+            AlgoError::Exec(e) => write!(f, "execution backend failed: {e}"),
             AlgoError::Data(e) => write!(f, "data error: {e}"),
         }
     }
@@ -103,6 +119,7 @@ impl std::error::Error for AlgoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AlgoError::Data(e) => Some(e),
+            AlgoError::Exec(e) => Some(e),
             _ => None,
         }
     }
@@ -111,6 +128,12 @@ impl std::error::Error for AlgoError {
 impl From<icecube_data::DataError> for AlgoError {
     fn from(e: icecube_data::DataError) -> Self {
         AlgoError::Data(e)
+    }
+}
+
+impl From<icecube_exec::ExecError> for AlgoError {
+    fn from(e: icecube_exec::ExecError) -> Self {
+        AlgoError::Exec(e)
     }
 }
 

@@ -20,14 +20,18 @@
 //!     failing on memory (reproduced faithfully, failure included);
 //! * the evaluation-driven algorithm-selection [`recipe`] (Figure 4.7).
 //!
-//! Entry point: [`run_parallel`] dispatches any [`Algorithm`] over a
+//! Entry points: [`run_parallel`] dispatches any [`Algorithm`] over a
 //! relation and a [`ClusterConfig`](icecube_cluster::ClusterConfig),
-//! returning the iceberg cells plus full virtual-time statistics.
+//! returning the iceberg cells plus full virtual-time statistics;
+//! [`run_parallel_exec`] runs the same decompositions through an
+//! [`icecube_exec::Executor`] — simulated or native host threads — with
+//! byte-identical cells on every backend.
 
 pub mod agg;
 pub mod aht;
 pub mod algorithms;
 pub mod asl;
+pub mod backend;
 pub mod bpp;
 pub mod buc;
 pub mod cell;
@@ -53,6 +57,7 @@ pub use agg::{AggClass, Aggregate};
 pub use algorithms::{
     run_parallel, run_parallel_with, AlgoFeatures, Algorithm, RunOptions, RunOutcome,
 };
+pub use backend::{run_parallel_exec, ExecOutcome, EXEC_UNITS};
 pub use cell::{Cell, CellBuf, CellMark, CellSink};
 pub use error::AlgoError;
 pub use query::IcebergQuery;

@@ -16,6 +16,7 @@
 //! cache levels stay valid across tasks.
 
 use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
+use crate::backend::charge_replicated_load;
 use crate::buc::{bpp_buc_presorted_with, BucScratch};
 use crate::cell::CellBuf;
 use crate::error::AlgoError;
@@ -24,7 +25,57 @@ use crate::query::IcebergQuery;
 use crate::recover::TaskGuard;
 use icecube_cluster::{run_demand_steps_healing, ClusterConfig, SimCluster, SimNode, StepEvent};
 use icecube_data::Relation;
+use icecube_exec::{TaskSpec, Workload};
 use icecube_lattice::{divide_tasks, TreeTask};
+
+/// PT's task units: binary division of the processing tree into
+/// `ratio × units` near-equal subtrees, largest first. Shared by the
+/// simulator driver (`units` = node count) and the executor plan
+/// (`units` fixed, so the task list is independent of worker count).
+pub(crate) fn divide_plan(d: usize, ratio: usize, units: usize) -> Vec<TreeTask> {
+    divide_tasks(d, ratio.max(1) * units.max(1))
+}
+
+/// Reorders a divide plan into the sequence one demand-driven worker
+/// would pull under the manager's sort affinity: each next task shares
+/// the longest root prefix with the previous one, ties to the largest
+/// remaining (how [`pick_task`] breaks them, since the divide order is
+/// largest first). Contiguous id blocks of this order keep executor
+/// workers' sort caches refining incrementally instead of re-sorting
+/// the relation from scratch at almost every task.
+fn chain_plan(mut remaining: Vec<TreeTask>) -> Vec<TreeTask> {
+    let mut out = Vec::with_capacity(remaining.len());
+    let mut prev: Option<Vec<usize>> = None;
+    while !remaining.is_empty() {
+        let pos = match &prev {
+            None => 0,
+            Some(p) => {
+                let shared = |t: &TreeTask| {
+                    t.root
+                        .dims()
+                        .iter()
+                        .zip(p)
+                        .take_while(|(a, b)| a == b)
+                        .count()
+                };
+                let mut best = 0usize;
+                let mut best_len = shared(&remaining[0]);
+                for (i, t) in remaining.iter().enumerate().skip(1) {
+                    let len = shared(t);
+                    if len > best_len {
+                        best = i;
+                        best_len = len;
+                    }
+                }
+                best
+            }
+        };
+        let task = remaining.remove(pos);
+        prev = Some(task.root.dims());
+        out.push(task);
+    }
+    out
+}
 
 /// A worker's sorted-index cache: `idx` is grouped by `root_dims[..k]` at
 /// level `k`; `levels[k]` are the groups after refining by `root_dims[..=k]`.
@@ -140,8 +191,7 @@ pub fn run_pt(
     load_replicated(&mut cluster, rel);
     // Planning: binary division until there are ratio·n tasks ("32n" in
     // the paper's experiments).
-    let target = opts.pt_task_ratio.max(1) * n;
-    let mut remaining = divide_tasks(query.dims, target);
+    let mut remaining = divide_plan(query.dims, opts.pt_task_ratio, n);
     let mut caches: Vec<SortCache> = (0..n).map(|_| SortCache::default()).collect();
     let mut prev_roots: Vec<Option<Vec<usize>>> = vec![None; n];
     let mut sinks: Vec<CellBuf> = (0..n)
@@ -225,6 +275,94 @@ pub fn run_pt(
         return Err(AlgoError::ClusterExhausted { nodes: n });
     }
     Ok(finish(Algorithm::Pt, &mut cluster, sinks))
+}
+
+/// Per-worker state for the executor path: the BUC arena plus the sort
+/// cache whose incremental refinement realizes PT's prefix affinity.
+pub(crate) struct PtScratch {
+    buc: BucScratch,
+    cache: SortCache,
+}
+
+/// PT's backend-agnostic decomposition: the binary-divided subtrees in
+/// [`chain_plan`] order (root-prefix chains), each computed bottom-up by
+/// presorted BPP-BUC over the worker's sort cache. Consecutive ids tend
+/// to share root prefixes, so the native pool's contiguous-block
+/// injection preserves most of the cache reuse the simulated manager
+/// schedules for; either way the cache only changes cost, never cells.
+pub(crate) struct PtWorkload<'a> {
+    rel: &'a Relation,
+    minsup: u64,
+    affinity: bool,
+    collect: bool,
+    tasks: Vec<TreeTask>,
+}
+
+/// Builds PT's executor plan, dividing into `ratio × units` subtrees.
+pub(crate) fn exec_workload<'a>(
+    rel: &'a Relation,
+    query: &IcebergQuery,
+    opts: &RunOptions,
+    units: usize,
+) -> (Vec<TaskSpec>, PtWorkload<'a>) {
+    let tasks = chain_plan(divide_plan(query.dims, opts.pt_task_ratio, units));
+    let specs = tasks
+        .iter()
+        .enumerate()
+        .map(|(id, task)| TaskSpec {
+            id,
+            affinity: task.root.bits() as u64,
+            weight: task.size() as u64,
+        })
+        .collect();
+    let workload = PtWorkload {
+        rel,
+        minsup: query.minsup,
+        affinity: opts.affinity,
+        collect: opts.collect_cells,
+        tasks,
+    };
+    (specs, workload)
+}
+
+impl Workload for PtWorkload<'_> {
+    type Scratch = PtScratch;
+    type Out = CellBuf;
+
+    fn scratch(&self, _worker: usize) -> PtScratch {
+        PtScratch {
+            buc: BucScratch::new(),
+            cache: SortCache::default(),
+        }
+    }
+
+    fn prologue(&self, node: &mut SimNode) {
+        charge_replicated_load(self.rel, node);
+    }
+
+    fn run(&self, spec: &TaskSpec, scratch: &mut PtScratch, node: &mut SimNode) -> CellBuf {
+        let task = self.tasks[spec.id];
+        let root_dims = task.root.dims();
+        scratch
+            .cache
+            .prepare(self.rel, &root_dims, self.affinity, node);
+        let mut sink = if self.collect {
+            CellBuf::collecting()
+        } else {
+            CellBuf::counting()
+        };
+        bpp_buc_presorted_with(
+            &mut scratch.buc,
+            self.rel,
+            self.minsup,
+            task,
+            &scratch.cache.idx,
+            scratch.cache.groups(),
+            node,
+            &mut sink,
+        );
+        sink
+    }
 }
 
 #[cfg(test)]

@@ -12,14 +12,89 @@
 //! (Figure 4.1). Both weaknesses are what BPP and PT then attack.
 
 use crate::algorithms::{finish, load_replicated, RunOptions, RunOutcome};
+use crate::backend::charge_replicated_load;
 use crate::buc::{buc_depth_first_with, BucScratch};
 use crate::cell::CellBuf;
 use crate::error::AlgoError;
 use crate::query::IcebergQuery;
 use crate::recover::TaskGuard;
-use icecube_cluster::{ClusterConfig, SimCluster};
+use icecube_cluster::{ClusterConfig, SimCluster, SimNode};
 use icecube_data::Relation;
+use icecube_exec::{TaskSpec, Workload};
 use icecube_lattice::{CuboidMask, TreeTask};
+
+/// RP's task units: the processing tree's `d` subtrees, one rooted at
+/// each dimension, in dimension order. Shared by the simulator driver
+/// and the executor plan so both backends run the identical task list.
+pub(crate) fn subtree_tasks(d: usize) -> Vec<TreeTask> {
+    (0..d)
+        .map(|i| TreeTask::full_subtree(CuboidMask::from_dims(&[i]), d))
+        .collect()
+}
+
+/// RP's backend-agnostic decomposition: one task per subtree, each
+/// computed by depth-first BUC over the replicated relation.
+pub(crate) struct RpWorkload<'a> {
+    rel: &'a Relation,
+    minsup: u64,
+    collect: bool,
+    tasks: Vec<TreeTask>,
+}
+
+/// Builds RP's executor plan for the given query.
+pub(crate) fn exec_workload<'a>(
+    rel: &'a Relation,
+    query: &IcebergQuery,
+    opts: &RunOptions,
+) -> (Vec<TaskSpec>, RpWorkload<'a>) {
+    let tasks = subtree_tasks(query.dims);
+    let specs = tasks
+        .iter()
+        .enumerate()
+        .map(|(id, task)| TaskSpec {
+            id,
+            affinity: task.root.bits() as u64,
+            weight: task.size() as u64,
+        })
+        .collect();
+    let workload = RpWorkload {
+        rel,
+        minsup: query.minsup,
+        collect: opts.collect_cells,
+        tasks,
+    };
+    (specs, workload)
+}
+
+impl Workload for RpWorkload<'_> {
+    type Scratch = BucScratch;
+    type Out = CellBuf;
+
+    fn scratch(&self, _worker: usize) -> BucScratch {
+        BucScratch::new()
+    }
+
+    fn prologue(&self, node: &mut SimNode) {
+        charge_replicated_load(self.rel, node);
+    }
+
+    fn run(&self, spec: &TaskSpec, scratch: &mut BucScratch, node: &mut SimNode) -> CellBuf {
+        let mut sink = if self.collect {
+            CellBuf::collecting()
+        } else {
+            CellBuf::counting()
+        };
+        buc_depth_first_with(
+            scratch,
+            self.rel,
+            self.minsup,
+            self.tasks[spec.id],
+            node,
+            &mut sink,
+        );
+        sink
+    }
+}
 
 /// Runs RP over a simulated cluster.
 ///
@@ -56,9 +131,8 @@ pub fn run_rp(
     // Static round-robin assignment: subtree rooted at dimension i goes to
     // processor i mod n. With more processors than dimensions, some idle.
     cluster.phase_start("compute");
-    for i in 0..d {
+    for (i, &task) in subtree_tasks(d).iter().enumerate() {
         let node_id = i % n;
-        let task = TreeTask::full_subtree(CuboidMask::from_dims(&[i]), d);
         if cluster.nodes[node_id].is_dead() {
             cluster.nodes[node_id].note_task_lost();
             recovery.push((task, cluster.nodes[node_id].clock_ns() + detect));

@@ -1,0 +1,293 @@
+//! Execution backends for cube plans.
+//!
+//! The cluster algorithms (RP, BPP, ASL, PT, AHT in `icecube-core`)
+//! decompose a cube query into lattice-subtree task units. This crate
+//! separates that decomposition from the engine that runs it:
+//!
+//! * [`SimExecutor`] drives the plan on the deterministic virtual-time
+//!   simulator (`icecube-cluster`), inheriting demand scheduling, fault
+//!   injection and lost-task recovery sweeps. It is the correctness
+//!   oracle and the only backend whose cost statistics are meaningful.
+//! * [`NativeExecutor`] drives the same plan on real host cores with a
+//!   std-only work-stealing thread pool — per-worker deques seeded by a
+//!   contiguous-block injection, idle workers stealing from the back of
+//!   their neighbours' queues. It measures wall clock, not virtual time.
+//!
+//! # The deterministic merge rule
+//!
+//! Both backends return task outputs **in task-id order**, never in
+//! completion order. A task's output is a pure function of the plan (the
+//! relation, the query, the task's lattice position), so the assignment
+//! of tasks to workers — and therefore stealing order, worker count and
+//! thread interleaving — cannot leak into the merged result. This is
+//! what makes the simulator a byte-identity oracle for the native pool.
+
+#![warn(missing_docs)]
+
+pub mod native;
+pub mod sim;
+
+use std::fmt;
+
+use icecube_cluster::SimNode;
+use icecube_trace::{Registry, TraceLog};
+
+pub use native::NativeExecutor;
+pub use sim::SimExecutor;
+
+/// Which execution engine ran (or should run) a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The deterministic virtual-time cluster simulator.
+    #[default]
+    Sim,
+    /// The native work-stealing thread pool on host cores.
+    Native,
+}
+
+impl Backend {
+    /// Stable lower-case name, as used in CLI flags and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Native => "native",
+        }
+    }
+
+    /// Parses the stable name back; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "sim" => Some(Backend::Sim),
+            "native" => Some(Backend::Native),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One backend-agnostic unit of cube work.
+///
+/// The spec carries only scheduling metadata; what the task *does* lives
+/// in the [`Workload`] that interprets `id`. Plans hand the executor a
+/// slice of specs whose ids are exactly `0..len` (any order); outputs
+/// come back indexed by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Dense plan-local identifier; output slot `id` receives this
+    /// task's result.
+    pub id: usize,
+    /// Affinity hint: the task's lattice position (cuboid or subtree
+    /// root mask bits). Tasks with related hints benefit from running
+    /// consecutively on one worker; also the trace-span identifier.
+    pub affinity: u64,
+    /// Relative size hint (e.g. subtree node count or chunk tuples);
+    /// purely advisory.
+    pub weight: u64,
+}
+
+/// A backend-agnostic task decomposition: per-worker scratch plus a pure
+/// per-task function.
+///
+/// `run` must be a pure function of the plan and `spec.id` — it may use
+/// `scratch` only as a cache whose contents never change the produced
+/// output (arena reuse, affinity-held lists whose reuse is exact). That
+/// purity is load-bearing: it is what lets both backends merge outputs
+/// in task-id order and come out byte-identical.
+pub trait Workload: Sync {
+    /// Per-worker reusable state (arenas, affinity caches). Created once
+    /// per worker, threaded through every task that worker runs.
+    type Scratch: Send;
+    /// Per-task output, collected in task-id order.
+    type Out: Send;
+
+    /// Builds worker `worker`'s scratch state.
+    fn scratch(&self, worker: usize) -> Self::Scratch;
+
+    /// Per-worker setup charged once before any task runs (e.g. the
+    /// replicated-relation load). Only affects virtual-time accounting;
+    /// the default does nothing.
+    fn prologue(&self, node: &mut SimNode) {
+        let _ = node;
+    }
+
+    /// Executes one task, charging its cost to `node` (virtual time on
+    /// the simulator; a throwaway accounting node on the native pool).
+    fn run(&self, spec: &TaskSpec, scratch: &mut Self::Scratch, node: &mut SimNode) -> Self::Out;
+}
+
+/// Why an executor run failed. Executors never panic in library code;
+/// every failure surfaces here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The plan's task ids are not a permutation of `0..len` (duplicate
+    /// or out-of-range id).
+    BadPlan {
+        /// The offending task id.
+        id: usize,
+    },
+    /// A native worker thread panicked; the run's outputs are gone.
+    WorkerPanicked {
+        /// Index of the worker whose thread died.
+        worker: usize,
+    },
+    /// A task produced no output — possible only on the simulator when
+    /// every node dies before the task can run (hand-built fault plans;
+    /// seeded plans always leave a survivor).
+    TaskAbandoned {
+        /// Id of the task that never completed.
+        id: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BadPlan { id } => {
+                write!(f, "plan task ids must be a permutation of 0..len (id {id})")
+            }
+            ExecError::WorkerPanicked { worker } => {
+                write!(f, "native worker {worker} panicked")
+            }
+            ExecError::TaskAbandoned { id } => {
+                write!(f, "task {id} was abandoned (all nodes dead)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// What a run cost and how its work was distributed.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Which engine ran the plan.
+    pub backend: Backend,
+    /// Worker (or simulated node) count.
+    pub workers: usize,
+    /// Total tasks executed.
+    pub tasks: usize,
+    /// Virtual makespan (sim) or host wall clock (native), nanoseconds.
+    /// The two are **not** comparable to each other: one models a
+    /// PIII-500 cluster, the other measures this machine.
+    pub wall_ns: u64,
+    /// Successful steals from another worker's deque (native only;
+    /// always 0 on the simulator, where the manager assigns on demand).
+    pub steals: u64,
+    /// Tasks completed per worker, indexed by worker id.
+    pub tasks_per_worker: Vec<u64>,
+    /// Per-worker task spans: virtual-time spans on the simulator (when
+    /// the cluster config enables tracing), host wall-clock spans on the
+    /// native pool (always recorded).
+    pub trace: Option<TraceLog>,
+}
+
+impl ExecReport {
+    /// Publishes the report's scalar facts into a metrics registry under
+    /// the `exec.` prefix.
+    pub fn register_into(&self, registry: &mut Registry) {
+        registry.set("exec.workers", self.workers as u64);
+        registry.set("exec.tasks", self.tasks as u64);
+        registry.set("exec.wall_ns", self.wall_ns);
+        registry.set("exec.steals", self.steals);
+        for (worker, &tasks) in self.tasks_per_worker.iter().enumerate() {
+            registry.set(&format!("exec.worker{worker:02}.tasks"), tasks);
+        }
+    }
+}
+
+/// An engine that runs a [`Workload`]'s plan to completion.
+pub trait Executor {
+    /// Which engine this is.
+    fn backend(&self) -> Backend;
+
+    /// How many workers (or simulated nodes) the engine schedules over.
+    fn workers(&self) -> usize;
+
+    /// Runs every task in `tasks`, returning outputs **in task-id
+    /// order** (index `i` holds the output of the spec with `id == i`,
+    /// regardless of which worker ran it or when) plus a cost report.
+    fn run<W: Workload>(
+        &mut self,
+        tasks: &[TaskSpec],
+        workload: &W,
+    ) -> Result<(Vec<W::Out>, ExecReport), ExecError>;
+}
+
+/// Checks that the plan's ids are a permutation of `0..len`, the
+/// contract both backends rely on for slot-addressed output merging.
+pub(crate) fn validate_plan(tasks: &[TaskSpec]) -> Result<(), ExecError> {
+    let mut seen = vec![false; tasks.len()];
+    for spec in tasks {
+        if spec.id >= tasks.len() || seen[spec.id] {
+            return Err(ExecError::BadPlan { id: spec.id });
+        }
+        seen[spec.id] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [Backend::Sim, Backend::Native] {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert_eq!(Backend::parse("warp"), None);
+    }
+
+    #[test]
+    fn plan_validation_rejects_duplicates_and_gaps() {
+        let spec = |id| TaskSpec {
+            id,
+            affinity: 0,
+            weight: 1,
+        };
+        assert!(validate_plan(&[spec(0), spec(1)]).is_ok());
+        assert!(validate_plan(&[]).is_ok());
+        assert_eq!(
+            validate_plan(&[spec(0), spec(0)]),
+            Err(ExecError::BadPlan { id: 0 })
+        );
+        assert_eq!(
+            validate_plan(&[spec(1), spec(2)]),
+            Err(ExecError::BadPlan { id: 2 })
+        );
+    }
+
+    #[test]
+    fn report_registers_scalar_metrics() {
+        let report = ExecReport {
+            backend: Backend::Native,
+            workers: 2,
+            tasks: 5,
+            wall_ns: 1234,
+            steals: 3,
+            tasks_per_worker: vec![4, 1],
+            trace: None,
+        };
+        let mut registry = Registry::new();
+        report.register_into(&mut registry);
+        assert_eq!(registry.get("exec.workers"), Some(2));
+        assert_eq!(registry.get("exec.tasks"), Some(5));
+        assert_eq!(registry.get("exec.wall_ns"), Some(1234));
+        assert_eq!(registry.get("exec.steals"), Some(3));
+        assert_eq!(registry.get("exec.worker00.tasks"), Some(4));
+        assert_eq!(registry.get("exec.worker01.tasks"), Some(1));
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        assert!(format!("{}", ExecError::BadPlan { id: 7 }).contains('7'));
+        assert!(format!("{}", ExecError::WorkerPanicked { worker: 3 }).contains('3'));
+        assert!(format!("{}", ExecError::TaskAbandoned { id: 9 }).contains('9'));
+    }
+}

@@ -1,0 +1,186 @@
+//! The virtual-time backend: a thin adapter over [`SimCluster`] demand
+//! scheduling.
+//!
+//! Tasks are handed out in id order by the simulated manager
+//! ([`run_demand`]), so node speeds, fault injection and lost-task
+//! recovery sweeps all behave exactly as in the hand-written cluster
+//! drivers. Outputs are still slotted by task id — a re-run of a task
+//! reclaimed from a crashed node simply overwrites the victim's partial
+//! slot, which is how recovery stays invisible in the merged result.
+
+use icecube_cluster::{run_demand, ClusterConfig, EventKind, SimCluster};
+
+use crate::{validate_plan, Backend, ExecError, ExecReport, Executor, TaskSpec, Workload};
+
+/// Runs plans on the deterministic cluster simulator.
+#[derive(Debug, Clone)]
+pub struct SimExecutor {
+    config: ClusterConfig,
+}
+
+impl SimExecutor {
+    /// An executor simulating the given cluster (node specs, disk, net,
+    /// fault plan and tracing all come from the config).
+    pub fn new(config: ClusterConfig) -> Self {
+        SimExecutor { config }
+    }
+
+    /// Convenience: `n` paper-baseline nodes on Fast Ethernet.
+    pub fn fast_ethernet(n: usize) -> Self {
+        SimExecutor::new(ClusterConfig::fast_ethernet(n))
+    }
+
+    /// The simulated cluster configuration this executor runs on.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+}
+
+impl Executor for SimExecutor {
+    fn backend(&self) -> Backend {
+        Backend::Sim
+    }
+
+    fn workers(&self) -> usize {
+        self.config.nodes.len()
+    }
+
+    fn run<W: Workload>(
+        &mut self,
+        tasks: &[TaskSpec],
+        workload: &W,
+    ) -> Result<(Vec<W::Out>, ExecReport), ExecError> {
+        validate_plan(tasks)?;
+        let mut cluster = SimCluster::new(self.config.clone());
+        let n = cluster.len();
+        cluster.phase_start("load");
+        for node in &mut cluster.nodes {
+            workload.prologue(node);
+        }
+        cluster.phase_end("load");
+        let mut scratches: Vec<W::Scratch> = (0..n).map(|w| workload.scratch(w)).collect();
+        let mut outputs: Vec<Option<W::Out>> = (0..tasks.len()).map(|_| None).collect();
+        let mut queue = tasks.iter().copied();
+        let mut source = move |_node: usize, _prev: Option<&TaskSpec>| queue.next();
+        cluster.phase_start("compute");
+        let history = run_demand(
+            &mut cluster,
+            &mut source,
+            |cluster, node, spec: &TaskSpec, _prev| {
+                let sim = &mut cluster.nodes[node];
+                sim.trace_event(EventKind::TaskStart {
+                    task: spec.affinity,
+                });
+                let out = workload.run(spec, &mut scratches[node], sim);
+                sim.trace_task_end(spec.affinity);
+                outputs[spec.id] = Some(out);
+            },
+        );
+        cluster.phase_end("compute");
+        let tasks_per_worker: Vec<u64> = history.iter().map(|h| h.len() as u64).collect();
+        let report = ExecReport {
+            backend: Backend::Sim,
+            workers: n,
+            tasks: tasks.len(),
+            wall_ns: cluster.makespan_ns(),
+            steals: 0,
+            tasks_per_worker,
+            trace: cluster.take_trace(),
+        };
+        let merged: Vec<W::Out> = outputs
+            .into_iter()
+            .enumerate()
+            .map(|(id, out)| out.ok_or(ExecError::TaskAbandoned { id }))
+            .collect::<Result<_, _>>()?;
+        Ok((merged, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icecube_cluster::SimNode;
+
+    /// Each task squares its affinity; scratch counts invocations.
+    struct Square;
+
+    impl Workload for Square {
+        type Scratch = u64;
+        type Out = u64;
+
+        fn scratch(&self, _worker: usize) -> u64 {
+            0
+        }
+
+        fn run(&self, spec: &TaskSpec, scratch: &mut u64, node: &mut SimNode) -> u64 {
+            *scratch += 1;
+            node.charge_cpu(1_000_000);
+            spec.affinity * spec.affinity
+        }
+    }
+
+    fn plan(len: usize) -> Vec<TaskSpec> {
+        (0..len)
+            .map(|id| TaskSpec {
+                id,
+                affinity: id as u64 + 1,
+                weight: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outputs_come_back_in_task_id_order() {
+        let mut exec = SimExecutor::fast_ethernet(3);
+        assert_eq!(exec.backend(), Backend::Sim);
+        assert_eq!(exec.workers(), 3);
+        let (out, report) = exec.run(&plan(10), &Square).unwrap();
+        assert_eq!(out, (1..=10).map(|v: u64| v * v).collect::<Vec<_>>());
+        assert_eq!(report.tasks, 10);
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.tasks_per_worker.iter().sum::<u64>(), 10);
+        assert!(report.wall_ns > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let go = || {
+            let (out, report) = SimExecutor::fast_ethernet(4)
+                .run(&plan(33), &Square)
+                .unwrap();
+            (out, report.wall_ns, report.tasks_per_worker)
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn faults_recover_without_changing_outputs() {
+        use icecube_cluster::FaultPlan;
+        let quiet = SimExecutor::fast_ethernet(4)
+            .run(&plan(16), &Square)
+            .unwrap()
+            .0;
+        let config =
+            ClusterConfig::fast_ethernet(4).with_faults(FaultPlan::none().crash(1, 2_000_000));
+        let faulty = SimExecutor::new(config).run(&plan(16), &Square).unwrap().0;
+        assert_eq!(quiet, faulty);
+    }
+
+    #[test]
+    fn bad_plans_are_rejected() {
+        let mut tasks = plan(4);
+        tasks[3].id = 0;
+        let err = SimExecutor::fast_ethernet(2)
+            .run(&tasks, &Square)
+            .unwrap_err();
+        assert_eq!(err, ExecError::BadPlan { id: 0 });
+    }
+
+    #[test]
+    fn tracing_config_yields_task_spans() {
+        let config = ClusterConfig::fast_ethernet(2).with_trace();
+        let (_, report) = SimExecutor::new(config).run(&plan(6), &Square).unwrap();
+        let log = report.trace.expect("tracing enabled");
+        assert_eq!(log.task_spans_per_node().iter().sum::<u64>(), 6);
+    }
+}

@@ -276,6 +276,8 @@ impl<V> SkipList<V> {
     where
         V: Clone,
     {
+        // check:allow(no-clone-hot-path): deliberate clone-out API for
+        // verification and tests; the probe/insert path never calls it.
         self.iter().map(|(k, v)| (k.to_vec(), v.clone())).collect()
     }
 

@@ -23,6 +23,9 @@
 //!   unified metrics registry,
 //! * [`core`] — sequential BUC plus the five parallel cube algorithms and
 //!   the algorithm-selection recipe,
+//! * [`exec`] — pluggable execution backends: the same task
+//!   decompositions on the simulated cluster or a native work-stealing
+//!   thread pool, with byte-identical cells either way,
 //! * [`online`] — POL online aggregation and selective materialization,
 //! * [`serve`] — sharded, concurrent serving of a precomputed cube: a
 //!   worker-pool request loop, roll-up planning, and latency metrics.
@@ -48,6 +51,7 @@
 pub use icecube_cluster as cluster;
 pub use icecube_core as core;
 pub use icecube_data as data;
+pub use icecube_exec as exec;
 pub use icecube_lattice as lattice;
 pub use icecube_online as online;
 pub use icecube_serve as serve;
