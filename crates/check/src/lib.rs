@@ -1,24 +1,32 @@
-//! `icecube-check`: workspace invariant lints plus a deterministic
-//! concurrency model checker for the serving engine.
+//! `icecube-check`: workspace invariant lints, a call-graph analyzer,
+//! and a deterministic concurrency model checker for the serving engine.
 //!
-//! Two engines share this binary:
+//! Three engines share this binary:
 //!
 //! - **Lints** ([`lints`], [`workspace`]): a token-level pass over every
 //!   crate's sources — comment- and string-aware via the hand-rolled
 //!   [`lexer`] — enforcing the per-crate policies in [`policy`]
 //!   (panic-freedom, determinism, thread discipline, memory-ordering
 //!   justifications, public docs).
+//! - **Analyze** ([`parser`], [`callgraph`], [`analyze`]): a lightweight
+//!   item/fn parser feeding a workspace-wide call graph, over which
+//!   three interprocedural passes run — panic-reachability from pub fns
+//!   of no-panic crates, allocation reachability from the kernel
+//!   recursion roots, and lock-order/spawn discipline (DESIGN §12).
 //! - **Concurrency** ([`concurrency`]): the serving engine compiled
 //!   against the schedule-controlled shims in `shims/loom`, explored
 //!   across bounded interleavings of submit/steal/shutdown and checked
 //!   against a sequential oracle.
 //!
-//! The `icecube-check` binary (see `main.rs`) wires both into CI:
+//! The `icecube-check` binary (see `main.rs`) wires all three into CI:
 //! `cargo run -p icecube-check` exits non-zero on any finding.
 
+pub mod analyze;
+pub mod callgraph;
 pub mod concurrency;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 pub mod policy;
 pub mod report;
 pub mod workspace;

@@ -38,7 +38,7 @@ pub const LINTS: &[(&str, &str)] = &[
     ("missing-docs", "every pub item needs a doc comment"),
     (
         "no-clone-hot-path",
-        "no .clone()/.to_vec()/.to_owned() in the BUC kernel hot-path files",
+        "no .clone()/.to_vec()/.to_owned()/.collect::<>/format!/vec! in the kernel hot-path files",
     ),
     (
         "suppression",
@@ -47,6 +47,22 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         "policy",
         "every crate under crates/ must appear in the policy table",
+    ),
+    (
+        "panic-path",
+        "no pub fn of a no-panic crate may transitively reach a panic source (call-graph pass)",
+    ),
+    (
+        "alloc-hot-path",
+        "no fn reachable from a kernel recursion root may reach an allocating constructor",
+    ),
+    (
+        "lock-order",
+        "no two functions may acquire the same two locks in opposite order",
+    ),
+    (
+        "spawn-site",
+        "thread spawns must stay confined to the allowed files (call-graph pass)",
     ),
 ];
 
@@ -129,24 +145,51 @@ pub fn lint_file(file: &str, src: &str, policy: &CratePolicy) -> Vec<Finding> {
 
     let mut raw: Vec<Finding> = Vec::new();
     let mut emit = |line: u32, lint: &'static str, message: String| {
-        raw.push(Finding {
-            file: file.to_string(),
-            line,
-            lint,
-            message,
-        });
+        raw.push(Finding::new(file, line, lint, message));
     };
 
     let hot_path = HOT_PATH_FILES.iter().any(|h| file.ends_with(h));
     for i in 0..code.len() {
         let line = code[i].line;
-        if hot_path && punct(i, '.') && punct(i + 2, '(') {
-            if let Some(name @ ("clone" | "to_vec" | "to_owned")) = ident(i + 1) {
+        if hot_path {
+            if punct(i, '.') && punct(i + 2, '(') {
+                if let Some(name @ ("clone" | "to_vec" | "to_owned")) = ident(i + 1) {
+                    emit(
+                        code[i + 1].line,
+                        "no-clone-hot-path",
+                        format!(
+                            "`.{name}()` in a zero-clone kernel file; recurse over arena ranges"
+                        ),
+                    );
+                }
+            }
+            // `.collect::<…>` — the turbofish form the satellite names;
+            // plain `.collect()` is the dataflow pass's job, where the
+            // reachability context says whether it is hot.
+            if punct(i, '.')
+                && ident(i + 1) == Some("collect")
+                && punct(i + 2, ':')
+                && punct(i + 3, ':')
+                && punct(i + 4, '<')
+            {
                 emit(
                     code[i + 1].line,
                     "no-clone-hot-path",
-                    format!("`.{name}()` in a zero-clone kernel file; recurse over arena ranges"),
+                    "`.collect::<…>()` in a zero-clone kernel file; fill a scratch buffer instead"
+                        .to_string(),
                 );
+            }
+            if let Some(name @ ("format" | "vec")) = ident(i) {
+                if punct(i + 1, '!') {
+                    emit(
+                        line,
+                        "no-clone-hot-path",
+                        format!(
+                            "`{name}!` allocates in a zero-clone kernel file; reuse a scratch \
+                             buffer instead"
+                        ),
+                    );
+                }
             }
         }
         if policy.no_panic {
@@ -234,7 +277,7 @@ pub fn lint_file(file: &str, src: &str, policy: &CratePolicy) -> Vec<Finding> {
 
 /// Marks every token belonging to a `#[cfg(test)]` item (attribute
 /// through the end of the item's brace block or terminating semicolon).
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_mask(tokens: &[Token]) -> Vec<bool> {
     let is = |i: usize, want: &Tok| tokens.get(i).map(|t| &t.tok) == Some(want);
     let id = |s: &str| Tok::Ident(s.to_string());
     let mut mask = vec![false; tokens.len()];
@@ -346,12 +389,12 @@ fn missing_docs(tokens: &[Token], masked: &[bool], file: &str, out: &mut Vec<Fin
                 Some(Tok::Ident(n)) => format!(" `{n}`"),
                 _ => String::new(),
             };
-            out.push(Finding {
-                file: file.to_string(),
-                line: t.line,
-                lint: "missing-docs",
-                message: format!("public {kind}{name} has no doc comment"),
-            });
+            out.push(Finding::new(
+                file,
+                t.line,
+                "missing-docs",
+                format!("public {kind}{name} has no doc comment"),
+            ));
         }
     }
 }
@@ -383,19 +426,19 @@ fn comment_block_contains(
 }
 
 /// A parsed `check:allow(<lint>)` or `check:allow-file(<lint>)` comment.
-struct Suppression {
-    line: u32,
-    lint: String,
+pub(crate) struct Suppression {
+    pub(crate) line: u32,
+    pub(crate) lint: String,
     /// `check:allow-file`: covers the whole file, not just the adjacent
     /// line. For blanket exemptions with one documented justification
     /// (e.g. an algorithm file whose hash tables are sorted before any
     /// result escapes).
-    file_scoped: bool,
+    pub(crate) file_scoped: bool,
 }
 
 /// Parses every `check:allow`/`check:allow-file` comment, emitting
 /// hygiene findings for bare (unjustified) or unknown-lint suppressions.
-fn collect_suppressions(
+pub(crate) fn collect_suppressions(
     comments: &BTreeMap<u32, String>,
     findings: &mut Vec<Finding>,
     file: &str,
@@ -424,38 +467,35 @@ fn collect_one_form(
     while let Some(at) = rest.find(needle) {
         rest = &rest[at + needle.len()..];
         let Some(close) = rest.find(')') else {
-            findings.push(Finding {
-                file: file.to_string(),
+            findings.push(Finding::new(
+                file,
                 line,
-                lint: "suppression",
-                message: format!("unclosed `{form}(` comment"),
-            });
+                "suppression",
+                format!("unclosed `{form}(` comment"),
+            ));
             break;
         };
         let name = rest[..close].trim().to_string();
         let after = &rest[close + 1..];
         let known = LINTS.iter().any(|(n, _)| *n == name);
+        // Hygiene findings name the lint the allow was attached to, both
+        // in the message and in the structured `target` field.
+        let mut meta = |message: String| {
+            let mut f = Finding::new(file, line, "suppression", message);
+            f.target = Some(name.clone());
+            findings.push(f);
+        };
         if !known {
-            findings.push(Finding {
-                file: file.to_string(),
-                line,
-                lint: "suppression",
-                message: format!("`{form}({name})` names an unknown lint"),
-            });
+            meta(format!("`{form}({name})` names an unknown lint"));
         }
         let justified = after
             .strip_prefix(':')
             .is_some_and(|why| !why.trim().is_empty());
         if !justified {
-            findings.push(Finding {
-                file: file.to_string(),
-                line,
-                lint: "suppression",
-                message: format!(
-                    "`{form}({name})` without a justification; write \
-                     `// {form}({name}): <why>`"
-                ),
-            });
+            meta(format!(
+                "bare `{form}({name})` targeting lint `{name}` without a justification; \
+                 write `// {form}({name}): <why>`"
+            ));
         }
         if known && justified {
             out.push(Suppression {
@@ -470,7 +510,7 @@ fn collect_one_form(
 
 /// Whether a valid suppression for `lint` covers `line` (same line, or
 /// within the unbroken comment block directly above).
-fn suppression_covers(
+pub(crate) fn suppression_covers(
     suppressions: &[Suppression],
     comments: &BTreeMap<u32, String>,
     code_lines: &BTreeSet<u32>,

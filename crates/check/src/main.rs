@@ -1,14 +1,14 @@
 //! The `icecube-check` command-line entry point.
 //!
 //! ```text
-//! icecube-check [lint|concurrency|all] [--json] [--budget N] [--root DIR]
+//! icecube-check [lint|analyze|concurrency|all] [--json] [--budget N] [--root DIR]
 //! ```
 //!
 //! Exit status: `0` when clean, `1` on findings or failing
 //! interleavings, `2` on usage or I/O errors.
 
 use icecube_check::report::{json_str, to_json};
-use icecube_check::{concurrency, workspace};
+use icecube_check::{analyze, concurrency, workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,6 +19,7 @@ const DEFAULT_BUDGET: usize = 1200;
 
 struct Options {
     lint: bool,
+    analyze: bool,
     concurrency: bool,
     json: bool,
     budget: usize,
@@ -26,12 +27,13 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: icecube-check [lint|concurrency|all] [--json] [--budget N] [--root DIR]\n\
+    "usage: icecube-check [lint|analyze|concurrency|all] [--json] [--budget N] [--root DIR]\n\
      \n\
      modes:\n\
      \x20 lint          run the workspace invariant lints\n\
+     \x20 analyze       run the call-graph passes (panic/alloc reachability, lock order)\n\
      \x20 concurrency   explore serving-engine interleavings under the model\n\
-     \x20 all           both (default)\n\
+     \x20 all           every mode (default)\n\
      \n\
      options:\n\
      \x20 --json        machine-readable output\n\
@@ -45,21 +47,30 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let mut opts = Options {
         lint: true,
+        analyze: true,
         concurrency: true,
         json: false,
         budget: DEFAULT_BUDGET,
         root: default_root,
     };
+    let mut mode_given = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "lint" => {
-                opts.concurrency = false;
+            "lint" | "analyze" | "concurrency" => {
+                if mode_given {
+                    return Err(format!(
+                        "`{arg}` conflicts with an earlier mode; use `all` for everything"
+                    ));
+                }
+                mode_given = true;
+                opts.lint = arg == "lint";
+                opts.analyze = arg == "analyze";
+                opts.concurrency = arg == "concurrency";
             }
-            "concurrency" => {
-                opts.lint = false;
+            "all" => {
+                mode_given = true;
             }
-            "all" => {}
             "--json" => opts.json = true,
             "--budget" => {
                 let v = it.next().ok_or("--budget needs a number")?;
@@ -76,9 +87,6 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
-    }
-    if !opts.lint && !opts.concurrency {
-        return Err("`lint` and `concurrency` are mutually exclusive; use `all`".to_string());
     }
     Ok(opts)
 }
@@ -120,6 +128,34 @@ fn main() -> ExitCode {
             println!("lint: {} finding(s)", findings.len());
         }
         failed |= !findings.is_empty();
+    }
+
+    if opts.analyze {
+        let report = match analyze::analyze_workspace(&opts.root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!(
+                    "icecube-check: cannot walk {root}: {e}",
+                    root = opts.root.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        if opts.json {
+            println!("{}", analyze::to_json(&report));
+        } else {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            println!(
+                "analyze: {} finding(s); {} fns, {} edges, {} unresolved method call(s)",
+                report.findings.len(),
+                report.fn_count,
+                report.edge_count,
+                report.unresolved.len(),
+            );
+        }
+        failed |= !report.findings.is_empty();
     }
 
     if opts.concurrency {

@@ -2,6 +2,11 @@
 
 use std::fmt;
 
+/// The `--json` schema identifier. Bumped whenever a field is added or
+/// renamed so CI can validate structure before trusting content
+/// (v2 added `schema` itself plus per-finding `target`).
+pub const SCHEMA: &str = "icecube-check-report/v2";
+
 /// One lint finding, anchored to a file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -13,6 +18,22 @@ pub struct Finding {
     pub lint: &'static str,
     /// What is wrong.
     pub message: String,
+    /// For `suppression` hygiene findings: the lint name the offending
+    /// `check:allow` was attached to. `None` for ordinary findings.
+    pub target: Option<String>,
+}
+
+impl Finding {
+    /// An ordinary finding (no suppression target).
+    pub fn new(file: &str, line: u32, lint: &'static str, message: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            lint,
+            message,
+            target: None,
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -28,21 +49,31 @@ impl fmt::Display for Finding {
 /// Renders findings as a JSON document (hand-rolled; the workspace
 /// vendors no serde).
 pub fn to_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\"findings\":[");
+    let mut out = format!("{{\"schema\":{},\"findings\":[", json_str(SCHEMA));
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!(
-            "{{\"file\":{},\"line\":{},\"lint\":{},\"message\":{}}}",
-            json_str(&f.file),
-            f.line,
-            json_str(f.lint),
-            json_str(&f.message),
-        ));
+        out.push_str(&finding_json(f));
     }
     out.push_str(&format!("],\"count\":{}}}", findings.len()));
     out
+}
+
+/// One finding as a JSON object (shared by the lint and analyze modes).
+pub fn finding_json(f: &Finding) -> String {
+    let target = match &f.target {
+        Some(t) => json_str(t),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"file\":{},\"line\":{},\"lint\":{},\"target\":{},\"message\":{}}}",
+        json_str(&f.file),
+        f.line,
+        json_str(f.lint),
+        target,
+        json_str(&f.message),
+    )
 }
 
 /// Escapes a string for embedding in JSON.
@@ -70,29 +101,37 @@ mod tests {
 
     #[test]
     fn display_names_file_line_lint_and_suppression() {
-        let f = Finding {
-            file: "crates/core/src/store.rs".into(),
-            line: 42,
-            lint: "panic-in-lib",
-            message: "`.unwrap()` in library code".into(),
-        };
+        let f = Finding::new(
+            "crates/core/src/store.rs",
+            42,
+            "panic-in-lib",
+            "`.unwrap()` in library code".into(),
+        );
         let s = f.to_string();
         assert!(s.starts_with("crates/core/src/store.rs:42: [panic-in-lib]"));
         assert!(s.contains("check:allow(panic-in-lib)"));
     }
 
     #[test]
-    fn json_escapes_and_counts() {
-        let fs = vec![Finding {
-            file: "a\"b.rs".into(),
-            line: 1,
-            lint: "wall-clock",
-            message: "tab\there".into(),
-        }];
+    fn json_escapes_counts_and_versions() {
+        let fs = vec![Finding::new("a\"b.rs", 1, "wall-clock", "tab\there".into())];
         let j = to_json(&fs);
+        assert!(j.starts_with("{\"schema\":\"icecube-check-report/v2\""));
         assert!(j.contains("\"count\":1"));
         assert!(j.contains("a\\\"b.rs"));
         assert!(j.contains("tab\\there"));
-        assert_eq!(to_json(&[]), "{\"findings\":[],\"count\":0}");
+        assert!(j.contains("\"target\":null"));
+        assert_eq!(
+            to_json(&[]),
+            "{\"schema\":\"icecube-check-report/v2\",\"findings\":[],\"count\":0}"
+        );
+    }
+
+    #[test]
+    fn suppression_findings_carry_their_target_lint() {
+        let mut f = Finding::new("x.rs", 3, "suppression", "bare allow".into());
+        f.target = Some("panic-in-lib".to_string());
+        let j = to_json(&[f]);
+        assert!(j.contains("\"target\":\"panic-in-lib\""), "{j}");
     }
 }

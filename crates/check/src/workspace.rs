@@ -27,15 +27,15 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             .unwrap_or_default()
             .to_string();
         let Some(policy) = policy_for(&name) else {
-            findings.push(Finding {
-                file: format!("crates/{name}"),
-                line: 1,
-                lint: "policy",
-                message: format!(
+            findings.push(Finding::new(
+                &format!("crates/{name}"),
+                1,
+                "policy",
+                format!(
                     "crate `{name}` has no entry in the policy table \
                      (crates/check/src/policy.rs)"
                 ),
-            });
+            ));
             continue;
         };
         let src = crate_dir.join("src");

@@ -93,8 +93,36 @@ fn binary_emits_json_when_asked() {
     let (out, root) = run_on_synthetic_tree("json", &["--json"]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("\"schema\":\"icecube-check-report/v2\""),
+        "{stdout}"
+    );
     assert!(stdout.contains("\"lint\":\"panic-in-lib\""), "{stdout}");
     assert!(stdout.contains("\"line\":3"), "{stdout}");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn bare_suppressions_report_the_lint_they_target() {
+    let root = std::env::temp_dir().join(format!("icecube-check-e2e-bare-{}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("temp tree");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "//! Bare allow on purpose.\n// check:allow(panic-in-lib)\npub fn f() {}\n",
+    )
+    .expect("fixture write");
+    let out = Command::new(env!("CARGO_BIN_EXE_icecube-check"))
+        .args(["lint", "--json", "--root"])
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    // The audit names the lint the bare allow targets, both in the
+    // message and as a structured `target` field.
+    assert!(stdout.contains("targeting lint `panic-in-lib`"), "{stdout}");
+    assert!(stdout.contains("\"target\":\"panic-in-lib\""), "{stdout}");
     let _ = std::fs::remove_dir_all(root);
 }
 

@@ -1,0 +1,23 @@
+//! Allocation-dataflow fixture: `recurse` is the configured hot root;
+//! anything it transitively reaches must not allocate. `prologue` is a
+//! caller of the root, not a callee, so its allocation is exempt — that
+//! is how the scratch-arena prologue pattern stays legal.
+
+pub fn recurse(depth: u32) {
+    if depth == 0 {
+        return;
+    }
+    scratch();
+    recurse(depth - 1);
+}
+
+fn scratch() {
+    let v: Vec<u32> = Vec::new(); //~ alloc-hot-path
+    drop(v);
+}
+
+pub fn prologue(depth: u32) {
+    let arena: Vec<u32> = Vec::with_capacity(64);
+    drop(arena);
+    recurse(depth);
+}

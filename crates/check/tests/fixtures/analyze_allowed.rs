@@ -1,0 +1,12 @@
+//! Suppression fixture: two identical panic sinks, one carrying a
+//! justified allow. The allow must silence exactly its own line — the
+//! unsuppressed twin still reports.
+
+pub fn first(x: Option<u32>) -> u32 {
+    // check:allow(panic-path): fixture — this sink is the justified one.
+    x.unwrap()
+}
+
+pub fn second(x: Option<u32>) -> u32 {
+    x.unwrap() //~ panic-path
+}

@@ -1,0 +1,26 @@
+//! Lock-order and spawn-discipline fixture. `forward` and `backward`
+//! acquire the same two locks in opposite orders; inversion findings
+//! anchor at each function's definition line. `rogue` spawns outside
+//! every allowed site.
+
+struct Pool;
+
+impl Pool {
+    fn forward(&self) { //~ lock-order
+        self.jobs.lock();
+        self.done.lock();
+    }
+
+    fn backward(&self) { //~ lock-order
+        self.done.lock();
+        self.jobs.lock();
+    }
+
+    fn single(&self) {
+        self.done.lock();
+    }
+}
+
+fn rogue() {
+    std::thread::spawn(|| {}); //~ spawn-site
+}

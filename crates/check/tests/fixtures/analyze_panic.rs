@@ -1,0 +1,23 @@
+//! Panic-reachability fixture: pub fns of a `no_panic` crate reaching
+//! panic sinks through private helpers. Tilde markers flag the expected
+//! finding lines — findings anchor at the sink, not the pub entry.
+
+pub fn entry(x: Option<u32>) -> u32 {
+    helper(x)
+}
+
+fn helper(x: Option<u32>) -> u32 {
+    x.unwrap() //~ panic-path
+}
+
+pub fn index(xs: &[u32]) -> u32 {
+    xs[0] //~ panic-path
+}
+
+pub fn safe(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+fn dead_code_panics() {
+    panic!("unreachable from any pub fn, so not a finding");
+}

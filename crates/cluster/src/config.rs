@@ -172,6 +172,8 @@ pub struct ClusterConfig {
 
 impl ClusterConfig {
     fn uniform(n: usize, spec: NodeSpec, net: NetModel) -> Self {
+        // check:allow(panic-path): a zero-node cluster is a configuration
+        // bug at startup, not runtime input.
         assert!(n > 0, "a cluster needs at least one node");
         ClusterConfig {
             nodes: vec![spec; n],

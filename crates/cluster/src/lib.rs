@@ -1,3 +1,8 @@
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 #![warn(missing_docs)]
 
 //! A deterministic simulated PC cluster.

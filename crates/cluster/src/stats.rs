@@ -94,6 +94,8 @@ pub struct RunStats {
 impl RunStats {
     /// Builds a summary from per-node stats and final clocks.
     pub fn new(nodes: Vec<NodeStats>, clocks_ns: Vec<u64>) -> Self {
+        // check:allow(panic-path): both vectors come from the same cluster's
+        // node list; a length mismatch is a simulator bug, not input.
         assert_eq!(nodes.len(), clocks_ns.len());
         RunStats { nodes, clocks_ns }
     }

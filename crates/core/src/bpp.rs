@@ -19,6 +19,11 @@
 //! *Gender*) partitions unevenly and the static assignment cannot adapt —
 //! the motivation for ASL.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use crate::algorithms::{finish, RunOptions, RunOutcome};
 use crate::buc::{bpp_buc_with, BucScratch};
 use crate::cell::CellBuf;

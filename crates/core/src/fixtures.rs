@@ -4,6 +4,11 @@
 // by construction; a malformed fixture must abort tests loudly, not
 // thread a Result through every test.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use icecube_data::{Relation, Schema};
 
 /// The paper's running example (Figure 2.2): relation SALES(Model, Year,

@@ -24,6 +24,8 @@ use std::collections::HashMap;
 /// Computes the iceberg cube by brute force, returning cells sorted
 /// canonically (cuboid, then key).
 pub fn naive_iceberg_cube(rel: &Relation, query: &IcebergQuery) -> Vec<Cell> {
+    // check:allow(panic-path): documented precondition of the test oracle;
+    // a query/relation arity mismatch is a harness bug, not runtime input.
     assert_eq!(
         query.dims,
         rel.arity(),

@@ -7,6 +7,11 @@
 //! partitioner owns reusable scratch buffers so recursion does not
 //! re-allocate, and charges the simulated node per tuple scanned and moved.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use icecube_cluster::SimNode;
 use icecube_data::Relation;
 
@@ -198,6 +203,8 @@ impl Partitioner {
 /// `MAX_ROWS` cap at construction time, so the cast below cannot truncate.
 pub fn full_index(rel: &Relation) -> Vec<u32> {
     debug_assert!(rel.len() <= icecube_data::Relation::MAX_ROWS);
+    // check:allow(alloc-hot-path): the identity index is built once per
+    // sort-cache prepare, not per partition step; ROADMAP item 1 pools it.
     (0..rel.len() as u32).collect()
 }
 

@@ -15,6 +15,11 @@
 //! onwards. Deeper refinements happen strictly within groups, so truncated
 //! cache levels stay valid across tasks.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use crate::algorithms::{finish, load_replicated, Algorithm, RunOptions, RunOutcome};
 use crate::backend::charge_replicated_load;
 use crate::buc::{bpp_buc_presorted_with, BucScratch};
@@ -125,6 +130,8 @@ impl SortCache {
                 Some(g) => g,
                 None => &whole[..],
             };
+            // check:allow(alloc-hot-path): one group vector per cached sort
+            // level (≤ DIMS per prepare); the ROADMAP item 1 arena pools it.
             let mut fine = Vec::new();
             part.refine(rel, idx, base, dim, node, &mut fine);
             levels.push(fine);

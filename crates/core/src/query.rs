@@ -30,8 +30,10 @@ impl IcebergQuery {
         // check:allow(panic-in-lib): constructor contract documented in
         // the `# Panics` section — a zero-dimensional cube is a
         // programming error, not runtime input.
+        // check:allow(panic-path): same documented constructor contract.
         assert!(dims > 0, "a cube needs at least one dimension");
         // check:allow(panic-in-lib): same documented contract as above.
+        // check:allow(panic-path): same documented constructor contract.
         assert!(minsup > 0, "minimum support must be at least 1");
         IcebergQuery { dims, minsup }
     }

@@ -69,7 +69,7 @@ pub fn estimate_total_cells(cards: &[u32], tuples: usize) -> f64 {
             let mut bits = mask;
             while bits != 0 {
                 let dim = bits.trailing_zeros() as usize;
-                prod *= cards[dim] as f64;
+                prod *= cards.get(dim).copied().unwrap_or(1) as f64;
                 bits &= bits - 1;
                 if prod > tuples as f64 {
                     break;

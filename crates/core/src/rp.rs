@@ -11,6 +11,11 @@
 //! `A` has `2^(d-1)` cuboids while `D`'s has one — so load balance is weak
 //! (Figure 4.1). Both weaknesses are what BPP and PT then attack.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use crate::algorithms::{finish, load_replicated, RunOptions, RunOutcome};
 use crate::backend::charge_replicated_load;
 use crate::buc::{buc_depth_first_with, BucScratch};

@@ -97,6 +97,8 @@ pub fn run_sequential(
 ) -> Result<SeqOutcome, AlgoError> {
     crate::algorithms::validate(rel, query)?;
     let mut cluster = SimCluster::new(config.clone());
+    // check:allow(panic-path): ClusterConfig asserts at least one node at
+    // construction, so node 0 always exists.
     let node = &mut cluster.nodes[0];
     node.read_bytes(rel.byte_size());
     node.charge_scan(rel.len() as u64);
@@ -142,11 +144,14 @@ pub fn run_sequential(
     }
     let mut cells = sink.into_cells();
     sort_cells(&mut cells);
+    // check:allow(panic-path): ClusterConfig asserts at least one node at
+    // construction, so node 0 always exists.
+    let node0 = &cluster.nodes[0];
     Ok(SeqOutcome {
         algorithm,
         cells,
-        stats: cluster.nodes[0].stats.clone(),
-        clock_ns: cluster.nodes[0].clock_ns(),
+        stats: node0.stats.clone(),
+        clock_ns: node0.clock_ns(),
     })
 }
 

@@ -10,6 +10,11 @@
 //! queries with threshold `>= s` (anything lower needs recomputation or
 //! online aggregation — see `icecube-online`).
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use crate::agg::Aggregate;
 use crate::algorithms::RunOutcome;
 use crate::cell::Cell;

@@ -1,6 +1,11 @@
 //! Output verification: compare any algorithm's cells against the naive
 //! reference (or against each other).
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use crate::cell::{sort_cells, Cell};
 use std::fmt;
 

@@ -1,5 +1,10 @@
 //! Row-major, dictionary-encoded fact tables.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use crate::error::DataError;
 use crate::schema::Schema;
 use rand::seq::SliceRandom;

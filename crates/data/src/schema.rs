@@ -73,6 +73,8 @@ impl Schema {
 
     /// Cardinality of dimension `i`.
     pub fn cardinality(&self, i: usize) -> u32 {
+        // check:allow(panic-path): dimension indices come from the caller's
+        // own cuboid mask over this schema; out-of-range is a caller bug.
         self.dims[i].cardinality
     }
 

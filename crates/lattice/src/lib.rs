@@ -37,6 +37,8 @@ impl Lattice {
     /// # Panics
     /// Panics unless `1 <= d <= 26` (masks are 32-bit; names run A..Z).
     pub fn new(d: usize) -> Self {
+        // check:allow(panic-path): constructor contract documented in the
+        // `# Panics` section; dimensionality is fixed at configuration time.
         assert!((1..=26).contains(&d), "supported dimensionality is 1..=26");
         Lattice { d }
     }

@@ -1,5 +1,10 @@
 //! Cuboid identities as bitmasks over dimensions.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use std::fmt;
 
 /// A cuboid (one group-by of the cube) as a bitmask: bit `i` set means
@@ -104,6 +109,8 @@ impl CuboidMask {
 
     /// Dimensions in ascending order.
     pub fn dims(self) -> Vec<usize> {
+        // check:allow(alloc-hot-path): at most 32 entries, sized exactly;
+        // kernel callers hoist the result out of their per-tuple loops.
         let mut out = Vec::with_capacity(self.dim_count());
         let mut bits = self.0;
         while bits != 0 {

@@ -32,6 +32,8 @@ impl TreeTask {
     /// The task covering the whole lattice of a `d`-dimensional cube
     /// (every group-by except the special "all" node).
     pub fn whole_lattice(d: usize) -> Self {
+        // check:allow(panic-path): constructor contract — dimensionality is
+        // fixed at configuration time, not per-tuple runtime input.
         assert!((1..=26).contains(&d), "supported dimensionality is 1..=26");
         TreeTask {
             root: CuboidMask::ALL,
@@ -132,6 +134,8 @@ impl std::fmt::Display for TreeTask {
 /// factor of two of each other. Stops early if every task is down to a
 /// single cuboid. The returned tasks partition the `2^d − 1` group-bys.
 pub fn divide_tasks(d: usize, target_tasks: usize) -> Vec<TreeTask> {
+    // check:allow(panic-path): zero tasks is a scheduler-configuration bug
+    // caught at startup, not runtime input.
     assert!(target_tasks > 0, "need at least one task");
     // Max-heap ordered by size.
     let mut heap: BinaryHeap<(usize, TreeTask)> = BinaryHeap::new();

@@ -28,15 +28,17 @@ impl Boundaries {
     pub fn from_sample(mut sample: Vec<Vec<u32>>, parts: usize) -> Self {
         // check:allow(panic-in-lib): constructor contract — zero
         // partitions is a configuration bug, not runtime input.
+        // check:allow(panic-path): same constructor contract.
         assert!(parts > 0, "need at least one partition");
         sample.sort_unstable();
         let mut splits = Vec::with_capacity(parts.saturating_sub(1));
         if !sample.is_empty() {
             for j in 1..parts {
                 let pos = j * sample.len() / parts;
-                let key = sample[pos.min(sample.len() - 1)].clone();
-                if splits.last() != Some(&key) {
-                    splits.push(key);
+                if let Some(key) = sample.get(pos.min(sample.len() - 1)) {
+                    if splits.last() != Some(key) {
+                        splits.push(key.clone());
+                    }
                 }
             }
         }

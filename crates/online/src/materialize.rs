@@ -95,6 +95,9 @@ impl SelectiveMaterialization {
             let mut run_key: Vec<u32> = Vec::new();
             let mut run_agg = Aggregate::empty();
             for (key, agg) in self.list.iter() {
+                // check:allow(panic-path): every key in this list has the
+                // arity of `self.dims`, and `k <= dim_count` is checked by
+                // the caller; a short key is a list-construction bug.
                 let prefix = &key[..k];
                 if run_key.as_slice() != prefix {
                     if !run_key.is_empty() && run_agg.meets(minsup) {
@@ -124,6 +127,7 @@ impl SelectiveMaterialization {
                         // check:allow(panic-in-lib): callers only
                         // materialize subset group-bys; a miss here is a
                         // bug in the roll-up planner, not user input.
+                        // check:allow(panic-path): same planner contract.
                         hdims.iter().position(|h| h == d).expect("subset")
                     })
                     .collect()
@@ -132,6 +136,8 @@ impl SelectiveMaterialization {
             let mut key = vec![0u32; k];
             for (hkey, agg) in self.list.iter() {
                 for (slot, &p) in key.iter_mut().zip(&positions) {
+                    // check:allow(panic-path): `positions` indexes the held
+                    // list's own dimension order, bounded by its arity.
                     *slot = hkey[p];
                 }
                 rolled.insert_or_update(&key, || *agg, |a| a.merge(agg));

@@ -25,6 +25,11 @@
 //!   fraction of data seen so far — the progressive refinement of the
 //!   online-aggregation framework.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use crate::boundaries::Boundaries;
 use icecube_cluster::{ClusterConfig, EventKind, RunStats, SimCluster};
 use icecube_core::agg::Aggregate;

@@ -45,9 +45,11 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&self, ns: u64) {
         let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        // relaxed: each bucket is an independent tally; quantiles are
-        // approximate by design and never pair a bucket with other state.
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = self.buckets.get(idx) {
+            // relaxed: each bucket is an independent tally; quantiles are
+            // approximate by design and never pair a bucket with other state.
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
         // Publish the sample's nanoseconds *before* the sample becomes
         // countable: `mean_ns` reads `count` with Acquire, so every
         // sample it counts has its total already visible and the mean's

@@ -256,7 +256,9 @@ fn execute_leaf(cube: &ShardedCube, metrics: &Metrics, req: &Request) -> Respons
         Request::Point { cuboid, key } => match cube.get(*cuboid, key) {
             Ok(agg) => {
                 let shard = cube.shard_of(*cuboid, key);
-                Metrics::bump(&metrics.shards[shard].routed);
+                if let Some(s) = metrics.shards.get(shard) {
+                    Metrics::bump(&s.routed);
+                }
                 Response::Point(agg)
             }
             Err(e) => Response::Error(e),
@@ -283,7 +285,9 @@ fn execute_leaf(cube: &ShardedCube, metrics: &Metrics, req: &Request) -> Respons
                                 let mut pkey = key.clone();
                                 pkey.remove(pos);
                                 let shard = cube.shard_of(parent, &pkey);
-                                Metrics::bump(&metrics.shards[shard].routed);
+                                if let Some(s) = metrics.shards.get(shard) {
+                                    Metrics::bump(&s.routed);
+                                }
                             }
                         }
                     }

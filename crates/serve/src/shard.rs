@@ -38,6 +38,7 @@ impl ShardedCube {
         // out in the `# Panics` section above — a zero-shard cube is a
         // programming error at deployment, not request-time input, and
         // no worker thread ever runs this path.
+        // check:allow(panic-path): same construction-time contract.
         assert!(shard_count > 0, "need at least one shard");
         let dims = store.dims();
         let minsup = store.minsup();
@@ -47,12 +48,16 @@ impl ShardedCube {
         for &mask in &materialized {
             let splits = store.split_points(mask, shard_count);
             for (key, agg) in store.cells_of(mask) {
+                // partition_point over at most shard_count − 1 splits is
+                // always a valid shard index, so the lookup cannot miss.
                 let r = splits.partition_point(|sp| sp.as_slice() <= key);
-                per_shard[r].push(icecube_core::Cell {
-                    cuboid: mask,
-                    key: key.to_vec(),
-                    agg,
-                });
+                if let Some(bucket) = per_shard.get_mut(r) {
+                    bucket.push(icecube_core::Cell {
+                        cuboid: mask,
+                        key: key.to_vec(),
+                        agg,
+                    });
+                }
             }
             routes.insert(mask, splits);
         }
@@ -152,7 +157,7 @@ impl ShardedCube {
         self.check_cuboid(g)?;
         self.check_key(g, key)?;
         let shard = self.shard_of(g, key);
-        Ok(self.shards[shard].get(g, key).copied())
+        Ok(self.shards.get(shard).and_then(|s| s.get(g, key)).copied())
     }
 
     /// All qualifying cells of one group-by at threshold `minsup`: fans out

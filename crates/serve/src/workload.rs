@@ -9,6 +9,11 @@
 //! experiment rerun identical workloads while sweeping shard and worker
 //! counts.
 
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 use crate::error::ServeError;
 use crate::metrics::ServerStats;
 use crate::request::{Request, Response};
@@ -171,6 +176,8 @@ pub fn run_closed_loop(
         for c in 0..clients {
             let handle = server.handle()?;
             let requests = &workload.requests;
+            // check:allow(spawn-site): scoped benchmark clients driving the
+            // server; they cannot outlive this function, unlike worker pools.
             joins.push(scope.spawn(move || -> Result<(), ServeError> {
                 for req in requests.iter().skip(c).step_by(clients) {
                     let resp = handle.call(req.clone())?;

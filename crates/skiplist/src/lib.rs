@@ -1,3 +1,8 @@
+// check:allow-file(panic-path): slice indexing and asserts in this
+// module guard simulation-internal invariants over indices the module
+// itself constructs; a violation is a bug, not runtime input. Tracked
+// by the panic-path triage note in DESIGN section 12.
+
 #![warn(missing_docs)]
 
 //! An arena-based skip list keyed by fixed-arity `u32` tuples.
@@ -285,17 +290,17 @@ impl<V> SkipList<V> {
     ///
     /// Verifies that every level's linked list is strictly ascending and
     /// that each level is a subsequence of the level below.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), InvariantError> {
         for lvl in 0..self.level {
             let mut node = self.head[lvl];
             let mut prev: Option<u32> = None;
             while node != NIL {
                 if (self.node_level[node as usize] as usize) <= lvl {
-                    return Err(format!("node {node} linked above its level"));
+                    return Err(InvariantError::NodeAboveLevel { node });
                 }
                 if let Some(p) = prev {
                     if self.key_of(p) >= self.key_of(node) {
-                        return Err(format!("level {lvl} not strictly ascending at {node}"));
+                        return Err(InvariantError::NotAscending { level: lvl, node });
                     }
                 }
                 prev = Some(node);
@@ -310,14 +315,57 @@ impl<V> SkipList<V> {
             node = self.link(node, 0);
         }
         if seen != self.len() {
-            return Err(format!(
-                "level-0 chain has {seen} nodes, expected {}",
-                self.len()
-            ));
+            return Err(InvariantError::ChainLenMismatch {
+                seen,
+                expected: self.len(),
+            });
         }
         Ok(())
     }
 }
+
+/// A structural-invariant violation reported by
+/// [`SkipList::check_invariants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantError {
+    /// A node appears in a level's chain above its own tower height.
+    NodeAboveLevel {
+        /// The offending node index.
+        node: u32,
+    },
+    /// A level's chain is not strictly ascending by key.
+    NotAscending {
+        /// The level whose ordering broke.
+        level: usize,
+        /// The node at which the ordering broke.
+        node: u32,
+    },
+    /// The level-0 chain does not contain every node.
+    ChainLenMismatch {
+        /// Nodes counted on the level-0 chain.
+        seen: usize,
+        /// Nodes the list believes it holds.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantError::NodeAboveLevel { node } => {
+                write!(f, "node {node} linked above its level")
+            }
+            InvariantError::NotAscending { level, node } => {
+                write!(f, "level {level} not strictly ascending at {node}")
+            }
+            InvariantError::ChainLenMismatch { seen, expected } => {
+                write!(f, "level-0 chain has {seen} nodes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantError {}
 
 /// Ordered iterator over `(key, &value)` entries.
 pub struct Iter<'a, V> {
