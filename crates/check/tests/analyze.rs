@@ -3,7 +3,7 @@
 //! end-to-end runs of `icecube-check analyze` against a synthetic
 //! workspace and against this repository itself.
 
-use icecube_check::analyze::{analyze_sources, to_json, AnalyzeConfig};
+use icecube_check::analyze::{analyze_sources, analyze_workspace, to_json, AnalyzeConfig};
 use icecube_check::callgraph::SourceFile;
 use std::process::Command;
 
@@ -217,6 +217,42 @@ fn analyze_json_is_byte_deterministic() {
     let (a, b) = (run(), run());
     assert_eq!(a.status.code(), b.status.code());
     assert_eq!(a.stdout, b.stdout, "analyze --json must be deterministic");
+}
+
+#[test]
+fn kernel_hot_paths_reach_zero_allocations_without_suppressions() {
+    // The arena rewrite's regression gate: nothing reachable from the
+    // ASL/AHT/BUC/PT recursion roots allocates, and the kernel files get
+    // there by actually not allocating — not by carrying
+    // `check:allow(alloc-hot-path)` suppressions. The golden count is
+    // zero; any new finding or any new allow in these files is a
+    // regression, not a number to rebalance.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let report = analyze_workspace(&root).expect("workspace parses");
+    let alloc: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "alloc-hot-path")
+        .collect();
+    assert_eq!(
+        alloc.len(),
+        0,
+        "unsuppressed alloc-hot-path findings: {alloc:#?}"
+    );
+    for file in [
+        "crates/core/src/asl.rs",
+        "crates/core/src/aht.rs",
+        "crates/skiplist/src/lib.rs",
+    ] {
+        let src = std::fs::read_to_string(root.join(file)).expect("kernel source");
+        assert!(
+            !src.contains("check:allow(alloc-hot-path)"),
+            "{file} reintroduced an alloc-hot-path suppression"
+        );
+    }
 }
 
 #[test]

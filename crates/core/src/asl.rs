@@ -47,7 +47,7 @@ use icecube_cluster::{run_demand_steps_healing, ClusterConfig, SimCluster, SimNo
 use icecube_data::Relation;
 use icecube_exec::{TaskSpec, Workload};
 use icecube_lattice::{CuboidMask, Lattice};
-use icecube_skiplist::SkipList;
+use icecube_skiplist::{SkipList, SkipListPool};
 use std::rc::Rc;
 
 /// Every cuboid of the `d`-lattice, most dimensions first (ties by mask
@@ -194,6 +194,36 @@ pub(crate) fn pick_task(
     Some((remaining.remove(0), Source::Scratch))
 }
 
+/// Reusable host-side scratch for one ASL run: the skip-list arena pool
+/// and the small per-task buffers (projected keys, subset position maps,
+/// prefix run keys). Purely an allocation cache — recycled storage is
+/// reset on acquisition, so threading one scratch through many runs is
+/// invisible to cells, counters, and the simulator's memory accounting.
+#[derive(Default)]
+pub struct AslRunScratch {
+    pool: SkipListPool<Aggregate>,
+    bufs: AslBufs,
+}
+
+impl AslRunScratch {
+    /// An empty scratch; arenas are grown on first use and recycled after.
+    pub fn new() -> Self {
+        AslRunScratch::default()
+    }
+}
+
+/// The per-task scratch buffers shared by the ASL subroutines: cleared
+/// (never shrunk) between tasks so the per-cell loops run allocation-free.
+#[derive(Default)]
+struct AslBufs {
+    /// Projected-key buffer for subset/scratch builds.
+    key: Vec<u32>,
+    /// Held-list positions of the task's dimensions (subset builds).
+    positions: Vec<usize>,
+    /// Current run's key during a prefix-reuse scan.
+    run_key: Vec<u32>,
+}
+
 /// Per-worker state: the first and most recent skip lists it built.
 #[derive(Default)]
 struct Worker {
@@ -202,13 +232,21 @@ struct Worker {
 }
 
 impl Worker {
-    fn install(&mut self, node: &mut SimNode, built: CuboidList) {
+    fn install(
+        &mut self,
+        node: &mut SimNode,
+        built: CuboidList,
+        pool: &mut SkipListPool<Aggregate>,
+    ) {
         node.alloc(built.list.memory_bytes());
         // Release the superseded previous list unless it is also the first.
         if let Some(old) = self.prev.take() {
             let is_first = self.first.as_ref().is_some_and(|f| Rc::ptr_eq(f, &old));
             if !is_first {
                 node.free(old.list.memory_bytes());
+                if let Ok(retired) = Rc::try_unwrap(old) {
+                    pool.release(retired.list);
+                }
             }
         }
         let rc = Rc::new(built);
@@ -221,6 +259,18 @@ impl Worker {
 
 /// Runs ASL over a simulated cluster.
 pub fn run_asl(
+    rel: &Relation,
+    query: &IcebergQuery,
+    config: &ClusterConfig,
+    opts: &RunOptions,
+) -> Result<RunOutcome, AlgoError> {
+    run_asl_with(&mut AslRunScratch::new(), rel, query, config, opts)
+}
+
+/// [`run_asl`] with caller-provided scratch arenas, so consecutive runs
+/// reuse skip-list storage instead of re-faulting fresh pages per cuboid.
+pub fn run_asl_with(
+    scratch: &mut AslRunScratch,
     rel: &Relation,
     query: &IcebergQuery,
     config: &ClusterConfig,
@@ -247,6 +297,7 @@ pub fn run_asl(
     let minsup = query.minsup;
     let affinity = opts.affinity;
     let longest_prefix = opts.asl_longest_prefix;
+    let AslRunScratch { pool, bufs } = scratch;
 
     // Self-healing bookkeeping: which cuboid each node is computing (set
     // for the duration of one Assign step), its pre-task checkpoint, and
@@ -297,7 +348,7 @@ pub fn run_asl(
                 } else {
                     w.first.as_ref().expect("prefix source requires a list")
                 };
-                prefix_reuse(held, task, minsup, node, &mut sinks[node_id]);
+                prefix_reuse(held, task, minsup, node, &mut sinks[node_id], bufs);
                 // No new list is created; the worker's lists are unchanged.
             }
             Source::SubsetPrev | Source::SubsetFirst => {
@@ -306,14 +357,14 @@ pub fn run_asl(
                 } else {
                     w.first.as_ref().expect("subset source requires a list")
                 };
-                let built = subset_create(held, task, list_seed, node);
+                let built = subset_create(held, task, list_seed, node, pool, bufs);
                 emit_list(&built, minsup, node, &mut sinks[node_id]);
-                w.install(node, built);
+                w.install(node, built, pool);
             }
             Source::Scratch => {
-                let built = scratch_create(rel, task, list_seed, node);
+                let built = scratch_create(rel, task, list_seed, node, pool, bufs);
                 emit_list(&built, minsup, node, &mut sinks[node_id]);
-                w.install(node, built);
+                w.install(node, built, pool);
             }
         }
         if !cluster.nodes[node_id].is_dead() {
@@ -343,13 +394,12 @@ fn prefix_reuse<S: CellSink>(
     minsup: u64,
     node: &mut SimNode,
     sink: &mut S,
+    bufs: &mut AslBufs,
 ) {
     debug_assert!(task.is_prefix_of(held.cuboid));
     let k = task.dim_count();
-    // check:allow(alloc-hot-path): one run-key buffer per task scan
-    // (cleared, never reallocated, across runs); the ROADMAP item 1
-    // arena rewrite pools it.
-    let mut run_key: Vec<u32> = Vec::new();
+    let run_key = &mut bufs.run_key;
+    run_key.clear();
     let mut run_agg = Aggregate::empty();
     let mut cells = 0u64;
     let flush = |key: &mut Vec<u32>, agg: &mut Aggregate, sink: &mut S, cells: &mut u64| {
@@ -367,12 +417,12 @@ fn prefix_reuse<S: CellSink>(
         scanned += 1;
         let prefix = &key[..k];
         if run_key.as_slice() != prefix {
-            flush(&mut run_key, &mut run_agg, sink, &mut cells);
+            flush(run_key, &mut run_agg, sink, &mut cells);
             run_key.extend_from_slice(prefix);
         }
         run_agg.merge(agg);
     }
-    flush(&mut run_key, &mut run_agg, sink, &mut cells);
+    flush(run_key, &mut run_agg, sink, &mut cells);
     node.charge_comparisons(scanned * k as u64);
     node.charge_agg_updates(scanned);
     if cells > 0 {
@@ -381,30 +431,44 @@ fn prefix_reuse<S: CellSink>(
 }
 
 /// Subroutine `subset-create` (Figure 3.8): seed a new skip list from the
-/// held list's cells instead of re-reading the raw data.
-fn subset_create(held: &CuboidList, task: CuboidMask, seed: u64, node: &mut SimNode) -> CuboidList {
+/// held list's cells instead of re-reading the raw data. The list arena
+/// and the position/key buffers all come from the run's recycled scratch.
+fn subset_create(
+    held: &CuboidList,
+    task: CuboidMask,
+    seed: u64,
+    node: &mut SimNode,
+    pool: &mut SkipListPool<Aggregate>,
+    bufs: &mut AslBufs,
+) -> CuboidList {
     debug_assert!(task.is_subset_of(held.cuboid));
-    let positions: Vec<usize> = {
-        let hdims = held.cuboid.dims();
-        task.dims()
-            .iter()
-            .map(|d| hdims.iter().position(|h| h == d).expect("task ⊆ held"))
-            // check:allow(alloc-hot-path): one position map per task (at
-            // most DIMS entries); the ROADMAP item 1 arena rewrite pools it.
-            .collect()
-    };
-    let mut list = SkipList::with_capacity(task.dim_count(), seed, held.list.len());
-    // check:allow(alloc-hot-path): one projected-key buffer per task,
-    // hoisted out of the row loop; the ROADMAP item 1 arena rewrite
-    // pools it with the skip-list scratch.
-    let mut key: Vec<u32> = std::iter::repeat_n(0u32, positions.len()).collect();
+    // Positions of the task's dimensions within the held list's key: a
+    // single merge walk, since both dimension sets ascend and task ⊆ held.
+    let positions = &mut bufs.positions;
+    positions.clear();
+    let mut hpos = 0usize;
+    let mut hdims = held.cuboid.iter_dims();
+    for d in task.iter_dims() {
+        for h in hdims.by_ref() {
+            hpos += 1;
+            if h == d {
+                positions.push(hpos - 1);
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(positions.len(), task.dim_count());
+    let mut list = pool.acquire_with_capacity(task.dim_count(), seed, held.list.len());
+    let key = &mut bufs.key;
+    key.clear();
+    key.resize(positions.len(), 0);
     let mut scanned = 0u64;
     for (hkey, agg) in held.list.iter() {
         scanned += 1;
-        for (slot, &p) in key.iter_mut().zip(&positions) {
+        for (slot, &p) in key.iter_mut().zip(positions.iter()) {
             *slot = hkey[p];
         }
-        list.insert_or_update(&key, || *agg, |a| a.merge(agg));
+        list.insert_or_update(key, || *agg, |a| a.merge(agg));
     }
     node.charge_scan(scanned);
     node.charge_agg_updates(scanned);
@@ -413,15 +477,21 @@ fn subset_create(held: &CuboidList, task: CuboidMask, seed: u64, node: &mut SimN
 }
 
 /// Builds the task's skip list from the raw data (no affinity available).
-fn scratch_create(rel: &Relation, task: CuboidMask, seed: u64, node: &mut SimNode) -> CuboidList {
-    let mut list = SkipList::new(task.dim_count(), seed);
-    // check:allow(alloc-hot-path): one projected-key buffer per task,
-    // hoisted out of the row loop; the ROADMAP item 1 arena rewrite
-    // pools it with the skip-list scratch.
-    let mut key: Vec<u32> = std::iter::repeat_n(0u32, task.dim_count()).collect();
+fn scratch_create(
+    rel: &Relation,
+    task: CuboidMask,
+    seed: u64,
+    node: &mut SimNode,
+    pool: &mut SkipListPool<Aggregate>,
+    bufs: &mut AslBufs,
+) -> CuboidList {
+    let mut list = pool.acquire(task.dim_count(), seed);
+    let key = &mut bufs.key;
+    key.clear();
+    key.resize(task.dim_count(), 0);
     for (row, m) in rel.rows() {
-        task.project_row(row, &mut key);
-        list.insert_or_update(&key, || Aggregate::of(m), |a| a.update(m));
+        task.project_row(row, key);
+        list.insert_or_update(key, || Aggregate::of(m), |a| a.update(m));
     }
     node.charge_scan(rel.len() as u64);
     node.charge_agg_updates(rel.len() as u64);
@@ -449,25 +519,28 @@ fn emit_list<S: CellSink>(built: &CuboidList, minsup: u64, node: &mut SimNode, s
 }
 
 /// Per-worker affinity state for the executor path: the first and most
-/// recent lists, owned outright. The simulated driver shares lists via
-/// `Rc` purely for memory accounting; the executor path does no such
-/// accounting (and native workers live on separate threads, where `Rc`
-/// cannot go), so plain ownership with the same first/prev semantics
-/// suffices.
+/// recent lists, owned outright, plus the worker's private arena pool
+/// and task buffers. The simulated driver shares lists via `Rc` purely
+/// for memory accounting; the executor path does no such accounting
+/// (and native workers live on separate threads, where `Rc` cannot go),
+/// so plain ownership with the same first/prev semantics suffices.
 pub(crate) struct AslScratch {
     first: Option<CuboidList>,
     prev: Option<CuboidList>,
+    pool: SkipListPool<Aggregate>,
+    bufs: AslBufs,
 }
 
 impl AslScratch {
     /// Installs a freshly built list as the worker's previous (and
     /// first, if none yet) — the same rule as the sim driver's
-    /// `Worker::install`, minus the allocation bookkeeping.
+    /// `Worker::install`, minus the allocation bookkeeping. A superseded
+    /// previous list retires its arena into the worker's pool.
     fn install(&mut self, built: CuboidList) {
         if self.first.is_none() {
             self.first = Some(built);
-        } else {
-            self.prev = Some(built);
+        } else if let Some(old) = self.prev.replace(built) {
+            self.pool.release(old.list);
         }
     }
 }
@@ -559,6 +632,8 @@ impl Workload for AslWorkload<'_> {
         AslScratch {
             first: None,
             prev: None,
+            pool: SkipListPool::new(),
+            bufs: AslBufs::default(),
         }
     }
 
@@ -584,7 +659,14 @@ impl Workload for AslWorkload<'_> {
         // (A task's cells are the same bytes whichever path builds them.)
         if self.affinity && scratch.first.is_none() && task != self.tasks[0] {
             let full = self.tasks[0];
-            let built = scratch_create(self.rel, full, self.seed ^ full.bits() as u64, node);
+            let built = scratch_create(
+                self.rel,
+                full,
+                self.seed ^ full.bits() as u64,
+                node,
+                &mut scratch.pool,
+                &mut scratch.bufs,
+            );
             scratch.install(built);
         }
         let choice = if self.affinity {
@@ -599,7 +681,7 @@ impl Workload for AslWorkload<'_> {
                     Held::First => scratch.first.as_ref(),
                 }
                 .expect("pick returned a held list");
-                prefix_reuse(held, task, self.minsup, node, &mut sink);
+                prefix_reuse(held, task, self.minsup, node, &mut sink, &mut scratch.bufs);
                 // No new list: the worker's held lists are unchanged.
             }
             Some((which, false)) => {
@@ -609,13 +691,27 @@ impl Workload for AslWorkload<'_> {
                         Held::First => scratch.first.as_ref(),
                     }
                     .expect("pick returned a held list");
-                    subset_create(held, task, list_seed, node)
+                    subset_create(
+                        held,
+                        task,
+                        list_seed,
+                        node,
+                        &mut scratch.pool,
+                        &mut scratch.bufs,
+                    )
                 };
                 emit_list(&built, self.minsup, node, &mut sink);
                 scratch.install(built);
             }
             None => {
-                let built = scratch_create(self.rel, task, list_seed, node);
+                let built = scratch_create(
+                    self.rel,
+                    task,
+                    list_seed,
+                    node,
+                    &mut scratch.pool,
+                    &mut scratch.bufs,
+                );
                 emit_list(&built, self.minsup, node, &mut sink);
                 scratch.install(built);
             }

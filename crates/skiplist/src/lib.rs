@@ -18,9 +18,15 @@
 //!
 //! Implementation notes:
 //!
-//! * Nodes live in flat arenas (`keys`, `values`, links) indexed by `u32`,
-//!   not behind per-node allocations — cache-friendly and entirely safe
-//!   code.
+//! * Nodes live interleaved in one flat `u32` arena — each record is
+//!   `[value index, key, forward links]` — so a search touches one
+//!   contiguous record per node visited instead of three parallel arrays.
+//!   Links are record offsets, not pointers: entirely safe code.
+//! * Retired lists can hand their arenas back to a [`SkipListPool`]; a
+//!   recycled list is observationally identical to a fresh one (same RNG
+//!   stream, counters, and contents) but skips the allocation and page
+//!   faults of cold storage — ASL builds hundreds of cuboid lists per
+//!   run and recycles them through one pool.
 //! * As in the thesis, a node has at most [`MAX_LEVEL`] (16) forward links;
 //!   levels are drawn geometrically (p = 1/4) from a seeded RNG so every run
 //!   is reproducible.
@@ -58,14 +64,14 @@ const NIL: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 pub struct SkipList<V> {
     arity: usize,
-    /// Concatenated keys; node `i` owns `keys[i*arity..(i+1)*arity]`.
-    keys: Vec<u32>,
-    values: Vec<V>,
-    /// Concatenated forward links; node `i` owns
-    /// `links[link_start[i] .. link_start[i] + level[i]]`.
-    links: Vec<u32>,
-    link_start: Vec<u32>,
+    /// Interleaved node records. Node `i`'s record at offset `off[i]` is
+    /// `[i, key (arity words), forward links (level[i] words)]`; links
+    /// hold the *record offset* of the successor (or [`NIL`]).
+    arena: Vec<u32>,
+    /// Record offset of each node, in insertion order.
+    off: Vec<u32>,
     node_level: Vec<u8>,
+    values: Vec<V>,
     /// Forward links of the head pseudo-node, one per level.
     head: [u32; MAX_LEVEL],
     /// Highest level currently in use.
@@ -80,11 +86,10 @@ impl<V> SkipList<V> {
         assert!(arity > 0, "arity must be positive");
         SkipList {
             arity,
-            keys: Vec::new(),
-            values: Vec::new(),
-            links: Vec::new(),
-            link_start: Vec::new(),
+            arena: Vec::new(),
+            off: Vec::new(),
             node_level: Vec::new(),
+            values: Vec::new(),
             head: [NIL; MAX_LEVEL],
             level: 1,
             rng: SmallRng::seed_from_u64(seed),
@@ -95,13 +100,19 @@ impl<V> SkipList<V> {
     /// Creates an empty skip list pre-sized for `capacity` nodes.
     pub fn with_capacity(arity: usize, seed: u64, capacity: usize) -> Self {
         let mut s = SkipList::new(arity, seed);
-        s.keys.reserve(capacity * arity);
-        s.values.reserve(capacity);
-        s.link_start.reserve(capacity);
-        s.node_level.reserve(capacity);
-        // Expected links per node is 1/(1-p) = 4/3.
-        s.links.reserve(capacity + capacity / 2);
+        s.reserve(capacity);
         s
+    }
+
+    /// Pre-sizes the arenas for `capacity` additional nodes.
+    fn reserve(&mut self, capacity: usize) {
+        // Record = value index + key + links; expected links per node is
+        // 1/(1-p) = 4/3.
+        self.arena
+            .reserve(capacity * (1 + self.arity) + capacity + capacity / 2);
+        self.off.reserve(capacity);
+        self.node_level.reserve(capacity);
+        self.values.reserve(capacity);
     }
 
     /// Key arity.
@@ -131,45 +142,58 @@ impl<V> SkipList<V> {
     }
 
     /// Approximate memory footprint in bytes (keys + values + links).
+    ///
+    /// `arena` holds one value-index word per node besides keys and links;
+    /// subtracting it keeps the accounting identical to the paper-facing
+    /// model (key words + link words + per-node offset and level bytes),
+    /// independent of the record layout.
     pub fn memory_bytes(&self) -> u64 {
-        (self.keys.len() * 4
+        ((self.arena.len() - self.values.len()) * 4
             + self.values.len() * std::mem::size_of::<V>()
-            + self.links.len() * 4
-            + self.link_start.len() * 4
+            + self.off.len() * 4
             + self.node_level.len()) as u64
     }
 
     #[inline]
-    fn key_of(&self, node: u32) -> &[u32] {
-        let i = node as usize * self.arity;
-        &self.keys[i..i + self.arity]
+    fn key_of(&self, rec: u32) -> &[u32] {
+        let i = rec as usize + 1;
+        &self.arena[i..i + self.arity]
     }
 
     #[inline]
-    fn link(&self, node: u32, lvl: usize) -> u32 {
-        if node == NIL {
+    fn value_index(&self, rec: u32) -> usize {
+        self.arena[rec as usize] as usize
+    }
+
+    #[inline]
+    fn link(&self, rec: u32, lvl: usize) -> u32 {
+        if rec == NIL {
             NIL
         } else {
-            self.links[self.link_start[node as usize] as usize + lvl]
+            self.arena[rec as usize + 1 + self.arity + lvl]
         }
     }
 
-    fn set_link(&mut self, node: u32, lvl: usize, target: u32) {
-        let i = self.link_start[node as usize] as usize + lvl;
-        self.links[i] = target;
+    fn set_link(&mut self, rec: u32, lvl: usize, target: u32) {
+        let i = rec as usize + 1 + self.arity + lvl;
+        self.arena[i] = target;
     }
 
     /// Lexicographic comparison that counts element comparisons.
     #[inline]
-    fn cmp_key(&mut self, node: u32, key: &[u32]) -> Ordering {
-        let a = node as usize * self.arity;
-        for (i, &k) in key.iter().enumerate() {
-            self.comparisons += 1;
-            match self.keys[a + i].cmp(&k) {
+    fn cmp_key(&mut self, rec: u32, key: &[u32]) -> Ordering {
+        let a = rec as usize + 1;
+        let node_key = &self.arena[a..a + key.len()];
+        for (i, (&n, &k)) in node_key.iter().zip(key).enumerate() {
+            match n.cmp(&k) {
                 Ordering::Equal => {}
-                o => return o,
+                o => {
+                    self.comparisons += i as u64 + 1;
+                    return o;
+                }
             }
         }
+        self.comparisons += key.len() as u64;
         Ordering::Equal
     }
 
@@ -205,7 +229,7 @@ impl<V> SkipList<V> {
         let mut update = [NIL; MAX_LEVEL];
         let cand = self.search_path(key, &mut update);
         if cand != NIL && self.cmp_key(cand, key) == Ordering::Equal {
-            Some(&self.values[cand as usize])
+            Some(&self.values[self.value_index(cand)])
         } else {
             None
         }
@@ -223,7 +247,8 @@ impl<V> SkipList<V> {
         let mut path = [NIL; MAX_LEVEL];
         let cand = self.search_path(key, &mut path);
         if cand != NIL && self.cmp_key(cand, key) == Ordering::Equal {
-            update(&mut self.values[cand as usize]);
+            let idx = self.value_index(cand);
+            update(&mut self.values[idx]);
             return false;
         }
         // Draw the level: geometric with p = 1/4, capped at MAX_LEVEL.
@@ -238,22 +263,23 @@ impl<V> SkipList<V> {
             }
             self.level = lvl;
         }
-        let node = self.values.len() as u32;
-        self.keys.extend_from_slice(key);
-        self.values.push(init());
+        let rec = self.arena.len() as u32;
+        self.arena.push(self.values.len() as u32);
+        self.arena.extend_from_slice(key);
+        self.off.push(rec);
         self.node_level.push(lvl as u8);
-        self.link_start.push(self.links.len() as u32);
+        self.values.push(init());
         for (l, &prev) in path.iter().enumerate().take(lvl) {
             let next = if prev == NIL {
                 self.head[l]
             } else {
                 self.link(prev, l)
             };
-            self.links.push(next);
+            self.arena.push(next);
             if prev == NIL {
-                self.head[l] = node;
+                self.head[l] = rec;
             } else {
-                self.set_link(prev, l, node);
+                self.set_link(prev, l, rec);
             }
         }
         true
@@ -267,6 +293,19 @@ impl<V> SkipList<V> {
         }
     }
 
+    /// Iterates entries in ascending key order, borrowing keys and values
+    /// straight out of the arena.
+    ///
+    /// This is the zero-copy counterpart of [`SkipList::to_sorted_vec`]:
+    /// use it wherever the entries only need to be *read* in order —
+    /// cloning out a whole cuboid just to look at it is the allocation
+    /// pattern the kernels exist to avoid. (Today it is [`SkipList::iter`]
+    /// under a name that states the ordering contract; callers should not
+    /// rely on them staying the same iterator type.)
+    pub fn iter_sorted(&self) -> Iter<'_, V> {
+        self.iter()
+    }
+
     /// The smallest key, if any.
     pub fn first_key(&self) -> Option<&[u32]> {
         if self.head[0] == NIL {
@@ -277,6 +316,9 @@ impl<V> SkipList<V> {
     }
 
     /// Collects all entries into a sorted `Vec` of `(key, value)` clones.
+    ///
+    /// Prefer [`SkipList::iter_sorted`] when borrowing suffices; this
+    /// exists for verification code that needs an owned snapshot.
     pub fn to_sorted_vec(&self) -> Vec<(Vec<u32>, V)>
     where
         V: Clone,
@@ -288,19 +330,29 @@ impl<V> SkipList<V> {
 
     /// Checks internal structural invariants; used by property tests.
     ///
-    /// Verifies that every level's linked list is strictly ascending and
-    /// that each level is a subsequence of the level below.
+    /// Verifies that every level's linked list is strictly ascending, that
+    /// each level is a subsequence of the level below, and that records and
+    /// offsets agree.
     pub fn check_invariants(&self) -> Result<(), InvariantError> {
+        for (i, &rec) in self.off.iter().enumerate() {
+            if self.value_index(rec) != i {
+                return Err(InvariantError::RecordMismatch { node: i as u32 });
+            }
+        }
         for lvl in 0..self.level {
             let mut node = self.head[lvl];
             let mut prev: Option<u32> = None;
             while node != NIL {
-                if (self.node_level[node as usize] as usize) <= lvl {
-                    return Err(InvariantError::NodeAboveLevel { node });
+                let id = self.value_index(node);
+                if (self.node_level[id] as usize) <= lvl {
+                    return Err(InvariantError::NodeAboveLevel { node: id as u32 });
                 }
                 if let Some(p) = prev {
                     if self.key_of(p) >= self.key_of(node) {
-                        return Err(InvariantError::NotAscending { level: lvl, node });
+                        return Err(InvariantError::NotAscending {
+                            level: lvl,
+                            node: id as u32,
+                        });
                     }
                 }
                 prev = Some(node);
@@ -324,10 +376,111 @@ impl<V> SkipList<V> {
     }
 }
 
+/// Recycled backing storage of one retired [`SkipList`].
+struct Storage<V> {
+    arena: Vec<u32>,
+    off: Vec<u32>,
+    node_level: Vec<u8>,
+    values: Vec<V>,
+}
+
+impl<V> Default for Storage<V> {
+    fn default() -> Self {
+        Storage {
+            arena: Vec::default(),
+            off: Vec::default(),
+            node_level: Vec::default(),
+            values: Vec::default(),
+        }
+    }
+}
+
+/// A free list of retired skip-list arenas.
+///
+/// [`SkipListPool::acquire`] pops recycled storage (or starts empty on a
+/// cold pool) and returns a list indistinguishable from
+/// [`SkipList::new`] with the same arguments: the RNG is reseeded, the
+/// counters zeroed, and the arenas cleared — only their *capacity*
+/// survives, so a warm pool serves hundreds of cuboid builds without
+/// touching the allocator. The acquire/release pair is deliberately free
+/// of allocation sinks: it sits inside the kernels' per-task recursion,
+/// which `icecube-check analyze` keeps allocation-free.
+pub struct SkipListPool<V> {
+    spares: Vec<Storage<V>>,
+}
+
+impl<V> SkipListPool<V> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        SkipListPool { spares: Vec::new() }
+    }
+
+    /// Number of retired arenas currently available.
+    pub fn spare_count(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Takes a list from the pool, reset to the observable state of
+    /// `SkipList::new(arity, seed)`.
+    pub fn acquire(&mut self, arity: usize, seed: u64) -> SkipList<V> {
+        assert!(arity > 0, "arity must be positive");
+        let mut s = self.spares.pop().unwrap_or_default();
+        s.arena.clear();
+        s.off.clear();
+        s.node_level.clear();
+        s.values.clear();
+        SkipList {
+            arity,
+            arena: s.arena,
+            off: s.off,
+            node_level: s.node_level,
+            values: s.values,
+            head: [NIL; MAX_LEVEL],
+            level: 1,
+            rng: SmallRng::seed_from_u64(seed),
+            comparisons: 0,
+        }
+    }
+
+    /// [`SkipListPool::acquire`] pre-sized for `capacity` nodes, matching
+    /// `SkipList::with_capacity(arity, seed, capacity)`.
+    pub fn acquire_with_capacity(
+        &mut self,
+        arity: usize,
+        seed: u64,
+        capacity: usize,
+    ) -> SkipList<V> {
+        let mut list = self.acquire(arity, seed);
+        list.reserve(capacity);
+        list
+    }
+
+    /// Returns a retired list's storage to the pool.
+    pub fn release(&mut self, list: SkipList<V>) {
+        self.spares.push(Storage {
+            arena: list.arena,
+            off: list.off,
+            node_level: list.node_level,
+            values: list.values,
+        });
+    }
+}
+
+impl<V> Default for SkipListPool<V> {
+    fn default() -> Self {
+        SkipListPool::new()
+    }
+}
+
 /// A structural-invariant violation reported by
 /// [`SkipList::check_invariants`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InvariantError {
+    /// A node's record does not round-trip through the offset table.
+    RecordMismatch {
+        /// The offending node index.
+        node: u32,
+    },
     /// A node appears in a level's chain above its own tower height.
     NodeAboveLevel {
         /// The offending node index.
@@ -352,6 +505,9 @@ pub enum InvariantError {
 impl std::fmt::Display for InvariantError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            InvariantError::RecordMismatch { node } => {
+                write!(f, "node {node} record/offset mismatch")
+            }
             InvariantError::NodeAboveLevel { node } => {
                 write!(f, "node {node} linked above its level")
             }
@@ -382,7 +538,10 @@ impl<'a, V> Iterator for Iter<'a, V> {
         }
         let n = self.node;
         self.node = self.list.link(n, 0);
-        Some((self.list.key_of(n), &self.list.values[n as usize]))
+        Some((
+            self.list.key_of(n),
+            &self.list.values[self.list.value_index(n)],
+        ))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -495,7 +654,28 @@ mod tests {
             a.insert_or_update(&[k % 17, k], || k, |_| {});
             b.insert_or_update(&[k % 17, k], || k, |_| {});
         }
-        assert_eq!(a.to_sorted_vec(), b.to_sorted_vec());
+        assert!(a.iter_sorted().eq(b.iter_sorted()));
+    }
+
+    #[test]
+    fn pooled_list_is_indistinguishable_from_fresh() {
+        let build = |mut s: SkipList<u32>| {
+            for k in 0..500u32 {
+                s.insert_or_update(&[(k * 131) % 997, k % 7], || k, |_| {});
+            }
+            s
+        };
+        let fresh = build(SkipList::new(2, 77));
+        let mut pool: SkipListPool<u32> = SkipListPool::new();
+        // Dirty the pool with an unrelated retired list first.
+        let junk = build(pool.acquire(2, 1234));
+        pool.release(junk);
+        assert_eq!(pool.spare_count(), 1);
+        let recycled = build(pool.acquire(2, 77));
+        assert!(fresh.iter_sorted().eq(recycled.iter_sorted()));
+        assert_eq!(fresh.comparisons(), recycled.comparisons());
+        assert_eq!(fresh.memory_bytes(), recycled.memory_bytes());
+        recycled.check_invariants().unwrap();
     }
 
     proptest! {

@@ -1,0 +1,99 @@
+//! Property suite for the arena skip list, driven against a `BTreeMap`
+//! oracle: whatever sequence of inserts and updates arrives — duplicate
+//! keys included — the list must hold exactly the oracle's contents in
+//! exactly the oracle's order, report them identically through both the
+//! borrowing and the cloning read-out APIs, and never trip a structural
+//! invariant. A second set of properties recycles storage through a
+//! [`SkipListPool`] and demands the recycled list stay indistinguishable
+//! from a fresh one.
+
+use icecube_skiplist::{SkipList, SkipListPool};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Applies one op sequence to a fresh list and the oracle.
+fn apply(list: &mut SkipList<i64>, model: &mut BTreeMap<Vec<u32>, i64>, ops: &[(Vec<u32>, i64)]) {
+    for (key, delta) in ops {
+        *model.entry(key.clone()).or_insert(0) += delta;
+        list.insert_or_update(key, || *delta, |v| *v += delta);
+    }
+}
+
+proptest! {
+    /// Random insert/update sequences (narrow key space, so duplicate
+    /// keys are common): cells, order, and dedup match the oracle.
+    #[test]
+    fn matches_btreemap_oracle(ops in proptest::collection::vec(
+        (proptest::collection::vec(0u32..12, 3), -50i64..50), 0..400)) {
+        let mut model = BTreeMap::new();
+        let mut list: SkipList<i64> = SkipList::new(3, 17);
+        apply(&mut list, &mut model, &ops);
+        prop_assert_eq!(list.len(), model.len());
+        // The borrowing iterator yields the oracle's entries in order.
+        prop_assert!(list
+            .iter_sorted()
+            .map(|(k, v)| (k.to_vec(), *v))
+            .eq(model.iter().map(|(k, v)| (k.clone(), *v))));
+        prop_assert!(list.check_invariants().is_ok());
+    }
+
+    /// `to_sorted_vec` agrees with `iter_sorted`: sorted ascending,
+    /// strictly deduplicated, one merged value per distinct key.
+    #[test]
+    fn to_sorted_vec_is_sorted_and_deduplicated(ops in proptest::collection::vec(
+        (proptest::collection::vec(0u32..6, 2), 0i64..100), 0..300)) {
+        let mut model = BTreeMap::new();
+        let mut list: SkipList<i64> = SkipList::new(2, 23);
+        apply(&mut list, &mut model, &ops);
+        let out = list.to_sorted_vec();
+        for w in out.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "not strictly ascending: {:?}", w);
+        }
+        let want: Vec<(Vec<u32>, i64)> = model.into_iter().collect();
+        prop_assert_eq!(out, want);
+        prop_assert!(list.check_invariants().is_ok());
+    }
+
+    /// A list recycled through the pool behaves exactly like a fresh list
+    /// given the same seed and ops: same contents, same comparison count,
+    /// same accounted footprint, invariants intact.
+    #[test]
+    fn pool_recycling_is_observationally_invisible(
+        warmup in proptest::collection::vec(
+            (proptest::collection::vec(0u32..20, 2), 0i64..10), 0..200),
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(0u32..20, 2), 0i64..10), 0..200)) {
+        let mut pool: SkipListPool<i64> = SkipListPool::new();
+        // Dirty the pool's storage with an unrelated workload.
+        let mut scratch = pool.acquire(2, 99);
+        let mut model = BTreeMap::new();
+        apply(&mut scratch, &mut model, &warmup);
+        pool.release(scratch);
+        prop_assert_eq!(pool.spare_count(), 1);
+
+        let mut fresh: SkipList<i64> = SkipList::new(2, 7);
+        let mut recycled = pool.acquire(2, 7);
+        let mut fresh_model = BTreeMap::new();
+        let mut recycled_model = BTreeMap::new();
+        apply(&mut fresh, &mut fresh_model, &ops);
+        apply(&mut recycled, &mut recycled_model, &ops);
+        prop_assert!(fresh.iter_sorted().eq(recycled.iter_sorted()));
+        prop_assert_eq!(fresh.comparisons(), recycled.comparisons());
+        prop_assert_eq!(fresh.memory_bytes(), recycled.memory_bytes());
+        prop_assert!(recycled.check_invariants().is_ok());
+    }
+
+    /// The structural invariants hold at every intermediate state, not
+    /// just at the end of a sequence.
+    #[test]
+    fn invariants_never_raised_mid_sequence(ops in proptest::collection::vec(
+        proptest::collection::vec(0u32..8, 1), 0..120)) {
+        let mut list: SkipList<u64> = SkipList::new(1, 31);
+        for key in &ops {
+            list.insert_or_update(key, || 1, |v| *v += 1);
+            if let Err(e) = list.check_invariants() {
+                prop_assert!(false, "invariant raised mid-sequence: {e:?}");
+            }
+        }
+    }
+}

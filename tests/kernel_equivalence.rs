@@ -7,12 +7,14 @@
 //! call, because fault injection keys off exact virtual times).
 
 use icecube::cluster::{ClusterConfig, SimCluster};
+use icecube::core::aht::{run_aht_with, AhtRunScratch};
+use icecube::core::asl::{run_asl_with, AslRunScratch};
 use icecube::core::buc::{bpp_buc, bpp_buc_with, BucScratch};
 use icecube::core::cell::CellBuf;
 use icecube::core::naive::naive_iceberg_cube;
 use icecube::core::sequential::{run_sequential, SeqAlgorithm};
 use icecube::core::verify::assert_same_cells;
-use icecube::core::{run_parallel, Algorithm, IcebergQuery};
+use icecube::core::{run_parallel, Algorithm, IcebergQuery, RunOptions};
 use icecube::data::{Relation, SyntheticSpec};
 use icecube::lattice::TreeTask;
 
@@ -111,6 +113,96 @@ fn scratch_reuse_is_invisible_to_cells_and_charges() {
             fresh_cluster.nodes[0].clock_ns(),
             reused_cluster.nodes[0].clock_ns(),
             "seed {seed}: reused scratch changed the clock"
+        );
+    }
+}
+
+/// FNV-1a over the debug rendering of a run's cells and statistics — the
+/// repo's canonical bit-identity fingerprint for a full simulated run.
+fn fingerprint(cells: &[icecube::core::Cell], stats: &impl std::fmt::Debug) -> u64 {
+    let rendered = format!("{cells:?}|{stats:?}");
+    let mut h = 0xcbf29ce484222325u64;
+    for b in rendered.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Golden fingerprints of every (algorithm, seed, minsup) configuration,
+/// recorded from the pre-arena ASL/AHT kernels (boxed skiplist nodes,
+/// per-cell `Box` hash keys). The arena rewrite must reproduce each run
+/// bit for bit: same cells in the same order, same charge counters, same
+/// virtual clocks, same skiplist RNG draws.
+const GOLDEN_FPS: [(Algorithm, u64, u64, u64); 32] = [
+    (Algorithm::Asl, 3, 1, 0xf8dd6d97d19f81bd),
+    (Algorithm::Asl, 3, 3, 0x665f1980c5a43f3e),
+    (Algorithm::Asl, 11, 1, 0x4673d81728fb9c26),
+    (Algorithm::Asl, 11, 3, 0xd615866b1ddb6c70),
+    (Algorithm::Asl, 29, 1, 0x482f2632461a055c),
+    (Algorithm::Asl, 29, 3, 0x554443fd656b488c),
+    (Algorithm::Asl, 47, 1, 0x649f3cb4f82be3cc),
+    (Algorithm::Asl, 47, 3, 0x0733b6f2eba60ab4),
+    (Algorithm::Asl, 101, 1, 0x325fed83b20f48e3),
+    (Algorithm::Asl, 101, 3, 0xef8f7d014233d765),
+    (Algorithm::Asl, 211, 1, 0x0ef616f175aacd71),
+    (Algorithm::Asl, 211, 3, 0xb97d857458d61aba),
+    (Algorithm::Asl, 499, 1, 0xb3bec201bf26ba4c),
+    (Algorithm::Asl, 499, 3, 0x4c59979b1bb44e98),
+    (Algorithm::Asl, 997, 1, 0x19ec7ce37049561d),
+    (Algorithm::Asl, 997, 3, 0x2beb7fb263544568),
+    (Algorithm::Aht, 3, 1, 0x33997f43485088db),
+    (Algorithm::Aht, 3, 3, 0xd645d65d25cb14d1),
+    (Algorithm::Aht, 11, 1, 0xfe596569c163435e),
+    (Algorithm::Aht, 11, 3, 0x1faa902cf96377f2),
+    (Algorithm::Aht, 29, 1, 0x28aede27dafdd3f6),
+    (Algorithm::Aht, 29, 3, 0xc4da188bc615f99b),
+    (Algorithm::Aht, 47, 1, 0xb776ac29e6f11367),
+    (Algorithm::Aht, 47, 3, 0x7d313947b84e0986),
+    (Algorithm::Aht, 101, 1, 0x12e8e4cfe8605cbd),
+    (Algorithm::Aht, 101, 3, 0xb412ebefadce7218),
+    (Algorithm::Aht, 211, 1, 0xa6e033db22c32166),
+    (Algorithm::Aht, 211, 3, 0x91ca02cf091005e7),
+    (Algorithm::Aht, 499, 1, 0x6672027e9f18b574),
+    (Algorithm::Aht, 499, 3, 0xff822ecb30e407e6),
+    (Algorithm::Aht, 997, 1, 0x4b267da3fbb67d82),
+    (Algorithm::Aht, 997, 3, 0x80a97d688d46ab2e),
+];
+
+#[test]
+fn asl_aht_scratch_reuse_is_invisible_and_matches_pre_arena_goldens() {
+    // One scratch per algorithm is threaded through all 16 of its runs
+    // back to back (the executor `Workload` prologue contract): the pools
+    // carry arenas from workload to workload, across dimensionalities and
+    // minsups. Every run must match the brute-force cells, reproduce the
+    // fresh-scratch run bit for bit, and hash to the fingerprint recorded
+    // before the arena rewrite.
+    let mut asl_scratch = AslRunScratch::new();
+    let mut aht_scratch = AhtRunScratch::new();
+    for (alg, seed, minsup, golden) in GOLDEN_FPS {
+        let rel = workload(seed);
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        let cfg = ClusterConfig::fast_ethernet(4);
+        let opts = RunOptions::default();
+        let ctx = format!("{alg}, seed {seed}, minsup {minsup}");
+        let fresh = run_parallel(alg, &rel, &q, &cfg).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        let reused = match alg {
+            Algorithm::Asl => run_asl_with(&mut asl_scratch, &rel, &q, &cfg, &opts),
+            Algorithm::Aht => run_aht_with(&mut aht_scratch, &rel, &q, &cfg, &opts),
+            other => panic!("unexpected algorithm {other}"),
+        }
+        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        assert_same_cells(
+            naive_iceberg_cube(&rel, &q),
+            reused.cells.clone(),
+            &format!("{ctx} (reused scratch)"),
+        );
+        assert_eq!(fresh.cells, reused.cells, "cell drift: {ctx}");
+        assert_eq!(fresh.stats, reused.stats, "stats drift: {ctx}");
+        let fp = fingerprint(&reused.cells, &reused.stats);
+        assert_eq!(
+            fp, golden,
+            "{ctx}: fingerprint 0x{fp:016x} != pre-arena golden 0x{golden:016x}"
         );
     }
 }
