@@ -7,6 +7,7 @@ pub mod chapter3;
 pub mod chapter4;
 pub mod chapter5;
 pub mod fault;
+pub mod ingest;
 pub mod serve;
 pub mod trace;
 
@@ -34,6 +35,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "fig5_4",
         "serve",
         "fault",
+        "ingest",
         "trace",
         "ablation_granularity",
         "ablation_affinity",
@@ -63,6 +65,7 @@ pub fn run_by_id(id: &str, ctx: &Ctx) -> Option<Report> {
         "fig5_4" => chapter5::fig5_4(ctx),
         "serve" => serve::serve(ctx),
         "fault" => fault::fault(ctx),
+        "ingest" => ingest::ingest(ctx),
         "trace" => trace::trace(ctx),
         "ablation_granularity" => ablations::granularity(ctx),
         "ablation_affinity" => ablations::affinity(ctx),

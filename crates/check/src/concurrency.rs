@@ -83,6 +83,17 @@ pub fn run(budget: usize) -> ConcurrencyReport {
     };
     let point_want = oracle(&cube, &point);
     let cuboid_want = oracle(&cube, &cuboid);
+    // A second generation of the same cube — sales ingested twice, every
+    // count doubled — so the epoch-swap scenario can tell the epochs apart.
+    let doubled_store = {
+        let mut rel = sales();
+        rel.extend_from(&sales()).expect("fixture schemas match");
+        let q = IcebergQuery::count_cube(3, 1);
+        let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2))
+            .expect("fixture cube computes");
+        CubeStore::from_outcome(3, 1, out)
+    };
+    let doubled_want = oracle(&ShardedCube::new(&doubled_store, 2), &point);
 
     let scenarios: Vec<ScenarioResult> = vec![
         {
@@ -98,7 +109,11 @@ pub fn run(budget: usize) -> ConcurrencyReport {
                     let handle = server.handle().expect("server is running");
                     let rx = handle.submit(point.clone()).expect("queue accepts work");
                     let got = rx.recv().expect("a worker completes the request");
-                    assert_eq!(got, point_want, "oracle divergence on point request");
+                    assert_eq!(got.epoch, 1, "no refresh ran, so epoch 1 answers");
+                    assert_eq!(
+                        got.response, point_want,
+                        "oracle divergence on point request"
+                    );
                     assert!(
                         rx.try_recv().is_err(),
                         "double completion: two responses for one request"
@@ -144,6 +159,55 @@ pub fn run(budget: usize) -> ConcurrencyReport {
             );
             ScenarioResult {
                 name: "racing-clients",
+                schedules: report.schedules,
+                exhausted: report.exhausted,
+                failure: report.failure,
+            }
+        },
+        {
+            // Epoch-swap refresh racing a query: a client calls while the
+            // main thread publishes a new generation. Whatever the
+            // interleaving, the answer must be attributable to exactly
+            // one published epoch — it carries an epoch tag and must
+            // match *that* epoch's sequential oracle, never a blend.
+            let report = loom::explore(
+                Budget {
+                    max_schedules: budget,
+                },
+                || {
+                    let server =
+                        CubeServer::start(cube.clone(), 1).expect("worker starts in the model");
+                    let handle = server.handle().expect("server is running");
+                    let client = {
+                        let handle = handle.clone();
+                        let req = point.clone();
+                        let want1 = point_want.clone();
+                        let want2 = doubled_want.clone();
+                        loom::thread::spawn(move || {
+                            let got = handle.call_tagged(req).expect("request is served");
+                            let want = match got.epoch {
+                                1 => &want1,
+                                2 => &want2,
+                                other => panic!("answer from unpublished epoch {other}"),
+                            };
+                            assert_eq!(
+                                &got.response,
+                                want,
+                                "epoch {epoch} answered from another epoch's cube",
+                                epoch = got.epoch
+                            );
+                        })
+                    };
+                    let epoch = server.refresh(&doubled_store).expect("same dimensionality");
+                    assert_eq!(epoch, 2, "the refresh publishes epoch 2");
+                    client.join().expect("client thread completes");
+                    assert_eq!(server.epoch(), 2);
+                    drop(handle);
+                    drop(server);
+                },
+            );
+            ScenarioResult {
+                name: "epoch-swap-refresh",
                 schedules: report.schedules,
                 exhausted: report.exhausted,
                 failure: report.failure,

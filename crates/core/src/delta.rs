@@ -1,0 +1,401 @@
+//! Incremental cube maintenance under streaming ingest.
+//!
+//! The paper computes each iceberg cube once from a frozen relation; this
+//! module keeps a cube live under append batches, HaCube-style: the stored
+//! cube reuses its materialization by *merging* delta aggregates instead of
+//! rebuilding. A [`MaintainedCube`] owns a **floor** store — full partial
+//! aggregates at minimum support 1 — and serves thresholded snapshots at
+//! its current serving minsup:
+//!
+//! * **Ingest** counting-sorts just the batch (a BUC pass at minsup 1, no
+//!   pruning — the floor needs every partial so sub-threshold cells can be
+//!   promoted later) and merges the resulting cells into the floor with
+//!   [`CubeStore::merge_cells`]. The merge touches exactly the lattice
+//!   region the batch's cells project into (`Σ_g |π_g(batch)|` cells over
+//!   the cuboids with at least one delta cell) — never the whole cube.
+//! * **Promotion/demotion is tombstone-free.** The floor always holds the
+//!   truth; [`MaintainedCube::visible`] simply does not copy cells below
+//!   the serving threshold. A cell crossing minsup upward (ingest) appears,
+//!   and one crossing downward ([`MaintainedCube::set_minsup`] raising the
+//!   threshold — append-only counts never shrink) retires, atomically with
+//!   the epoch bump that publishes the next snapshot.
+//! * **Equivalence contract** (the tier-1 oracle in
+//!   `tests/incremental_equivalence.rs`): after any batch sequence, the
+//!   visible snapshot is byte-identical to a from-scratch recompute over
+//!   the concatenated relation at the same minsup. COUNT/SUM/MIN/MAX are
+//!   all distributive over a disjoint row union, so append-only merges
+//!   lose nothing; retractions are out of scope by design.
+//! * **Fault dimension**: [`MaintainedCube::ingest_on_cluster`] runs the
+//!   delta pass through [`run_parallel`], where the PR-3 self-healing
+//!   scheduler (crash sweeps, `TaskGuard` rollback, bounded RPC retry)
+//!   already guarantees bit-identical cells under seeded fault plans. The
+//!   floor is only touched on a successful run, so a refresh that dies
+//!   completely ([`AlgoError::ClusterExhausted`]) leaves the previous
+//!   epoch fully intact.
+//!
+//! The memory trade-off is deliberate and documented in DESIGN §13: the
+//! floor stores the *full* cube (minsup 1) so promotion needs no
+//! recomputation — the classic iceberg space saving moves from the store
+//! to the serving snapshot.
+
+use crate::algorithms::{run_parallel, Algorithm};
+use crate::cell::Cell;
+use crate::error::AlgoError;
+use crate::query::IcebergQuery;
+use crate::sequential::{run_sequential, SeqAlgorithm};
+use crate::store::{CubeStore, MergeStats};
+use icecube_cluster::ClusterConfig;
+use icecube_data::{DeltaBatch, Relation};
+
+/// What one maintenance step did: merge counters, the new epoch and the
+/// virtual time the delta pass cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Epoch after this step (unchanged for an empty batch).
+    pub epoch: u64,
+    /// Existing floor cells whose aggregate absorbed delta partials.
+    pub updated: usize,
+    /// Floor cells the step created.
+    pub inserted: usize,
+    /// Cells that crossed the serving minsup upward — they appear in the
+    /// next visible snapshot.
+    pub promoted: usize,
+    /// Cells that dropped below the serving minsup — only a threshold
+    /// raise can cause this (append-only counts never shrink).
+    pub retired: usize,
+    /// Cuboids the delta touched (the lattice-region bound).
+    pub touched_cuboids: usize,
+    /// Virtual time of the delta aggregation pass in nanoseconds (0 when
+    /// the cells were precomputed or the step was metadata-only).
+    pub clock_ns: u64,
+}
+
+/// An iceberg cube kept current under append batches.
+#[derive(Debug, Clone)]
+pub struct MaintainedCube {
+    dims: usize,
+    minsup: u64,
+    epoch: u64,
+    floor: CubeStore,
+}
+
+impl MaintainedCube {
+    /// An empty maintained cube over `dims` dimensions serving at
+    /// `minsup` (clamped to at least 1).
+    pub fn new(dims: usize, minsup: u64) -> Result<Self, AlgoError> {
+        if dims == 0 {
+            return Err(AlgoError::NoDimensions);
+        }
+        Ok(MaintainedCube {
+            dims,
+            minsup: minsup.max(1),
+            epoch: 0,
+            floor: CubeStore::from_cells(dims, 1, Vec::new()),
+        })
+    }
+
+    /// Builds a maintained cube from an initial relation (the frozen-table
+    /// starting point every batch sequence extends).
+    pub fn from_relation(rel: &Relation, minsup: u64) -> Result<Self, AlgoError> {
+        let mut cube = MaintainedCube::new(rel.arity(), minsup)?;
+        cube.ingest(rel)?;
+        Ok(cube)
+    }
+
+    /// Number of cube dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The serving minimum support.
+    pub fn minsup(&self) -> u64 {
+        self.minsup
+    }
+
+    /// The current epoch: bumped once per successful mutation, so two
+    /// snapshots with the same epoch are the same cube.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The floor store: full partials at minimum support 1.
+    pub fn floor(&self) -> &CubeStore {
+        &self.floor
+    }
+
+    /// The servable snapshot at the current serving minsup — byte-identical
+    /// to a from-scratch build over everything ingested so far.
+    pub fn visible(&self) -> CubeStore {
+        self.floor.thresholded(self.minsup)
+    }
+
+    /// Ingests an append batch of raw rows: counting-sorts just the batch
+    /// (BUC at minsup 1 on one simulated node) and merges the partials
+    /// into the floor. An empty batch is a no-op (epoch unchanged).
+    pub fn ingest(&mut self, batch: &Relation) -> Result<DeltaReport, AlgoError> {
+        self.ingest_with(batch, &ClusterConfig::fast_ethernet(1))
+    }
+
+    /// [`MaintainedCube::ingest`] with an explicit cost model for the
+    /// single-node delta pass (the refresh-latency sweep varies this).
+    pub fn ingest_with(
+        &mut self,
+        batch: &Relation,
+        config: &ClusterConfig,
+    ) -> Result<DeltaReport, AlgoError> {
+        if batch.is_empty() {
+            return Ok(self.noop_report());
+        }
+        let query = IcebergQuery {
+            dims: self.dims,
+            minsup: 1,
+        };
+        let out = run_sequential(SeqAlgorithm::BppBuc, batch, &query, config)?;
+        self.merge(out.cells, out.clock_ns)
+    }
+
+    /// Ingests a dictionary-aware [`DeltaBatch`] (built against the base
+    /// relation's schema; see `icecube_data::delta`).
+    pub fn ingest_batch(&mut self, batch: &DeltaBatch) -> Result<DeltaReport, AlgoError> {
+        let rel = batch.to_relation()?;
+        self.ingest(&rel)
+    }
+
+    /// Merges precomputed delta cells (a minsup-1 aggregation of the batch,
+    /// e.g. from a cluster run collected elsewhere).
+    pub fn ingest_cells(&mut self, cells: Vec<Cell>) -> Result<DeltaReport, AlgoError> {
+        if cells.is_empty() {
+            return Ok(self.noop_report());
+        }
+        self.merge(cells, 0)
+    }
+
+    /// Runs the delta pass for `batch` on a simulated cluster — fault plans
+    /// and all — and merges on success.
+    ///
+    /// The self-healing scheduler makes the collected cells bit-identical
+    /// to a fault-free run under any seeded `FaultPlan` with a survivor, so
+    /// a crash mid-refresh reconverges exactly. If the whole cluster dies
+    /// ([`AlgoError::ClusterExhausted`]) nothing is merged: the previous
+    /// epoch stays intact and the refresh can simply be retried.
+    pub fn ingest_on_cluster(
+        &mut self,
+        algorithm: Algorithm,
+        batch: &Relation,
+        config: &ClusterConfig,
+    ) -> Result<DeltaReport, AlgoError> {
+        if batch.is_empty() {
+            return Ok(self.noop_report());
+        }
+        let query = IcebergQuery {
+            dims: self.dims,
+            minsup: 1,
+        };
+        let out = run_parallel(algorithm, batch, &query, config)?;
+        let clock_ns = out.stats.makespan_ns();
+        self.merge(out.cells, clock_ns)
+    }
+
+    /// Re-thresholds the serving minsup (clamped to at least 1), counting
+    /// the cells that appear (threshold lowered) and retire (raised). The
+    /// floor is untouched — promotion and demotion are pure visibility
+    /// changes, atomic with the epoch bump.
+    pub fn set_minsup(&mut self, minsup: u64) -> DeltaReport {
+        let minsup = minsup.max(1);
+        let mut promoted = 0usize;
+        let mut retired = 0usize;
+        for cell in self.floor.iter() {
+            let was = cell.agg.meets(self.minsup);
+            let now = cell.agg.meets(minsup);
+            promoted += usize::from(!was && now);
+            retired += usize::from(was && !now);
+        }
+        if minsup != self.minsup {
+            self.minsup = minsup;
+            self.epoch += 1;
+        }
+        DeltaReport {
+            epoch: self.epoch,
+            promoted,
+            retired,
+            ..DeltaReport::default()
+        }
+    }
+
+    fn noop_report(&self) -> DeltaReport {
+        DeltaReport {
+            epoch: self.epoch,
+            ..DeltaReport::default()
+        }
+    }
+
+    fn merge(&mut self, cells: Vec<Cell>, clock_ns: u64) -> Result<DeltaReport, AlgoError> {
+        let MergeStats {
+            updated,
+            inserted,
+            promoted,
+            touched_cuboids,
+        } = self.floor.merge_cells(cells, self.minsup)?;
+        self.epoch += 1;
+        Ok(DeltaReport {
+            epoch: self.epoch,
+            updated,
+            inserted,
+            promoted,
+            retired: 0,
+            touched_cuboids,
+            clock_ns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_iceberg_cube;
+    use icecube_data::Schema;
+
+    fn rel(rows: &[(&[u32], i64)], cards: &[u32]) -> Relation {
+        let mut r = Relation::new(Schema::from_cardinalities(cards).unwrap());
+        for &(row, m) in rows {
+            r.push_row(row, m).unwrap();
+        }
+        r
+    }
+
+    fn scratch(rel: &Relation, minsup: u64) -> CubeStore {
+        let q = IcebergQuery::count_cube(rel.arity(), minsup);
+        CubeStore::from_cells(rel.arity(), minsup, naive_iceberg_cube(rel, &q))
+    }
+
+    fn bytes(store: &CubeStore) -> Vec<u8> {
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn incremental_equals_scratch_byte_for_byte() {
+        let cards = [3, 2, 4];
+        let base = rel(
+            &[(&[0, 0, 1], 5), (&[1, 1, 3], -2), (&[0, 0, 1], 7)],
+            &cards,
+        );
+        let batch = rel(&[(&[0, 0, 1], 1), (&[2, 1, 0], 9)], &cards);
+        let mut maintained = MaintainedCube::from_relation(&base, 2).unwrap();
+        let report = maintained.ingest(&batch).unwrap();
+        assert_eq!(report.epoch, 2);
+        assert!(report.clock_ns > 0, "delta pass must cost virtual time");
+        let mut concat = base.clone();
+        concat.extend_from(&batch).unwrap();
+        assert_eq!(bytes(&maintained.visible()), bytes(&scratch(&concat, 2)));
+        // The floor equals the full cube at minsup 1 too.
+        assert_eq!(bytes(maintained.floor()), bytes(&scratch(&concat, 1)));
+    }
+
+    #[test]
+    fn promotion_appears_atomically() {
+        let cards = [2, 2];
+        let base = rel(&[(&[0, 0], 1)], &cards);
+        let mut maintained = MaintainedCube::from_relation(&base, 2).unwrap();
+        // Support 1 everywhere: nothing visible at minsup 2.
+        assert!(maintained.visible().is_empty());
+        let report = maintained.ingest(&rel(&[(&[0, 0], 1)], &cards)).unwrap();
+        // (0,0) and its projections all crossed the threshold.
+        assert_eq!(report.promoted, 3);
+        assert_eq!(report.retired, 0);
+        assert_eq!(maintained.visible().len(), 3);
+    }
+
+    #[test]
+    fn threshold_raise_retires_without_tombstones() {
+        let cards = [2, 2];
+        let base = rel(&[(&[0, 0], 1), (&[0, 0], 2), (&[1, 1], 3)], &cards);
+        let mut maintained = MaintainedCube::from_relation(&base, 1).unwrap();
+        let all_visible = maintained.visible().len();
+        let report = maintained.set_minsup(2);
+        assert_eq!(report.promoted, 0);
+        assert!(report.retired > 0);
+        assert_eq!(
+            maintained.visible().len(),
+            all_visible - report.retired,
+            "retired cells vanish from the snapshot, floor keeps them"
+        );
+        assert_eq!(maintained.floor().len(), all_visible);
+        // Lowering it back promotes the same cells again.
+        let back = maintained.set_minsup(1);
+        assert_eq!(back.promoted, report.retired);
+        // And the snapshot still equals scratch at each threshold.
+        assert_eq!(bytes(&maintained.visible()), bytes(&scratch(&base, 1)));
+    }
+
+    #[test]
+    fn delta_batches_flow_end_to_end() {
+        let base = rel(&[(&[0, 0], 10)], &[2, 2]);
+        let mut maintained = MaintainedCube::from_relation(&base, 1).unwrap();
+        // A dictionary-extending batch: dimension 0 grows a new code.
+        let mut batch = DeltaBatch::against(base.schema());
+        batch.push_row(&[2, 1], 20).unwrap();
+        maintained.ingest_batch(&batch).unwrap();
+        let mut concat = base.clone();
+        concat.apply_delta(&batch).unwrap();
+        assert_eq!(bytes(&maintained.visible()), bytes(&scratch(&concat, 1)));
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let base = rel(&[(&[0, 0], 1)], &[2, 2]);
+        let mut maintained = MaintainedCube::from_relation(&base, 1).unwrap();
+        let before = maintained.epoch();
+        let report = maintained
+            .ingest(&Relation::new(base.schema().clone()))
+            .unwrap();
+        assert_eq!(report.epoch, before);
+        assert_eq!(maintained.epoch(), before);
+        let report = maintained.ingest_cells(Vec::new()).unwrap();
+        assert_eq!(report.epoch, before);
+        // Setting the same minsup does not publish a new epoch either.
+        assert_eq!(maintained.set_minsup(1).epoch, before);
+    }
+
+    #[test]
+    fn malformed_cells_leave_the_floor_untouched() {
+        let base = rel(&[(&[0, 0], 1)], &[2, 2]);
+        let mut maintained = MaintainedCube::from_relation(&base, 1).unwrap();
+        let before = bytes(maintained.floor());
+        let epoch = maintained.epoch();
+        let bad = Cell {
+            cuboid: icecube_lattice::CuboidMask::from_dims(&[0, 1]),
+            key: vec![1],
+            agg: crate::agg::Aggregate::empty(),
+        };
+        assert!(matches!(
+            maintained.ingest_cells(vec![bad]),
+            Err(AlgoError::CellArity {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert_eq!(bytes(maintained.floor()), before);
+        assert_eq!(maintained.epoch(), epoch);
+        let wide = Cell {
+            cuboid: icecube_lattice::CuboidMask::from_dims(&[5]),
+            key: vec![0],
+            agg: crate::agg::Aggregate::empty(),
+        };
+        assert!(matches!(
+            maintained.ingest_cells(vec![wide]),
+            Err(AlgoError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_dimensions_is_a_typed_error() {
+        assert!(matches!(
+            MaintainedCube::new(0, 1),
+            Err(AlgoError::NoDimensions)
+        ));
+        // Zero minsup clamps to 1 rather than erroring.
+        assert_eq!(MaintainedCube::new(2, 0).unwrap().minsup(), 1);
+    }
+}

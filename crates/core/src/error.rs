@@ -64,6 +64,20 @@ pub enum AlgoError {
         /// Name of the algorithm that cannot run through an executor.
         algorithm: &'static str,
     },
+    /// A maintained cube was asked for with zero dimensions; there are no
+    /// group-bys to maintain (the typed twin of the panic contract on
+    /// [`crate::IcebergQuery::count_cube`], since maintenance runs in
+    /// serving paths that must not unwind).
+    NoDimensions,
+    /// A delta cell's key arity does not match its cuboid mask; merging it
+    /// would corrupt the store's stride invariant, so the merge refuses the
+    /// whole batch up front.
+    CellArity {
+        /// Arity the cell's cuboid mask implies.
+        expected: usize,
+        /// Key length the cell actually carried.
+        got: usize,
+    },
     /// An execution backend failed to complete the plan.
     Exec(icecube_exec::ExecError),
     /// Underlying data error.
@@ -109,6 +123,13 @@ impl fmt::Display for AlgoError {
                     "{algorithm} has no executor decomposition; run it on the simulator"
                 )
             }
+            AlgoError::NoDimensions => {
+                write!(f, "a maintained cube needs at least one dimension")
+            }
+            AlgoError::CellArity { expected, got } => write!(
+                f,
+                "delta cell key has {got} values but its cuboid implies {expected}"
+            ),
             AlgoError::Exec(e) => write!(f, "execution backend failed: {e}"),
             AlgoError::Data(e) => write!(f, "data error: {e}"),
         }
@@ -165,5 +186,14 @@ mod tests {
         assert!(e.to_string().contains("dimension 6 does not belong"));
         let e = AlgoError::DimensionAlreadyInGroupBy { dim: 2 };
         assert!(e.to_string().contains("dimension 2 already belongs"));
+        let e = AlgoError::CellArity {
+            expected: 3,
+            got: 1,
+        };
+        assert!(e.to_string().contains("1 values"));
+        assert!(e.to_string().contains("implies 3"));
+        assert!(AlgoError::NoDimensions
+            .to_string()
+            .contains("at least one dimension"));
     }
 }

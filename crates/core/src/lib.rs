@@ -35,6 +35,7 @@ pub mod backend;
 pub mod bpp;
 pub mod buc;
 pub mod cell;
+pub mod delta;
 pub mod error;
 pub mod fixtures;
 pub mod htree;
@@ -59,9 +60,10 @@ pub use algorithms::{
 };
 pub use backend::{run_parallel_exec, ExecOutcome, EXEC_UNITS};
 pub use cell::{Cell, CellBuf, CellMark, CellSink};
+pub use delta::{DeltaReport, MaintainedCube};
 pub use error::AlgoError;
 pub use query::IcebergQuery;
 pub use recipe::{recommend, Choice, CubeProfile};
 pub use recover::TaskGuard;
 pub use sequential::{run_sequential, SeqAlgorithm, SeqOutcome};
-pub use store::CubeStore;
+pub use store::{CubeStore, MergeStats};

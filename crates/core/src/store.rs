@@ -58,6 +58,21 @@ impl StoredCuboid {
     }
 }
 
+/// Counters from one [`CubeStore::merge_cells`] delta merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Existing cells whose aggregate absorbed at least one delta cell.
+    pub updated: usize,
+    /// Cells the merge created (keys the store had not seen).
+    pub inserted: usize,
+    /// Cells whose count crossed `watch_minsup` upward during this merge
+    /// (appears atomically in the next thresholded snapshot).
+    pub promoted: usize,
+    /// Cuboids the delta touched — the lattice region
+    /// `Σ_g |π_g(batch)| > 0` the merge was bounded to.
+    pub touched_cuboids: usize,
+}
+
 /// A precomputed iceberg cube, indexed by cuboid, answering point lookups,
 /// slices, drill-downs and roll-ups.
 ///
@@ -436,6 +451,150 @@ impl CubeStore {
             .get(&g)
             .into_iter()
             .flat_map(|s| (0..s.len()).map(move |i| (s.key(i), s.aggs[i])))
+    }
+
+    /// Merges delta cells into the store, cuboid by cuboid.
+    ///
+    /// This is the incremental-maintenance kernel: the delta-BUC pass
+    /// aggregates just an append batch (at minimum support 1) and this
+    /// merge folds the resulting partials into the stored cuboids with
+    /// [`Aggregate::merge`]. COUNT/SUM/MIN/MAX are all distributive over
+    /// a disjoint row union, so for append-only ingest the merged store is
+    /// byte-identical to recomputing from the concatenated relation.
+    ///
+    /// Work is bounded to exactly the lattice region the batch touches:
+    /// only cuboids with at least one delta cell are rebuilt (a linear
+    /// two-pointer merge each); untouched cuboids are not visited.
+    ///
+    /// `watch_minsup` is the serving threshold used for the promotion
+    /// counter in the returned [`MergeStats`] (merging appends can only
+    /// grow counts, so cells cross it upward only). Every cell is
+    /// validated before any mutation — on error the store is unchanged.
+    pub fn merge_cells(
+        &mut self,
+        mut cells: Vec<Cell>,
+        watch_minsup: u64,
+    ) -> Result<MergeStats, AlgoError> {
+        for cell in &cells {
+            if cell.cuboid.max_dim().is_some_and(|m| m >= self.dims) {
+                return Err(AlgoError::DimensionMismatch {
+                    query_dims: cell.cuboid.max_dim().unwrap_or(0) + 1,
+                    relation_dims: self.dims,
+                });
+            }
+            if cell.key.len() != cell.cuboid.dim_count() {
+                return Err(AlgoError::CellArity {
+                    expected: cell.cuboid.dim_count(),
+                    got: cell.key.len(),
+                });
+            }
+        }
+        crate::cell::sort_cells(&mut cells);
+        let mut stats = MergeStats::default();
+        let mut i = 0usize;
+        while i < cells.len() {
+            let cuboid = cells[i].cuboid;
+            let mut j = i;
+            while j < cells.len() && cells[j].cuboid == cuboid {
+                j += 1;
+            }
+            let run = &cells[i..j];
+            stats.touched_cuboids += 1;
+            let arity = cuboid.dim_count();
+            let entry = self.cuboids.entry(cuboid).or_insert_with(|| StoredCuboid {
+                arity,
+                ..StoredCuboid::default()
+            });
+            let old_len = entry.len();
+            let mut keys = Vec::with_capacity(entry.keys.len() + run.len() * arity);
+            let mut aggs = Vec::with_capacity(old_len + run.len());
+            let (mut oi, mut di) = (0usize, 0usize);
+            while oi < old_len || di < run.len() {
+                let take_old = match (oi < old_len, di < run.len()) {
+                    (true, true) => entry.key(oi) <= run[di].key.as_slice(),
+                    (has_old, _) => has_old,
+                };
+                if take_old {
+                    let key = entry.key(oi);
+                    let before = entry.aggs[oi];
+                    let mut agg = before;
+                    let mut absorbed = false;
+                    while di < run.len() && run[di].key.as_slice() == key {
+                        agg.merge(&run[di].agg);
+                        absorbed = true;
+                        di += 1;
+                    }
+                    if absorbed {
+                        stats.updated += 1;
+                        if !before.meets(watch_minsup) && agg.meets(watch_minsup) {
+                            stats.promoted += 1;
+                        }
+                    }
+                    keys.extend_from_slice(key);
+                    aggs.push(agg);
+                    oi += 1;
+                } else {
+                    let cell = &run[di];
+                    let mut agg = cell.agg;
+                    di += 1;
+                    // Absorb duplicate keys within the delta itself (a
+                    // well-formed delta pass emits unique cells, but the
+                    // merge must not rely on it).
+                    while di < run.len() && run[di].key == cell.key {
+                        agg.merge(&run[di].agg);
+                        di += 1;
+                    }
+                    stats.inserted += 1;
+                    if agg.meets(watch_minsup) {
+                        stats.promoted += 1;
+                    }
+                    keys.extend_from_slice(&cell.key);
+                    aggs.push(agg);
+                }
+            }
+            entry.keys = keys;
+            entry.aggs = aggs;
+            i = j;
+        }
+        Ok(stats)
+    }
+
+    /// A thresholded snapshot: the cells meeting `minsup`, as a standalone
+    /// store computed *at* `minsup`.
+    ///
+    /// This is how a maintained floor store (full partials at minimum
+    /// support 1) becomes a servable iceberg cube: cells below the
+    /// threshold are simply not copied (no tombstones), and cuboids left
+    /// with no qualifying cell are dropped entirely — so the snapshot is
+    /// byte-identical to a from-scratch [`CubeStore::from_cells`] build
+    /// over the same relation at `minsup`.
+    pub fn thresholded(&self, minsup: u64) -> CubeStore {
+        let mut cuboids = BTreeMap::new();
+        for (&mask, stored) in &self.cuboids {
+            let mut keys = Vec::new();
+            let mut aggs = Vec::new();
+            for i in 0..stored.len() {
+                if stored.aggs[i].meets(minsup) {
+                    keys.extend_from_slice(stored.key(i));
+                    aggs.push(stored.aggs[i]);
+                }
+            }
+            if !aggs.is_empty() {
+                cuboids.insert(
+                    mask,
+                    StoredCuboid {
+                        keys,
+                        aggs,
+                        arity: stored.arity,
+                    },
+                );
+            }
+        }
+        CubeStore {
+            dims: self.dims,
+            minsup,
+            cuboids,
+        }
     }
 
     /// Even-quantile split keys dividing cuboid `g`'s cells into `parts`

@@ -1,0 +1,284 @@
+//! Append batches for streaming ingest.
+//!
+//! A [`DeltaBatch`] is a block of new fact rows built against a snapshot of
+//! a relation's schema. Batches are the unit of incremental cube
+//! maintenance: the delta-BUC pass in `icecube-core` counting-sorts just the
+//! batch and merges its partial aggregates into the stored cube, so a batch
+//! must *extend, never reshuffle*, the dictionary encoding of the relation
+//! it targets — existing codes keep their meaning, and codes for values
+//! first seen in the batch are assigned past the snapshot cardinalities.
+//!
+//! Two construction paths keep that invariant:
+//!
+//! * [`DeltaBatch::push_row`] accepts pre-encoded codes and widens the
+//!   batch's cardinalities to cover them (the caller owns code assignment,
+//!   e.g. a replicated ingest log),
+//! * [`DeltaBatch::encode_row`] routes raw string values through the same
+//!   per-dimension [`Dictionary`] set the base relation was encoded with,
+//!   so repeated values reuse their codes and fresh values extend densely.
+//!
+//! Applying a batch ([`Relation::apply_delta`]) checks the snapshot still
+//! matches the live relation and is all-or-nothing.
+
+use crate::dictionary::Dictionary;
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// A validated block of append rows bound to a base-schema snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaBatch {
+    /// The schema the batch was built against (names travel with it).
+    base: Schema,
+    /// Per-dimension cardinalities after this batch: elementwise `>=` the
+    /// base's, widened as rows introduce codes past the snapshot.
+    cards: Vec<u32>,
+    /// Row-major dimension codes, stride = arity.
+    dims: Vec<u32>,
+    /// One measure per row.
+    measures: Vec<i64>,
+}
+
+impl DeltaBatch {
+    /// Starts an empty batch against a snapshot of `schema`.
+    pub fn against(schema: &Schema) -> Self {
+        DeltaBatch {
+            cards: schema.cardinalities(),
+            base: schema.clone(),
+            dims: Vec::new(),
+            measures: Vec::new(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.base.arity()
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.measures.is_empty()
+    }
+
+    /// Cardinalities of the schema snapshot the batch was built against.
+    pub fn base_cardinalities(&self) -> Vec<u32> {
+        self.base.cardinalities()
+    }
+
+    /// Per-dimension cardinalities after this batch (elementwise `>=` the
+    /// base's; codes the batch introduced extend each dimension densely
+    /// from its snapshot cardinality).
+    pub fn cardinalities(&self) -> &[u32] {
+        &self.cards
+    }
+
+    /// The row-major dimension codes (stride = arity).
+    pub fn dim_values(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// The per-row measures.
+    pub fn measure_values(&self) -> &[i64] {
+        &self.measures
+    }
+
+    /// Appends a pre-encoded row, widening the batch cardinalities to cover
+    /// any code past the current bound.
+    ///
+    /// Rejects arity mismatches, the reserved sentinel code
+    /// ([`Relation::RESERVED_CODE`]) and batches outgrowing the relation
+    /// row budget. Validation precedes mutation: a failed push leaves the
+    /// batch unchanged.
+    pub fn push_row(&mut self, values: &[u32], measure: i64) -> Result<(), DataError> {
+        Relation::check_row_budget(self.len(), 1)?;
+        if values.len() != self.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: self.arity(),
+                got: values.len(),
+            });
+        }
+        for (dim, &v) in values.iter().enumerate() {
+            if v == Relation::RESERVED_CODE {
+                return Err(DataError::ReservedCode { dim });
+            }
+        }
+        for (dim, &v) in values.iter().enumerate() {
+            if v >= self.cards[dim] {
+                self.cards[dim] = v + 1;
+            }
+        }
+        self.dims.extend_from_slice(values);
+        self.measures.push(measure);
+        Ok(())
+    }
+
+    /// Encodes a row of raw string values through the shared per-dimension
+    /// dictionaries and appends it.
+    ///
+    /// `dicts` must be the same dictionaries the base relation was encoded
+    /// with (one per dimension): values already seen reuse their codes, and
+    /// fresh values are assigned the next dense code — extending, never
+    /// reshuffling, the base encoding.
+    pub fn encode_row(
+        &mut self,
+        dicts: &mut [Dictionary],
+        values: &[&str],
+        measure: i64,
+    ) -> Result<(), DataError> {
+        if dicts.len() != self.arity() || values.len() != self.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: self.arity(),
+                got: if dicts.len() != self.arity() {
+                    dicts.len()
+                } else {
+                    values.len()
+                },
+            });
+        }
+        let mut codes = vec![0u32; self.arity()];
+        for (dim, (&value, dict)) in values.iter().zip(dicts.iter_mut()).enumerate() {
+            // A dictionary that has grown to 2^32 - 1 entries would assign
+            // the sentinel next; refuse before inserting.
+            if dict.get(value).is_none() && dict.len() == Relation::RESERVED_CODE {
+                return Err(DataError::ReservedCode { dim });
+            }
+            codes[dim] = dict.encode(value);
+        }
+        self.push_row(&codes, measure)
+    }
+
+    /// Materializes the batch as a standalone [`Relation`] under the
+    /// widened schema (base dimension names preserved). This is what the
+    /// delta-BUC pass counting-sorts: just the batch, not the base table.
+    pub fn to_relation(&self) -> Result<Relation, DataError> {
+        let schema = self.base.widen_to(&self.cards)?;
+        let mut rel = Relation::with_capacity(schema, self.len());
+        // `max(1)` keeps the chunk size nonzero; a schema always has at
+        // least one dimension, so it never actually engages.
+        let arity = self.arity().max(1);
+        for (codes, &m) in self.dims.chunks_exact(arity).zip(self.measures.iter()) {
+            rel.push_row_unchecked(codes, m);
+        }
+        Ok(rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_schema() -> Schema {
+        Schema::from_cardinalities(&[3, 2]).unwrap()
+    }
+
+    #[test]
+    fn push_widens_cardinalities_extend_only() {
+        let mut b = DeltaBatch::against(&base_schema());
+        b.push_row(&[2, 1], 10).unwrap();
+        assert_eq!(b.cardinalities(), &[3, 2]);
+        // A code past the snapshot widens that dimension.
+        b.push_row(&[5, 0], 20).unwrap();
+        assert_eq!(b.cardinalities(), &[6, 2]);
+        assert_eq!(b.base_cardinalities(), vec![3, 2]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn push_rejects_sentinel_and_arity() {
+        let mut b = DeltaBatch::against(&base_schema());
+        assert!(matches!(
+            b.push_row(&[0], 1),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            b.push_row(&[0, Relation::RESERVED_CODE], 1),
+            Err(DataError::ReservedCode { dim: 1 })
+        ));
+        assert!(b.is_empty(), "failed push must not mutate the batch");
+        assert_eq!(b.cardinalities(), &[3, 2]);
+    }
+
+    #[test]
+    fn encode_row_reuses_and_extends_dictionary_codes() {
+        // Base encoding: d0 saw {van=0, sea=1, pdx=2}, d1 saw {a=0, b=1}.
+        let mut dicts = vec![Dictionary::new(), Dictionary::new()];
+        for v in ["van", "sea", "pdx"] {
+            dicts[0].encode(v);
+        }
+        for v in ["a", "b"] {
+            dicts[1].encode(v);
+        }
+        let mut b = DeltaBatch::against(&base_schema());
+        b.encode_row(&mut dicts, &["sea", "b"], 7).unwrap();
+        assert_eq!(&b.dim_values()[0..2], &[1, 1]);
+        // A fresh value gets the next dense code and widens the batch.
+        b.encode_row(&mut dicts, &["yvr", "a"], 8).unwrap();
+        assert_eq!(&b.dim_values()[2..4], &[3, 0]);
+        assert_eq!(b.cardinalities(), &[4, 2]);
+        // The shared dictionary kept existing codes stable.
+        assert_eq!(dicts[0].get("van"), Some(0));
+        assert_eq!(dicts[0].get("yvr"), Some(3));
+    }
+
+    #[test]
+    fn to_relation_carries_widened_schema_and_rows() {
+        let mut b = DeltaBatch::against(&base_schema());
+        b.push_row(&[4, 1], 10).unwrap();
+        b.push_row(&[0, 0], 20).unwrap();
+        let rel = b.to_relation().unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.schema().cardinalities(), vec![5, 2]);
+        assert_eq!(rel.schema().dims()[0].name, "d0");
+        assert_eq!(rel.row(0), &[4, 1]);
+        assert_eq!(rel.measure(1), 20);
+    }
+
+    #[test]
+    fn apply_delta_widens_schema_and_appends() {
+        let mut r = Relation::new(base_schema());
+        r.push_row(&[0, 0], 1).unwrap();
+        let mut b = DeltaBatch::against(r.schema());
+        b.push_row(&[4, 1], 2).unwrap();
+        r.apply_delta(&b).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().cardinalities(), vec![5, 2]);
+        assert_eq!(r.row(1), &[4, 1]);
+        // A second batch built against the *widened* schema applies too.
+        let mut b2 = DeltaBatch::against(r.schema());
+        b2.push_row(&[4, 0], 3).unwrap();
+        r.apply_delta(&b2).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn apply_delta_rejects_stale_base() {
+        let mut r = Relation::new(base_schema());
+        r.push_row(&[0, 0], 1).unwrap();
+        let stale = DeltaBatch::against(&Schema::from_cardinalities(&[2, 2]).unwrap());
+        assert!(matches!(
+            r.apply_delta(&stale),
+            Err(DataError::StaleDelta {
+                dim: 0,
+                relation: 3,
+                batch: 2,
+            })
+        ));
+        // Two batches against the same base: applying the first makes the
+        // second stale iff it widened the schema.
+        let mut a = DeltaBatch::against(r.schema());
+        a.push_row(&[3, 0], 1).unwrap();
+        let mut b = DeltaBatch::against(r.schema());
+        b.push_row(&[3, 1], 2).unwrap();
+        r.apply_delta(&a).unwrap();
+        assert!(matches!(
+            r.apply_delta(&b),
+            Err(DataError::StaleDelta { .. })
+        ));
+        assert_eq!(r.len(), 2, "rejected batch must not append rows");
+    }
+}

@@ -31,6 +31,38 @@ pub enum DataError {
         /// The largest supported row count ([`crate::Relation::MAX_ROWS`]).
         max: usize,
     },
+    /// An encoded dimension value collides with the reserved sentinel code
+    /// ([`crate::Relation::RESERVED_CODE`]). The cube kernels use `u32::MAX`
+    /// as an in-band NIL/fill marker (skiplist links, pipesort padding), so
+    /// a real dictionary code must never equal it; ingest paths reject such
+    /// rows instead of corrupting kernel state.
+    ReservedCode {
+        /// Index of the offending dimension.
+        dim: usize,
+    },
+    /// A delta batch was built against a schema snapshot that no longer
+    /// matches the relation it is being applied to. Batches extend, never
+    /// reshuffle, the dictionary encoding — applying a batch whose base
+    /// cardinalities disagree with the live relation would let two batches
+    /// assign the same code to different values.
+    StaleDelta {
+        /// Index of the first disagreeing dimension.
+        dim: usize,
+        /// Cardinality the relation currently has.
+        relation: u32,
+        /// Cardinality the batch snapshotted as its base.
+        batch: u32,
+    },
+    /// A widened cardinality vector tried to shrink a dimension. Dictionary
+    /// encodings only grow; shrinking would orphan already-encoded rows.
+    CardinalityShrunk {
+        /// Index of the offending dimension.
+        dim: usize,
+        /// The current (larger) cardinality.
+        from: u32,
+        /// The requested (smaller) cardinality.
+        to: u32,
+    },
     /// A schema with zero dimensions was supplied.
     EmptySchema,
     /// A dimension was declared with cardinality zero.
@@ -69,6 +101,26 @@ impl fmt::Display for DataError {
                     "relation of {rows} rows exceeds the supported maximum of {max}"
                 )
             }
+            DataError::ReservedCode { dim } => write!(
+                f,
+                "dimension {dim} value collides with the reserved sentinel code {}",
+                u32::MAX
+            ),
+            DataError::StaleDelta {
+                dim,
+                relation,
+                batch,
+            } => write!(
+                f,
+                "delta batch base cardinality {batch} for dimension {dim} does not match \
+                 the relation's current cardinality {relation}; rebuild the batch against \
+                 the live schema"
+            ),
+            DataError::CardinalityShrunk { dim, from, to } => write!(
+                f,
+                "dimension {dim} cardinality cannot shrink from {from} to {to}; \
+                 dictionary encodings are extend-only"
+            ),
             DataError::EmptySchema => write!(f, "schema must declare at least one dimension"),
             DataError::ZeroCardinality { dim } => {
                 write!(f, "dimension {dim} declared with cardinality zero")

@@ -20,6 +20,7 @@
 //! * [`csv`] — a small loader/saver so the examples can run on user data.
 
 pub mod csv;
+pub mod delta;
 pub mod dictionary;
 pub mod error;
 pub mod generator;
@@ -27,6 +28,7 @@ pub mod presets;
 pub mod relation;
 pub mod schema;
 
+pub use delta::DeltaBatch;
 pub use dictionary::Dictionary;
 pub use error::DataError;
 pub use generator::{SyntheticSpec, Zipf};

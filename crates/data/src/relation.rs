@@ -32,9 +32,18 @@ impl Relation {
     /// [`DataError::TooManyRows`] instead.
     pub const MAX_ROWS: usize = u32::MAX as usize;
 
+    /// The dimension code reserved as an in-band sentinel by the cube
+    /// kernels: the skiplist arena uses `u32::MAX` as its NIL link and
+    /// pipesort uses it as column fill. A real dictionary code must never
+    /// equal it, so every ingest path ([`Relation::push_row`] via the
+    /// cardinality check, [`Relation::extend_from`] and
+    /// [`Relation::apply_delta`] explicitly) rejects rows carrying it with
+    /// [`DataError::ReservedCode`].
+    pub const RESERVED_CODE: u32 = u32::MAX;
+
     /// Checks that a relation of `rows` rows plus `additional` more stays
     /// within [`Self::MAX_ROWS`].
-    fn check_row_budget(rows: usize, additional: usize) -> Result<(), DataError> {
+    pub(crate) fn check_row_budget(rows: usize, additional: usize) -> Result<(), DataError> {
         match rows.checked_add(additional) {
             Some(total) if total <= Self::MAX_ROWS => Ok(()),
             _ => Err(DataError::TooManyRows {
@@ -291,7 +300,15 @@ impl Relation {
         Ok(r)
     }
 
-    /// Appends all rows of `other` (schemas must match).
+    /// Appends all rows of `other`, validating every incoming value against
+    /// *this* relation's schema.
+    ///
+    /// The check is all-or-nothing: the post-append total must stay within
+    /// [`Self::MAX_ROWS`], no incoming value may carry the reserved sentinel
+    /// code ([`Self::RESERVED_CODE`]) and every value must fit this schema's
+    /// cardinalities. On any error the relation is left untouched. `other`
+    /// may have wider declared cardinalities (e.g. a projection of a grown
+    /// table) as long as the values actually present fit here.
     pub fn extend_from(&mut self, other: &Relation) -> Result<(), DataError> {
         if other.arity() != self.arity() {
             return Err(DataError::ArityMismatch {
@@ -300,8 +317,65 @@ impl Relation {
             });
         }
         Self::check_row_budget(self.len(), other.len())?;
+        self.check_values(&other.dims, &self.schema.cardinalities())?;
         self.dims.extend_from_slice(&other.dims);
         self.measures.extend_from_slice(&other.measures);
+        Ok(())
+    }
+
+    /// Validates a row-major value block (stride = arity) against the given
+    /// cardinalities: no reserved sentinel codes, every value in range.
+    fn check_values(&self, dims: &[u32], cards: &[u32]) -> Result<(), DataError> {
+        let arity = self.arity();
+        for (i, &v) in dims.iter().enumerate() {
+            let dim = i % arity;
+            if v == Self::RESERVED_CODE {
+                return Err(DataError::ReservedCode { dim });
+            }
+            let card = cards[dim];
+            if v >= card {
+                return Err(DataError::ValueOutOfRange {
+                    dim,
+                    value: v,
+                    cardinality: card,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies an append batch: widens the schema to the batch's extended
+    /// cardinalities and appends its rows.
+    ///
+    /// The batch must have been built against this relation's *current*
+    /// schema ([`DataError::StaleDelta`] otherwise) — dictionary codes are
+    /// extend-only, so a batch snapshotted against an older or newer base
+    /// could alias codes. Validation runs before any mutation: on error the
+    /// relation (rows and schema both) is unchanged.
+    pub fn apply_delta(&mut self, batch: &crate::delta::DeltaBatch) -> Result<(), DataError> {
+        let base = batch.base_cardinalities();
+        let current = self.schema.cardinalities();
+        if base.len() != current.len() {
+            return Err(DataError::ArityMismatch {
+                expected: current.len(),
+                got: base.len(),
+            });
+        }
+        for (dim, (&have, &snap)) in current.iter().zip(base.iter()).enumerate() {
+            if have != snap {
+                return Err(DataError::StaleDelta {
+                    dim,
+                    relation: have,
+                    batch: snap,
+                });
+            }
+        }
+        Self::check_row_budget(self.len(), batch.len())?;
+        let widened = self.schema.widen_to(batch.cardinalities())?;
+        self.check_values(batch.dim_values(), batch.cardinalities())?;
+        self.schema = widened;
+        self.dims.extend_from_slice(batch.dim_values());
+        self.measures.extend_from_slice(batch.measure_values());
         Ok(())
     }
 
@@ -528,5 +602,67 @@ mod tests {
         assert_eq!(r.len(), 8);
         let bad = Relation::new(Schema::from_cardinalities(&[2]).unwrap());
         assert!(r.extend_from(&bad).is_err());
+    }
+
+    #[test]
+    fn extend_from_enforces_post_append_row_budget() {
+        // Regression (ISSUE 9): the budget must bind on the *post-append*
+        // total, not the incoming batch size alone. A MAX_ROWS-sized
+        // relation is not constructible in a test, so pin the shared guard
+        // at the exact boundary extend_from feeds it: existing + incoming.
+        assert!(Relation::check_row_budget(Relation::MAX_ROWS - 4, 4).is_ok());
+        assert!(matches!(
+            Relation::check_row_budget(Relation::MAX_ROWS - 3, 4),
+            Err(DataError::TooManyRows { rows, max })
+                if rows == Relation::MAX_ROWS + 1 && max == Relation::MAX_ROWS
+        ));
+        // And the reachable end-to-end path still threads through it: an
+        // empty-into-empty append of zero rows is fine at the boundary.
+        let mut r = rel3();
+        let empty = Relation::new(r.schema().clone());
+        r.extend_from(&empty).unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn extend_from_rejects_reserved_sentinel_codes() {
+        // Regression (ISSUE 9): `u32::MAX` is the kernels' in-band NIL
+        // (skiplist links, pipesort fill). A hostile batch can only carry
+        // it via the unchecked path; extend_from must refuse it with a
+        // typed error and leave the target untouched.
+        let mut r = rel3();
+        let before = r.clone();
+        let mut evil = Relation::new(r.schema().clone());
+        evil.push_row_unchecked(&[0, 0, 0], 1);
+        evil.push_row_unchecked(&[1, Relation::RESERVED_CODE, 1], 2);
+        assert!(matches!(
+            r.extend_from(&evil),
+            Err(DataError::ReservedCode { dim: 1 })
+        ));
+        assert_eq!(r, before, "failed extend must not mutate the relation");
+    }
+
+    #[test]
+    fn extend_from_validates_values_against_target_schema() {
+        let mut r = rel3();
+        let before = r.clone();
+        // Same arity, wider declared cardinality: values beyond the
+        // target's schema must be rejected, atomically.
+        let mut wide = Relation::new(Schema::from_cardinalities(&[9, 9, 9]).unwrap());
+        wide.push_row(&[8, 0, 1], 5).unwrap();
+        assert!(matches!(
+            r.extend_from(&wide),
+            Err(DataError::ValueOutOfRange {
+                dim: 0,
+                value: 8,
+                cardinality: 4,
+            })
+        ));
+        assert_eq!(r, before);
+        // Wider schema but in-range values is fine.
+        let mut ok = Relation::new(Schema::from_cardinalities(&[9, 9, 9]).unwrap());
+        ok.push_row(&[3, 2, 1], 5).unwrap();
+        r.extend_from(&ok).unwrap();
+        assert_eq!(r.len(), 5);
     }
 }

@@ -112,6 +112,35 @@ impl Schema {
         let picked = dims.iter().map(|&i| self.dims[i].clone()).collect();
         Schema::new(picked, self.measure_name.clone())
     }
+
+    /// Returns a copy of this schema with every dimension widened to the
+    /// given cardinalities, keeping names and the measure.
+    ///
+    /// Streaming ingest extends dictionaries but never reshuffles them, so
+    /// widening is the only schema evolution a [`crate::DeltaBatch`] can
+    /// cause. Shrinking any dimension is rejected with
+    /// [`DataError::CardinalityShrunk`]; an arity change is an
+    /// [`DataError::ArityMismatch`].
+    pub fn widen_to(&self, cards: &[u32]) -> Result<Schema, DataError> {
+        if cards.len() != self.dims.len() {
+            return Err(DataError::ArityMismatch {
+                expected: self.dims.len(),
+                got: cards.len(),
+            });
+        }
+        let mut dims = self.dims.clone();
+        for (i, (d, &to)) in dims.iter_mut().zip(cards).enumerate() {
+            if to < d.cardinality {
+                return Err(DataError::CardinalityShrunk {
+                    dim: i,
+                    from: d.cardinality,
+                    to,
+                });
+            }
+            d.cardinality = to;
+        }
+        Schema::new(dims, self.measure_name.clone())
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +172,26 @@ mod tests {
         let s = Schema::from_cardinalities(&[u32::MAX; 8]).unwrap();
         // (2^32)^8 > u128::MAX so it must saturate rather than wrap.
         assert!(s.cardinality_product() > 0);
+    }
+
+    #[test]
+    fn widen_to_grows_but_never_shrinks() {
+        let s = Schema::from_cardinalities(&[2, 3, 5]).unwrap();
+        let w = s.widen_to(&[2, 4, 5]).unwrap();
+        assert_eq!(w.cardinalities(), vec![2, 4, 5]);
+        assert_eq!(w.dims()[1].name, "d1");
+        assert!(matches!(
+            s.widen_to(&[2, 2, 5]),
+            Err(DataError::CardinalityShrunk {
+                dim: 1,
+                from: 3,
+                to: 2
+            })
+        ));
+        assert!(matches!(
+            s.widen_to(&[2, 3]),
+            Err(DataError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

@@ -23,6 +23,15 @@ pub enum ServeError {
     /// The request queue is closed: the server has shut down (or its
     /// workers are gone), so no answer will ever arrive.
     ShutDown,
+    /// A refresh offered a store whose dimensionality differs from the
+    /// cube the server was started with; swapping it in would invalidate
+    /// every in-flight navigation, so the old epoch stays live.
+    RefreshDims {
+        /// Dimensions of the cube the server is serving.
+        served: usize,
+        /// Dimensions of the store the refresh offered.
+        offered: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -31,6 +40,11 @@ impl fmt::Display for ServeError {
             ServeError::NoWorkers => write!(f, "a server needs at least one worker"),
             ServeError::Spawn(e) => write!(f, "could not spawn a worker thread: {e}"),
             ServeError::ShutDown => write!(f, "the server has shut down"),
+            ServeError::RefreshDims { served, offered } => write!(
+                f,
+                "refresh offered a {offered}-dimensional store to a \
+                 {served}-dimensional server"
+            ),
         }
     }
 }
@@ -58,5 +72,11 @@ mod tests {
         ));
         assert!(e.to_string().contains("rlimit"));
         assert!(std::error::Error::source(&e).is_some());
+        let e = ServeError::RefreshDims {
+            served: 3,
+            offered: 5,
+        };
+        assert!(e.to_string().contains("5-dimensional store"));
+        assert!(e.to_string().contains("3-dimensional server"));
     }
 }

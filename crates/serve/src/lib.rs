@@ -35,6 +35,6 @@ pub mod workload;
 pub use error::ServeError;
 pub use metrics::{LatencyHistogram, Metrics, ServerStats};
 pub use request::{Request, RequestError, Response, RollUpPlan};
-pub use server::{ClientHandle, CubeServer};
+pub use server::{Answer, ClientHandle, CubeServer, EpochSnapshot};
 pub use shard::ShardedCube;
 pub use workload::{run_closed_loop, LoadReport, NavigationWorkload};

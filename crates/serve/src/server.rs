@@ -1,20 +1,33 @@
 //! The concurrent request loop: a fixed pool of worker threads answering
-//! typed requests against a shared [`ShardedCube`].
+//! typed requests against the current epoch of a refreshable
+//! [`ShardedCube`].
 //!
 //! Clients hold cloneable [`ClientHandle`]s and submit [`Request`]s; each
 //! request becomes a job on an MPMC queue (an `mpsc` channel whose
 //! receiver the workers share behind a mutex — only the *dequeue* is
-//! serialized, the cube reads themselves run fully in parallel since the
-//! cube is immutable). Every worker records end-to-end latency
+//! serialized, the cube reads themselves run fully in parallel since each
+//! epoch's cube is immutable). Every worker records end-to-end latency
 //! (enqueue to answer) and routing counters into shared [`Metrics`].
 //! A malformed request is answered with [`Response::Error`], never a
 //! worker panic, so one bad client cannot take down the pool; lifecycle
 //! problems (zero workers, a closed queue) come back as typed
 //! [`ServeError`]s rather than panics.
 //!
+//! **Epoch-swap refresh.** The served cube lives inside an
+//! [`EpochSnapshot`] behind `Mutex<Arc<…>>`. A worker clones the `Arc`
+//! exactly once per dequeued job and answers the *whole* job — every leaf
+//! of a batch included — from that snapshot, so a concurrent
+//! [`CubeServer::refresh`] can never tear a response across epochs. The
+//! refresh itself builds the replacement shards off-thread and holds the
+//! lock only for the pointer swap; queries in flight keep serving from
+//! the epoch they started on, and the old cube is freed when the last
+//! such query drops its `Arc`. Every [`Answer`] carries the epoch it was
+//! answered from, which is what the equivalence and concurrency suites
+//! pin their no-torn-reads property on.
+//!
 //! All blocking primitives come from [`crate::sync`], so building with
-//! the `icecube_loom` feature puts the whole submit/steal/shutdown
-//! protocol under the deterministic model checker's scheduler.
+//! the `icecube_loom` feature puts the whole submit/steal/refresh/
+//! shutdown protocol under the deterministic model checker's scheduler.
 
 use crate::error::ServeError;
 use crate::metrics::{Metrics, ServerStats};
@@ -23,6 +36,42 @@ use crate::request::{Request, Response, RollUpPlan};
 use crate::shard::ShardedCube;
 use crate::sync::mpsc::{self, Receiver, Sender};
 use crate::sync::{thread, Arc, Instant, Mutex};
+use icecube_core::CubeStore;
+
+/// One immutable published generation of the served cube.
+///
+/// Workers answer each job entirely from one snapshot; refreshing the
+/// server publishes a new snapshot with the next epoch number.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    cube: ShardedCube,
+}
+
+impl EpochSnapshot {
+    /// The epoch number (starts at 1, +1 per refresh).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The sharded cube this epoch serves.
+    pub fn cube(&self) -> &ShardedCube {
+        &self.cube
+    }
+}
+
+/// A worker's reply: the response plus the epoch it was answered from.
+///
+/// The epoch makes consistency *observable*: a response produced while a
+/// refresh raced it is still attributable to exactly one published
+/// snapshot, batches included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// Epoch of the snapshot that produced the response.
+    pub epoch: u64,
+    /// The response itself.
+    pub response: Response,
+}
 
 /// What a dequeued job asks of the worker: answer a request, or die.
 enum Work {
@@ -36,15 +85,15 @@ enum Work {
 struct Job {
     work: Work,
     enqueued: Instant,
-    reply: Sender<Response>,
+    reply: Sender<Answer>,
 }
 
-/// A pool of worker threads serving one immutable sharded cube.
+/// A pool of worker threads serving the current epoch of a sharded cube.
 ///
 /// Dropping the server (or calling [`CubeServer::shutdown`]) closes the
 /// queue and joins every worker.
 pub struct CubeServer {
-    cube: Arc<ShardedCube>,
+    current: Arc<Mutex<Arc<EpochSnapshot>>>,
     metrics: Arc<Metrics>,
     tx: Option<Sender<Job>>,
     workers: Vec<thread::JoinHandle<()>>,
@@ -61,18 +110,18 @@ impl CubeServer {
         if workers == 0 {
             return Err(ServeError::NoWorkers);
         }
-        let cube = Arc::new(cube);
         let metrics = Arc::new(Metrics::new(cube.shard_count()));
+        let current = Arc::new(Mutex::new(Arc::new(EpochSnapshot { epoch: 1, cube })));
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let mut pool = Vec::with_capacity(workers);
         for i in 0..workers {
-            let cube = Arc::clone(&cube);
+            let current = Arc::clone(&current);
             let metrics = Arc::clone(&metrics);
             let rx = Arc::clone(&rx);
             let spawned = thread::Builder::new()
                 .name(format!("icecube-serve-{i}"))
-                .spawn(move || worker_loop(&cube, &metrics, rx));
+                .spawn(move || worker_loop(&current, &metrics, rx));
             match spawned {
                 Ok(handle) => pool.push(handle),
                 Err(e) => {
@@ -87,16 +136,66 @@ impl CubeServer {
             }
         }
         Ok(CubeServer {
-            cube,
+            current,
             metrics,
             tx: Some(tx),
             workers: pool,
         })
     }
 
-    /// The served cube.
-    pub fn cube(&self) -> &ShardedCube {
-        &self.cube
+    /// The currently published snapshot (cube + epoch). The returned
+    /// `Arc` stays valid across refreshes — it is *that* epoch, frozen.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(
+            &self
+                .current
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Publishes `store` as the next epoch, re-sharded at the current
+    /// shard count, and returns the new epoch number.
+    ///
+    /// The replacement shards are built before the swap; the publication
+    /// itself is a single pointer exchange under the snapshot lock, so
+    /// every job dequeued before the swap finishes on the old epoch and
+    /// every job after it sees the new one — no request is ever torn
+    /// across both. The shard count is preserved so routing metrics stay
+    /// comparable across refreshes.
+    ///
+    /// # Errors
+    /// [`ServeError::RefreshDims`] when `store`'s dimensionality differs
+    /// from the served cube's (an incremental refresh extends dictionary
+    /// *cardinalities*, never the dimension count).
+    pub fn refresh(&self, store: &CubeStore) -> Result<u64, ServeError> {
+        let (dims, shards) = {
+            let cur = self
+                .current
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            (cur.cube.dims(), cur.cube.shard_count())
+        };
+        if store.dims() != dims {
+            return Err(ServeError::RefreshDims {
+                served: dims,
+                offered: store.dims(),
+            });
+        }
+        // The expensive part — resharding — happens outside the lock.
+        let cube = ShardedCube::new(store, shards);
+        let mut cur = self
+            .current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let epoch = cur.epoch + 1;
+        *cur = Arc::new(EpochSnapshot { epoch, cube });
+        Ok(epoch)
     }
 
     /// Number of worker threads.
@@ -145,12 +244,13 @@ pub struct ClientHandle {
 }
 
 impl ClientHandle {
-    /// Enqueues a request, returning the channel its answer arrives on.
+    /// Enqueues a request, returning the channel its epoch-tagged answer
+    /// arrives on.
     ///
     /// # Errors
     /// [`ServeError::ShutDown`] when every worker is gone (the queue's
     /// receiving side disconnected), so the job can never be answered.
-    pub fn submit(&self, req: Request) -> Result<Receiver<Response>, ServeError> {
+    pub fn submit(&self, req: Request) -> Result<Receiver<Answer>, ServeError> {
         let (reply, answer) = mpsc::channel();
         let job = Job {
             work: Work::Serve(req),
@@ -172,7 +272,7 @@ impl ClientHandle {
     ///
     /// # Errors
     /// [`ServeError::ShutDown`] when no worker is left to kill.
-    pub fn kill_worker(&self) -> Result<Receiver<Response>, ServeError> {
+    pub fn kill_worker(&self) -> Result<Receiver<Answer>, ServeError> {
         let (reply, observer) = mpsc::channel();
         let job = Job {
             work: Work::Crash,
@@ -185,17 +285,31 @@ impl ClientHandle {
         }
     }
 
-    /// Enqueues a request and blocks for its answer.
+    /// Enqueues a request and blocks for its answer, discarding the epoch
+    /// tag (use [`ClientHandle::call_tagged`] to observe it).
     ///
     /// # Errors
     /// [`ServeError::ShutDown`] when the server shut down before the
     /// answer arrived.
     pub fn call(&self, req: Request) -> Result<Response, ServeError> {
+        self.call_tagged(req).map(|a| a.response)
+    }
+
+    /// Enqueues a request and blocks for its epoch-tagged answer.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] when the server shut down before the
+    /// answer arrived.
+    pub fn call_tagged(&self, req: Request) -> Result<Answer, ServeError> {
         self.submit(req)?.recv().map_err(|_| ServeError::ShutDown)
     }
 }
 
-fn worker_loop(cube: &ShardedCube, metrics: &Metrics, rx: Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(
+    current: &Mutex<Arc<EpochSnapshot>>,
+    metrics: &Metrics,
+    rx: Arc<Mutex<Receiver<Job>>>,
+) {
     loop {
         // Hold the lock only for the dequeue, never while answering. A
         // poisoned lock means a sibling worker panicked mid-dequeue; the
@@ -224,14 +338,25 @@ fn worker_loop(cube: &ShardedCube, metrics: &Metrics, rx: Arc<Mutex<Receiver<Job
                 return;
             }
         };
+        // Pin the epoch exactly once per job: the whole request — every
+        // leaf of a batch — is answered from this snapshot, however many
+        // refreshes land while it runs.
+        let snapshot = Arc::clone(
+            &current
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         let leaves = req.leaf_count() as u64;
-        let resp = execute(cube, metrics, &req);
+        let resp = execute(snapshot.cube(), metrics, &req);
         let ns = enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         for _ in 0..leaves.max(1) {
             metrics.latency.record(ns);
         }
         // The client may have given up waiting; that is not a server error.
-        let _ = reply.send(resp);
+        let _ = reply.send(Answer {
+            epoch: snapshot.epoch(),
+            response: resp,
+        });
     }
 }
 
@@ -457,7 +582,8 @@ mod tests {
     fn concurrent_clients_get_consistent_answers() {
         let srv = server(4, 4);
         let g = CuboidMask::from_dims(&[0, 1, 2]);
-        let want = srv.cube().query(g, 1).unwrap();
+        let snap = srv.snapshot();
+        let want = snap.cube().query(g, 1).unwrap();
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 let h = srv.handle().expect("running");
@@ -540,6 +666,121 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(matches!(h.kill_worker(), Err(ServeError::ShutDown)));
+    }
+
+    /// The sales cube, and the cube of sales ingested twice — same
+    /// dimensionality, every count doubled, so the two epochs are
+    /// distinguishable from any point answer.
+    fn two_generations() -> (CubeStore, CubeStore) {
+        let rel = sales();
+        let mut doubled = sales();
+        doubled.extend_from(&rel).expect("same schema");
+        let q = IcebergQuery::count_cube(3, 1);
+        let cfg = ClusterConfig::fast_ethernet(2);
+        let out1 = run_parallel(Algorithm::Pt, &rel, &q, &cfg).unwrap();
+        let out2 = run_parallel(Algorithm::Pt, &doubled, &q, &cfg).unwrap();
+        (
+            CubeStore::from_outcome(3, 1, out1),
+            CubeStore::from_outcome(3, 1, out2),
+        )
+    }
+
+    #[test]
+    fn refresh_bumps_the_epoch_and_serves_the_new_store() {
+        let (gen1, gen2) = two_generations();
+        let srv = CubeServer::start(ShardedCube::new(&gen1, 2), 2).expect("workers > 0");
+        let h = srv.handle().expect("running");
+        let probe = Request::Point {
+            cuboid: CuboidMask::from_dims(&[0]),
+            key: vec![0],
+        };
+        assert_eq!(srv.epoch(), 1);
+        let before = h.call_tagged(probe.clone()).expect("running");
+        assert_eq!(before.epoch, 1);
+        let old_count = match before.response {
+            Response::Point(Some(agg)) => agg.count,
+            other => panic!("unexpected {other:?}"),
+        };
+
+        assert_eq!(srv.refresh(&gen2).expect("same dims"), 2);
+        assert_eq!(srv.epoch(), 2);
+        let after = h.call_tagged(probe).expect("running");
+        assert_eq!(after.epoch, 2);
+        match after.response {
+            Response::Point(Some(agg)) => assert_eq!(agg.count, 2 * old_count),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refresh_rejects_a_store_of_different_dimensionality() {
+        let (gen1, _) = two_generations();
+        let srv = CubeServer::start(ShardedCube::new(&gen1, 2), 1).expect("workers > 0");
+        let flat = CubeStore::from_cells(2, 1, Vec::new());
+        match srv.refresh(&flat) {
+            Err(ServeError::RefreshDims {
+                served: 3,
+                offered: 2,
+            }) => {}
+            other => panic!("unexpected {other:?}", other = other.map(|_| ())),
+        }
+        assert_eq!(srv.epoch(), 1, "a rejected refresh publishes nothing");
+    }
+
+    #[test]
+    fn a_snapshot_taken_before_a_refresh_stays_on_its_epoch() {
+        let (gen1, gen2) = two_generations();
+        let srv = CubeServer::start(ShardedCube::new(&gen1, 3), 1).expect("workers > 0");
+        let pinned = srv.snapshot();
+        srv.refresh(&gen2).expect("same dims");
+        assert_eq!(pinned.epoch(), 1, "the Arc is that epoch, frozen");
+        assert_eq!(srv.snapshot().epoch(), 2);
+        let g = CuboidMask::from_dims(&[0, 1, 2]);
+        let old = pinned.cube().query(g, 1).unwrap();
+        let new = srv.snapshot().cube().query(g, 1).unwrap();
+        assert_ne!(old, new, "the generations must be distinguishable");
+    }
+
+    #[test]
+    fn every_answer_during_a_refresh_storm_matches_its_epochs_oracle() {
+        let (gen1, gen2) = two_generations();
+        let srv = CubeServer::start(ShardedCube::new(&gen1, 2), 4).expect("workers > 0");
+        let g = CuboidMask::from_dims(&[0, 1]);
+        let want1 = ShardedCube::new(&gen1, 2).query(g, 1).unwrap();
+        let want2 = ShardedCube::new(&gen2, 2).query(g, 1).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = srv.handle().expect("running");
+                let (want1, want2) = (&want1, &want2);
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let got = h
+                            .call_tagged(Request::Cuboid {
+                                cuboid: g,
+                                minsup: 1,
+                            })
+                            .expect("running");
+                        let want = if got.epoch % 2 == 1 { want1 } else { want2 };
+                        match got.response {
+                            Response::Cells(cells) => assert_eq!(
+                                &cells,
+                                want,
+                                "epoch {epoch} answered another epoch's cube",
+                                epoch = got.epoch
+                            ),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                });
+            }
+            // Race refreshes against the queries, alternating generations
+            // so every odd epoch serves gen1 and every even epoch gen2.
+            for round in 0..10 {
+                let next = if round % 2 == 0 { &gen2 } else { &gen1 };
+                srv.refresh(next).expect("same dims");
+            }
+        });
+        assert_eq!(srv.epoch(), 11);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use icecube::cluster::{ClusterConfig, FaultPlan};
 use icecube::core::naive::naive_iceberg_cube;
 use icecube::core::verify::assert_same_cells;
-use icecube::core::{run_parallel, Algorithm, IcebergQuery, RunOptions};
+use icecube::core::{run_parallel, AlgoError, Algorithm, IcebergQuery, MaintainedCube, RunOptions};
 use icecube::data::presets;
 use icecube_bench::experiments::fault_free_baseline;
 
@@ -96,6 +96,107 @@ fn same_fault_seed_reproduces_the_run_exactly() {
             "{alg} recovery counters"
         );
     }
+}
+
+/// Serialized bytes of a store — the refresh contract is *byte* identity,
+/// not just equal cell sets.
+fn store_bytes(store: &icecube::core::CubeStore) -> Vec<u8> {
+    let mut buf = Vec::new();
+    store.write_to(&mut buf).expect("in-memory write");
+    buf
+}
+
+#[test]
+fn crash_mid_refresh_lands_bit_identical_to_a_fault_free_refresh() {
+    // The incremental-maintenance dimension of the chaos suite: the delta
+    // pass of a refresh runs on the cluster under every seeded fault plan,
+    // and the floor it merges must be byte-identical to the one a quiet
+    // refresh produces — TaskGuard rollback and the recovery sweeps make
+    // the collected delta cells deterministic, and merge-on-Ok makes the
+    // refresh atomic.
+    let whole = presets::tiny(3).generate().unwrap();
+    let base = whole.slice(0, whole.len() / 2);
+    let batch = whole.slice(whole.len() / 2, whole.len());
+    let q = IcebergQuery::count_cube(whole.arity(), 1);
+    let mut crashes = 0u64;
+    let mut recovered = 0u64;
+    for alg in ALGS {
+        let mut quiet = MaintainedCube::from_relation(&base, 2).unwrap();
+        quiet
+            .ingest_on_cluster(alg, &batch, &ClusterConfig::fast_ethernet(NODES))
+            .unwrap_or_else(|e| panic!("{alg} fault-free refresh: {e}"));
+        let want_floor = store_bytes(quiet.floor());
+        let want_visible = store_bytes(&quiet.visible());
+        let horizon = fault_free_baseline(alg, &batch, &q, NODES, &RunOptions::default())
+            .stats
+            .makespan_ns();
+        for seed in SEEDS {
+            let plan = FaultPlan::seeded_severity(seed, NODES, horizon, 200);
+            let cfg = ClusterConfig::fast_ethernet(NODES).with_faults(plan);
+            let mut chaotic = MaintainedCube::from_relation(&base, 2).unwrap();
+            chaotic
+                .ingest_on_cluster(alg, &batch, &cfg)
+                .unwrap_or_else(|e| panic!("{alg} seed {seed} refresh: {e}"));
+            assert_eq!(
+                store_bytes(chaotic.floor()),
+                want_floor,
+                "{alg} seed {seed}: floor diverged after crash-mid-refresh"
+            );
+            assert_eq!(
+                store_bytes(&chaotic.visible()),
+                want_visible,
+                "{alg} seed {seed}: visible snapshot diverged"
+            );
+            assert_eq!(chaotic.epoch(), quiet.epoch(), "{alg} seed {seed}: epoch");
+            // The simulator is deterministic, so replaying the identical
+            // run surfaces its recovery counters for non-vacuity.
+            let replay = run_parallel(alg, &batch, &q, &cfg)
+                .unwrap_or_else(|e| panic!("{alg} seed {seed} replay: {e}"));
+            crashes += replay.stats.total_crashes();
+            recovered += replay.stats.total_tasks_recovered();
+        }
+    }
+    assert!(crashes > 0, "no refresh ever saw a crash — vacuous battery");
+    assert!(recovered > 0, "no refresh ever recovered a task");
+}
+
+#[test]
+fn a_totally_lost_refresh_leaves_the_previous_epoch_intact() {
+    // When every node dies the refresh fails typed — and merges nothing:
+    // the maintained cube still serves the pre-refresh epoch, and simply
+    // retrying on a healthy cluster lands the batch exactly.
+    let whole = presets::tiny(5).generate().unwrap();
+    let base = whole.slice(0, whole.len() / 2);
+    let batch = whole.slice(whole.len() / 2, whole.len());
+    let mut maintained = MaintainedCube::from_relation(&base, 2).unwrap();
+    let epoch = maintained.epoch();
+    let before = store_bytes(maintained.floor());
+
+    let mut total_loss = FaultPlan::none();
+    for node in 0..NODES {
+        total_loss = total_loss.crash(node, 0);
+    }
+    let dead = ClusterConfig::fast_ethernet(NODES).with_faults(total_loss);
+    match maintained.ingest_on_cluster(Algorithm::Bpp, &batch, &dead) {
+        Err(AlgoError::ClusterExhausted { nodes: NODES }) => {}
+        other => panic!("expected ClusterExhausted, got {other:?}"),
+    }
+    assert_eq!(
+        maintained.epoch(),
+        epoch,
+        "a failed refresh publishes nothing"
+    );
+    assert_eq!(store_bytes(maintained.floor()), before, "floor untouched");
+
+    // The retry converges to the fault-free result.
+    maintained
+        .ingest_on_cluster(Algorithm::Bpp, &batch, &ClusterConfig::fast_ethernet(NODES))
+        .expect("healthy retry succeeds");
+    let mut quiet = MaintainedCube::from_relation(&base, 2).unwrap();
+    quiet
+        .ingest_on_cluster(Algorithm::Bpp, &batch, &ClusterConfig::fast_ethernet(NODES))
+        .expect("fault-free refresh succeeds");
+    assert_eq!(store_bytes(maintained.floor()), store_bytes(quiet.floor()));
 }
 
 #[test]

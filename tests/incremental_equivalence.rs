@@ -1,0 +1,215 @@
+//! Tier-1 oracle for streaming ingest: an incrementally maintained cube
+//! must be **byte-identical** to a from-scratch recompute over the
+//! concatenated relation — after every batch, at every serving minsup,
+//! across seeds and relation sizes, and through minsup crossings in both
+//! directions. The serialized `CubeStore` bytes are compared, not just
+//! the cell sets, so ordering, strides and aggregates are all pinned.
+
+use icecube::core::naive::naive_iceberg_cube;
+use icecube::core::{CubeStore, IcebergQuery, MaintainedCube};
+use icecube::data::{DeltaBatch, Relation, Schema};
+
+/// The chaos-suite seed convention (see `tests/fault_equivalence.rs`).
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+/// (base rows, rows per batch, batches) — small enough for the naive
+/// oracle, large enough for shared keys and multi-cuboid deltas.
+const SIZES: [(usize, usize, usize); 3] = [(8, 4, 2), (40, 16, 3), (120, 45, 3)];
+
+const MINSUPS: [u64; 3] = [1, 2, 4];
+
+/// Dimension cardinalities every generated relation uses: small domains
+/// force duplicate keys, which is what exercises merge-vs-insert paths.
+const CARDS: [u32; 3] = [3, 4, 2];
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn random_relation(state: &mut u64, rows: usize) -> Relation {
+    let schema = Schema::from_cardinalities(&CARDS).expect("valid cards");
+    let mut rel = Relation::new(schema);
+    for _ in 0..rows {
+        let dims: Vec<u32> = CARDS
+            .iter()
+            .map(|&c| (xorshift(state) % u64::from(c)) as u32)
+            .collect();
+        let measure = (xorshift(state) % 201) as i64 - 100;
+        rel.push_row(&dims, measure).expect("codes in range");
+    }
+    rel
+}
+
+/// The from-scratch oracle: a naive recompute over the whole relation.
+fn scratch(rel: &Relation, minsup: u64) -> CubeStore {
+    let q = IcebergQuery::count_cube(rel.arity(), minsup);
+    CubeStore::from_cells(rel.arity(), minsup, naive_iceberg_cube(rel, &q))
+}
+
+fn bytes(store: &CubeStore) -> Vec<u8> {
+    let mut buf = Vec::new();
+    store.write_to(&mut buf).expect("in-memory write");
+    buf
+}
+
+#[test]
+fn incremental_equals_scratch_across_seeds_sizes_and_minsups() {
+    for seed in SEEDS {
+        for (base_rows, batch_rows, batches) in SIZES {
+            for minsup in MINSUPS {
+                let mut state = seed | 1;
+                let base = random_relation(&mut state, base_rows);
+                let mut maintained =
+                    MaintainedCube::from_relation(&base, minsup).expect("dims > 0");
+                let mut concat = base.clone();
+                for b in 0..batches {
+                    let batch = random_relation(&mut state, batch_rows);
+                    let report = maintained.ingest(&batch).expect("batch ingests");
+                    concat.extend_from(&batch).expect("same schema");
+                    assert!(
+                        report.touched_cuboids > 0,
+                        "a non-empty batch must touch the lattice"
+                    );
+                    let ctx = format!(
+                        "seed {seed}, base {base_rows}, batch {b} of {batches}, \
+                         minsup {minsup}"
+                    );
+                    assert_eq!(
+                        bytes(&maintained.visible()),
+                        bytes(&scratch(&concat, minsup)),
+                        "visible snapshot diverged from scratch: {ctx}"
+                    );
+                    assert_eq!(
+                        bytes(maintained.floor()),
+                        bytes(&scratch(&concat, 1)),
+                        "floor diverged from the full minsup-1 cube: {ctx}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn minsup_crossings_promote_and_retire_in_both_directions() {
+    for seed in SEEDS {
+        let mut state = seed.wrapping_mul(0x9e37_79b9).max(1);
+        let rel = random_relation(&mut state, 60);
+        let mut maintained = MaintainedCube::from_relation(&rel, 1).expect("dims > 0");
+        let full = maintained.visible().len();
+
+        // Raising the threshold retires cells (downward crossing) ...
+        let up = maintained.set_minsup(4);
+        assert!(up.retired > 0, "seed {seed}: nothing retired at minsup 4");
+        assert_eq!(up.promoted, 0, "a raise can only retire");
+        assert_eq!(
+            bytes(&maintained.visible()),
+            bytes(&scratch(&rel, 4)),
+            "seed {seed}: visible snapshot after a raise"
+        );
+        assert_eq!(
+            maintained.floor().len(),
+            full,
+            "seed {seed}: the floor never loses cells — no tombstones"
+        );
+
+        // ... and lowering it back promotes exactly the same cells.
+        let down = maintained.set_minsup(1);
+        assert_eq!(
+            down.promoted, up.retired,
+            "seed {seed}: the crossing must be symmetric"
+        );
+        assert_eq!(down.retired, 0, "a lower can only promote");
+        assert_eq!(
+            bytes(&maintained.visible()),
+            bytes(&scratch(&rel, 1)),
+            "seed {seed}: visible snapshot after lowering back"
+        );
+    }
+}
+
+#[test]
+fn ingest_promotes_cells_across_the_serving_threshold() {
+    // An upward crossing caused by *data*, not by re-thresholding: a key
+    // below minsup gains support from a batch and must appear.
+    let schema = Schema::from_cardinalities(&CARDS).expect("valid cards");
+    let mut base = Relation::new(schema.clone());
+    base.push_row(&[0, 0, 0], 7).expect("in range");
+    let mut maintained = MaintainedCube::from_relation(&base, 2).expect("dims > 0");
+    assert!(maintained.visible().is_empty(), "support 1 < minsup 2");
+
+    let mut batch = Relation::new(schema);
+    batch.push_row(&[0, 0, 0], 3).expect("in range");
+    let report = maintained.ingest(&batch).expect("batch ingests");
+    assert!(report.promoted > 0, "the duplicate key must cross upward");
+
+    let mut concat = base.clone();
+    concat.extend_from(&batch).expect("same schema");
+    assert_eq!(bytes(&maintained.visible()), bytes(&scratch(&concat, 2)));
+}
+
+#[test]
+fn dictionary_extending_delta_batches_match_apply_delta() {
+    // The DeltaBatch path: new dictionary codes extend (never reshuffle)
+    // the encoding, and the maintained cube still matches a scratch build
+    // over the relation with the delta applied.
+    for seed in SEEDS {
+        let mut state = seed.wrapping_mul(0x5851_f42d).max(1);
+        let base = random_relation(&mut state, 30);
+        let mut maintained = MaintainedCube::from_relation(&base, 2).expect("dims > 0");
+
+        let mut batch = DeltaBatch::against(base.schema());
+        for _ in 0..10 {
+            // Half the rows reuse base codes, half extend a dimension.
+            let grow = xorshift(&mut state).is_multiple_of(2);
+            let dims: Vec<u32> = CARDS
+                .iter()
+                .map(|&c| {
+                    let span = if grow { c + 2 } else { c };
+                    (xorshift(&mut state) % u64::from(span)) as u32
+                })
+                .collect();
+            let measure = (xorshift(&mut state) % 41) as i64 - 20;
+            batch.push_row(&dims, measure).expect("no sentinel codes");
+        }
+        maintained.ingest_batch(&batch).expect("batch ingests");
+
+        let mut concat = base.clone();
+        concat.apply_delta(&batch).expect("fresh batch applies");
+        assert_eq!(
+            bytes(&maintained.visible()),
+            bytes(&scratch(&concat, 2)),
+            "seed {seed}: dictionary growth broke equivalence"
+        );
+    }
+}
+
+#[test]
+fn the_whole_suite_is_byte_deterministic() {
+    // The CI `ingest` job runs the suite twice and diffs artifacts; this
+    // pins the property locally: same seed, same bytes, same reports.
+    let run = |seed: u64| {
+        let mut state = seed;
+        let base = random_relation(&mut state, 50);
+        let batch = random_relation(&mut state, 25);
+        let mut maintained = MaintainedCube::from_relation(&base, 2).expect("dims > 0");
+        let report = maintained.ingest(&batch).expect("batch ingests");
+        (
+            bytes(&maintained.visible()),
+            bytes(maintained.floor()),
+            report,
+        )
+    };
+    for seed in SEEDS {
+        let a = run(seed);
+        let b = run(seed);
+        assert_eq!(a.0, b.0, "seed {seed}: visible bytes");
+        assert_eq!(a.1, b.1, "seed {seed}: floor bytes");
+        assert_eq!(a.2, b.2, "seed {seed}: merge report");
+    }
+}

@@ -3,8 +3,9 @@
 //! request type, at shard counts 1, 2, 3 and 8.
 
 use icecube::cluster::ClusterConfig;
-use icecube::core::{run_parallel, Algorithm, CubeStore, IcebergQuery};
+use icecube::core::{run_parallel, Algorithm, CubeStore, IcebergQuery, MaintainedCube};
 use icecube::data::{Relation, Schema};
+use icecube::lattice::CuboidMask;
 use icecube::serve::{CubeServer, NavigationWorkload, Request, Response, RollUpPlan, ShardedCube};
 use proptest::prelude::*;
 
@@ -76,6 +77,102 @@ fn oracle(store: &CubeStore, req: &Request) -> Response {
         }
         Request::Batch(reqs) => Response::Batch(reqs.iter().map(|r| oracle(store, r)).collect()),
     }
+}
+
+#[test]
+fn queries_racing_a_streaming_refresh_answer_from_exactly_one_epoch() {
+    // End-to-end streaming path: a MaintainedCube ingests batches while a
+    // CubeServer serves; each ingest is published with an epoch-swap
+    // refresh. Clients hammer the server throughout, and every answer
+    // must match the oracle of the epoch it is tagged with — never a
+    // blend of two generations, batches included.
+    let schema = Schema::from_cardinalities(&[3, 3, 2]).expect("valid cards");
+    let mut base = Relation::new(schema.clone());
+    for i in 0..30u32 {
+        base.push_row(&[i % 3, (i / 3) % 3, i % 2], i64::from(i) - 15)
+            .expect("in range");
+    }
+    let mut maintained = MaintainedCube::from_relation(&base, 1).expect("dims > 0");
+
+    // Precompute every generation and its oracle before serving starts.
+    let mut generations = vec![maintained.visible()];
+    let mut staged = maintained.clone();
+    let batches: Vec<Relation> = (0..4)
+        .map(|b| {
+            let mut batch = Relation::new(schema.clone());
+            for i in 0..10u32 {
+                let v = i + 7 * b;
+                batch
+                    .push_row(&[v % 3, v % 2, (v / 2) % 2], i64::from(v))
+                    .expect("in range");
+            }
+            staged.ingest(&batch).expect("batch ingests");
+            generations.push(staged.visible());
+            batch
+        })
+        .collect();
+    let g = CuboidMask::from_dims(&[0, 1]);
+    let oracles: Vec<_> = generations
+        .iter()
+        .map(|s| s.query(g, 1).expect("valid cuboid"))
+        .collect();
+
+    let server = CubeServer::start(ShardedCube::new(&generations[0], 2), 4).expect("workers > 0");
+    let req = Request::Batch(vec![
+        Request::Cuboid {
+            cuboid: g,
+            minsup: 1,
+        },
+        Request::Cuboid {
+            cuboid: g,
+            minsup: 1,
+        },
+    ]);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let h = server.handle().expect("running");
+            let (req, oracles) = (&req, &oracles);
+            scope.spawn(move || {
+                let mut last_epoch = 0;
+                for _ in 0..25 {
+                    let got = h.call_tagged(req.clone()).expect("running");
+                    assert!(
+                        got.epoch >= last_epoch,
+                        "epochs moved backwards: {last} then {now}",
+                        last = last_epoch,
+                        now = got.epoch
+                    );
+                    last_epoch = got.epoch;
+                    let want = &oracles[(got.epoch - 1) as usize];
+                    match got.response {
+                        Response::Batch(parts) => {
+                            // Both halves of the batch come from the same
+                            // snapshot — a refresh can never tear them.
+                            for part in parts {
+                                match part {
+                                    Response::Cells(cells) => assert_eq!(
+                                        &cells,
+                                        want,
+                                        "epoch {epoch} answered another epoch's cube",
+                                        epoch = got.epoch
+                                    ),
+                                    other => panic!("unexpected {other:?}"),
+                                }
+                            }
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            });
+        }
+        // The ingest loop races the clients: ingest, publish, repeat.
+        for batch in &batches {
+            maintained.ingest(batch).expect("batch ingests");
+            let epoch = server.refresh(&maintained.visible()).expect("same dims");
+            assert_eq!(epoch, maintained.epoch(), "server and cube epochs align");
+        }
+    });
+    assert_eq!(server.epoch(), 5, "four refreshes after the initial epoch");
 }
 
 proptest! {
