@@ -8,6 +8,7 @@ pub mod chapter4;
 pub mod chapter5;
 pub mod fault;
 pub mod ingest;
+pub mod progressive;
 pub mod serve;
 pub mod trace;
 
@@ -36,6 +37,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "serve",
         "fault",
         "ingest",
+        "progressive",
         "trace",
         "ablation_granularity",
         "ablation_affinity",
@@ -66,6 +68,7 @@ pub fn run_by_id(id: &str, ctx: &Ctx) -> Option<Report> {
         "serve" => serve::serve(ctx),
         "fault" => fault::fault(ctx),
         "ingest" => ingest::ingest(ctx),
+        "progressive" => progressive::progressive(ctx),
         "trace" => trace::trace(ctx),
         "ablation_granularity" => ablations::granularity(ctx),
         "ablation_affinity" => ablations::affinity(ctx),

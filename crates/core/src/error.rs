@@ -78,6 +78,29 @@ pub enum AlgoError {
         /// Key length the cell actually carried.
         got: usize,
     },
+    /// A progressive fold named a chunk index outside the build's plan.
+    ChunkOutOfRange {
+        /// The chunk index the fold named.
+        index: usize,
+        /// Chunks the plan actually has.
+        chunks: usize,
+    },
+    /// A progressive fold named a chunk that was already folded; folding
+    /// it twice would double-count its tuples in every touched cell.
+    ChunkAlreadyFolded {
+        /// The offending chunk index.
+        index: usize,
+    },
+    /// A progressive plan routed a chunk to an owner outside `0..parts`;
+    /// its slack could never be retired and bounds would never converge.
+    ChunkOwnerOutOfRange {
+        /// The offending chunk index.
+        chunk: usize,
+        /// The owner the chunk named.
+        owner: usize,
+        /// Owner ranges the plan has.
+        parts: usize,
+    },
     /// An execution backend failed to complete the plan.
     Exec(icecube_exec::ExecError),
     /// Underlying data error.
@@ -129,6 +152,23 @@ impl fmt::Display for AlgoError {
             AlgoError::CellArity { expected, got } => write!(
                 f,
                 "delta cell key has {got} values but its cuboid implies {expected}"
+            ),
+            AlgoError::ChunkOutOfRange { index, chunks } => {
+                write!(f, "chunk {index} is out of range for a {chunks}-chunk plan")
+            }
+            AlgoError::ChunkAlreadyFolded { index } => {
+                write!(
+                    f,
+                    "chunk {index} was already folded; refolding double-counts"
+                )
+            }
+            AlgoError::ChunkOwnerOutOfRange {
+                chunk,
+                owner,
+                parts,
+            } => write!(
+                f,
+                "chunk {chunk} names owner {owner} but the plan has {parts} ranges"
             ),
             AlgoError::Exec(e) => write!(f, "execution backend failed: {e}"),
             AlgoError::Data(e) => write!(f, "data error: {e}"),

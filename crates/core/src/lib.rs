@@ -44,6 +44,7 @@ pub mod overlap;
 pub mod partition;
 pub mod pipehash;
 pub mod pipesort;
+pub mod progressive;
 pub mod pt;
 pub mod query;
 pub mod recipe;
@@ -62,6 +63,7 @@ pub use backend::{run_parallel_exec, ExecOutcome, EXEC_UNITS};
 pub use cell::{Cell, CellBuf, CellMark, CellSink};
 pub use delta::{DeltaReport, MaintainedCube};
 pub use error::AlgoError;
+pub use progressive::{ChunkMeta, Envelope, Progress, ProgressiveCube};
 pub use query::IcebergQuery;
 pub use recipe::{recommend, Choice, CubeProfile};
 pub use recover::TaskGuard;

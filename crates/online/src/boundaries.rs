@@ -68,6 +68,13 @@ impl Boundaries {
         self.parts
     }
 
+    /// The surviving split keys, strictly increasing. Duplicate-quantile
+    /// collapse can leave fewer than `parts - 1` of them; the reachable
+    /// owners are then exactly `0..=splits.len()`.
+    pub fn splits(&self) -> &[Vec<u32>] {
+        &self.splits
+    }
+
     /// The range (processor) owning `key`.
     pub fn owner(&self, key: &[u32]) -> usize {
         // partition_point gives the count of splits <= key; keys equal to a
@@ -81,8 +88,58 @@ impl Boundaries {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    proptest! {
+        /// Keys straddling each *surviving* split reach exactly the
+        /// owners the split separates: the split key itself belongs to
+        /// the right-hand range, the previous split (or the zero key,
+        /// when one exists below the first split) to the left-hand one.
+        /// This pins the duplicate-collapse path: after collapse the
+        /// reachable owners are exactly `0..=splits.len()`, never a gap
+        /// and never `parts` or beyond.
+        #[test]
+        fn survivors_separate_adjacent_owners(
+            sample in proptest::collection::vec(
+                proptest::collection::vec(0u32..6, 2), 1..120),
+            parts in 1usize..8,
+        ) {
+            let b = Boundaries::from_sample(sample, parts);
+            let splits = b.splits();
+            prop_assert!(splits.len() < parts.max(2), "at most parts-1 splits");
+            for w in splits.windows(2) {
+                prop_assert!(w[0] < w[1], "splits must strictly increase");
+            }
+            let mut reached = std::collections::BTreeSet::new();
+            for (i, s) in splits.iter().enumerate() {
+                // At/above the split: the right-hand range.
+                prop_assert_eq!(b.owner(s), i + 1);
+                reached.insert(i + 1);
+                // Just below the split: the left-hand range, witnessed by
+                // the previous split or by the zero key if one fits.
+                if i > 0 {
+                    prop_assert_eq!(b.owner(&splits[i - 1]), i);
+                } else if *s > vec![0u32, 0u32] {
+                    prop_assert_eq!(b.owner(&[0, 0]), 0);
+                    reached.insert(0);
+                }
+            }
+            // Exactly the owners 0..=splits.len() are reachable, no gap.
+            let all: std::collections::BTreeSet<usize> = (0..=splits.len()).collect();
+            prop_assert!(reached.is_subset(&all));
+            if splits.first().is_some_and(|s| *s > vec![0u32, 0u32]) {
+                prop_assert_eq!(reached, all);
+            }
+            // And no key anywhere can escape the reachable set.
+            for a in 0..6u32 {
+                for c in 0..6u32 {
+                    prop_assert!(b.owner(&[a, c]) <= splits.len());
+                }
+            }
+        }
+    }
 
     #[test]
     fn even_sample_splits_evenly() {

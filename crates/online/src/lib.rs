@@ -23,9 +23,13 @@
 //! stealing local-input tasks and shipping side skip lists to the owner.
 
 pub mod boundaries;
+pub mod estimate;
 pub mod materialize;
 pub mod pol;
+pub mod progressive;
 
 pub use boundaries::Boundaries;
+pub use estimate::{scaled_count, scaled_sum, scaled_threshold, AggBound};
 pub use materialize::SelectiveMaterialization;
 pub use pol::{run_pol, PolOutcome, PolQuery, Snapshot, TaskArray};
+pub use progressive::{ChunkPlan, FoldReport, PlannedChunk, ProgressiveBuild};

@@ -31,7 +31,8 @@
 // by the panic-path triage note in DESIGN section 12.
 
 use crate::boundaries::Boundaries;
-use icecube_cluster::{ClusterConfig, EventKind, RunStats, SimCluster};
+use crate::estimate::scaled_threshold;
+use icecube_cluster::{ClusterConfig, EventKind, RunStats, SimCluster, TraceLog};
 use icecube_core::agg::Aggregate;
 use icecube_core::cell::{Cell, CellSink};
 use icecube_core::error::AlgoError;
@@ -148,6 +149,8 @@ pub struct PolOutcome {
     pub total_list_nodes: u64,
     /// Tasks executed by stealing rather than by their owner.
     pub stolen_tasks: u64,
+    /// Per-node event trace, when the config enables tracing.
+    pub trace: Option<TraceLog>,
 }
 
 /// One bucketed chunk: projected keys and measures, ready to fold.
@@ -270,9 +273,15 @@ pub fn run_pol(
                 pending[owner].retain(|&s| s != node_id);
                 stolen_tasks += 1;
                 let chunk = &chunks[node_id][owner];
-                // Build a side skip list locally…
-                let mut side: SkipList<Aggregate> =
-                    SkipList::new(arity, config.seed ^ (step as u64) << 16 ^ node_id as u64);
+                // Build a side skip list locally. The seed mixes the
+                // running steal counter so a node stealing twice in one
+                // step builds two *independently* levelled lists — with
+                // only (step, node_id) in the seed, both lists replayed
+                // the identical level sequence and their comparison
+                // charges were correlated.
+                let side_seed =
+                    config.seed ^ ((step as u64) << 16) ^ (node_id as u64) ^ (stolen_tasks << 40);
+                let mut side: SkipList<Aggregate> = SkipList::new(arity, side_seed);
                 fold_chunk(&mut cluster, node_id, chunk, &mut side);
                 // …ship it to the owner, who merges it into its partition.
                 let side_bytes = side.memory_bytes();
@@ -346,12 +355,14 @@ pub fn run_pol(
         node.wait_until(end);
     }
     icecube_core::cell::sort_cells(&mut cells);
+    let trace = cluster.take_trace();
     Ok(PolOutcome {
         cells,
         snapshots,
         stats: cluster.run_stats(),
         total_list_nodes,
         stolen_tasks,
+        trace,
     })
 }
 
@@ -399,12 +410,15 @@ fn snapshot(
     total: usize,
 ) -> Snapshot {
     let fraction = processed as f64 / total as f64;
-    let estimated_threshold = ((query.minsup as f64 * fraction).round() as u64).max(1);
+    // Exact integer pro-rating (never the old f64 round), and the same
+    // `meets` predicate the final answer uses — the estimator and the
+    // exact answer cannot disagree on the qualifying rule.
+    let estimated_threshold = scaled_threshold(query.minsup, processed as u64, total as u64);
     let mut qualifying = 0u64;
     for (j, list) in lists.iter().enumerate() {
         qualifying += list
             .iter()
-            .filter(|(_, agg)| agg.count >= estimated_threshold)
+            .filter(|(_, agg)| agg.meets(estimated_threshold))
             .count() as u64;
         let node = &mut cluster.nodes[j];
         node.charge_scan(list.len() as u64);
@@ -522,9 +536,94 @@ mod tests {
         let two = run_pol(&rel, &query, &ClusterConfig::fast_ethernet(2)).unwrap();
         let net: u64 = two.stats.nodes().iter().map(|s| s.net_ns).sum();
         assert!(net > 0, "multi-node POL must pay communication");
-        let one = run_pol(&rel, &query, &ClusterConfig::fast_ethernet(1)).unwrap();
-        let net1: u64 = one.stats.nodes().iter().map(|s| s.net_ns).sum();
-        assert!(net1 < net, "single node ships no chunks");
+        // A single node owns every chunk: not one MsgSend chunk transfer
+        // may appear in the trace, and no payload byte may hit the wire
+        // (snapshot RPC round trips are control traffic, counted in
+        // `messages` but carrying no chunk bytes).
+        let cfg = ClusterConfig::fast_ethernet(1).with_trace();
+        let one = run_pol(&rel, &query, &cfg).unwrap();
+        let trace = one.trace.expect("tracing was enabled");
+        assert_eq!(
+            trace.count_total(|k| matches!(k, EventKind::MsgSend { .. })),
+            0,
+            "single node must ship no chunks"
+        );
+        for s in one.stats.nodes() {
+            assert_eq!(s.bytes_sent, 0, "no payload bytes at n=1");
+        }
+        assert_eq!(one.cells, two.cells);
+    }
+
+    #[test]
+    fn scaled_threshold_uses_exact_integer_ceiling() {
+        // 8 identical-key rows, minsup 9, two rows per step on one node:
+        // after step 1 the pro-rated threshold is ceil(9·2/8) = 3. The
+        // old f64 path rounded 2.25 down to 2, which wrongly admitted
+        // the count-2 group in the first snapshot.
+        let schema = icecube_data::Schema::from_cardinalities(&[2, 2]).unwrap();
+        let mut rel = Relation::new(schema);
+        for t in 0..8 {
+            rel.push_row(&[0, (t % 2) as u32], t as i64).unwrap();
+        }
+        let query = q(&[0], 9, 2);
+        let out = run_pol(&rel, &query, &ClusterConfig::fast_ethernet(1)).unwrap();
+        let first = &out.snapshots[0];
+        assert_eq!(first.estimated_threshold, 3, "ceil(9*2/8), not round(2.25)");
+        assert_eq!(
+            first.qualifying_cells, 0,
+            "a count-2 group must not qualify at pro-rated threshold 3"
+        );
+        let last = out.snapshots.last().unwrap();
+        assert_eq!(last.estimated_threshold, query.minsup);
+        assert!(out.cells.is_empty(), "minsup exceeds the relation size");
+    }
+
+    #[test]
+    fn double_steal_in_one_step_stays_deterministic() {
+        // Force one node to steal twice within a single step: node 0's
+        // partition routes entirely to ranges owned by nodes 1 and 2
+        // (which are busy with their own large local chunks), so idle
+        // node 0 steals both of its local chunks. Each stolen task must
+        // build its side list from an independent seed; the run is
+        // pinned by exactness and charge determinism.
+        // Sizing: a stolen side fold plus its ship costs one network
+        // latency (~100µs on fast ethernet); the owners' local folds must
+        // dwarf that, so each owner folds 12000 tuples (~300µs of CPU
+        // charges) while node 0's stealable chunks are 2 and 11998 rows.
+        const PART: usize = 12_000;
+        let schema = icecube_data::Schema::from_cardinalities(&[4, 2]).unwrap();
+        let mut rel = Relation::new(schema);
+        for t in 0..3 * PART {
+            let key = if t < 2 {
+                1 // node 0: 2 rows for range 1…
+            } else if t < PART {
+                3 // …and the rest for range 2
+            } else if t < 2 * PART {
+                1 // node 1: all local to its range
+            } else {
+                3 // node 2: all local to its range
+            };
+            rel.push_row(&[key, 0], (t * 7 % 13) as i64).unwrap();
+        }
+        let query = PolQuery {
+            sample_size: rel.len(), // full sample: splits are exact
+            ..q(&[0], 2, PART)
+        };
+        let cfg = ClusterConfig::fast_ethernet(3);
+        let out = run_pol(&rel, &query, &cfg).unwrap();
+        assert_eq!(out.cells, exact_answer(&rel, &query));
+        assert_eq!(
+            out.stolen_tasks, 2,
+            "node 0 must steal both of its local chunks in the one step"
+        );
+        let again = run_pol(&rel, &query, &cfg).unwrap();
+        assert_eq!(out.cells, again.cells);
+        assert_eq!(out.snapshots, again.snapshots);
+        assert_eq!(
+            out.stats.nodes(),
+            again.stats.nodes(),
+            "double-steal charges must be deterministic"
+        );
     }
 
     #[test]

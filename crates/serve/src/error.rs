@@ -32,6 +32,14 @@ pub enum ServeError {
         /// Dimensions of the store the refresh offered.
         offered: usize,
     },
+    /// A progressive publish offered a store thresholded above minimum
+    /// support 1. Progressive epochs must serve the *floor*: bound
+    /// arithmetic needs every sub-threshold partial cell, and the sharded
+    /// cube refuses queries below its stored threshold.
+    ProgressiveFloor {
+        /// The offending store's minimum support.
+        minsup: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -44,6 +52,11 @@ impl fmt::Display for ServeError {
                 f,
                 "refresh offered a {offered}-dimensional store to a \
                  {served}-dimensional server"
+            ),
+            ServeError::ProgressiveFloor { minsup } => write!(
+                f,
+                "progressive serving needs the minimum-support-1 floor, \
+                 not a store thresholded at {minsup}"
             ),
         }
     }
@@ -78,5 +91,7 @@ mod tests {
         };
         assert!(e.to_string().contains("5-dimensional store"));
         assert!(e.to_string().contains("3-dimensional server"));
+        let e = ServeError::ProgressiveFloor { minsup: 4 };
+        assert!(e.to_string().contains("thresholded at 4"));
     }
 }

@@ -34,7 +34,7 @@ pub mod workload;
 
 pub use error::ServeError;
 pub use metrics::{LatencyHistogram, Metrics, ServerStats};
-pub use request::{Request, RequestError, Response, RollUpPlan};
+pub use request::{CellEstimate, Request, RequestError, Response, RollUpPlan};
 pub use server::{Answer, ClientHandle, CubeServer, EpochSnapshot};
 pub use shard::ShardedCube;
 pub use workload::{run_closed_loop, LoadReport, NavigationWorkload};

@@ -10,6 +10,7 @@
 use icecube_core::error::AlgoError;
 use icecube_core::Aggregate;
 use icecube_lattice::CuboidMask;
+use icecube_online::AggBound;
 use std::fmt;
 
 /// One client request against a served cube.
@@ -59,6 +60,25 @@ pub enum Request {
         /// Minimum support; must be at least the store's `minsup`.
         minsup: u64,
     },
+    /// Progressive estimate of a single cell: its partial aggregate so
+    /// far plus the deterministic bound the unfolded chunks leave open.
+    /// Only answerable on an epoch published with progressive state.
+    EstimatePoint {
+        /// Group-by the cell belongs to.
+        cuboid: CuboidMask,
+        /// The cell's key (one value per cuboid dimension, ascending).
+        key: Vec<u32>,
+    },
+    /// Progressive estimate of one group-by at an iceberg threshold:
+    /// every cell *seen so far* that could still qualify at `minsup`
+    /// (its count upper bound reaches the threshold), with per-cell
+    /// bounds. On convergence this is exactly the batch iceberg answer.
+    EstimateCuboid {
+        /// Group-by to enumerate.
+        cuboid: CuboidMask,
+        /// Minimum support the client ultimately wants.
+        minsup: u64,
+    },
     /// Several requests answered in order by one worker.
     Batch(Vec<Request>),
 }
@@ -84,6 +104,26 @@ pub enum RollUpPlan {
     Aggregated,
 }
 
+/// One cell of a progressive estimate: the folded partial extrapolated
+/// to a point estimate, plus the deterministic interval the exact value
+/// must lie in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellEstimate {
+    /// The cell's key.
+    pub key: Vec<u32>,
+    /// Deterministic bound containing the exact aggregate (DESIGN §14).
+    pub bound: AggBound,
+    /// Linear extrapolation of the partial count to the full relation,
+    /// clamped into `bound` so the estimate can never leave its interval.
+    pub est_count: u64,
+    /// Linear extrapolation of the partial sum, clamped into `bound`.
+    pub est_sum: i64,
+    /// For [`Request::EstimateCuboid`]: the count *lower* bound already
+    /// reaches the requested threshold, so the cell is guaranteed in the
+    /// final answer. For [`Request::EstimatePoint`]: the bound is exact.
+    pub definite: bool,
+}
+
 /// A server's answer to one [`Request`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -106,6 +146,25 @@ pub enum Response {
         /// cuboid's sub-threshold cells were pruned), so it is only exact
         /// when the store kept every cell.
         exact: bool,
+    },
+    /// Answer to [`Request::EstimatePoint`] and
+    /// [`Request::EstimateCuboid`]: estimated cells plus how far the
+    /// progressive build behind this epoch has come.
+    Estimate {
+        /// Estimated cells in ascending key order (exactly one for a
+        /// point estimate, possibly with an empty partial).
+        cells: Vec<CellEstimate>,
+        /// Chunks folded into the epoch's floor.
+        chunks_folded: usize,
+        /// Chunks the build plans in total.
+        chunks_total: usize,
+        /// Rows folded into the epoch's floor.
+        rows_folded: u64,
+        /// Rows the build covers in total.
+        rows_total: u64,
+        /// Every chunk is folded: bounds are points and cuboid estimates
+        /// equal the batch iceberg answer.
+        converged: bool,
     },
     /// Answers to a [`Request::Batch`], in request order.
     Batch(Vec<Response>),
@@ -147,6 +206,9 @@ pub enum RequestError {
         /// The (lower) requested threshold.
         requested: u64,
     },
+    /// An estimate request reached an epoch that carries no progressive
+    /// state (the server was started or refreshed with a finished cube).
+    NotProgressive,
     /// The store reported an error the serving layer has no specific
     /// mapping for. Reaching this indicates a bug in request validation
     /// (the shard router should have rejected the request first), but it
@@ -178,6 +240,11 @@ impl fmt::Display for RequestError {
             RequestError::ThresholdTooLow { stored, requested } => write!(
                 f,
                 "store computed at minsup {stored} cannot answer threshold {requested}"
+            ),
+            RequestError::NotProgressive => write!(
+                f,
+                "the served epoch carries no progressive state to bound \
+                 an estimate with"
             ),
             RequestError::Internal { detail } => {
                 write!(f, "internal serving error: {detail}")
@@ -254,6 +321,9 @@ mod tests {
         assert_eq!(e, RequestError::DimensionNotInCuboid { dim: 4 });
         let e: RequestError = AlgoError::DimensionAlreadyInGroupBy { dim: 4 }.into();
         assert_eq!(e, RequestError::DimensionAlreadyInCuboid { dim: 4 });
+        assert!(RequestError::NotProgressive
+            .to_string()
+            .contains("no progressive state"));
         // Computation-side errors map to Internal instead of unwinding.
         let e: RequestError = AlgoError::EmptyInput.into();
         match e {

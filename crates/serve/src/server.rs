@@ -32,20 +32,27 @@
 use crate::error::ServeError;
 use crate::metrics::{Metrics, ServerStats};
 use crate::planner;
-use crate::request::{Request, Response, RollUpPlan};
+use crate::request::{CellEstimate, Request, RequestError, Response, RollUpPlan};
 use crate::shard::ShardedCube;
 use crate::sync::mpsc::{self, Receiver, Sender};
 use crate::sync::{thread, Arc, Instant, Mutex};
-use icecube_core::CubeStore;
+use icecube_core::progressive::Progress;
+use icecube_core::{Aggregate, CubeStore};
+use icecube_online::{scaled_count, scaled_sum, AggBound};
 
 /// One immutable published generation of the served cube.
 ///
 /// Workers answer each job entirely from one snapshot; refreshing the
-/// server publishes a new snapshot with the next epoch number.
+/// server publishes a new snapshot with the next epoch number. An epoch
+/// published by a progressive build additionally carries the build's
+/// [`Progress`] — the slack accounting estimate requests bound their
+/// answers with; finished cubes carry `None` and answer estimate
+/// requests with a typed error.
 #[derive(Debug)]
 pub struct EpochSnapshot {
     epoch: u64,
     cube: ShardedCube,
+    progress: Option<Progress>,
 }
 
 impl EpochSnapshot {
@@ -57,6 +64,11 @@ impl EpochSnapshot {
     /// The sharded cube this epoch serves.
     pub fn cube(&self) -> &ShardedCube {
         &self.cube
+    }
+
+    /// The progressive build state behind this epoch, when it has one.
+    pub fn progress(&self) -> Option<&Progress> {
+        self.progress.as_ref()
     }
 }
 
@@ -107,11 +119,47 @@ impl CubeServer {
     /// [`ServeError::Spawn`] when the OS refuses a worker thread (any
     /// workers already started are joined first).
     pub fn start(cube: ShardedCube, workers: usize) -> Result<Self, ServeError> {
+        CubeServer::start_with(cube, workers, None)
+    }
+
+    /// Starts `workers` threads serving the floor of a progressive build
+    /// alongside its [`Progress`], enabling the estimate requests.
+    ///
+    /// `cube` must be sharded from the build's minimum-support-1 *floor*:
+    /// bound arithmetic needs every sub-threshold partial cell, and
+    /// serving a thresholded store would silently drop the cells whose
+    /// bounds still straddle the threshold.
+    ///
+    /// # Errors
+    /// [`ServeError::ProgressiveFloor`] when `cube` was thresholded above
+    /// minimum support 1, plus everything [`CubeServer::start`] returns.
+    pub fn start_progressive(
+        cube: ShardedCube,
+        workers: usize,
+        progress: Progress,
+    ) -> Result<Self, ServeError> {
+        if cube.minsup() != 1 {
+            return Err(ServeError::ProgressiveFloor {
+                minsup: cube.minsup(),
+            });
+        }
+        CubeServer::start_with(cube, workers, Some(progress))
+    }
+
+    fn start_with(
+        cube: ShardedCube,
+        workers: usize,
+        progress: Option<Progress>,
+    ) -> Result<Self, ServeError> {
         if workers == 0 {
             return Err(ServeError::NoWorkers);
         }
         let metrics = Arc::new(Metrics::new(cube.shard_count()));
-        let current = Arc::new(Mutex::new(Arc::new(EpochSnapshot { epoch: 1, cube })));
+        let current = Arc::new(Mutex::new(Arc::new(EpochSnapshot {
+            epoch: 1,
+            cube,
+            progress,
+        })));
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let mut pool = Vec::with_capacity(workers);
@@ -174,6 +222,36 @@ impl CubeServer {
     /// from the served cube's (an incremental refresh extends dictionary
     /// *cardinalities*, never the dimension count).
     pub fn refresh(&self, store: &CubeStore) -> Result<u64, ServeError> {
+        self.publish(store, None)
+    }
+
+    /// Publishes a progressive build's floor and its [`Progress`] as the
+    /// next epoch, and returns the new epoch number.
+    ///
+    /// The same single-pointer-swap discipline as [`CubeServer::refresh`]
+    /// applies, so a floor and its progress are always published
+    /// *together*: no job can ever pair one epoch's cells with another
+    /// epoch's slack, which is what keeps every bound sound under a
+    /// publish storm.
+    ///
+    /// # Errors
+    /// [`ServeError::ProgressiveFloor`] when `store` was thresholded
+    /// above minimum support 1; [`ServeError::RefreshDims`] as for
+    /// [`CubeServer::refresh`].
+    pub fn publish_progressive(
+        &self,
+        store: &CubeStore,
+        progress: Progress,
+    ) -> Result<u64, ServeError> {
+        if store.minsup() != 1 {
+            return Err(ServeError::ProgressiveFloor {
+                minsup: store.minsup(),
+            });
+        }
+        self.publish(store, Some(progress))
+    }
+
+    fn publish(&self, store: &CubeStore, progress: Option<Progress>) -> Result<u64, ServeError> {
         let (dims, shards) = {
             let cur = self
                 .current
@@ -194,7 +272,11 @@ impl CubeServer {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let epoch = cur.epoch + 1;
-        *cur = Arc::new(EpochSnapshot { epoch, cube });
+        *cur = Arc::new(EpochSnapshot {
+            epoch,
+            cube,
+            progress,
+        });
         Ok(epoch)
     }
 
@@ -347,7 +429,7 @@ fn worker_loop(
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
         );
         let leaves = req.leaf_count() as u64;
-        let resp = execute(snapshot.cube(), metrics, &req);
+        let resp = execute(snapshot.cube(), snapshot.progress(), metrics, &req);
         let ns = enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         for _ in 0..leaves.max(1) {
             metrics.latency.record(ns);
@@ -361,12 +443,21 @@ fn worker_loop(
 }
 
 /// Answers one request, recording counters. Batches recurse.
-fn execute(cube: &ShardedCube, metrics: &Metrics, req: &Request) -> Response {
+fn execute(
+    cube: &ShardedCube,
+    progress: Option<&Progress>,
+    metrics: &Metrics,
+    req: &Request,
+) -> Response {
     if let Request::Batch(reqs) = req {
-        return Response::Batch(reqs.iter().map(|r| execute(cube, metrics, r)).collect());
+        return Response::Batch(
+            reqs.iter()
+                .map(|r| execute(cube, progress, metrics, r))
+                .collect(),
+        );
     }
     Metrics::bump(&metrics.requests);
-    let resp = execute_leaf(cube, metrics, req);
+    let resp = execute_leaf(cube, progress, metrics, req);
     if matches!(resp, Response::Error(_)) {
         Metrics::bump(&metrics.errors);
     }
@@ -376,7 +467,12 @@ fn execute(cube: &ShardedCube, metrics: &Metrics, req: &Request) -> Response {
 /// Answers one non-batch request. (The batch arm recurses through
 /// [`execute`] for exhaustiveness, but `execute` intercepts batches
 /// before calling here.)
-fn execute_leaf(cube: &ShardedCube, metrics: &Metrics, req: &Request) -> Response {
+fn execute_leaf(
+    cube: &ShardedCube,
+    progress: Option<&Progress>,
+    metrics: &Metrics,
+    req: &Request,
+) -> Response {
     match req {
         Request::Point { cuboid, key } => match cube.get(*cuboid, key) {
             Ok(agg) => {
@@ -427,7 +523,85 @@ fn execute_leaf(cube: &ShardedCube, metrics: &Metrics, req: &Request) -> Respons
             }
             Err(e) => Response::Error(e),
         },
-        Request::Batch(_) => execute(cube, metrics, req),
+        Request::EstimatePoint { cuboid, key } => {
+            let Some(p) = progress else {
+                return Response::Error(RequestError::NotProgressive);
+            };
+            match cube.get(*cuboid, key) {
+                Ok(partial) => {
+                    let shard = cube.shard_of(*cuboid, key);
+                    if let Some(s) = metrics.shards.get(shard) {
+                        Metrics::bump(&s.routed);
+                    }
+                    // An unseen key is a legal progressive answer: the
+                    // bound starts from the empty aggregate and the
+                    // region's full slack.
+                    let partial = partial.unwrap_or_else(Aggregate::empty);
+                    let bound = AggBound::over(&partial, &p.envelope_for(*cuboid, key));
+                    let cell = estimate_cell(key.clone(), &partial, bound, p, bound.is_exact());
+                    progress_response(vec![cell], p)
+                }
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::EstimateCuboid { cuboid, minsup } => {
+            let Some(p) = progress else {
+                return Response::Error(RequestError::NotProgressive);
+            };
+            // Progressive epochs serve the minimum-support-1 floor, so
+            // this enumerates every partial cell seen so far.
+            match cube.query(*cuboid, cube.minsup()) {
+                Ok(partials) => {
+                    for s in &metrics.shards {
+                        Metrics::bump(&s.scanned);
+                    }
+                    let mut cells = Vec::new();
+                    for (key, agg) in partials {
+                        let bound = AggBound::over(&agg, &p.envelope_for(*cuboid, &key));
+                        // Keep every cell whose count can still reach the
+                        // threshold; flag the ones already guaranteed in.
+                        if bound.count_hi >= *minsup {
+                            let definite = bound.count_lo >= *minsup;
+                            cells.push(estimate_cell(key, &agg, bound, p, definite));
+                        }
+                    }
+                    Metrics::add(&metrics.cells_returned, cells.len() as u64);
+                    progress_response(cells, p)
+                }
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Batch(_) => execute(cube, progress, metrics, req),
+    }
+}
+
+/// Builds one estimated cell: the extrapolated point estimate, clamped
+/// into the bound so an estimate can never leave its own interval.
+fn estimate_cell(
+    key: Vec<u32>,
+    partial: &Aggregate,
+    bound: AggBound,
+    p: &Progress,
+    definite: bool,
+) -> CellEstimate {
+    CellEstimate {
+        key,
+        bound,
+        est_count: bound.clamp_count(scaled_count(partial.count, p.rows_folded(), p.rows_total())),
+        est_sum: bound.clamp_sum(scaled_sum(partial.sum, p.rows_folded(), p.rows_total())),
+        definite,
+    }
+}
+
+/// Wraps estimated cells with the epoch's progress summary.
+fn progress_response(cells: Vec<CellEstimate>, p: &Progress) -> Response {
+    Response::Estimate {
+        cells,
+        chunks_folded: p.chunks_folded(),
+        chunks_total: p.chunks_total(),
+        rows_folded: p.rows_folded(),
+        rows_total: p.rows_total(),
+        converged: p.converged(),
     }
 }
 
@@ -781,6 +955,176 @@ mod tests {
             }
         });
         assert_eq!(srv.epoch(), 11);
+    }
+
+    #[test]
+    fn estimates_on_a_plain_epoch_are_typed_errors() {
+        let srv = server(2, 2);
+        let h = srv.handle().expect("running");
+        let g = CuboidMask::from_dims(&[0]);
+        match h
+            .call(Request::EstimatePoint {
+                cuboid: g,
+                key: vec![0],
+            })
+            .expect("running")
+        {
+            Response::Error(RequestError::NotProgressive) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match h
+            .call(Request::EstimateCuboid {
+                cuboid: g,
+                minsup: 2,
+            })
+            .expect("running")
+        {
+            Response::Error(RequestError::NotProgressive) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(srv.stats().errors, 2);
+    }
+
+    #[test]
+    fn progressive_serving_requires_the_floor() {
+        let rel = sales();
+        let q = IcebergQuery::count_cube(3, 2);
+        let out = run_parallel(Algorithm::Pt, &rel, &q, &ClusterConfig::fast_ethernet(2)).unwrap();
+        let thresholded = CubeStore::from_outcome(3, 2, out);
+        let build = icecube_online::ProgressiveBuild::new(
+            &rel,
+            2,
+            2,
+            8,
+            64,
+            &ClusterConfig::fast_ethernet(2),
+        )
+        .unwrap();
+        match CubeServer::start_progressive(ShardedCube::new(&thresholded, 2), 1, build.progress())
+        {
+            Err(ServeError::ProgressiveFloor { minsup: 2 }) => {}
+            other => panic!("unexpected {other:?}", other = other.map(|_| ())),
+        }
+        let srv =
+            CubeServer::start_progressive(ShardedCube::new(build.floor(), 2), 1, build.progress())
+                .expect("floor is minsup 1");
+        match srv.publish_progressive(&thresholded, build.progress()) {
+            Err(ServeError::ProgressiveFloor { minsup: 2 }) => {}
+            other => panic!("unexpected {other:?}", other = other.map(|_| ())),
+        }
+        assert_eq!(srv.epoch(), 1, "a rejected publish changes nothing");
+        // A plain refresh drops the progressive state: estimates on the
+        // new epoch answer the typed error again.
+        srv.refresh(&thresholded).expect("same dims");
+        let h = srv.handle().expect("running");
+        match h
+            .call(Request::EstimatePoint {
+                cuboid: CuboidMask::from_dims(&[0]),
+                key: vec![0],
+            })
+            .expect("running")
+        {
+            Response::Error(RequestError::NotProgressive) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn progressive_bounds_tighten_and_converge_to_the_batch_answer() {
+        let rel = icecube_data::presets::tiny(9).generate().unwrap();
+        let dims = rel.arity();
+        let minsup = 3u64;
+        let cfg = ClusterConfig::fast_ethernet(3);
+        let q = IcebergQuery::count_cube(dims, 1);
+        let out = run_parallel(Algorithm::Pt, &rel, &q, &cfg).unwrap();
+        let exact_floor = CubeStore::from_outcome(dims, 1, out);
+        let oracle = ShardedCube::new(&exact_floor, 1);
+
+        let mut build = icecube_online::ProgressiveBuild::new(&rel, minsup, 3, 40, 64, &cfg)
+            .expect("non-empty relation");
+        let srv =
+            CubeServer::start_progressive(ShardedCube::new(build.floor(), 2), 2, build.progress())
+                .expect("workers > 0");
+        let h = srv.handle().expect("running");
+
+        // Track a coarse cell (global envelope: inexact until the end)
+        // and assert its bound tightens monotonically and always
+        // contains the exact aggregate.
+        let g0 = CuboidMask::from_dims(&[0]);
+        let anchor = CuboidMask::full(dims);
+        let tracked = vec![0u32];
+        let exact_cell = oracle
+            .get(g0, &tracked)
+            .expect("valid request")
+            .expect("value 0 occurs in the preset");
+        let mut prev_bound: Option<AggBound> = None;
+        let mut saw_inexact = false;
+        loop {
+            let answer = h
+                .call_tagged(Request::EstimatePoint {
+                    cuboid: g0,
+                    key: tracked.clone(),
+                })
+                .expect("running");
+            assert_eq!(answer.epoch, srv.epoch());
+            let Response::Estimate {
+                cells, converged, ..
+            } = answer.response
+            else {
+                panic!("unexpected response");
+            };
+            let cell = cells.first().expect("point estimates return one cell");
+            assert!(cell.bound.contains(&exact_cell), "bound lost the exact");
+            assert!(cell.bound.clamp_count(cell.est_count) == cell.est_count);
+            if let Some(prev) = prev_bound {
+                assert!(prev.tightens_to(&cell.bound), "bound widened");
+            }
+            prev_bound = Some(cell.bound);
+            saw_inexact |= !cell.bound.is_exact();
+            assert_eq!(converged, build.converged());
+            if build.step().expect("fold succeeds").is_none() {
+                break;
+            }
+            srv.publish_progressive(build.floor(), build.progress())
+                .expect("floor stays minsup 1");
+        }
+        assert!(saw_inexact, "pre-convergence bounds must be open");
+        assert!(build.converged());
+
+        // Converged: the estimate is the batch iceberg answer, cell for
+        // cell, with point bounds and definite flags everywhere.
+        let est = h
+            .call(Request::EstimateCuboid {
+                cuboid: anchor,
+                minsup,
+            })
+            .expect("running");
+        let batch = h
+            .call(Request::Cuboid {
+                cuboid: anchor,
+                minsup,
+            })
+            .expect("running");
+        let Response::Estimate {
+            cells, converged, ..
+        } = est
+        else {
+            panic!("unexpected response");
+        };
+        assert!(converged);
+        let Response::Cells(want) = batch else {
+            panic!("unexpected response");
+        };
+        assert!(!want.is_empty(), "the preset qualifies cells at minsup 3");
+        assert_eq!(cells.len(), want.len());
+        for (got, (key, agg)) in cells.iter().zip(&want) {
+            assert_eq!(&got.key, key);
+            assert!(got.definite);
+            assert!(got.bound.is_exact());
+            assert_eq!(got.bound, AggBound::exact(agg));
+            assert_eq!(got.est_count, agg.count);
+            assert_eq!(got.est_sum, agg.sum);
+        }
     }
 
     #[test]

@@ -248,6 +248,9 @@ mod tests {
                 Request::RollUp { .. } => kinds[2] += 1,
                 Request::DrillDown { .. } => kinds[3] += 1,
                 Request::Cuboid { .. } => kinds[4] += 1,
+                Request::EstimatePoint { .. } | Request::EstimateCuboid { .. } => {
+                    panic!("navigation workloads never generate estimates")
+                }
                 Request::Batch(rs) => {
                     kinds[5] += 1;
                     rs.iter().for_each(|r| tally(r, kinds));

@@ -76,6 +76,9 @@ fn oracle(store: &CubeStore, req: &Request) -> Response {
             }
         }
         Request::Batch(reqs) => Response::Batch(reqs.iter().map(|r| oracle(store, r)).collect()),
+        Request::EstimatePoint { .. } | Request::EstimateCuboid { .. } => {
+            unreachable!("navigation workloads never generate estimates")
+        }
     }
 }
 
